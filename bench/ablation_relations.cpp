@@ -1,0 +1,99 @@
+// Ablation — does relation typing matter? (DESIGN.md, design decision #2).
+//
+// The paper adopts RGCN precisely because ProGraML's control/data/call
+// flows are typed. This ablation trains the same model twice on a
+// family-classification proxy task: once on the real typed graphs, once
+// with every edge collapsed into a single relation. Typed relations should
+// win (and the gap is the value of the RGCN choice).
+#include <cstdio>
+
+#include "gnn/model.h"
+#include "graph/graph_builder.h"
+#include "ml/cross_validation.h"
+#include "support/argparse.h"
+#include "support/table.h"
+#include "workloads/suite.h"
+
+using namespace irgnn;
+
+namespace {
+
+/// Collapses every edge kind to Control — the "untyped GCN" strawman.
+graph::ProgramGraph collapse_relations(graph::ProgramGraph g) {
+  for (auto& edge : g.edges) edge.kind = graph::EdgeKind::Control;
+  return g;
+}
+
+double evaluate(const std::vector<graph::ProgramGraph>& graphs,
+                const std::vector<int>& labels, int folds, int epochs,
+                std::uint64_t seed) {
+  auto split = ml::k_fold(static_cast<int>(graphs.size()), folds, seed);
+  int correct = 0;
+  for (const auto& fold : split) {
+    std::vector<const graph::ProgramGraph*> train;
+    std::vector<int> train_y;
+    for (int i : fold.train_indices) {
+      train.push_back(&graphs[i]);
+      train_y.push_back(labels[i]);
+    }
+    gnn::ModelConfig cfg;
+    cfg.vocab_size = graph::vocabulary_size();
+    cfg.num_labels = 1 + *std::max_element(labels.begin(), labels.end());
+    cfg.hidden_dim = 24;
+    cfg.num_layers = 2;
+    cfg.epochs = epochs;
+    cfg.seed = seed;
+    gnn::StaticModel model(cfg);
+    model.train(train, train_y);
+    std::vector<const graph::ProgramGraph*> val;
+    for (int i : fold.validation_indices) val.push_back(&graphs[i]);
+    std::vector<int> preds = model.predict(val);
+    for (std::size_t k = 0; k < preds.size(); ++k)
+      correct += (preds[k] == labels[fold.validation_indices[k]]);
+  }
+  return static_cast<double>(correct) / static_cast<double>(graphs.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser parser("ablation_relations",
+                   "ablation: typed RGCN relations vs collapsed edges");
+  parser.add("epochs", "20", "training epochs")
+      .add("folds", "5", "cross-validation folds")
+      .add("seed", "17", "random seed");
+  if (!parser.parse(argc, argv)) return 1;
+  int epochs = static_cast<int>(parser.get_int("epochs"));
+  int folds = static_cast<int>(parser.get_int("folds"));
+  std::uint64_t seed = static_cast<std::uint64_t>(parser.get_int("seed"));
+
+  // Family classification over the whole suite (5 classes).
+  std::vector<graph::ProgramGraph> typed;
+  std::vector<graph::ProgramGraph> collapsed;
+  std::vector<int> labels;
+  std::map<std::string, int> family_id;
+  for (const auto& spec : workloads::benchmark_suite()) {
+    auto module = workloads::build_region_module(spec);
+    auto g = graph::build_graph(*module);
+    collapsed.push_back(collapse_relations(g));
+    typed.push_back(std::move(g));
+    auto [it, _] = family_id.emplace(spec.family,
+                                     static_cast<int>(family_id.size()));
+    labels.push_back(it->second);
+  }
+
+  double typed_acc = evaluate(typed, labels, folds, epochs, seed);
+  double collapsed_acc = evaluate(collapsed, labels, folds, epochs, seed);
+
+  Table table({"graph encoding", "family-classification accuracy"});
+  table.add_row({"typed relations (RGCN, as in the paper)",
+                 Table::fmt(typed_acc)});
+  table.add_row({"collapsed relations (untyped GCN)",
+                 Table::fmt(collapsed_acc)});
+  std::printf("\n=== Ablation: relation typing in the graph encoder ===\n");
+  table.print();
+  std::printf("typed - collapsed = %+.3f accuracy "
+              "(positive = typed flows carry signal)\n",
+              typed_acc - collapsed_acc);
+  return 0;
+}

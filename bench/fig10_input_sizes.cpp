@@ -1,0 +1,36 @@
+// Fig. 10 — Speedup losses per region when input sizes change: each region
+// is optimized using size-2 (the larger input) and the resulting
+// configuration is applied to size-1; the loss is
+//   L = S(size1 | best-config(size1)) - S(size1 | best-config(size2)).
+// Lower is better. The paper measured ~0.05x average loss on a Skylake.
+#include "bench/bench_common.h"
+
+using namespace irgnn;
+
+int main(int argc, char** argv) {
+  ArgParser parser = bench::make_parser(
+      "fig10_input_sizes", "Fig. 10: speedup losses across input sizes");
+  if (!parser.parse(argc, argv)) return 1;
+  core::ExperimentOptions options = bench::options_from(parser);
+
+  core::InputSizeResult res =
+      core::run_input_size_study(sim::MachineDesc::skylake(), options);
+
+  std::vector<std::size_t> order(res.regions.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return res.speedup_loss[a] > res.speedup_loss[b];
+  });
+
+  Table table({"region", "speedup_loss"});
+  for (std::size_t i : order)
+    table.add_row({res.regions[i], Table::fmt(res.speedup_loss[i])});
+  std::printf("\n=== Fig. 10 [Skylake] speedup losses with size-1 inputs "
+              "when optimized for size-2 (lower is better) ===\n");
+  bench::finish(table, parser);
+  std::printf("summary: native size-1 optimization %.3fx, size-2-transferred "
+              "%.3fx, average loss %.3fx (paper: 1.51 -> 1.46, loss 0.05)\n",
+              res.native_speedup, res.transferred_speedup,
+              res.native_speedup - res.transferred_speedup);
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Fig. 12 — Execution time per call (in cycles) of four regions with
+// dynamic behaviour (the ones static models mispredict) alongside SP as a
+// stable reference, at the default configuration on Skylake. The unstable
+// per-call profiles are the behaviour static information cannot capture.
+#include "bench/bench_common.h"
+#include "sim/simulator.h"
+#include "workloads/suite.h"
+
+using namespace irgnn;
+
+int main(int argc, char** argv) {
+  ArgParser parser = bench::make_parser(
+      "fig12_time_per_call", "Fig. 12: execution time per call (cycles)");
+  if (!parser.parse(argc, argv)) return 1;
+
+  const sim::MachineDesc machine = sim::MachineDesc::skylake();
+  sim::Simulator simulator(machine);
+  sim::Configuration config = sim::default_configuration(machine);
+
+  const std::vector<std::string> regions = {
+      "kmeans", "mg residual", "bfs 135", "cfd 347", "sp rhs"};
+
+  Table table({"call", "kmeans", "mg residual", "bfs 135", "cfd 347",
+               "sp rhs (reference)"});
+  std::vector<std::vector<double>> series;
+  for (const auto& name : regions) {
+    const workloads::RegionSpec* spec = workloads::find_region(name);
+    series.push_back(simulator.per_call_cycles(spec->traits, config));
+  }
+  for (std::size_t call = 0; call < series[0].size(); ++call) {
+    std::vector<std::string> row{std::to_string(call)};
+    for (const auto& s : series)
+      row.push_back(Table::fmt(s[call] / 1e6, 2));
+    table.add_row(row);
+  }
+  std::printf("\n=== Fig. 12 [Skylake] cycles per call (millions) at the "
+              "default configuration ===\n");
+  bench::finish(table, parser);
+
+  for (std::size_t i = 0; i < regions.size(); ++i) {
+    double lo = *std::min_element(series[i].begin(), series[i].end());
+    double hi = *std::max_element(series[i].begin(), series[i].end());
+    std::printf("variation[%s]: max/min = %.2fx %s\n", regions[i].c_str(),
+                hi / lo, i + 1 == regions.size() ? "(stable reference)" : "");
+  }
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Fig. 3 — Breakdown of prediction errors per region: the static model
+// (explored flag sequence) vs the dynamic performance-counter model, on
+// Sandy Bridge and Skylake. Lower is better. Regions are ordered by
+// (static - dynamic) error, reproducing the paper's layout where the static
+// model dominates the right side of the plot and loses on the left.
+#include "bench/bench_common.h"
+
+using namespace irgnn;
+
+namespace {
+
+void run_machine(const sim::MachineDesc& machine,
+                 const core::ExperimentOptions& options,
+                 const ArgParser& parser) {
+  core::ExperimentResult res = core::run_experiment(machine, options);
+
+  std::vector<const core::RegionOutcome*> order;
+  for (const auto& r : res.regions) order.push_back(&r);
+  std::sort(order.begin(), order.end(),
+            [](const core::RegionOutcome* a, const core::RegionOutcome* b) {
+              return (a->static_error - a->dynamic_error) >
+                     (b->static_error - b->dynamic_error);
+            });
+
+  Table table({"region", "static_error", "dynamic_error"});
+  for (const auto* r : order)
+    table.add_row({r->name, Table::fmt(r->static_error),
+                   Table::fmt(r->dynamic_error)});
+  std::printf("\n=== Fig. 3 [%s] prediction error per region "
+              "(lower is better) ===\n",
+              machine.name.c_str());
+  bench::finish(table, parser);
+
+  int static_perfect = 0;
+  int static_wins = 0;
+  int dynamic_wins = 0;
+  for (const auto& r : res.regions) {
+    static_perfect += (r.static_error < 1e-9);
+    static_wins += (r.static_error + 1e-9 < r.dynamic_error);
+    dynamic_wins += (r.dynamic_error + 1e-9 < r.static_error);
+  }
+  std::printf("summary[%s]: perfectly-static=%d/%zu static-beats-dynamic=%d "
+              "dynamic-beats-static=%d\n",
+              machine.name.c_str(), static_perfect, res.regions.size(),
+              static_wins, dynamic_wins);
+  std::printf("speedups[%s]: full=%.3f static=%.3f dynamic=%.3f  "
+              "static gains are %.0f%% of dynamic gains (paper: ~80%%)\n\n",
+              machine.name.c_str(), res.full_speedup, res.static_speedup,
+              res.dynamic_speedup,
+              100.0 * (res.static_speedup - 1.0) /
+                  std::max(1e-9, res.dynamic_speedup - 1.0));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser parser = bench::make_parser(
+      "fig3_region_errors",
+      "Fig. 3: per-region prediction errors, static vs dynamic");
+  if (!parser.parse(argc, argv)) return 1;
+  core::ExperimentOptions options = bench::options_from(parser);
+  run_machine(sim::MachineDesc::sandy_bridge(), options, parser);
+  run_machine(sim::MachineDesc::skylake(), options, parser);
+  return 0;
+}

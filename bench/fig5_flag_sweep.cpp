@@ -1,0 +1,41 @@
+// Fig. 5 — Arithmetic-average speedup achieved per flag sequence, with the
+// explored-flag-sequence choice marked, on Skylake and Sandy Bridge.
+// Higher is better; selecting sequences matters (the paper reports a
+// 1.6x..1.9x spread on Sandy Bridge).
+#include <algorithm>
+
+#include "bench/bench_common.h"
+
+using namespace irgnn;
+
+int main(int argc, char** argv) {
+  ArgParser parser = bench::make_parser(
+      "fig5_flag_sweep", "Fig. 5: performance gain per flag sequence");
+  if (!parser.parse(argc, argv)) return 1;
+  core::ExperimentOptions options = bench::options_from(parser);
+  // This figure is about the sequence landscape; widen the sweep (the paper
+  // used 1000 sequences — scale with --sequences).
+  options.num_sequences = std::max<std::size_t>(options.num_sequences, 10);
+
+  for (const auto& machine :
+       {sim::MachineDesc::skylake(), sim::MachineDesc::sandy_bridge()}) {
+    core::ExperimentResult res = core::run_experiment(machine, options);
+    Table table({"sequence", "avg_speedup", "marker"});
+    for (std::size_t s = 0; s < res.sequence_speedup.size(); ++s) {
+      table.add_row({std::to_string(s), Table::fmt(res.sequence_speedup[s]),
+                     static_cast<int>(s) == res.explored_sequence
+                         ? "<- explored flag seq"
+                         : ""});
+    }
+    std::printf("\n=== Fig. 5 [%s] average speedup per flag sequence ===\n",
+                machine.name.c_str());
+    bench::finish(table, parser);
+    double lo = *std::min_element(res.sequence_speedup.begin(),
+                                  res.sequence_speedup.end());
+    double hi = *std::max_element(res.sequence_speedup.begin(),
+                                  res.sequence_speedup.end());
+    std::printf("spread[%s]: %.3fx .. %.3fx across %zu sequences\n",
+                machine.name.c_str(), lo, hi, res.sequence_speedup.size());
+  }
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Fig. 6 — Impact of the number of labels (2 / 6 / 13) on gains and on
+// prediction accuracy: full exploration vs overall flag seq vs the
+// explored/predicted flag sequence, plus the error rate of the predictions.
+// Fewer labels raise accuracy but cap the attainable gains.
+#include "bench/bench_common.h"
+
+using namespace irgnn;
+
+int main(int argc, char** argv) {
+  ArgParser parser = bench::make_parser(
+      "fig6_label_count", "Fig. 6: gains and error rate vs number of labels");
+  if (!parser.parse(argc, argv)) return 1;
+  core::ExperimentOptions base = bench::options_from(parser);
+
+  for (const auto& machine :
+       {sim::MachineDesc::sandy_bridge(), sim::MachineDesc::skylake()}) {
+    Table gains({"labels", "full_exploration", "overall_flag_seq",
+                 "explored_flag_seq", "label_oracle"});
+    Table errors({"labels", "overall_error_rate", "explored_error_rate"});
+    for (int k : {2, 6, 13}) {
+      core::ExperimentOptions options = base;
+      options.num_labels = k;
+      core::ExperimentResult res = core::run_experiment(machine, options);
+      gains.add_row({std::to_string(k), Table::fmt(res.full_speedup),
+                     Table::fmt(res.overall_speedup),
+                     Table::fmt(res.explored_speedup),
+                     Table::fmt(res.label_oracle_speedup)});
+      // Error rate of predictions = 1 - label-exact accuracy (right plot).
+      errors.add_row({std::to_string(k),
+                      Table::fmt(1.0 - res.dynamic_accuracy),
+                      Table::fmt(1.0 - res.static_accuracy)});
+    }
+    std::printf("\n=== Fig. 6 [%s] average performance gain vs labels ===\n",
+                machine.name.c_str());
+    bench::finish(gains, parser);
+    std::printf("--- Fig. 6 [%s] prediction error rate vs labels ---\n",
+                machine.name.c_str());
+    errors.print();
+  }
+  return 0;
+}

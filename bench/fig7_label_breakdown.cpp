@@ -1,0 +1,40 @@
+// Fig. 7 — Number of predictions per label for Skylake trained natively
+// with 6 labels: how often each label is the oracle, how often the model
+// predicted it, and how many predictions were correct. Rare labels are hard
+// to predict; mispredictions correlate with oracle frequency.
+#include "bench/bench_common.h"
+#include "ml/cross_validation.h"
+
+using namespace irgnn;
+
+int main(int argc, char** argv) {
+  ArgParser parser = bench::make_parser(
+      "fig7_label_breakdown",
+      "Fig. 7: oracle / predicted / correct counts per label (Skylake, 6 "
+      "labels)");
+  if (!parser.parse(argc, argv)) return 1;
+  core::ExperimentOptions options = bench::options_from(parser);
+  options.num_labels = 6;
+
+  core::ExperimentResult res =
+      core::run_experiment(sim::MachineDesc::skylake(), options);
+  std::vector<int> predictions;
+  std::vector<int> truth;
+  for (const auto& r : res.regions) {
+    predictions.push_back(r.static_label);
+    truth.push_back(r.oracle_label);
+  }
+  ml::LabelTally tally =
+      ml::tally_labels(predictions, truth, static_cast<int>(res.labels.size()));
+
+  Table table({"label", "configuration", "oracle", "predicted", "correct"});
+  for (std::size_t l = 0; l < res.labels.size(); ++l)
+    table.add_row({std::to_string(l + 1),
+                   res.table.configurations[res.labels[l]].to_string(),
+                   std::to_string(tally.oracle[l]),
+                   std::to_string(tally.predicted[l]),
+                   std::to_string(tally.correct[l])});
+  std::printf("\n=== Fig. 7 [Skylake, 6 labels] predictions per label ===\n");
+  bench::finish(table, parser);
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Fig. 9 — Per-region performance gains of the dynamic model, the hybrid
+// model, and the full exploration, on Skylake. "profiled" marks regions the
+// hybrid router sent to the dynamic model (bold names in the paper);
+// "router_miss" marks regions where the router chose the wrong side (red
+// names in the paper). The hybrid matches the dynamic model's gains while
+// profiling only a fraction of the programs.
+#include "bench/bench_common.h"
+
+using namespace irgnn;
+
+int main(int argc, char** argv) {
+  ArgParser parser = bench::make_parser(
+      "fig9_hybrid", "Fig. 9: dynamic vs hybrid vs full exploration");
+  if (!parser.parse(argc, argv)) return 1;
+  core::ExperimentOptions options = bench::options_from(parser);
+
+  core::ExperimentResult res =
+      core::run_experiment(sim::MachineDesc::skylake(), options);
+
+  std::vector<const core::RegionOutcome*> order;
+  for (const auto& r : res.regions) order.push_back(&r);
+  std::sort(order.begin(), order.end(),
+            [](const core::RegionOutcome* a, const core::RegionOutcome* b) {
+              return a->full_speedup > b->full_speedup;
+            });
+
+  Table table({"region", "dynamic", "hybrid", "full_exploration", "profiled",
+               "router_miss"});
+  for (const auto* r : order)
+    table.add_row({r->name, Table::fmt(r->dynamic_speedup),
+                   Table::fmt(r->hybrid_speedup),
+                   Table::fmt(r->full_speedup),
+                   r->hybrid_profiled ? "yes" : "",
+                   r->hybrid_profiled != r->needs_profiling ? "x" : ""});
+  std::printf("\n=== Fig. 9 [Skylake] per-region gains (higher is better) "
+              "===\n");
+  bench::finish(table, parser);
+
+  int profiled = 0;
+  for (const auto& r : res.regions) profiled += r.hybrid_profiled;
+  std::printf("summary: dynamic=%.3f hybrid=%.3f full=%.3f | profiled %d/%zu "
+              "regions (%.0f%%), router accuracy %.0f%% (paper: 92%%, 30%% "
+              "profiled)\n",
+              res.dynamic_speedup, res.hybrid_speedup, res.full_speedup,
+              profiled, res.regions.size(),
+              100.0 * res.hybrid_profiled_fraction,
+              100.0 * res.hybrid_router_accuracy);
+  return 0;
+}

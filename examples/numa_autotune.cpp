@@ -1,0 +1,73 @@
+// numa_autotune: exhaustive NUMA/prefetcher tuning of one benchmark region
+// on the simulated machine — the "step C" exploration the paper pays once
+// to label its dataset. Prints the top configurations, the default, and the
+// collected performance counters.
+#include <algorithm>
+#include <cstdio>
+
+#include "sim/exploration.h"
+#include "support/argparse.h"
+#include "support/table.h"
+#include "workloads/suite.h"
+
+using namespace irgnn;
+
+int main(int argc, char** argv) {
+  ArgParser parser("numa_autotune",
+                   "exhaustively tune one region over the NUMA/prefetch space");
+  parser.add("region", "ft step 2", "region name (see workloads/suite.h)")
+      .add("machine", "SandyBridge", "SandyBridge or Skylake")
+      .add("top", "8", "how many configurations to print");
+  if (!parser.parse(argc, argv)) return 1;
+
+  const workloads::RegionSpec* spec =
+      workloads::find_region(parser.get_string("region"));
+  if (!spec) {
+    std::fprintf(stderr, "unknown region '%s'; available:\n",
+                 parser.get_string("region").c_str());
+    for (const auto& s : workloads::benchmark_suite())
+      std::fprintf(stderr, "  %s\n", s.name.c_str());
+    return 1;
+  }
+  sim::MachineDesc machine = parser.get_string("machine") == "Skylake"
+                                 ? sim::MachineDesc::skylake()
+                                 : sim::MachineDesc::sandy_bridge();
+
+  std::vector<sim::WorkloadTraits> traits{spec->traits};
+  sim::ExplorationTable table = sim::explore(machine, traits);
+  std::printf("explored %zu configurations of '%s' on %s\n",
+              table.configurations.size(), spec->name.c_str(),
+              machine.name.c_str());
+
+  std::vector<std::size_t> order(table.configurations.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return table.time[0][a] < table.time[0][b];
+  });
+
+  Table top({"rank", "configuration", "cycles(M)", "speedup_vs_default"});
+  for (int i = 0; i < parser.get_int("top"); ++i) {
+    std::size_t c = order[i];
+    top.add_row({std::to_string(i + 1),
+                 table.configurations[c].to_string(),
+                 Table::fmt(table.time[0][c] / 1e6, 2),
+                 Table::fmt(table.speedup(0, c))});
+  }
+  top.add_row({"-", "(default) " +
+                        table.configurations[table.default_index].to_string(),
+               Table::fmt(table.time[0][table.default_index] / 1e6, 2),
+               "1.000"});
+  top.print();
+
+  const sim::PerfCounters& counters = table.default_counters[0];
+  std::printf("\ncounters at the default configuration:\n"
+              "  package power       %.1f W\n"
+              "  L3 miss ratio       %.3f\n"
+              "  remote access ratio %.3f\n"
+              "  bandwidth util      %.3f\n"
+              "  IPC per core        %.3f\n",
+              counters.package_power, counters.l3_miss_ratio,
+              counters.remote_access_ratio, counters.bandwidth_utilization,
+              counters.ipc);
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Dataset construction (steps A + B of the paper's workflow): every region
+// is compiled under every flag sequence; the OpenMP-outlined region is
+// extracted from each variant and turned into a ProGraML-style graph.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/program_graph.h"
+#include "passes/flag_sequence.h"
+#include "workloads/suite.h"
+
+namespace irgnn::core {
+
+struct Dataset {
+  std::vector<std::string> regions;              // suite order
+  std::vector<passes::FlagSequence> sequences;   // augmentation sequences
+  /// graphs[r][s] = graph of region r compiled under sequence s.
+  std::vector<std::vector<graph::ProgramGraph>> graphs;
+
+  const graph::ProgramGraph& graph(std::size_t region,
+                                   std::size_t sequence) const {
+    return graphs[region][sequence];
+  }
+  std::size_t num_regions() const { return regions.size(); }
+  std::size_t num_sequences() const { return sequences.size(); }
+};
+
+struct DatasetOptions {
+  std::size_t num_sequences = 12;
+  std::uint64_t seed = 0xDA7A;
+};
+
+/// Builds the dataset for the whole benchmark suite. Compilation of the
+/// variants is parallelized across regions.
+Dataset build_dataset(const DatasetOptions& options = {});
+
+}  // namespace irgnn::core

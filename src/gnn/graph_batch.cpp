@@ -1,0 +1,35 @@
+#include "gnn/graph_batch.h"
+
+namespace irgnn::gnn {
+
+GraphBatch make_batch(const std::vector<const graph::ProgramGraph*>& graphs) {
+  GraphBatch batch;
+  batch.relations.resize(graph::kNumEdgeKinds);
+  batch.num_graphs = static_cast<int>(graphs.size());
+
+  int offset = 0;
+  for (int g = 0; g < batch.num_graphs; ++g) {
+    const graph::ProgramGraph& pg = *graphs[g];
+    for (const auto& node : pg.nodes) {
+      batch.features.push_back(node.feature);
+      batch.segment.push_back(g);
+    }
+    for (const auto& edge : pg.edges) {
+      RelationEdges& rel = batch.relations[static_cast<int>(edge.kind)];
+      rel.src.push_back(offset + edge.src);
+      rel.dst.push_back(offset + edge.dst);
+    }
+    offset += static_cast<int>(pg.nodes.size());
+  }
+
+  // RGCN normalization: 1/c_{i,r} with c the in-degree of i under r.
+  for (RelationEdges& rel : batch.relations) {
+    std::vector<float> in_degree(batch.features.size(), 0.0f);
+    for (int dst : rel.dst) in_degree[dst] += 1.0f;
+    rel.coeff.reserve(rel.dst.size());
+    for (int dst : rel.dst) rel.coeff.push_back(1.0f / in_degree[dst]);
+  }
+  return batch;
+}
+
+}  // namespace irgnn::gnn

@@ -1,0 +1,24 @@
+// Batching of ProgramGraphs for the GNN: node features concatenate with an
+// offset, edges split per relation with RGCN normalization coefficients, and
+// a segment vector maps nodes back to their graph for pooling.
+#pragma once
+
+#include <vector>
+
+#include "gnn/modules.h"
+#include "graph/program_graph.h"
+
+namespace irgnn::gnn {
+
+struct GraphBatch {
+  std::vector<int> features;                 // per node, vocabulary index
+  std::vector<RelationEdges> relations;      // size kNumEdgeKinds
+  std::vector<int> segment;                  // node -> graph index
+  int num_graphs = 0;
+  int num_nodes() const { return static_cast<int>(features.size()); }
+};
+
+/// Builds a batch from a set of graphs (order defines the segment ids).
+GraphBatch make_batch(const std::vector<const graph::ProgramGraph*>& graphs);
+
+}  // namespace irgnn::gnn

@@ -1,0 +1,130 @@
+#include "gnn/model.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace irgnn::gnn {
+
+using tensor::Tensor;
+
+StaticModel::StaticModel(const ModelConfig& config)
+    : config_(config), rng_(config.seed) {
+  assert(config_.vocab_size > 0 && config_.num_labels > 0);
+  node_embedding_ = Embedding(config_.vocab_size, config_.hidden_dim, rng_);
+  for (int l = 0; l < config_.num_layers; ++l)
+    layers_.emplace_back(config_.hidden_dim, graph::kNumEdgeKinds, rng_);
+  norm_ = LayerNorm(config_.hidden_dim);
+  fc_ = Linear(config_.hidden_dim, config_.hidden_dim, rng_);
+  head_ = Linear(config_.hidden_dim, config_.num_labels, rng_);
+}
+
+std::vector<Tensor> StaticModel::parameters() const {
+  std::vector<Tensor> params = node_embedding_.parameters();
+  for (const RGCNLayer& layer : layers_) {
+    auto lp = layer.parameters();
+    params.insert(params.end(), lp.begin(), lp.end());
+  }
+  for (const auto& mod_params :
+       {norm_.parameters(), fc_.parameters(), head_.parameters()})
+    params.insert(params.end(), mod_params.begin(), mod_params.end());
+  return params;
+}
+
+Tensor StaticModel::forward(const GraphBatch& batch, bool training,
+                            Tensor* embeddings) const {
+  Tensor h0 = node_embedding_.forward(batch.features);
+  Tensor h = h0;
+  for (const RGCNLayer& layer : layers_)
+    h = layer.forward(h, batch.relations);
+  // Residual link from the initial embedding, then Add & Norm (Fig. 2a).
+  h = norm_.forward(tensor::add(h, h0));
+  if (training && config_.dropout > 0.0f)
+    h = tensor::dropout(h, config_.dropout, rng_, true);
+  Tensor pooled = tensor::segment_mean(h, batch.segment, batch.num_graphs);
+  Tensor vec = tensor::relu(fc_.forward(pooled));
+  if (embeddings) *embeddings = vec;
+  return head_.forward(vec);
+}
+
+TrainStats StaticModel::train(
+    const std::vector<const graph::ProgramGraph*>& graphs,
+    const std::vector<int>& labels) {
+  assert(graphs.size() == labels.size());
+  TrainStats stats;
+  tensor::Adam optimizer(parameters(), {.lr = config_.learning_rate});
+
+  std::vector<std::size_t> order(graphs.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng_.shuffle(order);
+    double epoch_loss = 0.0;
+    std::size_t batches = 0;
+    for (std::size_t start = 0; start < order.size();
+         start += static_cast<std::size_t>(config_.batch_size)) {
+      std::size_t end = std::min(
+          order.size(), start + static_cast<std::size_t>(config_.batch_size));
+      std::vector<const graph::ProgramGraph*> chunk;
+      std::vector<int> chunk_labels;
+      for (std::size_t i = start; i < end; ++i) {
+        chunk.push_back(graphs[order[i]]);
+        chunk_labels.push_back(labels[order[i]]);
+      }
+      GraphBatch batch = make_batch(chunk);
+      optimizer.zero_grad();
+      Tensor logits = forward(batch, /*training=*/true, nullptr);
+      Tensor loss = tensor::nll_loss(tensor::log_softmax(logits),
+                                     chunk_labels);
+      loss.backward();
+      optimizer.step();
+      epoch_loss += loss.item();
+      ++batches;
+    }
+    stats.epoch_loss.push_back(epoch_loss / static_cast<double>(batches));
+  }
+
+  // Final training accuracy (diagnostic).
+  std::vector<int> predictions = predict(graphs);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < labels.size(); ++i)
+    correct += (predictions[i] == labels[i]);
+  stats.final_train_accuracy =
+      labels.empty() ? 0.0
+                     : static_cast<double>(correct) /
+                           static_cast<double>(labels.size());
+  return stats;
+}
+
+std::vector<int> StaticModel::predict(
+    const std::vector<const graph::ProgramGraph*>& graphs) const {
+  GraphBatch batch = make_batch(graphs);
+  Tensor logits = forward(batch, /*training=*/false, nullptr);
+  return tensor::argmax_rows(logits);
+}
+
+std::vector<std::vector<float>> StaticModel::predict_log_probs(
+    const std::vector<const graph::ProgramGraph*>& graphs) const {
+  GraphBatch batch = make_batch(graphs);
+  Tensor logp =
+      tensor::log_softmax(forward(batch, /*training=*/false, nullptr));
+  std::vector<std::vector<float>> out(graphs.size());
+  for (std::size_t g = 0; g < graphs.size(); ++g) {
+    out[g].assign(logp.data() + g * config_.num_labels,
+                  logp.data() + (g + 1) * config_.num_labels);
+  }
+  return out;
+}
+
+std::vector<std::vector<float>> StaticModel::embed(
+    const std::vector<const graph::ProgramGraph*>& graphs) const {
+  GraphBatch batch = make_batch(graphs);
+  Tensor embeddings;
+  forward(batch, /*training=*/false, &embeddings);
+  std::vector<std::vector<float>> out(graphs.size());
+  for (std::size_t g = 0; g < graphs.size(); ++g)
+    out[g].assign(embeddings.data() + g * config_.hidden_dim,
+                  embeddings.data() + (g + 1) * config_.hidden_dim);
+  return out;
+}
+
+}  // namespace irgnn::gnn

@@ -1,0 +1,77 @@
+// The paper's static prediction network (Fig. 2a):
+//
+//   program graph -> node Embedding -> RGCN layers -> residual link +
+//   Add&Norm -> mean Pooling -> Fully Connected (graph embedding vector) ->
+//   Feed Forward head -> predicted configuration logits
+//
+// The vector after the fully-connected layer is the "graph vector" consumed
+// by the hybrid model and the flag-prediction model (Sec. III-D/E).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gnn/graph_batch.h"
+#include "gnn/modules.h"
+#include "graph/program_graph.h"
+#include "tensor/optimizer.h"
+
+namespace irgnn::gnn {
+
+struct ModelConfig {
+  int vocab_size = 0;      // set from graph::vocabulary_size()
+  int num_labels = 13;
+  int hidden_dim = 64;     // paper uses a 256-d graph vector; configurable
+  int num_layers = 3;
+  float learning_rate = 5e-3f;
+  float dropout = 0.1f;
+  int epochs = 60;
+  int batch_size = 32;
+  std::uint64_t seed = 0x5EED;
+};
+
+struct TrainStats {
+  std::vector<double> epoch_loss;
+  double final_train_accuracy = 0.0;
+};
+
+class StaticModel {
+ public:
+  explicit StaticModel(const ModelConfig& config);
+
+  /// Trains on (graph, label) pairs with minibatched Adam.
+  TrainStats train(const std::vector<const graph::ProgramGraph*>& graphs,
+                   const std::vector<int>& labels);
+
+  /// Predicted label per graph.
+  std::vector<int> predict(
+      const std::vector<const graph::ProgramGraph*>& graphs) const;
+
+  /// Per-graph log-probabilities [G, num_labels] (row-major).
+  std::vector<std::vector<float>> predict_log_probs(
+      const std::vector<const graph::ProgramGraph*>& graphs) const;
+
+  /// Graph embedding vectors [G, hidden_dim] — the static feature vectors
+  /// the hybrid and flag models consume.
+  std::vector<std::vector<float>> embed(
+      const std::vector<const graph::ProgramGraph*>& graphs) const;
+
+  const ModelConfig& config() const { return config_; }
+  std::vector<tensor::Tensor> parameters() const;
+
+ private:
+  /// Returns logits [G, num_labels]; fills `embeddings` with the pooled
+  /// post-FC representation when non-null.
+  tensor::Tensor forward(const GraphBatch& batch, bool training,
+                         tensor::Tensor* embeddings) const;
+
+  ModelConfig config_;
+  mutable Rng rng_;
+  Embedding node_embedding_;
+  std::vector<RGCNLayer> layers_;
+  LayerNorm norm_;
+  Linear fc_;
+  Linear head_;
+};
+
+}  // namespace irgnn::gnn

@@ -1,0 +1,112 @@
+// Neural-network modules composed from tensor ops: Embedding, Linear,
+// LayerNorm and the relation-typed graph convolution (RGCN) of
+// Schlichtkrull et al. that the paper's equation (1) specifies.
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace irgnn::gnn {
+
+using tensor::Tensor;
+
+class Linear {
+ public:
+  Linear() = default;
+  Linear(int in, int out, Rng& rng)
+      : weight_(Tensor::xavier({in, out}, rng)),
+        bias_(Tensor::zeros({1, out}, /*requires_grad=*/true)) {}
+
+  Tensor forward(const Tensor& x) const {
+    return tensor::add_bias(tensor::matmul(x, weight_), bias_);
+  }
+
+  std::vector<Tensor> parameters() const { return {weight_, bias_}; }
+
+ private:
+  Tensor weight_;
+  Tensor bias_;
+};
+
+class Embedding {
+ public:
+  Embedding() = default;
+  Embedding(int vocab, int dim, Rng& rng)
+      : table_(Tensor::xavier({vocab, dim}, rng)) {}
+
+  Tensor forward(const std::vector<int>& indices) const {
+    return tensor::embedding(table_, indices);
+  }
+
+  std::vector<Tensor> parameters() const { return {table_}; }
+
+ private:
+  Tensor table_;
+};
+
+class LayerNorm {
+ public:
+  LayerNorm() = default;
+  explicit LayerNorm(int dim)
+      : gamma_(Tensor::full({1, dim}, 1.0f, /*requires_grad=*/true)),
+        beta_(Tensor::zeros({1, dim}, /*requires_grad=*/true)) {}
+
+  Tensor forward(const Tensor& x) const {
+    return tensor::layer_norm(x, gamma_, beta_);
+  }
+
+  std::vector<Tensor> parameters() const { return {gamma_, beta_}; }
+
+ private:
+  Tensor gamma_;
+  Tensor beta_;
+};
+
+/// Edge lists of one relation inside a (batched) graph, plus the RGCN
+/// normalization coefficients 1/c_{i,r} (inverse in-degree under relation r).
+struct RelationEdges {
+  std::vector<int> src;
+  std::vector<int> dst;
+  std::vector<float> coeff;  // per-edge 1/c_{dst,r}
+};
+
+/// One RGCN layer:  h_i' = sigma( W_0 h_i + sum_r sum_{j in N_r(i)}
+///                               (1/c_{i,r}) W_r h_j )
+class RGCNLayer {
+ public:
+  RGCNLayer() = default;
+  RGCNLayer(int dim, int num_relations, Rng& rng)
+      : self_weight_(Tensor::xavier({dim, dim}, rng)) {
+    for (int r = 0; r < num_relations; ++r)
+      relation_weights_.push_back(Tensor::xavier({dim, dim}, rng));
+  }
+
+  /// `h` is [num_nodes, dim]; `relations` has one entry per relation.
+  Tensor forward(const Tensor& h,
+                 const std::vector<RelationEdges>& relations) const {
+    Tensor out = tensor::matmul(h, self_weight_);
+    for (std::size_t r = 0; r < relation_weights_.size(); ++r) {
+      const RelationEdges& edges = relations[r];
+      if (edges.src.empty()) continue;
+      Tensor gathered = tensor::gather_rows(h, edges.src);
+      Tensor messages = tensor::matmul(gathered, relation_weights_[r]);
+      Tensor aggregated = tensor::index_add_rows(messages, edges.dst,
+                                                 edges.coeff, h.rows());
+      out = tensor::add(out, aggregated);
+    }
+    return tensor::relu(out);
+  }
+
+  std::vector<Tensor> parameters() const {
+    std::vector<Tensor> out{self_weight_};
+    out.insert(out.end(), relation_weights_.begin(), relation_weights_.end());
+    return out;
+  }
+
+ private:
+  Tensor self_weight_;
+  std::vector<Tensor> relation_weights_;
+};
+
+}  // namespace irgnn::gnn

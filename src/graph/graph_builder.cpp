@@ -1,0 +1,185 @@
+#include "graph/graph_builder.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <unordered_map>
+
+#include "ir/instruction.h"
+
+namespace irgnn::graph {
+
+namespace {
+
+using ir::BasicBlock;
+using ir::Function;
+using ir::Instruction;
+using ir::Opcode;
+using ir::Value;
+
+class Builder {
+ public:
+  Builder(const ir::Module& module, const GraphBuilderOptions& options)
+      : module_(module), options_(options) {}
+
+  ProgramGraph run() {
+    graph_.name = module_.name();
+    // Instruction nodes (and "external" stand-ins for declarations) first;
+    // call edges need every function's entry resolvable.
+    for (Function* fn : module_.functions()) {
+      if (fn->is_declaration()) {
+        external_[fn] = add_node(NodeKind::Instruction,
+                                 external_function_feature(),
+                                 "external:" + fn->name());
+        continue;
+      }
+      for (BasicBlock* block : fn->blocks())
+        for (Instruction* inst : block->instructions())
+          inst_node_[inst] =
+              add_node(NodeKind::Instruction,
+                       instruction_feature(static_cast<int>(inst->opcode())),
+                       ir::opcode_name(inst->opcode()));
+    }
+    for (Function* fn : module_.functions()) {
+      if (fn->is_declaration()) continue;
+      if (options_.control_edges) add_control_edges(*fn);
+      if (options_.data_edges) add_data_edges(*fn);
+      if (options_.call_edges) add_call_edges(*fn);
+    }
+    return std::move(graph_);
+  }
+
+ private:
+  int add_node(NodeKind kind, int feature, std::string text) {
+    graph_.nodes.push_back(Node{kind, feature, std::move(text)});
+    return static_cast<int>(graph_.nodes.size()) - 1;
+  }
+
+  void add_edge(int src, int dst, EdgeKind kind, int position) {
+    graph_.edges.push_back(Edge{src, dst, kind, position});
+  }
+
+  void add_control_edges(const Function& fn) {
+    for (BasicBlock* block : fn.blocks()) {
+      auto insts = block->instructions();
+      for (std::size_t i = 0; i + 1 < insts.size(); ++i)
+        add_edge(inst_node_.at(insts[i]), inst_node_.at(insts[i + 1]),
+                 EdgeKind::Control, 0);
+      Instruction* term = block->terminator();
+      if (!term) continue;
+      for (unsigned s = 0; s < term->num_successors(); ++s) {
+        BasicBlock* succ = term->successor(s);
+        if (!succ->empty())
+          add_edge(inst_node_.at(term), inst_node_.at(succ->front()),
+                   EdgeKind::Control, static_cast<int>(s));
+      }
+    }
+  }
+
+  /// Variable node for an SSA value (created lazily; one per value).
+  int variable_node(Value* v) {
+    auto it = var_node_.find(v);
+    if (it != var_node_.end()) return it->second;
+    int type_kind = static_cast<int>(v->type()->kind());
+    int node = add_node(NodeKind::Variable, variable_feature(type_kind),
+                        "var:" + v->type()->to_string());
+    var_node_[v] = node;
+    return node;
+  }
+
+  int constant_node(Value* v) {
+    // One node per distinct constant (constants are interned per-module).
+    auto it = var_node_.find(v);
+    if (it != var_node_.end()) return it->second;
+    int type_kind = static_cast<int>(v->type()->kind());
+    double magnitude = 0.0;
+    if (v->value_kind() == Value::Kind::ConstantInt)
+      magnitude = std::abs(
+          static_cast<double>(static_cast<ir::ConstantInt*>(v)->value()));
+    if (v->value_kind() == Value::Kind::ConstantFP)
+      magnitude = std::abs(static_cast<ir::ConstantFP*>(v)->value());
+    int node = add_node(
+        NodeKind::Constant,
+        constant_feature(type_kind, magnitude_bucket(magnitude)),
+        "const:" + v->type()->to_string());
+    var_node_[v] = node;
+    return node;
+  }
+
+  void add_data_edges(const Function& fn) {
+    for (BasicBlock* block : fn.blocks()) {
+      for (Instruction* inst : block->instructions()) {
+        int inst_node = inst_node_.at(inst);
+        // Definition edge: instruction -> its result variable.
+        if (!inst->type()->is_void() && inst->has_uses())
+          add_edge(inst_node, variable_node(inst), EdgeKind::Data, 0);
+        // Use edges: operand variable/constant -> instruction, with the
+        // operand position.
+        for (unsigned i = 0; i < inst->num_operands(); ++i) {
+          Value* op = inst->operand(i);
+          if (!op) continue;
+          switch (op->value_kind()) {
+            case Value::Kind::Instruction:
+            case Value::Kind::Argument:
+            case Value::Kind::GlobalVariable:
+              add_edge(variable_node(op), inst_node, EdgeKind::Data,
+                       static_cast<int>(i));
+              break;
+            case Value::Kind::ConstantInt:
+            case Value::Kind::ConstantFP:
+            case Value::Kind::ConstantUndef:
+              add_edge(constant_node(op), inst_node, EdgeKind::Data,
+                       static_cast<int>(i));
+              break;
+            case Value::Kind::BasicBlock:
+            case Value::Kind::Function:
+              break;  // control/call flow, not data
+          }
+        }
+      }
+    }
+  }
+
+  void add_call_edges(const Function& fn) {
+    for (BasicBlock* block : fn.blocks()) {
+      for (Instruction* inst : block->instructions()) {
+        if (inst->opcode() != Opcode::Call) continue;
+        Function* callee = inst->called_function();
+        if (!callee) continue;
+        int call_node = inst_node_.at(inst);
+        if (callee->is_declaration()) {
+          int ext = external_.at(callee);
+          add_edge(call_node, ext, EdgeKind::Call, 0);
+          add_edge(ext, call_node, EdgeKind::Call, 1);
+          continue;
+        }
+        BasicBlock* entry = callee->entry();
+        if (entry && !entry->empty())
+          add_edge(call_node, inst_node_.at(entry->front()), EdgeKind::Call,
+                   0);
+        // Return edges: each ret in the callee back to the call site.
+        for (BasicBlock* cb : callee->blocks()) {
+          Instruction* term = cb->terminator();
+          if (term && term->opcode() == Opcode::Ret)
+            add_edge(inst_node_.at(term), call_node, EdgeKind::Call, 1);
+        }
+      }
+    }
+  }
+
+  const ir::Module& module_;
+  GraphBuilderOptions options_;
+  ProgramGraph graph_;
+  std::unordered_map<const Instruction*, int> inst_node_;
+  std::unordered_map<const Value*, int> var_node_;
+  std::unordered_map<const Function*, int> external_;
+};
+
+}  // namespace
+
+ProgramGraph build_graph(const ir::Module& module,
+                         const GraphBuilderOptions& options) {
+  Builder builder(module, options);
+  return builder.run();
+}
+
+}  // namespace irgnn::graph

@@ -1,0 +1,20 @@
+// Builds a ProgramGraph from an ir::Module (ProGraML construction, Sec. II-A
+// of the paper).
+#pragma once
+
+#include "graph/program_graph.h"
+#include "ir/module.h"
+
+namespace irgnn::graph {
+
+struct GraphBuilderOptions {
+  bool control_edges = true;
+  bool data_edges = true;
+  bool call_edges = true;
+};
+
+/// Builds the whole-module graph.
+ProgramGraph build_graph(const ir::Module& module,
+                         const GraphBuilderOptions& options = {});
+
+}  // namespace irgnn::graph

@@ -1,0 +1,106 @@
+#include "graph/program_graph.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace irgnn::graph {
+
+namespace {
+constexpr int kNumOpcodes = 34;   // Opcode enum cardinality
+constexpr int kNumTypeKinds = 11;  // Type::Kind cardinality
+}  // namespace
+
+namespace {
+constexpr int kMagnitudeBuckets = 8;
+}
+
+int vocabulary_size() {
+  return kNumOpcodes + 1 + kNumTypeKinds + kNumTypeKinds * kMagnitudeBuckets;
+}
+int instruction_feature(int opcode_ordinal) { return opcode_ordinal; }
+int external_function_feature() { return kNumOpcodes; }
+int variable_feature(int type_kind_ordinal) {
+  return kNumOpcodes + 1 + type_kind_ordinal;
+}
+int constant_feature(int type_kind_ordinal, int magnitude_bucket) {
+  return kNumOpcodes + 1 + kNumTypeKinds +
+         type_kind_ordinal * kMagnitudeBuckets + magnitude_bucket;
+}
+int magnitude_bucket(double absolute_value) {
+  int bucket = 0;
+  double v = absolute_value;
+  while (v >= 2.0 && bucket < kMagnitudeBuckets - 1) {
+    v /= 16.0;  // buckets at 2, 32, 512, 8K, 128K, 2M, 32M
+    ++bucket;
+  }
+  return bucket;
+}
+
+std::size_t ProgramGraph::count_edges(EdgeKind kind) const {
+  std::size_t n = 0;
+  for (const Edge& e : edges) n += (e.kind == kind);
+  return n;
+}
+
+std::string ProgramGraph::to_dot() const {
+  std::ostringstream os;
+  os << "digraph \"" << name << "\" {\n";
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const char* shape = nodes[i].kind == NodeKind::Instruction ? "box"
+                        : nodes[i].kind == NodeKind::Variable  ? "ellipse"
+                                                               : "diamond";
+    os << "  n" << i << " [label=\"" << nodes[i].text << "\", shape=" << shape
+       << "];\n";
+  }
+  for (const Edge& e : edges) {
+    const char* color = e.kind == EdgeKind::Control ? "blue"
+                        : e.kind == EdgeKind::Data  ? "black"
+                                                    : "red";
+    os << "  n" << e.src << " -> n" << e.dst << " [color=" << color
+       << ", label=" << e.position << "];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string ProgramGraph::to_text() const {
+  std::ostringstream os;
+  os << "graph " << name << " " << nodes.size() << " " << edges.size() << "\n";
+  for (const Node& n : nodes)
+    os << "n " << static_cast<int>(n.kind) << " " << n.feature << " " << n.text
+       << "\n";
+  for (const Edge& e : edges)
+    os << "e " << e.src << " " << e.dst << " " << static_cast<int>(e.kind)
+       << " " << e.position << "\n";
+  return os.str();
+}
+
+bool ProgramGraph::from_text(const std::string& text, ProgramGraph* out) {
+  std::istringstream is(text);
+  std::string tag;
+  std::size_t num_nodes = 0;
+  std::size_t num_edges = 0;
+  if (!(is >> tag) || tag != "graph") return false;
+  if (!(is >> out->name >> num_nodes >> num_edges)) return false;
+  out->nodes.clear();
+  out->edges.clear();
+  for (std::size_t i = 0; i < num_nodes; ++i) {
+    int kind = 0;
+    Node n;
+    if (!(is >> tag >> kind >> n.feature >> n.text) || tag != "n")
+      return false;
+    n.kind = static_cast<NodeKind>(kind);
+    out->nodes.push_back(std::move(n));
+  }
+  for (std::size_t i = 0; i < num_edges; ++i) {
+    int kind = 0;
+    Edge e;
+    if (!(is >> tag >> e.src >> e.dst >> kind >> e.position) || tag != "e")
+      return false;
+    e.kind = static_cast<EdgeKind>(kind);
+    out->edges.push_back(e);
+  }
+  return true;
+}
+
+}  // namespace irgnn::graph

@@ -1,0 +1,67 @@
+// ProGraML-style program graphs (Cummins et al., ICML 2021), rebuilt over
+// our mini-IR. Nodes represent instructions, SSA variables and constants;
+// typed edges carry the three flows the paper's GNN consumes:
+//   control — instruction-to-instruction execution order,
+//   data    — def-to-use through variable/constant nodes (with operand
+//             positions),
+//   call    — call-site to callee entry, and callee returns back to the
+//             call site.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace irgnn::graph {
+
+enum class NodeKind { Instruction, Variable, Constant };
+enum class EdgeKind { Control, Data, Call };
+
+inline constexpr int kNumEdgeKinds = 3;
+
+struct Node {
+  NodeKind kind;
+  int feature;       // vocabulary index (see vocabulary_size())
+  std::string text;  // opcode / type string, for dumps and debugging
+};
+
+struct Edge {
+  std::int32_t src;
+  std::int32_t dst;
+  EdgeKind kind;
+  std::int32_t position;  // operand index (data), successor index (control)
+};
+
+struct ProgramGraph {
+  std::string name;
+  std::vector<Node> nodes;
+  std::vector<Edge> edges;
+
+  std::size_t num_nodes() const { return nodes.size(); }
+  std::size_t num_edges() const { return edges.size(); }
+  std::size_t count_edges(EdgeKind kind) const;
+
+  /// Graphviz rendering (for the docs and the quickstart example).
+  std::string to_dot() const;
+
+  /// Compact text form: one node/edge per line. Parsed by from_text.
+  std::string to_text() const;
+  static bool from_text(const std::string& text, ProgramGraph* out);
+};
+
+/// Size of the node-feature vocabulary: instruction opcodes (+1 for
+/// "external"), then variable-by-type, then constant-by-(type, magnitude)
+/// buckets. Constants carry a coarse log2-magnitude bucket (0..7) so that
+/// structurally identical kernels with different extents/strides remain
+/// distinguishable — mirroring ProGraML's textual constant embedding.
+int vocabulary_size();
+
+/// Feature index helpers (exposed for tests).
+int instruction_feature(int opcode_ordinal);
+int external_function_feature();
+int variable_feature(int type_kind_ordinal);
+int constant_feature(int type_kind_ordinal, int magnitude_bucket = 0);
+/// Coarse log2 bucket of a constant's magnitude, in [0, 7].
+int magnitude_bucket(double absolute_value);
+
+}  // namespace irgnn::graph

@@ -1,0 +1,44 @@
+#include "graph/region_extractor.h"
+
+#include <unordered_set>
+
+#include "ir/instruction.h"
+
+namespace irgnn::graph {
+
+std::vector<std::string> find_omp_regions(const ir::Module& module) {
+  std::vector<std::string> out;
+  for (ir::Function* fn : module.functions())
+    if (fn->is_omp_outlined()) out.push_back(fn->name());
+  return out;
+}
+
+std::unique_ptr<ir::Module> extract_region(const ir::Module& module,
+                                           const std::string& function_name) {
+  if (!module.get_function(function_name)) return nullptr;
+
+  // Clone the whole module, then erase functions outside the region's
+  // transitive call closure. (Globals are retained: they are the shared
+  // arrays the region operates on and are part of its signature in spirit.)
+  std::unique_ptr<ir::Module> clone = module.clone();
+  clone->set_name(module.name() + ":" + function_name);
+
+  std::unordered_set<ir::Function*> keep;
+  std::vector<ir::Function*> work{clone->get_function(function_name)};
+  while (!work.empty()) {
+    ir::Function* fn = work.back();
+    work.pop_back();
+    if (!keep.insert(fn).second) continue;
+    for (ir::BasicBlock* block : fn->blocks())
+      for (ir::Instruction* inst : block->instructions())
+        if (inst->opcode() == ir::Opcode::Call)
+          if (ir::Function* callee = inst->called_function())
+            work.push_back(callee);
+  }
+
+  for (ir::Function* fn : clone->functions())
+    if (!keep.count(fn)) clone->erase_function(fn);
+  return clone;
+}
+
+}  // namespace irgnn::graph

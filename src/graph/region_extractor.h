@@ -1,0 +1,23 @@
+// Region extraction (step B of the paper's workflow): OpenMP parallel
+// regions are outlined functions in the IR; this is the `llvm-extract`
+// equivalent that pulls one such function — plus everything it transitively
+// references — into a standalone module.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/module.h"
+
+namespace irgnn::graph {
+
+/// Names of all OpenMP-outlined region functions in the module.
+std::vector<std::string> find_omp_regions(const ir::Module& module);
+
+/// Extracts `function_name` (with its transitive callees and globals) into a
+/// fresh module. Returns nullptr if the function does not exist.
+std::unique_ptr<ir::Module> extract_region(const ir::Module& module,
+                                           const std::string& function_name);
+
+}  // namespace irgnn::graph

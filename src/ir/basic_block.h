@@ -1,0 +1,83 @@
+// Basic block: an ordered list of instructions ending in a terminator.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "ir/instruction.h"
+#include "ir/value.h"
+
+namespace irgnn::ir {
+
+class Function;
+
+class BasicBlock : public Value {
+ public:
+  BasicBlock(Type* label_type, std::string name, Function* parent)
+      : Value(Kind::BasicBlock, label_type, std::move(name)),
+        parent_(parent) {}
+
+  Function* parent() const { return parent_; }
+
+  // --- Instruction list --------------------------------------------------
+  bool empty() const { return insts_.empty(); }
+  std::size_t size() const { return insts_.size(); }
+  Instruction* front() const { return insts_.front().get(); }
+  Instruction* back() const { return insts_.back().get(); }
+
+  /// Iteration over raw pointers; the block retains ownership.
+  std::vector<Instruction*> instructions() const {
+    std::vector<Instruction*> out;
+    out.reserve(insts_.size());
+    for (const auto& inst : insts_) out.push_back(inst.get());
+    return out;
+  }
+
+  /// Appends `inst` to the end of the block and takes ownership.
+  Instruction* push_back(std::unique_ptr<Instruction> inst);
+
+  /// Inserts before `pos` (which must be in this block); nullptr == append.
+  Instruction* insert_before(Instruction* pos,
+                             std::unique_ptr<Instruction> inst);
+
+  /// Inserts at the head of the block (used for phi placement).
+  Instruction* push_front(std::unique_ptr<Instruction> inst);
+
+  /// Unlinks and destroys `inst` (drops its operand references first).
+  /// The instruction must have no remaining uses.
+  void erase(Instruction* inst);
+
+  /// Unlinks `inst` and returns ownership to the caller (for motion between
+  /// blocks, e.g. LICM hoisting).
+  std::unique_ptr<Instruction> remove(Instruction* inst);
+
+  /// Index of `inst` in the block, or -1 if absent.
+  int index_of(const Instruction* inst) const;
+
+  // --- CFG ----------------------------------------------------------------
+  Instruction* terminator() const {
+    return (!insts_.empty() && insts_.back()->is_terminator())
+               ? insts_.back().get()
+               : nullptr;
+  }
+
+  /// Successor blocks from the terminator (empty for ret / missing).
+  std::vector<BasicBlock*> successors() const;
+
+  /// Predecessors, derived from this block's use list (deduplicated, in
+  /// first-seen order). Only terminator references count; phi incoming-block
+  /// references do not make a predecessor by themselves.
+  std::vector<BasicBlock*> predecessors() const;
+
+  /// Leading phi instructions.
+  std::vector<Instruction*> phis() const;
+
+  /// First non-phi instruction (nullptr in an empty block).
+  Instruction* first_non_phi() const;
+
+ private:
+  Function* parent_;
+  std::vector<std::unique_ptr<Instruction>> insts_;
+};
+
+}  // namespace irgnn::ir

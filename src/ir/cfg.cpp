@@ -1,0 +1,43 @@
+#include "ir/cfg.h"
+
+#include <algorithm>
+
+namespace irgnn::ir {
+
+namespace {
+
+void post_order_visit(BasicBlock* block, std::unordered_set<BasicBlock*>& seen,
+                      std::vector<BasicBlock*>& out) {
+  seen.insert(block);
+  for (BasicBlock* succ : block->successors())
+    if (!seen.count(succ)) post_order_visit(succ, seen, out);
+  out.push_back(block);
+}
+
+}  // namespace
+
+std::vector<BasicBlock*> reverse_post_order(const Function& fn) {
+  std::vector<BasicBlock*> order;
+  if (fn.is_declaration()) return order;
+  std::unordered_set<BasicBlock*> seen;
+  post_order_visit(fn.entry(), seen, order);
+  std::reverse(order.begin(), order.end());
+  return order;
+}
+
+std::unordered_set<BasicBlock*> reachable_blocks(const Function& fn) {
+  std::unordered_set<BasicBlock*> seen;
+  if (fn.is_declaration()) return seen;
+  std::vector<BasicBlock*> stack{fn.entry()};
+  seen.insert(fn.entry());
+  while (!stack.empty()) {
+    BasicBlock* block = stack.back();
+    stack.pop_back();
+    for (BasicBlock* succ : block->successors()) {
+      if (seen.insert(succ).second) stack.push_back(succ);
+    }
+  }
+  return seen;
+}
+
+}  // namespace irgnn::ir

@@ -1,0 +1,17 @@
+// CFG utilities: traversal orders and reachability.
+#pragma once
+
+#include <unordered_set>
+#include <vector>
+
+#include "ir/function.h"
+
+namespace irgnn::ir {
+
+/// Blocks in reverse post-order from the entry (unreachable blocks omitted).
+std::vector<BasicBlock*> reverse_post_order(const Function& fn);
+
+/// Blocks reachable from the entry.
+std::unordered_set<BasicBlock*> reachable_blocks(const Function& fn);
+
+}  // namespace irgnn::ir

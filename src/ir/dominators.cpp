@@ -1,0 +1,113 @@
+#include "ir/dominators.h"
+#include <algorithm>
+
+#include <cassert>
+
+#include "ir/cfg.h"
+
+namespace irgnn::ir {
+
+DominatorTree::DominatorTree(const Function& fn) {
+  rpo_ = reverse_post_order(fn);
+  for (std::size_t i = 0; i < rpo_.size(); ++i) index_[rpo_[i]] = i;
+  idom_.assign(rpo_.size(), -1);
+  if (rpo_.empty()) return;
+  idom_[0] = 0;  // entry's idom is itself (sentinel)
+
+  auto intersect = [&](int a, int b) {
+    while (a != b) {
+      while (a > b) a = idom_[a];
+      while (b > a) b = idom_[b];
+    }
+    return a;
+  };
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 1; i < rpo_.size(); ++i) {
+      int new_idom = -1;
+      for (BasicBlock* pred : rpo_[i]->predecessors()) {
+        auto it = index_.find(pred);
+        if (it == index_.end()) continue;  // unreachable predecessor
+        int p = static_cast<int>(it->second);
+        if (idom_[p] == -1) continue;  // not yet processed
+        new_idom = (new_idom == -1) ? p : intersect(new_idom, p);
+      }
+      if (new_idom != -1 && idom_[i] != new_idom) {
+        idom_[i] = new_idom;
+        changed = true;
+      }
+    }
+  }
+
+  // Dominator-tree children.
+  for (std::size_t i = 1; i < rpo_.size(); ++i)
+    if (idom_[i] >= 0) children_[rpo_[idom_[i]]].push_back(rpo_[i]);
+
+  // Dominance frontiers (Cooper et al.).
+  for (BasicBlock* block : rpo_) {
+    std::vector<BasicBlock*> preds;
+    for (BasicBlock* pred : block->predecessors())
+      if (index_.count(pred)) preds.push_back(pred);
+    if (preds.size() < 2) continue;
+    std::size_t b = index_.at(block);
+    for (BasicBlock* pred : preds) {
+      int runner = static_cast<int>(index_.at(pred));
+      while (runner != idom_[b]) {
+        auto& df = frontiers_[rpo_[runner]];
+        if (std::find(df.begin(), df.end(), block) == df.end())
+          df.push_back(block);
+        runner = idom_[runner];
+      }
+    }
+  }
+}
+
+BasicBlock* DominatorTree::idom(BasicBlock* block) const {
+  auto it = index_.find(block);
+  if (it == index_.end() || it->second == 0) return nullptr;
+  return rpo_[idom_[it->second]];
+}
+
+bool DominatorTree::dominates(BasicBlock* a, BasicBlock* b) const {
+  auto ia = index_.find(a);
+  auto ib = index_.find(b);
+  if (ia == index_.end() || ib == index_.end()) return false;
+  std::size_t target = ia->second;
+  int cur = static_cast<int>(ib->second);
+  while (true) {
+    if (static_cast<std::size_t>(cur) == target) return true;
+    if (cur == 0) return false;
+    cur = idom_[cur];
+  }
+}
+
+bool DominatorTree::dominates(const Instruction* def, const Instruction* user,
+                              unsigned operand_index) const {
+  BasicBlock* def_block = def->parent();
+  BasicBlock* use_block = user->parent();
+  if (user->opcode() == Opcode::Phi) {
+    // A phi use must be dominated at the end of the incoming block.
+    unsigned incoming = operand_index / 2;
+    use_block = user->phi_incoming_block(incoming);
+    return dominates(def_block, use_block);
+  }
+  if (def_block != use_block)
+    return dominates(def_block, use_block);
+  return def_block->index_of(def) < use_block->index_of(user);
+}
+
+const std::vector<BasicBlock*>& DominatorTree::frontier(
+    BasicBlock* block) const {
+  auto it = frontiers_.find(block);
+  return it == frontiers_.end() ? empty_ : it->second;
+}
+
+const std::vector<BasicBlock*>& DominatorTree::children(
+    BasicBlock* block) const {
+  auto it = children_.find(block);
+  return it == children_.end() ? empty_ : it->second;
+}
+
+}  // namespace irgnn::ir

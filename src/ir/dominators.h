@@ -1,0 +1,52 @@
+// Dominator tree (Cooper-Harvey-Kennedy iterative algorithm) and dominance
+// frontiers (for mem2reg's phi placement).
+#pragma once
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "ir/function.h"
+
+namespace irgnn::ir {
+
+class DominatorTree {
+ public:
+  explicit DominatorTree(const Function& fn);
+
+  /// Immediate dominator; nullptr for the entry block and for blocks
+  /// unreachable from the entry.
+  BasicBlock* idom(BasicBlock* block) const;
+
+  /// True if `a` dominates `b` (reflexive). Unreachable blocks dominate
+  /// nothing and are dominated by nothing.
+  bool dominates(BasicBlock* a, BasicBlock* b) const;
+
+  /// True if instruction `def` dominates the use at instruction `user`
+  /// operand slot `index` (phi uses are checked at the incoming block's
+  /// terminator, per SSA convention).
+  bool dominates(const Instruction* def, const Instruction* user,
+                 unsigned operand_index) const;
+
+  /// Dominance frontier of `block`.
+  const std::vector<BasicBlock*>& frontier(BasicBlock* block) const;
+
+  /// Dominator-tree children.
+  const std::vector<BasicBlock*>& children(BasicBlock* block) const;
+
+  bool is_reachable(BasicBlock* block) const {
+    return index_.count(block) != 0;
+  }
+
+  const std::vector<BasicBlock*>& rpo() const { return rpo_; }
+
+ private:
+  std::vector<BasicBlock*> rpo_;
+  std::unordered_map<BasicBlock*, std::size_t> index_;  // block -> RPO index
+  std::vector<int> idom_;                               // by RPO index
+  std::unordered_map<BasicBlock*, std::vector<BasicBlock*>> frontiers_;
+  std::unordered_map<BasicBlock*, std::vector<BasicBlock*>> children_;
+  std::vector<BasicBlock*> empty_;
+};
+
+}  // namespace irgnn::ir

@@ -1,0 +1,100 @@
+// Function: arguments + basic blocks + string attributes.
+//
+// Attributes are free-form key/value strings; the workload generators mark
+// OpenMP-outlined parallel regions with "omp.outlined"="true" (mirroring how
+// Clang outlines `#pragma omp parallel` bodies into `.omp_outlined.`
+// functions), and runtime declarations with "pure"="true".
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/basic_block.h"
+#include "ir/value.h"
+
+namespace irgnn::ir {
+
+class Module;
+
+class Function : public Value {
+ public:
+  Function(Type* fn_type, std::string name, Module* parent);
+
+  Module* parent() const { return parent_; }
+  Type* function_type() const { return fn_type_; }
+  Type* return_type() const { return fn_type_->return_type(); }
+
+  // --- Arguments ---------------------------------------------------------
+  Argument* arg(unsigned i) const { return args_[i].get(); }
+  unsigned num_args() const { return static_cast<unsigned>(args_.size()); }
+  std::vector<Argument*> args() const {
+    std::vector<Argument*> out;
+    for (const auto& a : args_) out.push_back(a.get());
+    return out;
+  }
+  void set_arg_name(unsigned i, std::string name) {
+    args_[i]->set_name(std::move(name));
+  }
+
+  // --- Blocks --------------------------------------------------------------
+  bool is_declaration() const { return blocks_.empty(); }
+  BasicBlock* entry() const {
+    return blocks_.empty() ? nullptr : blocks_.front().get();
+  }
+  std::size_t num_blocks() const { return blocks_.size(); }
+  std::vector<BasicBlock*> blocks() const {
+    std::vector<BasicBlock*> out;
+    out.reserve(blocks_.size());
+    for (const auto& b : blocks_) out.push_back(b.get());
+    return out;
+  }
+
+  /// Creates and appends a new block.
+  BasicBlock* add_block(const std::string& name);
+
+  /// Creates a block inserted immediately after `after` (keeps textual order
+  /// readable for split/preheader blocks).
+  BasicBlock* add_block_after(BasicBlock* after, const std::string& name);
+
+  /// Unlinks and destroys `block` together with its instructions. All uses
+  /// of the block and of its instructions must be gone.
+  void erase_block(BasicBlock* block);
+
+  /// Moves `block` to the position right after `after` in the block list.
+  void move_block_after(BasicBlock* block, BasicBlock* after);
+
+  // --- Attributes -----------------------------------------------------------
+  void set_attribute(const std::string& key, const std::string& value) {
+    attrs_[key] = value;
+  }
+  bool has_attribute(const std::string& key) const { return attrs_.count(key); }
+  std::string attribute(const std::string& key) const {
+    auto it = attrs_.find(key);
+    return it == attrs_.end() ? std::string() : it->second;
+  }
+  const std::map<std::string, std::string>& attributes() const {
+    return attrs_;
+  }
+  bool is_omp_outlined() const {
+    return attribute("omp.outlined") == "true";
+  }
+  bool is_pure() const { return attribute("pure") == "true"; }
+
+  /// Counts instructions across all blocks.
+  std::size_t instruction_count() const;
+
+  /// Fresh id used by IRBuilder for naming temporaries uniquely.
+  unsigned next_value_id() { return next_value_id_++; }
+
+ private:
+  Type* fn_type_;
+  Module* parent_;
+  std::vector<std::unique_ptr<Argument>> args_;
+  std::vector<std::unique_ptr<BasicBlock>> blocks_;
+  std::map<std::string, std::string> attrs_;
+  unsigned next_value_id_ = 0;
+};
+
+}  // namespace irgnn::ir

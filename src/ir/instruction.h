@@ -1,0 +1,243 @@
+// Instruction representation.
+//
+// A single concrete Instruction class carries the opcode, the operand list
+// and a small amount of opcode-specific payload (compare predicate, alloca
+// element type, atomic sub-operation). Keeping one class instead of a
+// subclass per opcode makes the parser, printer, cloner and graph builder
+// uniform; opcode-specific accessors assert the opcode they require.
+//
+// Operand conventions (all operands participate in use lists, including
+// basic-block and function references):
+//   Ret        : [] or [value]
+//   Br         : [target]  or  [cond, true_target, false_target]
+//   Binary ops : [lhs, rhs]
+//   ICmp/FCmp  : [lhs, rhs]                  (+ predicate payload)
+//   Alloca     : [array_size]                (+ allocated type payload)
+//   Load       : [pointer]
+//   Store      : [value, pointer]
+//   GEP        : [base, index...]            (typed-pointer arithmetic)
+//   Casts      : [value]
+//   Phi        : [v0, block0, v1, block1, ...]
+//   Select     : [cond, true_value, false_value]
+//   Call       : [callee, arg...]
+//   AtomicRMW  : [pointer, value]            (+ atomic op payload)
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <vector>
+
+#include "ir/value.h"
+
+namespace irgnn::ir {
+
+class BasicBlock;
+class Function;
+
+enum class Opcode {
+  // Terminators
+  Ret,
+  Br,
+  // Integer arithmetic / bitwise
+  Add,
+  Sub,
+  Mul,
+  SDiv,
+  SRem,
+  And,
+  Or,
+  Xor,
+  Shl,
+  LShr,
+  AShr,
+  // Floating-point arithmetic
+  FAdd,
+  FSub,
+  FMul,
+  FDiv,
+  // Comparisons
+  ICmp,
+  FCmp,
+  // Memory
+  Alloca,
+  Load,
+  Store,
+  GetElementPtr,
+  AtomicRMW,
+  // Casts
+  Trunc,
+  ZExt,
+  SExt,
+  SIToFP,
+  FPToSI,
+  FPExt,
+  FPTrunc,
+  Bitcast,
+  // Other
+  Phi,
+  Select,
+  Call,
+};
+
+enum class ICmpPred { EQ, NE, SLT, SLE, SGT, SGE };
+enum class FCmpPred { OEQ, ONE, OLT, OLE, OGT, OGE };
+enum class AtomicOp { Add, FAdd, Min, Max };
+
+const char* opcode_name(Opcode op);
+const char* icmp_pred_name(ICmpPred p);
+const char* fcmp_pred_name(FCmpPred p);
+const char* atomic_op_name(AtomicOp op);
+
+class Instruction : public Value {
+ public:
+  Instruction(Opcode opcode, Type* type, std::vector<Value*> operands,
+              std::string name = "");
+  ~Instruction() override;
+
+  Opcode opcode() const { return opcode_; }
+  BasicBlock* parent() const { return parent_; }
+
+  unsigned num_operands() const {
+    return static_cast<unsigned>(operands_.size());
+  }
+  Value* operand(unsigned i) const {
+    assert(i < operands_.size());
+    return operands_[i];
+  }
+  void set_operand(unsigned i, Value* v);
+  /// Appends an operand slot (used by phi construction and the parser).
+  void add_operand(Value* v);
+  /// Drops every operand reference (use-list cleanup before deletion).
+  void drop_all_references();
+
+  // --- Opcode classification -------------------------------------------
+  bool is_terminator() const {
+    return opcode_ == Opcode::Ret || opcode_ == Opcode::Br;
+  }
+  bool is_binary_op() const {
+    return opcode_ >= Opcode::Add && opcode_ <= Opcode::FDiv;
+  }
+  bool is_int_binary_op() const {
+    return opcode_ >= Opcode::Add && opcode_ <= Opcode::AShr;
+  }
+  bool is_fp_binary_op() const {
+    return opcode_ >= Opcode::FAdd && opcode_ <= Opcode::FDiv;
+  }
+  bool is_commutative() const {
+    switch (opcode_) {
+      case Opcode::Add:
+      case Opcode::Mul:
+      case Opcode::And:
+      case Opcode::Or:
+      case Opcode::Xor:
+      case Opcode::FAdd:
+      case Opcode::FMul:
+        return true;
+      default:
+        return false;
+    }
+  }
+  bool is_cast() const {
+    return opcode_ >= Opcode::Trunc && opcode_ <= Opcode::Bitcast;
+  }
+  bool is_cmp() const {
+    return opcode_ == Opcode::ICmp || opcode_ == Opcode::FCmp;
+  }
+
+  /// True if the instruction writes memory or has externally visible
+  /// behaviour: stores, atomics, calls to non-pure callees, terminators.
+  bool has_side_effects() const;
+
+  /// True if the instruction can be erased when it has no uses. Loads are
+  /// removable (our IR has no volatile), side-effecting instructions not.
+  bool is_trivially_dead() const {
+    return !has_uses() && !has_side_effects() && !is_terminator();
+  }
+
+  /// True if the instruction reads memory (loads and atomics); such
+  /// instructions cannot be hoisted/merged across stores.
+  bool reads_memory() const {
+    return opcode_ == Opcode::Load || opcode_ == Opcode::AtomicRMW ||
+           opcode_ == Opcode::Call;
+  }
+
+  // --- Opcode-specific payloads ----------------------------------------
+  ICmpPred icmp_pred() const {
+    assert(opcode_ == Opcode::ICmp);
+    return icmp_pred_;
+  }
+  void set_icmp_pred(ICmpPred p) { icmp_pred_ = p; }
+
+  FCmpPred fcmp_pred() const {
+    assert(opcode_ == Opcode::FCmp);
+    return fcmp_pred_;
+  }
+  void set_fcmp_pred(FCmpPred p) { fcmp_pred_ = p; }
+
+  Type* allocated_type() const {
+    assert(opcode_ == Opcode::Alloca);
+    return allocated_type_;
+  }
+  void set_allocated_type(Type* t) { allocated_type_ = t; }
+
+  AtomicOp atomic_op() const {
+    assert(opcode_ == Opcode::AtomicRMW);
+    return atomic_op_;
+  }
+  void set_atomic_op(AtomicOp op) { atomic_op_ = op; }
+
+  /// Element type a GEP steps over (the pointee of the base pointer).
+  Type* gep_source_type() const;
+
+  // --- Branch helpers ----------------------------------------------------
+  bool is_conditional_branch() const {
+    return opcode_ == Opcode::Br && num_operands() == 3;
+  }
+  Value* branch_condition() const {
+    assert(is_conditional_branch());
+    return operand(0);
+  }
+  BasicBlock* successor(unsigned i) const;
+  unsigned num_successors() const;
+
+  // --- Phi helpers -------------------------------------------------------
+  unsigned phi_num_incoming() const {
+    assert(opcode_ == Opcode::Phi);
+    return num_operands() / 2;
+  }
+  Value* phi_incoming_value(unsigned i) const {
+    assert(opcode_ == Opcode::Phi);
+    return operand(2 * i);
+  }
+  BasicBlock* phi_incoming_block(unsigned i) const;
+  void phi_add_incoming(Value* value, BasicBlock* block);
+  void phi_set_incoming_value(unsigned i, Value* v) { set_operand(2 * i, v); }
+  /// Removes the incoming pair at index i.
+  void phi_remove_incoming(unsigned i);
+  /// Index of the incoming pair for `block`, or -1.
+  int phi_incoming_index(const BasicBlock* block) const;
+
+  // --- Call helpers ------------------------------------------------------
+  Function* called_function() const;
+  unsigned call_num_args() const {
+    assert(opcode_ == Opcode::Call);
+    return num_operands() - 1;
+  }
+  Value* call_arg(unsigned i) const {
+    assert(opcode_ == Opcode::Call);
+    return operand(i + 1);
+  }
+
+ private:
+  friend class BasicBlock;
+
+  Opcode opcode_;
+  BasicBlock* parent_ = nullptr;
+  std::vector<Value*> operands_;
+  ICmpPred icmp_pred_ = ICmpPred::EQ;
+  FCmpPred fcmp_pred_ = FCmpPred::OEQ;
+  AtomicOp atomic_op_ = AtomicOp::Add;
+  Type* allocated_type_ = nullptr;
+};
+
+}  // namespace irgnn::ir

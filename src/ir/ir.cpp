@@ -1,0 +1,574 @@
+// Implementation of the core IR classes (Value, Instruction, BasicBlock,
+// Function, Module) including the structural module cloner.
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+#include "ir/basic_block.h"
+#include "ir/function.h"
+#include "ir/instruction.h"
+#include "ir/module.h"
+#include "ir/value.h"
+
+namespace irgnn::ir {
+
+// --------------------------------------------------------------------------
+// Value
+// --------------------------------------------------------------------------
+
+void Value::replace_all_uses_with(Value* replacement) {
+  assert(replacement != this && "self-replacement");
+  // set_operand mutates uses_, so iterate over a snapshot.
+  std::vector<Use> snapshot = uses_;
+  for (const Use& use : snapshot) use.user->set_operand(use.index, replacement);
+}
+
+// --------------------------------------------------------------------------
+// Instruction
+// --------------------------------------------------------------------------
+
+const char* opcode_name(Opcode op) {
+  switch (op) {
+    case Opcode::Ret: return "ret";
+    case Opcode::Br: return "br";
+    case Opcode::Add: return "add";
+    case Opcode::Sub: return "sub";
+    case Opcode::Mul: return "mul";
+    case Opcode::SDiv: return "sdiv";
+    case Opcode::SRem: return "srem";
+    case Opcode::And: return "and";
+    case Opcode::Or: return "or";
+    case Opcode::Xor: return "xor";
+    case Opcode::Shl: return "shl";
+    case Opcode::LShr: return "lshr";
+    case Opcode::AShr: return "ashr";
+    case Opcode::FAdd: return "fadd";
+    case Opcode::FSub: return "fsub";
+    case Opcode::FMul: return "fmul";
+    case Opcode::FDiv: return "fdiv";
+    case Opcode::ICmp: return "icmp";
+    case Opcode::FCmp: return "fcmp";
+    case Opcode::Alloca: return "alloca";
+    case Opcode::Load: return "load";
+    case Opcode::Store: return "store";
+    case Opcode::GetElementPtr: return "getelementptr";
+    case Opcode::AtomicRMW: return "atomicrmw";
+    case Opcode::Trunc: return "trunc";
+    case Opcode::ZExt: return "zext";
+    case Opcode::SExt: return "sext";
+    case Opcode::SIToFP: return "sitofp";
+    case Opcode::FPToSI: return "fptosi";
+    case Opcode::FPExt: return "fpext";
+    case Opcode::FPTrunc: return "fptrunc";
+    case Opcode::Bitcast: return "bitcast";
+    case Opcode::Phi: return "phi";
+    case Opcode::Select: return "select";
+    case Opcode::Call: return "call";
+  }
+  return "<invalid>";
+}
+
+const char* icmp_pred_name(ICmpPred p) {
+  switch (p) {
+    case ICmpPred::EQ: return "eq";
+    case ICmpPred::NE: return "ne";
+    case ICmpPred::SLT: return "slt";
+    case ICmpPred::SLE: return "sle";
+    case ICmpPred::SGT: return "sgt";
+    case ICmpPred::SGE: return "sge";
+  }
+  return "<invalid>";
+}
+
+const char* fcmp_pred_name(FCmpPred p) {
+  switch (p) {
+    case FCmpPred::OEQ: return "oeq";
+    case FCmpPred::ONE: return "one";
+    case FCmpPred::OLT: return "olt";
+    case FCmpPred::OLE: return "ole";
+    case FCmpPred::OGT: return "ogt";
+    case FCmpPred::OGE: return "oge";
+  }
+  return "<invalid>";
+}
+
+const char* atomic_op_name(AtomicOp op) {
+  switch (op) {
+    case AtomicOp::Add: return "add";
+    case AtomicOp::FAdd: return "fadd";
+    case AtomicOp::Min: return "min";
+    case AtomicOp::Max: return "max";
+  }
+  return "<invalid>";
+}
+
+Instruction::Instruction(Opcode opcode, Type* type,
+                         std::vector<Value*> operands, std::string name)
+    : Value(Kind::Instruction, type, std::move(name)), opcode_(opcode) {
+  operands_.reserve(operands.size());
+  for (Value* v : operands) add_operand(v);
+}
+
+Instruction::~Instruction() { drop_all_references(); }
+
+void Instruction::set_operand(unsigned i, Value* v) {
+  assert(i < operands_.size());
+  Value* old = operands_[i];
+  if (old == v) return;
+  if (old) {
+    auto& uses = old->uses_;
+    for (std::size_t k = 0; k < uses.size(); ++k) {
+      if (uses[k].user == this && uses[k].index == i) {
+        uses[k] = uses.back();
+        uses.pop_back();
+        break;
+      }
+    }
+  }
+  operands_[i] = v;
+  if (v) v->uses_.push_back(Use{this, i});
+}
+
+void Instruction::add_operand(Value* v) {
+  operands_.push_back(nullptr);
+  set_operand(static_cast<unsigned>(operands_.size() - 1), v);
+}
+
+void Instruction::drop_all_references() {
+  for (unsigned i = 0; i < operands_.size(); ++i) set_operand(i, nullptr);
+  operands_.clear();
+}
+
+bool Instruction::has_side_effects() const {
+  switch (opcode_) {
+    case Opcode::Store:
+    case Opcode::AtomicRMW:
+    case Opcode::Ret:
+    case Opcode::Br:
+      return true;
+    case Opcode::Call: {
+      Function* callee = called_function();
+      return callee == nullptr || !callee->is_pure();
+    }
+    default:
+      return false;
+  }
+}
+
+Type* Instruction::gep_source_type() const {
+  assert(opcode_ == Opcode::GetElementPtr);
+  return operand(0)->type()->pointee();
+}
+
+BasicBlock* Instruction::successor(unsigned i) const {
+  assert(opcode_ == Opcode::Br);
+  unsigned base = (num_operands() == 3) ? 1 : 0;
+  return static_cast<BasicBlock*>(operand(base + i));
+}
+
+unsigned Instruction::num_successors() const {
+  if (opcode_ != Opcode::Br) return 0;
+  return num_operands() == 3 ? 2 : 1;
+}
+
+BasicBlock* Instruction::phi_incoming_block(unsigned i) const {
+  assert(opcode_ == Opcode::Phi);
+  return static_cast<BasicBlock*>(operand(2 * i + 1));
+}
+
+void Instruction::phi_add_incoming(Value* value, BasicBlock* block) {
+  assert(opcode_ == Opcode::Phi);
+  add_operand(value);
+  add_operand(block);
+}
+
+void Instruction::phi_remove_incoming(unsigned i) {
+  assert(opcode_ == Opcode::Phi && 2 * i + 1 < num_operands());
+  // Clear use entries for the removed slots, then compact by shifting the
+  // remaining operands down two positions.
+  for (unsigned k = 2 * i; k + 2 < num_operands(); ++k)
+    set_operand(k, operands_[k + 2]);
+  set_operand(num_operands() - 2, nullptr);
+  set_operand(num_operands() - 1, nullptr);
+  operands_.pop_back();
+  operands_.pop_back();
+}
+
+int Instruction::phi_incoming_index(const BasicBlock* block) const {
+  assert(opcode_ == Opcode::Phi);
+  for (unsigned i = 0; i < phi_num_incoming(); ++i)
+    if (phi_incoming_block(i) == block) return static_cast<int>(i);
+  return -1;
+}
+
+Function* Instruction::called_function() const {
+  assert(opcode_ == Opcode::Call);
+  Value* callee = operand(0);
+  return callee->value_kind() == Kind::Function
+             ? static_cast<Function*>(callee)
+             : nullptr;
+}
+
+// --------------------------------------------------------------------------
+// BasicBlock
+// --------------------------------------------------------------------------
+
+Instruction* BasicBlock::push_back(std::unique_ptr<Instruction> inst) {
+  inst->parent_ = this;
+  insts_.push_back(std::move(inst));
+  return insts_.back().get();
+}
+
+Instruction* BasicBlock::insert_before(Instruction* pos,
+                                       std::unique_ptr<Instruction> inst) {
+  inst->parent_ = this;
+  if (pos == nullptr) {
+    insts_.push_back(std::move(inst));
+    return insts_.back().get();
+  }
+  int idx = index_of(pos);
+  assert(idx >= 0 && "insert position not in this block");
+  auto it = insts_.begin() + idx;
+  Instruction* raw = inst.get();
+  insts_.insert(it, std::move(inst));
+  return raw;
+}
+
+Instruction* BasicBlock::push_front(std::unique_ptr<Instruction> inst) {
+  inst->parent_ = this;
+  Instruction* raw = inst.get();
+  insts_.insert(insts_.begin(), std::move(inst));
+  return raw;
+}
+
+void BasicBlock::erase(Instruction* inst) {
+  assert(!inst->has_uses() && "erasing an instruction that still has uses");
+  int idx = index_of(inst);
+  assert(idx >= 0 && "instruction not in this block");
+  insts_.erase(insts_.begin() + idx);
+}
+
+std::unique_ptr<Instruction> BasicBlock::remove(Instruction* inst) {
+  int idx = index_of(inst);
+  assert(idx >= 0 && "instruction not in this block");
+  std::unique_ptr<Instruction> owned = std::move(insts_[idx]);
+  insts_.erase(insts_.begin() + idx);
+  owned->parent_ = nullptr;
+  return owned;
+}
+
+int BasicBlock::index_of(const Instruction* inst) const {
+  for (std::size_t i = 0; i < insts_.size(); ++i)
+    if (insts_[i].get() == inst) return static_cast<int>(i);
+  return -1;
+}
+
+std::vector<BasicBlock*> BasicBlock::successors() const {
+  std::vector<BasicBlock*> out;
+  Instruction* term = terminator();
+  if (!term) return out;
+  for (unsigned i = 0; i < term->num_successors(); ++i)
+    out.push_back(term->successor(i));
+  return out;
+}
+
+std::vector<BasicBlock*> BasicBlock::predecessors() const {
+  std::vector<BasicBlock*> out;
+  for (const Use& use : uses()) {
+    Instruction* user = use.user;
+    if (!user->is_terminator()) continue;  // phi references are not edges
+    BasicBlock* pred = user->parent();
+    if (std::find(out.begin(), out.end(), pred) == out.end())
+      out.push_back(pred);
+  }
+  return out;
+}
+
+std::vector<Instruction*> BasicBlock::phis() const {
+  std::vector<Instruction*> out;
+  for (const auto& inst : insts_) {
+    if (inst->opcode() != Opcode::Phi) break;
+    out.push_back(inst.get());
+  }
+  return out;
+}
+
+Instruction* BasicBlock::first_non_phi() const {
+  for (const auto& inst : insts_)
+    if (inst->opcode() != Opcode::Phi) return inst.get();
+  return nullptr;
+}
+
+// --------------------------------------------------------------------------
+// Function
+// --------------------------------------------------------------------------
+
+Function::Function(Type* fn_type, std::string name, Module* parent)
+    : Value(Kind::Function, fn_type, std::move(name)),
+      fn_type_(fn_type),
+      parent_(parent) {
+  const auto& params = fn_type->params();
+  for (unsigned i = 0; i < params.size(); ++i) {
+    args_.push_back(std::make_unique<Argument>(
+        params[i], "arg" + std::to_string(i), i));
+  }
+}
+
+BasicBlock* Function::add_block(const std::string& name) {
+  auto* label = parent_ ? parent_->types().label_ty() : nullptr;
+  blocks_.push_back(std::make_unique<BasicBlock>(label, name, this));
+  return blocks_.back().get();
+}
+
+BasicBlock* Function::add_block_after(BasicBlock* after,
+                                      const std::string& name) {
+  auto* label = parent_ ? parent_->types().label_ty() : nullptr;
+  auto block = std::make_unique<BasicBlock>(label, name, this);
+  BasicBlock* raw = block.get();
+  for (std::size_t i = 0; i < blocks_.size(); ++i) {
+    if (blocks_[i].get() == after) {
+      blocks_.insert(blocks_.begin() + i + 1, std::move(block));
+      return raw;
+    }
+  }
+  blocks_.push_back(std::move(block));
+  return raw;
+}
+
+void Function::erase_block(BasicBlock* block) {
+  // Drop instruction references first so intra-block cycles (phis) unlink.
+  for (Instruction* inst : block->instructions()) inst->drop_all_references();
+  for (std::size_t i = 0; i < blocks_.size(); ++i) {
+    if (blocks_[i].get() == block) {
+      blocks_.erase(blocks_.begin() + i);
+      return;
+    }
+  }
+  assert(false && "block not in this function");
+}
+
+void Function::move_block_after(BasicBlock* block, BasicBlock* after) {
+  std::unique_ptr<BasicBlock> owned;
+  for (std::size_t i = 0; i < blocks_.size(); ++i) {
+    if (blocks_[i].get() == block) {
+      owned = std::move(blocks_[i]);
+      blocks_.erase(blocks_.begin() + i);
+      break;
+    }
+  }
+  assert(owned && "block not in this function");
+  for (std::size_t i = 0; i < blocks_.size(); ++i) {
+    if (blocks_[i].get() == after) {
+      blocks_.insert(blocks_.begin() + i + 1, std::move(owned));
+      return;
+    }
+  }
+  blocks_.push_back(std::move(owned));
+}
+
+std::size_t Function::instruction_count() const {
+  std::size_t n = 0;
+  for (const auto& block : blocks_) n += block->size();
+  return n;
+}
+
+// --------------------------------------------------------------------------
+// Module
+// --------------------------------------------------------------------------
+
+Module::~Module() {
+  for (const auto& fn : functions_)
+    for (BasicBlock* block : fn->blocks())
+      for (Instruction* inst : block->instructions())
+        inst->drop_all_references();
+}
+
+Function* Module::add_function(Type* fn_type, const std::string& name) {
+  functions_.push_back(std::make_unique<Function>(fn_type, name, this));
+  return functions_.back().get();
+}
+
+Function* Module::get_function(const std::string& name) const {
+  for (const auto& fn : functions_)
+    if (fn->name() == name) return fn.get();
+  return nullptr;
+}
+
+void Module::erase_function(Function* fn) {
+  for (std::size_t i = 0; i < functions_.size(); ++i) {
+    if (functions_[i].get() == fn) {
+      for (BasicBlock* block : fn->blocks())
+        for (Instruction* inst : block->instructions())
+          inst->drop_all_references();
+      functions_.erase(functions_.begin() + i);
+      return;
+    }
+  }
+  assert(false && "function not in this module");
+}
+
+GlobalVariable* Module::add_global(Type* contained, const std::string& name) {
+  globals_.push_back(std::make_unique<GlobalVariable>(
+      ctx_.pointer_to(contained), contained, name));
+  return globals_.back().get();
+}
+
+GlobalVariable* Module::get_global(const std::string& name) const {
+  for (const auto& g : globals_)
+    if (g->name() == name) return g.get();
+  return nullptr;
+}
+
+ConstantInt* Module::get_int(Type* type, std::int64_t value) {
+  auto key = std::make_pair(type, value);
+  auto it = int_constants_.find(key);
+  if (it != int_constants_.end()) return it->second.get();
+  auto c = std::make_unique<ConstantInt>(type, value);
+  ConstantInt* raw = c.get();
+  int_constants_.emplace(key, std::move(c));
+  return raw;
+}
+
+ConstantInt* Module::get_i1(bool value) {
+  return get_int(ctx_.int1_ty(), value ? 1 : 0);
+}
+ConstantInt* Module::get_i32(std::int32_t value) {
+  return get_int(ctx_.int32_ty(), value);
+}
+ConstantInt* Module::get_i64(std::int64_t value) {
+  return get_int(ctx_.int64_ty(), value);
+}
+
+ConstantFP* Module::get_fp(Type* type, double value) {
+  auto key = std::make_pair(type, value);
+  auto it = fp_constants_.find(key);
+  if (it != fp_constants_.end()) return it->second.get();
+  auto c = std::make_unique<ConstantFP>(type, value);
+  ConstantFP* raw = c.get();
+  fp_constants_.emplace(key, std::move(c));
+  return raw;
+}
+
+ConstantFP* Module::get_double(double value) {
+  return get_fp(ctx_.double_ty(), value);
+}
+
+ConstantUndef* Module::get_undef(Type* type) {
+  auto it = undef_constants_.find(type);
+  if (it != undef_constants_.end()) return it->second.get();
+  auto c = std::make_unique<ConstantUndef>(type);
+  ConstantUndef* raw = c.get();
+  undef_constants_.emplace(type, std::move(c));
+  return raw;
+}
+
+std::size_t Module::instruction_count() const {
+  std::size_t n = 0;
+  for (const auto& fn : functions_) n += fn->instruction_count();
+  return n;
+}
+
+namespace {
+
+/// Translates a type from one context into another structurally.
+Type* map_type(TypeContext& dst, const Type* src) {
+  switch (src->kind()) {
+    case Type::Kind::Void: return dst.void_ty();
+    case Type::Kind::Int1: return dst.int1_ty();
+    case Type::Kind::Int8: return dst.int8_ty();
+    case Type::Kind::Int32: return dst.int32_ty();
+    case Type::Kind::Int64: return dst.int64_ty();
+    case Type::Kind::Float: return dst.float_ty();
+    case Type::Kind::Double: return dst.double_ty();
+    case Type::Kind::Label: return dst.label_ty();
+    case Type::Kind::Pointer: return dst.pointer_to(map_type(dst, src->pointee()));
+    case Type::Kind::Array:
+      return dst.array_of(map_type(dst, src->element()), src->array_length());
+    case Type::Kind::Function: {
+      std::vector<Type*> params;
+      for (Type* p : src->params()) params.push_back(map_type(dst, p));
+      return dst.function(map_type(dst, src->return_type()), std::move(params));
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+std::unique_ptr<Module> Module::clone() const {
+  auto out = std::make_unique<Module>(name_);
+  std::unordered_map<const Value*, Value*> vmap;
+
+  for (const auto& g : globals_) {
+    GlobalVariable* ng =
+        out->add_global(map_type(out->types(), g->contained_type()), g->name());
+    vmap[g.get()] = ng;
+  }
+
+  // Create all function shells first so call operands can be remapped.
+  for (const auto& fn : functions_) {
+    Function* nf = out->add_function(
+        map_type(out->types(), fn->function_type()), fn->name());
+    for (const auto& [k, v] : fn->attributes()) nf->set_attribute(k, v);
+    for (unsigned i = 0; i < fn->num_args(); ++i) {
+      nf->set_arg_name(i, fn->arg(i)->name());
+      vmap[fn->arg(i)] = nf->arg(i);
+    }
+    vmap[fn.get()] = nf;
+  }
+
+  auto map_value = [&](Value* v) -> Value* {
+    if (v == nullptr) return nullptr;
+    auto it = vmap.find(v);
+    if (it != vmap.end()) return it->second;
+    // Constants are interned per-module; translate on demand.
+    switch (v->value_kind()) {
+      case Value::Kind::ConstantInt: {
+        auto* c = static_cast<ConstantInt*>(v);
+        return out->get_int(map_type(out->types(), c->type()), c->value());
+      }
+      case Value::Kind::ConstantFP: {
+        auto* c = static_cast<ConstantFP*>(v);
+        return out->get_fp(map_type(out->types(), c->type()), c->value());
+      }
+      case Value::Kind::ConstantUndef:
+        return out->get_undef(map_type(out->types(), v->type()));
+      default:
+        assert(false && "unmapped value in clone");
+        return nullptr;
+    }
+  };
+
+  for (const auto& fn : functions_) {
+    Function* nf = static_cast<Function*>(vmap.at(fn.get()));
+    // Pass 1: create blocks and instruction shells (operands unfilled) so
+    // forward references (phis, back edges) resolve.
+    for (BasicBlock* block : fn->blocks()) {
+      BasicBlock* nb = nf->add_block(block->name());
+      vmap[block] = nb;
+      for (Instruction* inst : block->instructions()) {
+        auto ni = std::make_unique<Instruction>(
+            inst->opcode(), map_type(out->types(), inst->type()),
+            std::vector<Value*>{}, inst->name());
+        if (inst->opcode() == Opcode::ICmp) ni->set_icmp_pred(inst->icmp_pred());
+        if (inst->opcode() == Opcode::FCmp) ni->set_fcmp_pred(inst->fcmp_pred());
+        if (inst->opcode() == Opcode::Alloca)
+          ni->set_allocated_type(map_type(out->types(), inst->allocated_type()));
+        if (inst->opcode() == Opcode::AtomicRMW)
+          ni->set_atomic_op(inst->atomic_op());
+        vmap[inst] = nb->push_back(std::move(ni));
+      }
+    }
+    // Pass 2: fill operands.
+    for (BasicBlock* block : fn->blocks()) {
+      for (Instruction* inst : block->instructions()) {
+        auto* ni = static_cast<Instruction*>(vmap.at(inst));
+        for (unsigned i = 0; i < inst->num_operands(); ++i)
+          ni->add_operand(map_value(inst->operand(i)));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace irgnn::ir

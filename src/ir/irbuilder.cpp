@@ -1,0 +1,157 @@
+#include "ir/irbuilder.h"
+
+#include <cassert>
+
+namespace irgnn::ir {
+
+Instruction* IRBuilder::insert(std::unique_ptr<Instruction> inst,
+                               const std::string& name) {
+  assert(block_ && "no insertion point set");
+  if (!name.empty()) {
+    inst->set_name(name);
+  } else if (!inst->type()->is_void()) {
+    inst->set_name("t" + std::to_string(block_->parent()->next_value_id()));
+  }
+  return block_->push_back(std::move(inst));
+}
+
+Instruction* IRBuilder::create_ret(Value* value) {
+  std::vector<Value*> ops;
+  if (value) ops.push_back(value);
+  return insert(std::make_unique<Instruction>(
+                    Opcode::Ret, module_->types().void_ty(), ops),
+                "");
+}
+
+Instruction* IRBuilder::create_br(BasicBlock* target) {
+  return insert(std::make_unique<Instruction>(
+                    Opcode::Br, module_->types().void_ty(),
+                    std::vector<Value*>{target}),
+                "");
+}
+
+Instruction* IRBuilder::create_cond_br(Value* cond, BasicBlock* if_true,
+                                       BasicBlock* if_false) {
+  assert(cond->type()->kind() == Type::Kind::Int1);
+  return insert(std::make_unique<Instruction>(
+                    Opcode::Br, module_->types().void_ty(),
+                    std::vector<Value*>{cond, if_true, if_false}),
+                "");
+}
+
+Instruction* IRBuilder::create_binary(Opcode op, Value* lhs, Value* rhs,
+                                      const std::string& name) {
+  assert(lhs->type() == rhs->type() && "binary operand type mismatch");
+  return insert(std::make_unique<Instruction>(op, lhs->type(),
+                                              std::vector<Value*>{lhs, rhs}),
+                name);
+}
+
+Instruction* IRBuilder::create_icmp(ICmpPred pred, Value* lhs, Value* rhs,
+                                    const std::string& name) {
+  assert(lhs->type() == rhs->type());
+  auto inst = std::make_unique<Instruction>(
+      Opcode::ICmp, module_->types().int1_ty(), std::vector<Value*>{lhs, rhs});
+  inst->set_icmp_pred(pred);
+  return insert(std::move(inst), name);
+}
+
+Instruction* IRBuilder::create_fcmp(FCmpPred pred, Value* lhs, Value* rhs,
+                                    const std::string& name) {
+  assert(lhs->type() == rhs->type());
+  auto inst = std::make_unique<Instruction>(
+      Opcode::FCmp, module_->types().int1_ty(), std::vector<Value*>{lhs, rhs});
+  inst->set_fcmp_pred(pred);
+  return insert(std::move(inst), name);
+}
+
+Instruction* IRBuilder::create_alloca(Type* type, Value* array_size,
+                                      const std::string& name) {
+  if (!array_size) array_size = module_->get_i64(1);
+  auto inst = std::make_unique<Instruction>(
+      Opcode::Alloca, module_->types().pointer_to(type),
+      std::vector<Value*>{array_size});
+  inst->set_allocated_type(type);
+  return insert(std::move(inst), name);
+}
+
+Instruction* IRBuilder::create_load(Value* pointer, const std::string& name) {
+  assert(pointer->type()->is_pointer());
+  return insert(std::make_unique<Instruction>(Opcode::Load,
+                                              pointer->type()->pointee(),
+                                              std::vector<Value*>{pointer}),
+                name);
+}
+
+Instruction* IRBuilder::create_store(Value* value, Value* pointer) {
+  assert(pointer->type()->is_pointer());
+  assert(pointer->type()->pointee() == value->type());
+  return insert(std::make_unique<Instruction>(
+                    Opcode::Store, module_->types().void_ty(),
+                    std::vector<Value*>{value, pointer}),
+                "");
+}
+
+Instruction* IRBuilder::create_gep(Value* base, std::vector<Value*> indices,
+                                   const std::string& name) {
+  assert(base->type()->is_pointer());
+  assert(!indices.empty());
+  // Resolve the result element type: the first index steps over the pointee;
+  // each further index must enter an array element.
+  Type* elem = base->type()->pointee();
+  for (std::size_t i = 1; i < indices.size(); ++i) {
+    assert(elem->is_array() && "extra GEP index into non-array");
+    elem = elem->element();
+  }
+  std::vector<Value*> ops{base};
+  ops.insert(ops.end(), indices.begin(), indices.end());
+  return insert(std::make_unique<Instruction>(
+                    Opcode::GetElementPtr, module_->types().pointer_to(elem),
+                    std::move(ops)),
+                name);
+}
+
+Instruction* IRBuilder::create_atomic_rmw(AtomicOp op, Value* pointer,
+                                          Value* value,
+                                          const std::string& name) {
+  assert(pointer->type()->is_pointer());
+  assert(pointer->type()->pointee() == value->type());
+  auto inst = std::make_unique<Instruction>(
+      Opcode::AtomicRMW, value->type(), std::vector<Value*>{pointer, value});
+  inst->set_atomic_op(op);
+  return insert(std::move(inst), name);
+}
+
+Instruction* IRBuilder::create_cast(Opcode op, Value* value, Type* to,
+                                    const std::string& name) {
+  return insert(
+      std::make_unique<Instruction>(op, to, std::vector<Value*>{value}), name);
+}
+
+Instruction* IRBuilder::create_phi(Type* type, const std::string& name) {
+  return insert(
+      std::make_unique<Instruction>(Opcode::Phi, type, std::vector<Value*>{}),
+      name);
+}
+
+Instruction* IRBuilder::create_select(Value* cond, Value* if_true,
+                                      Value* if_false,
+                                      const std::string& name) {
+  assert(cond->type()->kind() == Type::Kind::Int1);
+  assert(if_true->type() == if_false->type());
+  return insert(std::make_unique<Instruction>(
+                    Opcode::Select, if_true->type(),
+                    std::vector<Value*>{cond, if_true, if_false}),
+                name);
+}
+
+Instruction* IRBuilder::create_call(Function* callee, std::vector<Value*> args,
+                                    const std::string& name) {
+  std::vector<Value*> ops{callee};
+  ops.insert(ops.end(), args.begin(), args.end());
+  return insert(std::make_unique<Instruction>(
+                    Opcode::Call, callee->return_type(), std::move(ops)),
+                name);
+}
+
+}  // namespace irgnn::ir

@@ -1,0 +1,112 @@
+// Convenience construction API for IR, mirroring llvm::IRBuilder.
+//
+// The builder tracks an insertion block; create_* methods append to it and
+// auto-name temporaries (%tN, unique per function). Type checking is by
+// assertion — the Verifier gives the authoritative diagnosis.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/basic_block.h"
+#include "ir/function.h"
+#include "ir/instruction.h"
+#include "ir/module.h"
+
+namespace irgnn::ir {
+
+class IRBuilder {
+ public:
+  explicit IRBuilder(Module* module) : module_(module) {}
+
+  Module* module() const { return module_; }
+  BasicBlock* insert_block() const { return block_; }
+  void set_insert_point(BasicBlock* block) { block_ = block; }
+
+  // --- Terminators ---------------------------------------------------------
+  Instruction* create_ret(Value* value = nullptr);
+  Instruction* create_br(BasicBlock* target);
+  Instruction* create_cond_br(Value* cond, BasicBlock* if_true,
+                              BasicBlock* if_false);
+
+  // --- Arithmetic ------------------------------------------------------------
+  Instruction* create_binary(Opcode op, Value* lhs, Value* rhs,
+                             const std::string& name = "");
+  Instruction* create_add(Value* l, Value* r, const std::string& n = "") {
+    return create_binary(Opcode::Add, l, r, n);
+  }
+  Instruction* create_sub(Value* l, Value* r, const std::string& n = "") {
+    return create_binary(Opcode::Sub, l, r, n);
+  }
+  Instruction* create_mul(Value* l, Value* r, const std::string& n = "") {
+    return create_binary(Opcode::Mul, l, r, n);
+  }
+  Instruction* create_sdiv(Value* l, Value* r, const std::string& n = "") {
+    return create_binary(Opcode::SDiv, l, r, n);
+  }
+  Instruction* create_srem(Value* l, Value* r, const std::string& n = "") {
+    return create_binary(Opcode::SRem, l, r, n);
+  }
+  Instruction* create_and(Value* l, Value* r, const std::string& n = "") {
+    return create_binary(Opcode::And, l, r, n);
+  }
+  Instruction* create_or(Value* l, Value* r, const std::string& n = "") {
+    return create_binary(Opcode::Or, l, r, n);
+  }
+  Instruction* create_xor(Value* l, Value* r, const std::string& n = "") {
+    return create_binary(Opcode::Xor, l, r, n);
+  }
+  Instruction* create_shl(Value* l, Value* r, const std::string& n = "") {
+    return create_binary(Opcode::Shl, l, r, n);
+  }
+  Instruction* create_fadd(Value* l, Value* r, const std::string& n = "") {
+    return create_binary(Opcode::FAdd, l, r, n);
+  }
+  Instruction* create_fsub(Value* l, Value* r, const std::string& n = "") {
+    return create_binary(Opcode::FSub, l, r, n);
+  }
+  Instruction* create_fmul(Value* l, Value* r, const std::string& n = "") {
+    return create_binary(Opcode::FMul, l, r, n);
+  }
+  Instruction* create_fdiv(Value* l, Value* r, const std::string& n = "") {
+    return create_binary(Opcode::FDiv, l, r, n);
+  }
+
+  // --- Comparisons -----------------------------------------------------------
+  Instruction* create_icmp(ICmpPred pred, Value* lhs, Value* rhs,
+                           const std::string& name = "");
+  Instruction* create_fcmp(FCmpPred pred, Value* lhs, Value* rhs,
+                           const std::string& name = "");
+
+  // --- Memory ---------------------------------------------------------------
+  Instruction* create_alloca(Type* type, Value* array_size = nullptr,
+                             const std::string& name = "");
+  Instruction* create_load(Value* pointer, const std::string& name = "");
+  Instruction* create_store(Value* value, Value* pointer);
+  /// GEP over a typed pointer; result element type follows the index chain
+  /// (one index steps over the pointee; a second index enters an array).
+  Instruction* create_gep(Value* base, std::vector<Value*> indices,
+                          const std::string& name = "");
+  Instruction* create_atomic_rmw(AtomicOp op, Value* pointer, Value* value,
+                                 const std::string& name = "");
+
+  // --- Casts ------------------------------------------------------------------
+  Instruction* create_cast(Opcode op, Value* value, Type* to,
+                           const std::string& name = "");
+
+  // --- Other -------------------------------------------------------------------
+  Instruction* create_phi(Type* type, const std::string& name = "");
+  Instruction* create_select(Value* cond, Value* if_true, Value* if_false,
+                             const std::string& name = "");
+  Instruction* create_call(Function* callee, std::vector<Value*> args,
+                           const std::string& name = "");
+
+ private:
+  Instruction* insert(std::unique_ptr<Instruction> inst,
+                      const std::string& name);
+  Module* module_;
+  BasicBlock* block_ = nullptr;
+};
+
+}  // namespace irgnn::ir

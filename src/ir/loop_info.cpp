@@ -1,0 +1,123 @@
+#include "ir/loop_info.h"
+
+#include <algorithm>
+
+namespace irgnn::ir {
+
+BasicBlock* Loop::preheader() const {
+  BasicBlock* candidate = nullptr;
+  for (BasicBlock* pred : header_->predecessors()) {
+    if (contains(pred)) continue;
+    if (candidate) return nullptr;  // multiple out-of-loop predecessors
+    candidate = pred;
+  }
+  if (!candidate) return nullptr;
+  Instruction* term = candidate->terminator();
+  if (!term || term->num_successors() != 1) return nullptr;
+  return candidate;
+}
+
+std::vector<BasicBlock*> Loop::exit_blocks() const {
+  std::vector<BasicBlock*> exits;
+  for (BasicBlock* block : blocks_) {
+    for (BasicBlock* succ : block->successors()) {
+      if (!contains(succ) &&
+          std::find(exits.begin(), exits.end(), succ) == exits.end())
+        exits.push_back(succ);
+    }
+  }
+  return exits;
+}
+
+Instruction* Loop::canonical_induction() const {
+  if (latches_.size() != 1) return nullptr;
+  for (Instruction* phi : header_->phis()) {
+    if (!phi->type()->is_integer()) continue;
+    if (phi->phi_num_incoming() != 2) continue;
+    // One incoming from the latch that is an add of the phi and a constant.
+    for (unsigned i = 0; i < 2; ++i) {
+      if (phi->phi_incoming_block(i) != latches_[0]) continue;
+      Value* step = phi->phi_incoming_value(i);
+      if (step->value_kind() != Value::Kind::Instruction) continue;
+      auto* add = static_cast<Instruction*>(step);
+      if (add->opcode() != Opcode::Add) continue;
+      if ((add->operand(0) == phi &&
+           add->operand(1)->value_kind() == Value::Kind::ConstantInt) ||
+          (add->operand(1) == phi &&
+           add->operand(0)->value_kind() == Value::Kind::ConstantInt))
+        return phi;
+    }
+  }
+  return nullptr;
+}
+
+LoopInfo::LoopInfo(const Function& fn, const DominatorTree& dt) {
+  (void)fn;
+  // Discover loops from back edges, processed in RPO so outer loops are
+  // discovered before the inner loops that share headers further down.
+  for (BasicBlock* header : dt.rpo()) {
+    std::vector<BasicBlock*> latches;
+    for (BasicBlock* pred : header->predecessors())
+      if (dt.is_reachable(pred) && dt.dominates(header, pred))
+        latches.push_back(pred);
+    if (latches.empty()) continue;
+
+    auto loop = std::make_unique<Loop>();
+    loop->header_ = header;
+    loop->latches_ = latches;
+    loop->blocks_.insert(header);
+    std::vector<BasicBlock*> work(latches.begin(), latches.end());
+    while (!work.empty()) {
+      BasicBlock* block = work.back();
+      work.pop_back();
+      if (loop->blocks_.insert(block).second) {
+        for (BasicBlock* pred : block->predecessors())
+          if (dt.is_reachable(pred)) work.push_back(pred);
+      }
+    }
+    loops_.push_back(std::move(loop));
+  }
+
+  // Nest loops: parent = the smallest strictly-containing loop.
+  for (auto& inner : loops_) {
+    Loop* best = nullptr;
+    for (auto& outer : loops_) {
+      if (outer.get() == inner.get()) continue;
+      if (!outer->contains(inner->header_)) continue;
+      if (outer->blocks().size() <= inner->blocks().size()) continue;
+      if (!best || outer->blocks().size() < best->blocks().size())
+        best = outer.get();
+    }
+    inner->parent_ = best;
+    if (best)
+      best->subloops_.push_back(inner.get());
+    else
+      top_level_.push_back(inner.get());
+  }
+
+  // Innermost-loop map: smaller (more deeply nested) loop wins.
+  for (auto& loop : loops_) {
+    for (BasicBlock* block : loop->blocks()) {
+      auto it = innermost_.find(block);
+      if (it == innermost_.end() ||
+          loop->blocks().size() < it->second->blocks().size())
+        innermost_[block] = loop.get();
+    }
+  }
+}
+
+Loop* LoopInfo::loop_for(BasicBlock* block) const {
+  auto it = innermost_.find(block);
+  return it == innermost_.end() ? nullptr : it->second;
+}
+
+std::vector<Loop*> LoopInfo::loops_innermost_first() const {
+  std::vector<Loop*> out;
+  for (const auto& loop : loops_) out.push_back(loop.get());
+  std::sort(out.begin(), out.end(), [](Loop* a, Loop* b) {
+    return a->blocks().size() < b->blocks().size();
+  });
+  return out;
+}
+
+}  // namespace irgnn::ir

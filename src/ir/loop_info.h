@@ -1,0 +1,74 @@
+// Natural-loop detection over the dominator tree.
+//
+// A back edge latch->header (header dominates latch) defines a natural loop:
+// the set of blocks that can reach the latch without passing through the
+// header. Loops are nested into a forest; LICM and the unroller consume this.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "ir/dominators.h"
+#include "ir/function.h"
+
+namespace irgnn::ir {
+
+class Loop {
+ public:
+  BasicBlock* header() const { return header_; }
+  const std::vector<BasicBlock*>& latches() const { return latches_; }
+  const std::unordered_set<BasicBlock*>& blocks() const { return blocks_; }
+  bool contains(BasicBlock* block) const { return blocks_.count(block) != 0; }
+
+  Loop* parent() const { return parent_; }
+  const std::vector<Loop*>& subloops() const { return subloops_; }
+  unsigned depth() const {
+    unsigned d = 1;
+    for (Loop* p = parent_; p; p = p->parent_) ++d;
+    return d;
+  }
+
+  /// The unique out-of-loop predecessor of the header, if there is exactly
+  /// one and it ends in an unconditional branch; else nullptr.
+  BasicBlock* preheader() const;
+
+  /// Blocks outside the loop that are branched to from inside.
+  std::vector<BasicBlock*> exit_blocks() const;
+
+  /// If the loop is in the canonical counted form
+  ///   header: %i = phi [init, pre], [next, latch]; ... cond; br cond body/exit
+  /// returns the induction phi; else nullptr. (Best-effort pattern match
+  /// used by the unroller.)
+  Instruction* canonical_induction() const;
+
+ private:
+  friend class LoopInfo;
+  BasicBlock* header_ = nullptr;
+  std::vector<BasicBlock*> latches_;
+  std::unordered_set<BasicBlock*> blocks_;
+  Loop* parent_ = nullptr;
+  std::vector<Loop*> subloops_;
+};
+
+class LoopInfo {
+ public:
+  LoopInfo(const Function& fn, const DominatorTree& dt);
+
+  /// Innermost loop containing `block`, or nullptr.
+  Loop* loop_for(BasicBlock* block) const;
+
+  /// Top-level loops (no parent).
+  const std::vector<Loop*>& top_level() const { return top_level_; }
+
+  /// All loops, innermost first.
+  std::vector<Loop*> loops_innermost_first() const;
+
+ private:
+  std::vector<std::unique_ptr<Loop>> loops_;
+  std::vector<Loop*> top_level_;
+  std::unordered_map<BasicBlock*, Loop*> innermost_;
+};
+
+}  // namespace irgnn::ir

@@ -1,0 +1,82 @@
+// Module: the unit of compilation. Owns functions, globals, the type
+// context and the interned constant pool.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/function.h"
+#include "ir/type.h"
+#include "ir/value.h"
+
+namespace irgnn::ir {
+
+class Module {
+ public:
+  explicit Module(std::string name = "module") : name_(std::move(name)) {}
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+  /// Severs every operand link before members are destroyed: instruction
+  /// destructors drop their uses, and without this the interned constants
+  /// (declared after functions_, hence destroyed first) would already be
+  /// gone when instructions unlink from them.
+  ~Module();
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  TypeContext& types() { return ctx_; }
+  const TypeContext& types() const { return ctx_; }
+
+  // --- Functions -----------------------------------------------------------
+  Function* add_function(Type* fn_type, const std::string& name);
+  Function* get_function(const std::string& name) const;
+  std::vector<Function*> functions() const {
+    std::vector<Function*> out;
+    out.reserve(functions_.size());
+    for (const auto& f : functions_) out.push_back(f.get());
+    return out;
+  }
+  void erase_function(Function* fn);
+
+  // --- Globals ---------------------------------------------------------------
+  GlobalVariable* add_global(Type* contained, const std::string& name);
+  GlobalVariable* get_global(const std::string& name) const;
+  std::vector<GlobalVariable*> globals() const {
+    std::vector<GlobalVariable*> out;
+    out.reserve(globals_.size());
+    for (const auto& g : globals_) out.push_back(g.get());
+    return out;
+  }
+
+  // --- Interned constants ----------------------------------------------------
+  ConstantInt* get_int(Type* type, std::int64_t value);
+  ConstantInt* get_i1(bool value);
+  ConstantInt* get_i32(std::int32_t value);
+  ConstantInt* get_i64(std::int64_t value);
+  ConstantFP* get_fp(Type* type, double value);
+  ConstantFP* get_double(double value);
+  ConstantUndef* get_undef(Type* type);
+
+  /// Total instruction count across functions (bodies only).
+  std::size_t instruction_count() const;
+
+  /// Deep structural clone (functions, blocks, instructions, attributes).
+  std::unique_ptr<Module> clone() const;
+
+ private:
+  std::string name_;
+  TypeContext ctx_;
+  std::vector<std::unique_ptr<Function>> functions_;
+  std::vector<std::unique_ptr<GlobalVariable>> globals_;
+  std::map<std::pair<Type*, std::int64_t>, std::unique_ptr<ConstantInt>>
+      int_constants_;
+  std::map<std::pair<Type*, double>, std::unique_ptr<ConstantFP>>
+      fp_constants_;
+  std::map<Type*, std::unique_ptr<ConstantUndef>> undef_constants_;
+};
+
+}  // namespace irgnn::ir

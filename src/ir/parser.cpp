@@ -1,0 +1,680 @@
+#include "ir/parser.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+#include "ir/instruction.h"
+
+namespace irgnn::ir {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+enum class TokKind {
+  Word,     // identifiers, keywords, opcodes, type names
+  Local,    // %name
+  Global,   // @name
+  Number,   // integer or floating literal
+  String,   // "..."
+  Punct,    // single-character punctuation
+  End,
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;  // for Punct, the single character
+  int line;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) { tokenize(); }
+  const std::vector<Token>& tokens() const { return tokens_; }
+  bool ok() const { return error_.empty(); }
+  const std::string& error() const { return error_; }
+
+ private:
+  static bool is_ident_char(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '.' || c == '+' || c == '-';
+  }
+
+  void tokenize() {
+    std::size_t i = 0;
+    int line = 1;
+    while (i < text_.size()) {
+      char c = text_[i];
+      if (c == '\n') {
+        ++line;
+        ++i;
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++i;
+        continue;
+      }
+      if (c == ';') {  // comment to end of line
+        while (i < text_.size() && text_[i] != '\n') ++i;
+        continue;
+      }
+      if (c == '%' || c == '@') {
+        std::size_t start = ++i;
+        while (i < text_.size() && is_ident_char(text_[i])) ++i;
+        tokens_.push_back({c == '%' ? TokKind::Local : TokKind::Global,
+                           text_.substr(start, i - start), line});
+        continue;
+      }
+      if (c == '"') {
+        std::size_t start = ++i;
+        while (i < text_.size() && text_[i] != '"') ++i;
+        if (i >= text_.size()) {
+          error_ = "line " + std::to_string(line) + ": unterminated string";
+          return;
+        }
+        tokens_.push_back({TokKind::String, text_.substr(start, i - start),
+                           line});
+        ++i;
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) ||
+          (c == '-' && i + 1 < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[i + 1])))) {
+        std::size_t start = i;
+        if (c == '-') ++i;
+        while (i < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[i])) ||
+                text_[i] == '.'))
+          ++i;
+        if (i < text_.size() && (text_[i] == 'e' || text_[i] == 'E')) {
+          ++i;
+          if (i < text_.size() && (text_[i] == '+' || text_[i] == '-')) ++i;
+          while (i < text_.size() &&
+                 std::isdigit(static_cast<unsigned char>(text_[i])))
+            ++i;
+        }
+        tokens_.push_back({TokKind::Number, text_.substr(start, i - start),
+                           line});
+        continue;
+      }
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        std::size_t start = i;
+        while (i < text_.size() && is_ident_char(text_[i])) ++i;
+        tokens_.push_back({TokKind::Word, text_.substr(start, i - start),
+                           line});
+        continue;
+      }
+      static const std::string punct = "{}()[],=:*";
+      if (punct.find(c) != std::string::npos) {
+        tokens_.push_back({TokKind::Punct, std::string(1, c), line});
+        ++i;
+        continue;
+      }
+      error_ = "line " + std::to_string(line) + ": unexpected character '" +
+               std::string(1, c) + "'";
+      return;
+    }
+    tokens_.push_back({TokKind::End, "", line});
+  }
+
+  const std::string& text_;
+  std::vector<Token> tokens_;
+  std::string error_;
+};
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+/// Deferred operand: resolved after a whole function body has been read so
+/// forward references (phi inputs, branch targets) work.
+struct OperandSpec {
+  enum class Kind { Local, Global, Block, ConstInt, ConstFP, Undef } kind;
+  std::string name;
+  Type* type = nullptr;  // expected type (for constants / undef)
+  std::int64_t ival = 0;
+  double fval = 0.0;
+  int line = 0;
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : lexer_(text), text_(text) {}
+
+  std::unique_ptr<Module> run(std::string* error) {
+    if (!lexer_.ok()) {
+      if (error) *error = lexer_.error();
+      return nullptr;
+    }
+    module_ = std::make_unique<Module>();
+    try {
+      parse_module();
+      // Recover the module name from the conventional header comment.
+      const std::string tag = "; ModuleID = '";
+      auto pos = text_.find(tag);
+      if (pos != std::string::npos) {
+        auto end = text_.find('\'', pos + tag.size());
+        if (end != std::string::npos)
+          module_->set_name(text_.substr(pos + tag.size(),
+                                         end - pos - tag.size()));
+      }
+    } catch (const std::runtime_error& e) {
+      if (error) *error = e.what();
+      return nullptr;
+    }
+    return std::move(module_);
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& message) {
+    throw std::runtime_error("line " + std::to_string(peek().line) + ": " +
+                             message);
+  }
+
+  const Token& peek(int ahead = 0) const {
+    std::size_t i = pos_ + static_cast<std::size_t>(ahead);
+    return i < lexer_.tokens().size() ? lexer_.tokens()[i]
+                                      : lexer_.tokens().back();
+  }
+  Token next() { return lexer_.tokens()[pos_ < lexer_.tokens().size() - 1
+                                            ? pos_++
+                                            : pos_]; }
+  bool at(TokKind kind, const std::string& text = "") const {
+    return peek().kind == kind && (text.empty() || peek().text == text);
+  }
+  Token expect(TokKind kind, const std::string& text = "") {
+    if (!at(kind, text))
+      fail("expected '" + (text.empty() ? std::string("<token>") : text) +
+           "', found '" + peek().text + "'");
+    return next();
+  }
+
+  // --- Types ---------------------------------------------------------------
+  Type* parse_type() {
+    TypeContext& ctx = module_->types();
+    Type* base = nullptr;
+    if (at(TokKind::Punct, "[")) {
+      next();
+      Token n = expect(TokKind::Number);
+      Token x = expect(TokKind::Word);
+      if (x.text != "x") fail("expected 'x' in array type");
+      Type* elem = parse_type();
+      expect(TokKind::Punct, "]");
+      base = ctx.array_of(elem, std::strtoull(n.text.c_str(), nullptr, 10));
+    } else {
+      Token w = expect(TokKind::Word);
+      base = ctx.parse(w.text);
+      if (!base) fail("unknown type '" + w.text + "'");
+    }
+    while (at(TokKind::Punct, "*")) {
+      next();
+      base = ctx.pointer_to(base);
+    }
+    return base;
+  }
+
+  // --- Operands --------------------------------------------------------------
+  /// Parses a reference whose type is already known (`expected`).
+  OperandSpec parse_ref(Type* expected) {
+    OperandSpec spec;
+    spec.line = peek().line;
+    spec.type = expected;
+    if (at(TokKind::Local)) {
+      spec.kind = OperandSpec::Kind::Local;
+      spec.name = next().text;
+    } else if (at(TokKind::Global)) {
+      spec.kind = OperandSpec::Kind::Global;
+      spec.name = next().text;
+    } else if (at(TokKind::Word, "undef")) {
+      next();
+      spec.kind = OperandSpec::Kind::Undef;
+    } else if (at(TokKind::Number)) {
+      std::string text = next().text;
+      if (expected && expected->is_floating_point()) {
+        spec.kind = OperandSpec::Kind::ConstFP;
+        spec.fval = std::strtod(text.c_str(), nullptr);
+      } else if (text.find('.') != std::string::npos ||
+                 text.find('e') != std::string::npos ||
+                 text.find('E') != std::string::npos) {
+        spec.kind = OperandSpec::Kind::ConstFP;
+        spec.fval = std::strtod(text.c_str(), nullptr);
+      } else {
+        spec.kind = OperandSpec::Kind::ConstInt;
+        spec.ival = std::strtoll(text.c_str(), nullptr, 10);
+      }
+    } else {
+      fail("expected operand, found '" + peek().text + "'");
+    }
+    return spec;
+  }
+
+  /// Parses "type ref".
+  std::pair<Type*, OperandSpec> parse_typed_ref() {
+    Type* type = parse_type();
+    return {type, parse_ref(type)};
+  }
+
+  /// Parses "label %name".
+  OperandSpec parse_label_ref() {
+    Token kw = expect(TokKind::Word);
+    if (kw.text != "label") fail("expected 'label'");
+    Token name = expect(TokKind::Local);
+    OperandSpec spec;
+    spec.kind = OperandSpec::Kind::Block;
+    spec.name = name.text;
+    spec.line = name.line;
+    return spec;
+  }
+
+  // --- Module ---------------------------------------------------------------
+  void parse_module() {
+    while (!at(TokKind::End)) {
+      if (at(TokKind::Global)) {
+        // "@name = global <type>"
+        Token name = next();
+        expect(TokKind::Punct, "=");
+        Token kw = expect(TokKind::Word);
+        if (kw.text != "global") fail("expected 'global'");
+        Type* contained = parse_type();
+        module_->add_global(contained, name.text);
+      } else if (at(TokKind::Word, "declare")) {
+        next();
+        parse_function(/*is_declaration=*/true);
+      } else if (at(TokKind::Word, "define")) {
+        next();
+        parse_function(/*is_declaration=*/false);
+      } else {
+        fail("expected top-level entity, found '" + peek().text + "'");
+      }
+    }
+  }
+
+  void parse_function(bool is_declaration) {
+    Type* ret = parse_type();
+    Token name = expect(TokKind::Global);
+    expect(TokKind::Punct, "(");
+    std::vector<Type*> param_types;
+    std::vector<std::string> param_names;
+    while (!at(TokKind::Punct, ")")) {
+      if (!param_types.empty()) expect(TokKind::Punct, ",");
+      param_types.push_back(parse_type());
+      if (at(TokKind::Local))
+        param_names.push_back(next().text);
+      else
+        param_names.push_back("");
+    }
+    expect(TokKind::Punct, ")");
+
+    Type* fn_type = module_->types().function(ret, param_types);
+    Function* fn = module_->add_function(fn_type, name.text);
+    for (unsigned i = 0; i < fn->num_args(); ++i)
+      if (!param_names[i].empty()) fn->set_arg_name(i, param_names[i]);
+
+    // Attributes: zero or more "key"="value" pairs.
+    while (at(TokKind::String)) {
+      std::string key = next().text;
+      expect(TokKind::Punct, "=");
+      std::string value = expect(TokKind::String).text;
+      fn->set_attribute(key, value);
+    }
+
+    if (is_declaration) return;
+    expect(TokKind::Punct, "{");
+    parse_body(fn);
+    expect(TokKind::Punct, "}");
+  }
+
+  // --- Function body -----------------------------------------------------------
+  void parse_body(Function* fn) {
+    blocks_.clear();
+    locals_.clear();
+    pending_.clear();
+    for (unsigned i = 0; i < fn->num_args(); ++i)
+      locals_[fn->arg(i)->name()] = fn->arg(i);
+
+    // Pre-scan for block labels (word followed by ':') so forward branch
+    // targets resolve and textual block order is preserved.
+    std::size_t depth = 1;
+    for (std::size_t i = pos_; i < lexer_.tokens().size(); ++i) {
+      const Token& tok = lexer_.tokens()[i];
+      if (tok.kind == TokKind::Punct && tok.text == "{") ++depth;
+      if (tok.kind == TokKind::Punct && tok.text == "}" && --depth == 0) break;
+      const Token& after = lexer_.tokens()[i + 1];
+      if (tok.kind == TokKind::Word && after.kind == TokKind::Punct &&
+          after.text == ":") {
+        if (!blocks_.count(tok.text)) blocks_[tok.text] = fn->add_block(tok.text);
+      }
+    }
+    if (fn->num_blocks() == 0) fail("function body has no blocks");
+
+    BasicBlock* current = nullptr;
+    while (!at(TokKind::Punct, "}")) {
+      if (at(TokKind::Word) && peek(1).kind == TokKind::Punct &&
+          peek(1).text == ":") {
+        current = blocks_.at(next().text);
+        next();  // ':'
+        continue;
+      }
+      if (!current) fail("instruction before first block label");
+      parse_instruction(current);
+    }
+
+    // Resolve deferred operands.
+    for (auto& [inst, specs] : pending_) {
+      for (const OperandSpec& spec : specs)
+        inst->add_operand(resolve(spec));
+    }
+  }
+
+  Value* resolve(const OperandSpec& spec) {
+    switch (spec.kind) {
+      case OperandSpec::Kind::Local: {
+        auto it = locals_.find(spec.name);
+        if (it == locals_.end() || !it->second)
+          throw std::runtime_error("line " + std::to_string(spec.line) +
+                                   ": unknown local %" + spec.name);
+        return it->second;
+      }
+      case OperandSpec::Kind::Block: {
+        auto it = blocks_.find(spec.name);
+        if (it == blocks_.end())
+          throw std::runtime_error("line " + std::to_string(spec.line) +
+                                   ": unknown block %" + spec.name);
+        return it->second;
+      }
+      case OperandSpec::Kind::Global: {
+        if (Function* fn = module_->get_function(spec.name)) return fn;
+        if (GlobalVariable* g = module_->get_global(spec.name)) return g;
+        throw std::runtime_error("line " + std::to_string(spec.line) +
+                                 ": unknown global @" + spec.name);
+      }
+      case OperandSpec::Kind::ConstInt:
+        return module_->get_int(spec.type, spec.ival);
+      case OperandSpec::Kind::ConstFP:
+        return module_->get_fp(spec.type, spec.fval);
+      case OperandSpec::Kind::Undef:
+        return module_->get_undef(spec.type);
+    }
+    return nullptr;
+  }
+
+  /// Creates the instruction shell, registers its deferred operands, adds it
+  /// to `block` and records its name.
+  Instruction* emit(BasicBlock* block, Opcode opcode, Type* type,
+                    std::vector<OperandSpec> specs, const std::string& name) {
+    auto inst = std::make_unique<Instruction>(opcode, type,
+                                              std::vector<Value*>{}, name);
+    Instruction* raw = block->push_back(std::move(inst));
+    pending_.emplace_back(raw, std::move(specs));
+    if (!name.empty()) {
+      if (locals_.count(name)) fail("duplicate local %" + name);
+      locals_[name] = raw;
+    }
+    return raw;
+  }
+
+  static std::optional<Opcode> opcode_from_name(const std::string& name) {
+    static const std::map<std::string, Opcode> table = {
+        {"ret", Opcode::Ret},       {"br", Opcode::Br},
+        {"add", Opcode::Add},       {"sub", Opcode::Sub},
+        {"mul", Opcode::Mul},       {"sdiv", Opcode::SDiv},
+        {"srem", Opcode::SRem},     {"and", Opcode::And},
+        {"or", Opcode::Or},         {"xor", Opcode::Xor},
+        {"shl", Opcode::Shl},       {"lshr", Opcode::LShr},
+        {"ashr", Opcode::AShr},     {"fadd", Opcode::FAdd},
+        {"fsub", Opcode::FSub},     {"fmul", Opcode::FMul},
+        {"fdiv", Opcode::FDiv},     {"icmp", Opcode::ICmp},
+        {"fcmp", Opcode::FCmp},     {"alloca", Opcode::Alloca},
+        {"load", Opcode::Load},     {"store", Opcode::Store},
+        {"getelementptr", Opcode::GetElementPtr},
+        {"atomicrmw", Opcode::AtomicRMW},
+        {"trunc", Opcode::Trunc},   {"zext", Opcode::ZExt},
+        {"sext", Opcode::SExt},     {"sitofp", Opcode::SIToFP},
+        {"fptosi", Opcode::FPToSI}, {"fpext", Opcode::FPExt},
+        {"fptrunc", Opcode::FPTrunc},
+        {"bitcast", Opcode::Bitcast},
+        {"phi", Opcode::Phi},       {"select", Opcode::Select},
+        {"call", Opcode::Call},
+    };
+    auto it = table.find(name);
+    if (it == table.end()) return std::nullopt;
+    return it->second;
+  }
+
+  void parse_instruction(BasicBlock* block) {
+    std::string result_name;
+    if (at(TokKind::Local)) {
+      result_name = next().text;
+      expect(TokKind::Punct, "=");
+    }
+    Token op_tok = expect(TokKind::Word);
+    auto opcode = opcode_from_name(op_tok.text);
+    if (!opcode) fail("unknown opcode '" + op_tok.text + "'");
+    TypeContext& ctx = module_->types();
+
+    switch (*opcode) {
+      case Opcode::Ret: {
+        if (at(TokKind::Word, "void")) {
+          next();
+          emit(block, Opcode::Ret, ctx.void_ty(), {}, "");
+        } else {
+          auto [type, ref] = parse_typed_ref();
+          (void)type;
+          emit(block, Opcode::Ret, ctx.void_ty(), {ref}, "");
+        }
+        break;
+      }
+      case Opcode::Br: {
+        if (at(TokKind::Word, "label")) {
+          OperandSpec target = parse_label_ref();
+          emit(block, Opcode::Br, ctx.void_ty(), {target}, "");
+        } else {
+          auto [type, cond] = parse_typed_ref();
+          (void)type;
+          expect(TokKind::Punct, ",");
+          OperandSpec t = parse_label_ref();
+          expect(TokKind::Punct, ",");
+          OperandSpec f = parse_label_ref();
+          emit(block, Opcode::Br, ctx.void_ty(), {cond, t, f}, "");
+        }
+        break;
+      }
+      case Opcode::ICmp: {
+        Token pred = expect(TokKind::Word);
+        auto [type, lhs] = parse_typed_ref();
+        expect(TokKind::Punct, ",");
+        OperandSpec rhs = parse_ref(type);
+        Instruction* inst =
+            emit(block, Opcode::ICmp, ctx.int1_ty(), {lhs, rhs}, result_name);
+        if (pred.text == "eq") inst->set_icmp_pred(ICmpPred::EQ);
+        else if (pred.text == "ne") inst->set_icmp_pred(ICmpPred::NE);
+        else if (pred.text == "slt") inst->set_icmp_pred(ICmpPred::SLT);
+        else if (pred.text == "sle") inst->set_icmp_pred(ICmpPred::SLE);
+        else if (pred.text == "sgt") inst->set_icmp_pred(ICmpPred::SGT);
+        else if (pred.text == "sge") inst->set_icmp_pred(ICmpPred::SGE);
+        else fail("unknown icmp predicate '" + pred.text + "'");
+        break;
+      }
+      case Opcode::FCmp: {
+        Token pred = expect(TokKind::Word);
+        auto [type, lhs] = parse_typed_ref();
+        expect(TokKind::Punct, ",");
+        OperandSpec rhs = parse_ref(type);
+        Instruction* inst =
+            emit(block, Opcode::FCmp, ctx.int1_ty(), {lhs, rhs}, result_name);
+        if (pred.text == "oeq") inst->set_fcmp_pred(FCmpPred::OEQ);
+        else if (pred.text == "one") inst->set_fcmp_pred(FCmpPred::ONE);
+        else if (pred.text == "olt") inst->set_fcmp_pred(FCmpPred::OLT);
+        else if (pred.text == "ole") inst->set_fcmp_pred(FCmpPred::OLE);
+        else if (pred.text == "ogt") inst->set_fcmp_pred(FCmpPred::OGT);
+        else if (pred.text == "oge") inst->set_fcmp_pred(FCmpPred::OGE);
+        else fail("unknown fcmp predicate '" + pred.text + "'");
+        break;
+      }
+      case Opcode::Alloca: {
+        Type* allocated = parse_type();
+        expect(TokKind::Punct, ",");
+        auto [size_type, size] = parse_typed_ref();
+        (void)size_type;
+        Instruction* inst = emit(block, Opcode::Alloca,
+                                 ctx.pointer_to(allocated), {size},
+                                 result_name);
+        inst->set_allocated_type(allocated);
+        break;
+      }
+      case Opcode::Load: {
+        Type* result = parse_type();
+        expect(TokKind::Punct, ",");
+        auto [ptr_type, ptr] = parse_typed_ref();
+        (void)ptr_type;
+        emit(block, Opcode::Load, result, {ptr}, result_name);
+        break;
+      }
+      case Opcode::Store: {
+        auto [vtype, value] = parse_typed_ref();
+        (void)vtype;
+        expect(TokKind::Punct, ",");
+        auto [ptype, ptr] = parse_typed_ref();
+        (void)ptype;
+        emit(block, Opcode::Store, ctx.void_ty(), {value, ptr}, "");
+        break;
+      }
+      case Opcode::GetElementPtr: {
+        Type* source = parse_type();
+        expect(TokKind::Punct, ",");
+        auto [btype, base] = parse_typed_ref();
+        (void)btype;
+        std::vector<OperandSpec> specs{base};
+        Type* elem = source;
+        bool first = true;
+        while (at(TokKind::Punct, ",")) {
+          next();
+          auto [itype, idx] = parse_typed_ref();
+          (void)itype;
+          specs.push_back(idx);
+          if (!first) {
+            if (!elem->is_array()) fail("extra GEP index into non-array");
+            elem = elem->element();
+          }
+          first = false;
+        }
+        emit(block, Opcode::GetElementPtr, ctx.pointer_to(elem), specs,
+             result_name);
+        break;
+      }
+      case Opcode::AtomicRMW: {
+        Token op = expect(TokKind::Word);
+        auto [ptype, ptr] = parse_typed_ref();
+        expect(TokKind::Punct, ",");
+        auto [vtype, value] = parse_typed_ref();
+        (void)ptype;
+        Instruction* inst =
+            emit(block, Opcode::AtomicRMW, vtype, {ptr, value}, result_name);
+        if (op.text == "add") inst->set_atomic_op(AtomicOp::Add);
+        else if (op.text == "fadd") inst->set_atomic_op(AtomicOp::FAdd);
+        else if (op.text == "min") inst->set_atomic_op(AtomicOp::Min);
+        else if (op.text == "max") inst->set_atomic_op(AtomicOp::Max);
+        else fail("unknown atomicrmw op '" + op.text + "'");
+        break;
+      }
+      case Opcode::Trunc:
+      case Opcode::ZExt:
+      case Opcode::SExt:
+      case Opcode::SIToFP:
+      case Opcode::FPToSI:
+      case Opcode::FPExt:
+      case Opcode::FPTrunc:
+      case Opcode::Bitcast: {
+        auto [vtype, value] = parse_typed_ref();
+        (void)vtype;
+        Token to = expect(TokKind::Word);
+        if (to.text != "to") fail("expected 'to' in cast");
+        Type* target = parse_type();
+        emit(block, *opcode, target, {value}, result_name);
+        break;
+      }
+      case Opcode::Phi: {
+        Type* type = parse_type();
+        std::vector<OperandSpec> specs;
+        bool first = true;
+        while (first || at(TokKind::Punct, ",")) {
+          if (!first) next();
+          expect(TokKind::Punct, "[");
+          specs.push_back(parse_ref(type));
+          expect(TokKind::Punct, ",");
+          Token blk = expect(TokKind::Local);
+          OperandSpec bspec;
+          bspec.kind = OperandSpec::Kind::Block;
+          bspec.name = blk.text;
+          bspec.line = blk.line;
+          specs.push_back(bspec);
+          expect(TokKind::Punct, "]");
+          first = false;
+        }
+        emit(block, Opcode::Phi, type, specs, result_name);
+        break;
+      }
+      case Opcode::Select: {
+        auto [ctype, cond] = parse_typed_ref();
+        (void)ctype;
+        expect(TokKind::Punct, ",");
+        auto [ttype, tval] = parse_typed_ref();
+        expect(TokKind::Punct, ",");
+        auto [ftype, fval] = parse_typed_ref();
+        (void)ftype;
+        emit(block, Opcode::Select, ttype, {cond, tval, fval}, result_name);
+        break;
+      }
+      case Opcode::Call: {
+        Type* ret = parse_type();
+        Token callee = expect(TokKind::Global);
+        OperandSpec cspec;
+        cspec.kind = OperandSpec::Kind::Global;
+        cspec.name = callee.text;
+        cspec.line = callee.line;
+        std::vector<OperandSpec> specs{cspec};
+        expect(TokKind::Punct, "(");
+        while (!at(TokKind::Punct, ")")) {
+          if (specs.size() > 1) expect(TokKind::Punct, ",");
+          auto [atype, arg] = parse_typed_ref();
+          (void)atype;
+          specs.push_back(arg);
+        }
+        expect(TokKind::Punct, ")");
+        emit(block, Opcode::Call, ret, specs, result_name);
+        break;
+      }
+      default: {  // binary arithmetic
+        auto [type, lhs] = parse_typed_ref();
+        expect(TokKind::Punct, ",");
+        OperandSpec rhs = parse_ref(type);
+        emit(block, *opcode, type, {lhs, rhs}, result_name);
+        break;
+      }
+    }
+  }
+
+  Lexer lexer_;
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  std::unique_ptr<Module> module_;
+  std::map<std::string, BasicBlock*> blocks_;
+  std::map<std::string, Value*> locals_;
+  std::vector<std::pair<Instruction*, std::vector<OperandSpec>>> pending_;
+};
+
+}  // namespace
+
+std::unique_ptr<Module> parse_module(const std::string& text,
+                                     std::string* error) {
+  Parser parser(text);
+  return parser.run(error);
+}
+
+}  // namespace irgnn::ir

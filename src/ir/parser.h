@@ -1,0 +1,17 @@
+// Parser for the textual IR produced by print_module(). Round-trips with the
+// printer; diagnostics carry line numbers.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "ir/module.h"
+
+namespace irgnn::ir {
+
+/// Parses `text` into a fresh Module. On failure returns nullptr and, if
+/// `error` is non-null, stores a human-readable diagnostic.
+std::unique_ptr<Module> parse_module(const std::string& text,
+                                     std::string* error = nullptr);
+
+}  // namespace irgnn::ir

@@ -1,0 +1,239 @@
+#include "ir/printer.h"
+
+#include <cassert>
+#include <cstdio>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "ir/instruction.h"
+
+namespace irgnn::ir {
+
+namespace {
+
+/// Per-function value naming. Guarantees unique, parseable names even when
+/// the in-memory IR has duplicate or empty names.
+class Namer {
+ public:
+  explicit Namer(const Function& fn) {
+    for (unsigned i = 0; i < fn.num_args(); ++i) assign(fn.arg(i));
+    for (BasicBlock* block : fn.blocks()) {
+      assign(block);
+      for (Instruction* inst : block->instructions())
+        if (!inst->type()->is_void()) assign(inst);
+    }
+  }
+
+  std::string name_of(const Value* v) const {
+    auto it = names_.find(v);
+    assert(it != names_.end() && "value was not named");
+    return it->second;
+  }
+
+ private:
+  void assign(const Value* v) {
+    std::string base = v->name().empty() ? "v" : v->name();
+    std::string candidate = base;
+    unsigned suffix = 0;
+    while (taken_.count(candidate))
+      candidate = base + "." + std::to_string(++suffix);
+    taken_.insert(candidate);
+    names_[v] = candidate;
+  }
+
+  std::unordered_map<const Value*, std::string> names_;
+  std::unordered_set<std::string> taken_;
+};
+
+std::string fp_literal(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  std::string s = buf;
+  // Ensure the literal is visibly floating-point so the parser can type it.
+  if (s.find('.') == std::string::npos && s.find('e') == std::string::npos &&
+      s.find("inf") == std::string::npos && s.find("nan") == std::string::npos)
+    s += ".0";
+  return s;
+}
+
+/// Renders an operand reference without its type.
+std::string operand_ref(const Value* v, const Namer& namer) {
+  switch (v->value_kind()) {
+    case Value::Kind::ConstantInt:
+      return std::to_string(static_cast<const ConstantInt*>(v)->value());
+    case Value::Kind::ConstantFP:
+      return fp_literal(static_cast<const ConstantFP*>(v)->value());
+    case Value::Kind::ConstantUndef:
+      return "undef";
+    case Value::Kind::GlobalVariable:
+    case Value::Kind::Function:
+      return "@" + v->name();
+    case Value::Kind::BasicBlock:
+      return "%" + namer.name_of(v);
+    default:
+      return "%" + namer.name_of(v);
+  }
+}
+
+/// Renders "type ref", e.g. "i64 %x" or "double 1.5".
+std::string typed_ref(const Value* v, const Namer& namer) {
+  return v->type()->to_string() + " " + operand_ref(v, namer);
+}
+
+void print_instruction(std::ostringstream& os, const Instruction* inst,
+                       const Namer& namer) {
+  os << "  ";
+  if (!inst->type()->is_void()) os << "%" << namer.name_of(inst) << " = ";
+
+  switch (inst->opcode()) {
+    case Opcode::Ret:
+      os << "ret ";
+      if (inst->num_operands() == 0)
+        os << "void";
+      else
+        os << typed_ref(inst->operand(0), namer);
+      break;
+    case Opcode::Br:
+      if (inst->is_conditional_branch()) {
+        os << "br " << typed_ref(inst->operand(0), namer) << ", label "
+           << operand_ref(inst->operand(1), namer) << ", label "
+           << operand_ref(inst->operand(2), namer);
+      } else {
+        os << "br label " << operand_ref(inst->operand(0), namer);
+      }
+      break;
+    case Opcode::ICmp:
+      os << "icmp " << icmp_pred_name(inst->icmp_pred()) << " "
+         << typed_ref(inst->operand(0), namer) << ", "
+         << operand_ref(inst->operand(1), namer);
+      break;
+    case Opcode::FCmp:
+      os << "fcmp " << fcmp_pred_name(inst->fcmp_pred()) << " "
+         << typed_ref(inst->operand(0), namer) << ", "
+         << operand_ref(inst->operand(1), namer);
+      break;
+    case Opcode::Alloca:
+      os << "alloca " << inst->allocated_type()->to_string() << ", "
+         << typed_ref(inst->operand(0), namer);
+      break;
+    case Opcode::Load:
+      os << "load " << inst->type()->to_string() << ", "
+         << typed_ref(inst->operand(0), namer);
+      break;
+    case Opcode::Store:
+      os << "store " << typed_ref(inst->operand(0), namer) << ", "
+         << typed_ref(inst->operand(1), namer);
+      break;
+    case Opcode::GetElementPtr: {
+      os << "getelementptr " << inst->gep_source_type()->to_string() << ", "
+         << typed_ref(inst->operand(0), namer);
+      for (unsigned i = 1; i < inst->num_operands(); ++i)
+        os << ", " << typed_ref(inst->operand(i), namer);
+      break;
+    }
+    case Opcode::AtomicRMW:
+      os << "atomicrmw " << atomic_op_name(inst->atomic_op()) << " "
+         << typed_ref(inst->operand(0), namer) << ", "
+         << typed_ref(inst->operand(1), namer);
+      break;
+    case Opcode::Trunc:
+    case Opcode::ZExt:
+    case Opcode::SExt:
+    case Opcode::SIToFP:
+    case Opcode::FPToSI:
+    case Opcode::FPExt:
+    case Opcode::FPTrunc:
+    case Opcode::Bitcast:
+      os << opcode_name(inst->opcode()) << " "
+         << typed_ref(inst->operand(0), namer) << " to "
+         << inst->type()->to_string();
+      break;
+    case Opcode::Phi: {
+      os << "phi " << inst->type()->to_string() << " ";
+      for (unsigned i = 0; i < inst->phi_num_incoming(); ++i) {
+        if (i) os << ", ";
+        os << "[ " << operand_ref(inst->phi_incoming_value(i), namer) << ", "
+           << operand_ref(inst->phi_incoming_block(i), namer) << " ]";
+      }
+      break;
+    }
+    case Opcode::Select:
+      os << "select " << typed_ref(inst->operand(0), namer) << ", "
+         << typed_ref(inst->operand(1), namer) << ", "
+         << typed_ref(inst->operand(2), namer);
+      break;
+    case Opcode::Call: {
+      os << "call " << inst->type()->to_string() << " "
+         << operand_ref(inst->operand(0), namer) << "(";
+      for (unsigned i = 0; i < inst->call_num_args(); ++i) {
+        if (i) os << ", ";
+        os << typed_ref(inst->call_arg(i), namer);
+      }
+      os << ")";
+      break;
+    }
+    default:  // binary integer / fp arithmetic
+      os << opcode_name(inst->opcode()) << " "
+         << typed_ref(inst->operand(0), namer) << ", "
+         << operand_ref(inst->operand(1), namer);
+      break;
+  }
+  os << "\n";
+}
+
+void print_attrs(std::ostringstream& os, const Function& fn) {
+  for (const auto& [k, v] : fn.attributes())
+    os << " \"" << k << "\"=\"" << v << "\"";
+}
+
+void print_function_impl(std::ostringstream& os, const Function& fn) {
+  if (fn.is_declaration()) {
+    os << "declare " << fn.return_type()->to_string() << " @" << fn.name()
+       << "(";
+    for (unsigned i = 0; i < fn.num_args(); ++i)
+      os << (i ? ", " : "") << fn.arg(i)->type()->to_string();
+    os << ")";
+    print_attrs(os, fn);
+    os << "\n";
+    return;
+  }
+  Namer namer(fn);
+  os << "define " << fn.return_type()->to_string() << " @" << fn.name() << "(";
+  for (unsigned i = 0; i < fn.num_args(); ++i) {
+    if (i) os << ", ";
+    os << fn.arg(i)->type()->to_string() << " %" << namer.name_of(fn.arg(i));
+  }
+  os << ")";
+  print_attrs(os, fn);
+  os << " {\n";
+  for (BasicBlock* block : fn.blocks()) {
+    os << namer.name_of(block) << ":\n";
+    for (Instruction* inst : block->instructions())
+      print_instruction(os, inst, namer);
+  }
+  os << "}\n";
+}
+
+}  // namespace
+
+std::string print_function(const Function& function) {
+  std::ostringstream os;
+  print_function_impl(os, function);
+  return os.str();
+}
+
+std::string print_module(const Module& module) {
+  std::ostringstream os;
+  os << "; ModuleID = '" << module.name() << "'\n";
+  for (GlobalVariable* g : module.globals())
+    os << "@" << g->name() << " = global " << g->contained_type()->to_string()
+       << "\n";
+  for (Function* fn : module.functions()) {
+    os << "\n";
+    print_function_impl(os, *fn);
+  }
+  return os.str();
+}
+
+}  // namespace irgnn::ir

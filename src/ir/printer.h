@@ -1,0 +1,14 @@
+// Textual IR output in an LLVM-flavoured syntax. The output of print_module
+// is accepted verbatim by the Parser (round-trip property, tested).
+#pragma once
+
+#include <string>
+
+#include "ir/module.h"
+
+namespace irgnn::ir {
+
+std::string print_module(const Module& module);
+std::string print_function(const Function& function);
+
+}  // namespace irgnn::ir

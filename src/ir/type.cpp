@@ -1,0 +1,139 @@
+#include "ir/type.h"
+
+#include <cassert>
+#include <cstdlib>
+#include <sstream>
+
+namespace irgnn::ir {
+
+unsigned Type::int_bits() const {
+  switch (kind_) {
+    case Kind::Int1: return 1;
+    case Kind::Int8: return 8;
+    case Kind::Int32: return 32;
+    case Kind::Int64: return 64;
+    default: assert(false && "not an integer type"); return 0;
+  }
+}
+
+std::uint64_t Type::size_in_bytes() const {
+  switch (kind_) {
+    case Kind::Int1:
+    case Kind::Int8: return 1;
+    case Kind::Int32: return 4;
+    case Kind::Int64: return 8;
+    case Kind::Float: return 4;
+    case Kind::Double: return 8;
+    case Kind::Pointer: return 8;
+    case Kind::Array: return array_length_ * pointee_->size_in_bytes();
+    default: return 0;
+  }
+}
+
+std::string Type::to_string() const {
+  switch (kind_) {
+    case Kind::Void: return "void";
+    case Kind::Int1: return "i1";
+    case Kind::Int8: return "i8";
+    case Kind::Int32: return "i32";
+    case Kind::Int64: return "i64";
+    case Kind::Float: return "float";
+    case Kind::Double: return "double";
+    case Kind::Label: return "label";
+    case Kind::Pointer: return pointee_->to_string() + "*";
+    case Kind::Array: {
+      std::ostringstream os;
+      os << "[" << array_length_ << " x " << pointee_->to_string() << "]";
+      return os.str();
+    }
+    case Kind::Function: {
+      std::ostringstream os;
+      os << pointee_->to_string() << " (";
+      for (std::size_t i = 0; i < params_.size(); ++i)
+        os << (i ? ", " : "") << params_[i]->to_string();
+      os << ")";
+      return os.str();
+    }
+  }
+  return "<invalid>";
+}
+
+TypeContext::TypeContext()
+    : void_(Type::Kind::Void),
+      int1_(Type::Kind::Int1),
+      int8_(Type::Kind::Int8),
+      int32_(Type::Kind::Int32),
+      int64_(Type::Kind::Int64),
+      float_(Type::Kind::Float),
+      double_(Type::Kind::Double),
+      label_(Type::Kind::Label) {}
+
+Type* TypeContext::pointer_to(Type* pointee) {
+  auto it = pointers_.find(pointee);
+  if (it != pointers_.end()) return it->second.get();
+  auto ty = std::unique_ptr<Type>(new Type(Type::Kind::Pointer));
+  ty->pointee_ = pointee;
+  Type* raw = ty.get();
+  pointers_.emplace(pointee, std::move(ty));
+  return raw;
+}
+
+Type* TypeContext::array_of(Type* element, std::uint64_t length) {
+  auto key = std::make_pair(element, length);
+  auto it = arrays_.find(key);
+  if (it != arrays_.end()) return it->second.get();
+  auto ty = std::unique_ptr<Type>(new Type(Type::Kind::Array));
+  ty->pointee_ = element;
+  ty->array_length_ = length;
+  Type* raw = ty.get();
+  arrays_.emplace(key, std::move(ty));
+  return raw;
+}
+
+Type* TypeContext::function(Type* ret, std::vector<Type*> params) {
+  for (auto& fn : functions_) {
+    if (fn->pointee_ == ret && fn->params_ == params) return fn.get();
+  }
+  auto ty = std::unique_ptr<Type>(new Type(Type::Kind::Function));
+  ty->pointee_ = ret;
+  ty->params_ = std::move(params);
+  functions_.push_back(std::move(ty));
+  return functions_.back().get();
+}
+
+Type* TypeContext::parse(const std::string& text) {
+  // Strip trailing '*'s, then parse the base type, then rewrap.
+  std::size_t stars = 0;
+  std::size_t end = text.size();
+  while (end > 0 && text[end - 1] == '*') {
+    ++stars;
+    --end;
+  }
+  std::string base = text.substr(0, end);
+  Type* ty = nullptr;
+  if (base == "void") ty = void_ty();
+  else if (base == "i1") ty = int1_ty();
+  else if (base == "i8") ty = int8_ty();
+  else if (base == "i32") ty = int32_ty();
+  else if (base == "i64") ty = int64_ty();
+  else if (base == "float") ty = float_ty();
+  else if (base == "double") ty = double_ty();
+  else if (base == "label") ty = label_ty();
+  else if (!base.empty() && base.front() == '[' && base.back() == ']') {
+    // "[N x elem]"
+    std::string inner = base.substr(1, base.size() - 2);
+    auto x = inner.find(" x ");
+    if (x == std::string::npos) return nullptr;
+    char* endp = nullptr;
+    std::uint64_t n = std::strtoull(inner.substr(0, x).c_str(), &endp, 10);
+    Type* elem = parse(inner.substr(x + 3));
+    if (!elem) return nullptr;
+    ty = array_of(elem, n);
+  } else {
+    return nullptr;
+  }
+  for (std::size_t i = 0; i < stars; ++i) ty = pointer_to(ty);
+  return ty;
+}
+
+}  // namespace irgnn::ir

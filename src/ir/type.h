@@ -1,0 +1,113 @@
+// Type system for the mini-LLVM IR.
+//
+// Types are interned: a TypeContext (owned by each Module) hands out
+// canonical Type* pointers, so type equality is pointer equality. The type
+// zoo is deliberately small — the integer widths, floats, typed pointers,
+// sized arrays and function types are exactly what the workload generators
+// and the ProGraML-style graph builder need.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace irgnn::ir {
+
+class Type {
+ public:
+  enum class Kind {
+    Void,
+    Int1,
+    Int8,
+    Int32,
+    Int64,
+    Float,
+    Double,
+    Pointer,
+    Array,
+    Function,
+    Label,
+  };
+
+  Kind kind() const { return kind_; }
+
+  bool is_void() const { return kind_ == Kind::Void; }
+  bool is_integer() const {
+    return kind_ == Kind::Int1 || kind_ == Kind::Int8 ||
+           kind_ == Kind::Int32 || kind_ == Kind::Int64;
+  }
+  bool is_floating_point() const {
+    return kind_ == Kind::Float || kind_ == Kind::Double;
+  }
+  bool is_pointer() const { return kind_ == Kind::Pointer; }
+  bool is_array() const { return kind_ == Kind::Array; }
+  bool is_function() const { return kind_ == Kind::Function; }
+  bool is_label() const { return kind_ == Kind::Label; }
+  bool is_first_class() const {
+    return !is_void() && !is_function() && !is_label();
+  }
+
+  /// Bit width of an integer type (1, 8, 32 or 64).
+  unsigned int_bits() const;
+
+  /// Size of a value of this type in bytes, as laid out by the simulator's
+  /// memory model (pointers are 8 bytes).
+  std::uint64_t size_in_bytes() const;
+
+  /// Pointee type; valid only for pointer types.
+  Type* pointee() const { return pointee_; }
+
+  /// Element type / length; valid only for array types.
+  Type* element() const { return pointee_; }
+  std::uint64_t array_length() const { return array_length_; }
+
+  /// Return/parameter types; valid only for function types.
+  Type* return_type() const { return pointee_; }
+  const std::vector<Type*>& params() const { return params_; }
+
+  std::string to_string() const;
+
+ private:
+  friend class TypeContext;
+  explicit Type(Kind kind) : kind_(kind) {}
+
+  Kind kind_;
+  Type* pointee_ = nullptr;  // pointee / array element / return type
+  std::uint64_t array_length_ = 0;
+  std::vector<Type*> params_;
+};
+
+/// Owns and interns all types used by one Module.
+class TypeContext {
+ public:
+  TypeContext();
+  TypeContext(const TypeContext&) = delete;
+  TypeContext& operator=(const TypeContext&) = delete;
+
+  Type* void_ty() { return &void_; }
+  Type* int1_ty() { return &int1_; }
+  Type* int8_ty() { return &int8_; }
+  Type* int32_ty() { return &int32_; }
+  Type* int64_ty() { return &int64_; }
+  Type* float_ty() { return &float_; }
+  Type* double_ty() { return &double_; }
+  Type* label_ty() { return &label_; }
+
+  Type* pointer_to(Type* pointee);
+  Type* array_of(Type* element, std::uint64_t length);
+  Type* function(Type* ret, std::vector<Type*> params);
+
+  /// Parses a type string as produced by Type::to_string(); returns nullptr
+  /// on malformed input. Used by the IR parser.
+  Type* parse(const std::string& text);
+
+ private:
+  Type void_, int1_, int8_, int32_, int64_, float_, double_, label_;
+  std::map<Type*, std::unique_ptr<Type>> pointers_;
+  std::map<std::pair<Type*, std::uint64_t>, std::unique_ptr<Type>> arrays_;
+  std::vector<std::unique_ptr<Type>> functions_;
+};
+
+}  // namespace irgnn::ir

@@ -1,0 +1,129 @@
+// Value hierarchy for the mini-LLVM IR.
+//
+// Everything an instruction can reference is a Value: arguments, constants,
+// globals, other instructions, basic blocks (branch / phi targets) and
+// functions (call targets). Values carry an explicit use list so passes can
+// run def-use queries (replace_all_uses_with, DCE, mem2reg) without any
+// auxiliary maps; Instruction::set_operand keeps the lists consistent.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/type.h"
+
+namespace irgnn::ir {
+
+class Instruction;
+
+class Value {
+ public:
+  enum class Kind {
+    Argument,
+    ConstantInt,
+    ConstantFP,
+    ConstantUndef,
+    GlobalVariable,
+    Instruction,
+    BasicBlock,
+    Function,
+  };
+
+  /// One occupied operand slot in a user instruction.
+  struct Use {
+    Instruction* user;
+    unsigned index;
+  };
+
+  virtual ~Value() = default;
+  Value(const Value&) = delete;
+  Value& operator=(const Value&) = delete;
+
+  Kind value_kind() const { return kind_; }
+  Type* type() const { return type_; }
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  const std::vector<Use>& uses() const { return uses_; }
+  bool has_uses() const { return !uses_.empty(); }
+  std::size_t num_uses() const { return uses_.size(); }
+
+  /// Rewrites every operand slot that references this value to reference
+  /// `replacement` instead.
+  void replace_all_uses_with(Value* replacement);
+
+  bool is_constant() const {
+    return kind_ == Kind::ConstantInt || kind_ == Kind::ConstantFP ||
+           kind_ == Kind::ConstantUndef;
+  }
+
+ protected:
+  Value(Kind kind, Type* type, std::string name)
+      : kind_(kind), type_(type), name_(std::move(name)) {}
+
+ private:
+  friend class Instruction;
+
+  Kind kind_;
+  Type* type_;
+  std::string name_;
+  std::vector<Use> uses_;
+};
+
+/// Formal parameter of a Function.
+class Argument : public Value {
+ public:
+  Argument(Type* type, std::string name, unsigned index)
+      : Value(Kind::Argument, type, std::move(name)), index_(index) {}
+  unsigned index() const { return index_; }
+
+ private:
+  unsigned index_;
+};
+
+/// Integer constant (covers i1/i8/i32/i64).
+class ConstantInt : public Value {
+ public:
+  ConstantInt(Type* type, std::int64_t value)
+      : Value(Kind::ConstantInt, type, ""), value_(value) {}
+  std::int64_t value() const { return value_; }
+  bool is_zero() const { return value_ == 0; }
+  bool is_one() const { return value_ == 1; }
+
+ private:
+  std::int64_t value_;
+};
+
+/// Floating-point constant (float or double typed; stored as double).
+class ConstantFP : public Value {
+ public:
+  ConstantFP(Type* type, double value)
+      : Value(Kind::ConstantFP, type, ""), value_(value) {}
+  double value() const { return value_; }
+  bool is_zero() const { return value_ == 0.0; }
+
+ private:
+  double value_;
+};
+
+/// Undefined value of a given type.
+class ConstantUndef : public Value {
+ public:
+  explicit ConstantUndef(Type* type) : Value(Kind::ConstantUndef, type, "") {}
+};
+
+/// Module-level variable. Its Value type is a pointer to the contained type.
+class GlobalVariable : public Value {
+ public:
+  GlobalVariable(Type* pointer_type, Type* contained, std::string name)
+      : Value(Kind::GlobalVariable, pointer_type, std::move(name)),
+        contained_(contained) {}
+  Type* contained_type() const { return contained_; }
+
+ private:
+  Type* contained_;
+};
+
+}  // namespace irgnn::ir

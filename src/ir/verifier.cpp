@@ -1,0 +1,206 @@
+#include "ir/verifier.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+#include "ir/cfg.h"
+#include "ir/dominators.h"
+#include "ir/instruction.h"
+
+namespace irgnn::ir {
+
+namespace {
+
+class FunctionVerifier {
+ public:
+  FunctionVerifier(const Function& fn, std::vector<std::string>& out)
+      : fn_(fn), out_(out) {}
+
+  void run() {
+    if (fn_.is_declaration()) return;
+    check_blocks();
+    if (!ok_for_ssa_) return;  // dominance checks need sane structure
+    DominatorTree dt(fn_);
+    check_ssa(dt);
+  }
+
+ private:
+  void report(const std::string& message) {
+    out_.push_back("function @" + fn_.name() + ": " + message);
+  }
+
+  void check_blocks() {
+    for (BasicBlock* block : fn_.blocks()) {
+      if (block->empty()) {
+        report("block %" + block->name() + " is empty");
+        ok_for_ssa_ = false;
+        continue;
+      }
+      Instruction* term = block->terminator();
+      if (!term) {
+        report("block %" + block->name() + " lacks a terminator");
+        ok_for_ssa_ = false;
+      }
+      const auto insts = block->instructions();
+      bool seen_non_phi = false;
+      for (std::size_t i = 0; i < insts.size(); ++i) {
+        Instruction* inst = insts[i];
+        if (inst->is_terminator() && i + 1 != insts.size()) {
+          report("terminator mid-block in %" + block->name());
+          ok_for_ssa_ = false;
+        }
+        if (inst->opcode() == Opcode::Phi) {
+          if (seen_non_phi)
+            report("phi after non-phi in %" + block->name());
+        } else {
+          seen_non_phi = true;
+        }
+        check_types(inst, block);
+      }
+    }
+    // Phi incoming sets must match predecessor sets exactly.
+    auto reachable = reachable_blocks(fn_);
+    for (BasicBlock* block : fn_.blocks()) {
+      if (!reachable.count(block)) continue;
+      auto preds = block->predecessors();
+      for (Instruction* phi : block->phis()) {
+        if (phi->phi_num_incoming() != preds.size()) {
+          std::ostringstream os;
+          os << "phi %" << phi->name() << " in %" << block->name() << " has "
+             << phi->phi_num_incoming() << " incoming, block has "
+             << preds.size() << " predecessors";
+          report(os.str());
+          continue;
+        }
+        for (BasicBlock* pred : preds) {
+          if (phi->phi_incoming_index(pred) < 0)
+            report("phi %" + phi->name() + " misses incoming for %" +
+                   pred->name());
+        }
+      }
+    }
+  }
+
+  void check_types(Instruction* inst, BasicBlock* block) {
+    auto type_err = [&](const std::string& what) {
+      report(what + " in %" + block->name() + " (instruction %" +
+             (inst->name().empty() ? std::string("<unnamed>") : inst->name()) +
+             ")");
+    };
+    switch (inst->opcode()) {
+      case Opcode::Ret: {
+        Type* expected = fn_.return_type();
+        if (expected->is_void()) {
+          if (inst->num_operands() != 0) type_err("ret with value in void fn");
+        } else if (inst->num_operands() != 1 ||
+                   inst->operand(0)->type() != expected) {
+          type_err("ret type mismatch");
+        }
+        break;
+      }
+      case Opcode::Br:
+        if (inst->is_conditional_branch() &&
+            inst->operand(0)->type()->kind() != Type::Kind::Int1)
+          type_err("branch condition is not i1");
+        break;
+      case Opcode::Load:
+        if (!inst->operand(0)->type()->is_pointer() ||
+            inst->operand(0)->type()->pointee() != inst->type())
+          type_err("load type mismatch");
+        break;
+      case Opcode::Store:
+        if (!inst->operand(1)->type()->is_pointer() ||
+            inst->operand(1)->type()->pointee() != inst->operand(0)->type())
+          type_err("store type mismatch");
+        break;
+      case Opcode::ICmp:
+        if (!inst->operand(0)->type()->is_integer() &&
+            !inst->operand(0)->type()->is_pointer())
+          type_err("icmp on non-integer");
+        if (inst->operand(0)->type() != inst->operand(1)->type())
+          type_err("icmp operand types differ");
+        break;
+      case Opcode::FCmp:
+        if (!inst->operand(0)->type()->is_floating_point())
+          type_err("fcmp on non-float");
+        break;
+      case Opcode::Call: {
+        Function* callee = inst->called_function();
+        if (!callee) {
+          type_err("indirect call (unsupported)");
+          break;
+        }
+        if (callee->num_args() != inst->call_num_args()) {
+          type_err("call arity mismatch to @" + callee->name());
+          break;
+        }
+        for (unsigned i = 0; i < inst->call_num_args(); ++i)
+          if (inst->call_arg(i)->type() != callee->arg(i)->type())
+            type_err("call argument " + std::to_string(i) +
+                     " type mismatch to @" + callee->name());
+        if (inst->type() != callee->return_type())
+          type_err("call result type mismatch to @" + callee->name());
+        break;
+      }
+      default:
+        if (inst->is_binary_op()) {
+          if (inst->operand(0)->type() != inst->operand(1)->type() ||
+              inst->operand(0)->type() != inst->type())
+            type_err("binary operand/result type mismatch");
+          if (inst->is_fp_binary_op() && !inst->type()->is_floating_point())
+            type_err("fp binary op on non-float");
+          if (inst->is_int_binary_op() && !inst->type()->is_integer())
+            type_err("integer binary op on non-integer");
+        }
+        break;
+    }
+  }
+
+  void check_ssa(const DominatorTree& dt) {
+    auto reachable = reachable_blocks(fn_);
+    for (BasicBlock* block : fn_.blocks()) {
+      if (!reachable.count(block)) continue;
+      for (Instruction* inst : block->instructions()) {
+        for (unsigned i = 0; i < inst->num_operands(); ++i) {
+          Value* op = inst->operand(i);
+          if (!op || op->value_kind() != Value::Kind::Instruction) continue;
+          auto* def = static_cast<Instruction*>(op);
+          if (!reachable.count(def->parent())) continue;
+          if (!dt.dominates(def, inst, i)) {
+            report("use of %" + def->name() + " in %" + block->name() +
+                   " not dominated by its definition");
+          }
+        }
+      }
+    }
+  }
+
+  const Function& fn_;
+  std::vector<std::string>& out_;
+  bool ok_for_ssa_ = true;
+};
+
+}  // namespace
+
+std::vector<std::string> verify_module(const Module& module) {
+  std::vector<std::string> out;
+  for (Function* fn : module.functions()) {
+    FunctionVerifier verifier(*fn, out);
+    verifier.run();
+  }
+  return out;
+}
+
+bool verify(const Module& module, std::string* errors) {
+  auto violations = verify_module(module);
+  if (errors) {
+    for (const auto& v : violations) {
+      errors->append(v);
+      errors->push_back('\n');
+    }
+  }
+  return violations.empty();
+}
+
+}  // namespace irgnn::ir

@@ -1,0 +1,21 @@
+// IR well-formedness checks: structural CFG/SSA invariants plus a type
+// audit. The test suite runs the verifier after every pass; the pipeline
+// runs it in debug builds.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/module.h"
+
+namespace irgnn::ir {
+
+/// Returns a list of human-readable violations; empty means the module is
+/// well-formed.
+std::vector<std::string> verify_module(const Module& module);
+
+/// Convenience: true iff verify_module(module) is empty. If `errors` is
+/// non-null the violations are appended to it.
+bool verify(const Module& module, std::string* errors = nullptr);
+
+}  // namespace irgnn::ir

@@ -1,0 +1,52 @@
+#include "ml/cross_validation.h"
+
+#include <cassert>
+
+namespace irgnn::ml {
+
+std::vector<Fold> k_fold(int n, int k, std::uint64_t seed) {
+  assert(k >= 2 && n >= k);
+  std::vector<int> order(n);
+  for (int i = 0; i < n; ++i) order[i] = i;
+  Rng rng(seed);
+  rng.shuffle(order);
+
+  std::vector<Fold> folds(k);
+  for (int i = 0; i < n; ++i)
+    folds[i % k].validation_indices.push_back(order[i]);
+  for (int f = 0; f < k; ++f) {
+    for (int g = 0; g < k; ++g) {
+      if (g == f) continue;
+      folds[f].train_indices.insert(folds[f].train_indices.end(),
+                                    folds[g].validation_indices.begin(),
+                                    folds[g].validation_indices.end());
+    }
+  }
+  return folds;
+}
+
+double accuracy(const std::vector<int>& predictions,
+                const std::vector<int>& truth) {
+  assert(predictions.size() == truth.size());
+  if (truth.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < truth.size(); ++i)
+    correct += (predictions[i] == truth[i]);
+  return static_cast<double>(correct) / static_cast<double>(truth.size());
+}
+
+LabelTally tally_labels(const std::vector<int>& predictions,
+                        const std::vector<int>& truth, int num_labels) {
+  LabelTally tally;
+  tally.oracle.assign(num_labels, 0);
+  tally.predicted.assign(num_labels, 0);
+  tally.correct.assign(num_labels, 0);
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    ++tally.oracle[truth[i]];
+    ++tally.predicted[predictions[i]];
+    if (predictions[i] == truth[i]) ++tally.correct[truth[i]];
+  }
+  return tally;
+}
+
+}  // namespace irgnn::ml

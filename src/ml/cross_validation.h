@@ -1,0 +1,36 @@
+// Deterministic k-fold splitting (the paper decomposes the 57 regions into
+// the same 10 folds across every experiment) and small metric helpers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/rng.h"
+
+namespace irgnn::ml {
+
+struct Fold {
+  std::vector<int> train_indices;
+  std::vector<int> validation_indices;
+};
+
+/// Splits n items into k folds after a seeded shuffle. Every item appears in
+/// exactly one validation fold; fold sizes differ by at most one.
+std::vector<Fold> k_fold(int n, int k, std::uint64_t seed);
+
+/// Classification accuracy.
+double accuracy(const std::vector<int>& predictions,
+                const std::vector<int>& truth);
+
+/// Confusion-style per-label tallies: for each label, how often it is the
+/// oracle, how often predicted, and how often predicted correctly
+/// (Fig. 7 of the paper).
+struct LabelTally {
+  std::vector<int> oracle;
+  std::vector<int> predicted;
+  std::vector<int> correct;
+};
+LabelTally tally_labels(const std::vector<int>& predictions,
+                        const std::vector<int>& truth, int num_labels);
+
+}  // namespace irgnn::ml

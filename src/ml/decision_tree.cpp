@@ -1,0 +1,169 @@
+#include "ml/decision_tree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace irgnn::ml {
+
+DecisionTree::DecisionTree(DecisionTreeOptions options) : options_(options) {}
+
+namespace {
+
+/// Gini impurity of a class histogram.
+double gini(const std::vector<int>& counts, int total) {
+  if (total == 0) return 0.0;
+  double sum_sq = 0.0;
+  for (int c : counts) {
+    double p = static_cast<double>(c) / total;
+    sum_sq += p * p;
+  }
+  return 1.0 - sum_sq;
+}
+
+int majority(const std::vector<int>& counts) {
+  int best = 0;
+  for (std::size_t c = 1; c < counts.size(); ++c)
+    if (counts[c] > counts[best]) best = static_cast<int>(c);
+  return best;
+}
+
+}  // namespace
+
+void DecisionTree::fit(const std::vector<std::vector<float>>& X,
+                       const std::vector<int>& y) {
+  assert(X.size() == y.size() && !X.empty());
+  nodes_.clear();
+  num_classes_ = 1 + *std::max_element(y.begin(), y.end());
+  std::vector<int> indices(X.size());
+  for (std::size_t i = 0; i < X.size(); ++i) indices[i] = static_cast<int>(i);
+  build(indices, 0, static_cast<int>(indices.size()), 0, X, y);
+}
+
+int DecisionTree::build(std::vector<int>& indices, int begin, int end,
+                        int depth,
+                        const std::vector<std::vector<float>>& X,
+                        const std::vector<int>& y) {
+  const int n = end - begin;
+  std::vector<int> counts(num_classes_, 0);
+  for (int i = begin; i < end; ++i) ++counts[y[indices[i]]];
+  const double node_gini = gini(counts, n);
+
+  const int node_id = static_cast<int>(nodes_.size());
+  nodes_.push_back(Node{});
+  nodes_[node_id].label = majority(counts);
+
+  const bool depth_ok = options_.max_depth == 0 || depth < options_.max_depth;
+  if (node_gini == 0.0 || n < options_.min_samples_split || !depth_ok)
+    return node_id;
+
+  const int num_features = static_cast<int>(X[0].size());
+  // Accept zero-gain splits on impure nodes (as scikit-learn does): XOR-like
+  // structures have no first-level gain but become separable deeper down.
+  // Termination is safe because a split always strictly shrinks both sides.
+  double best_gain = -1.0;
+  int best_feature = -1;
+  float best_threshold = 0.0f;
+
+  std::vector<std::pair<float, int>> sorted(n);  // (value, class)
+  for (int f = 0; f < num_features; ++f) {
+    for (int i = 0; i < n; ++i) {
+      int row = indices[begin + i];
+      sorted[i] = {X[row][f], y[row]};
+    }
+    std::sort(sorted.begin(), sorted.end());
+    if (sorted.front().first == sorted.back().first) continue;
+
+    std::vector<int> left_counts(num_classes_, 0);
+    std::vector<int> right_counts = counts;
+    for (int i = 0; i + 1 < n; ++i) {
+      ++left_counts[sorted[i].second];
+      --right_counts[sorted[i].second];
+      if (sorted[i].first == sorted[i + 1].first) continue;  // no boundary
+      int nl = i + 1;
+      int nr = n - nl;
+      if (nl < options_.min_samples_leaf || nr < options_.min_samples_leaf)
+        continue;
+      double split_gini = (nl * gini(left_counts, nl) +
+                           nr * gini(right_counts, nr)) /
+                          n;
+      double gain = node_gini - split_gini;
+      if (gain < 0.0) continue;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = f;
+        best_threshold = 0.5f * (sorted[i].first + sorted[i + 1].first);
+      }
+    }
+  }
+  if (best_feature < 0) return node_id;
+
+  // Partition indices in place.
+  auto middle = std::stable_partition(
+      indices.begin() + begin, indices.begin() + end, [&](int row) {
+        return X[row][best_feature] <= best_threshold;
+      });
+  int mid = static_cast<int>(middle - indices.begin());
+  if (mid == begin || mid == end) return node_id;  // degenerate split
+
+  nodes_[node_id].feature = best_feature;
+  nodes_[node_id].threshold = best_threshold;
+  int left = build(indices, begin, mid, depth + 1, X, y);
+  nodes_[node_id].left = left;
+  int right = build(indices, mid, end, depth + 1, X, y);
+  nodes_[node_id].right = right;
+  return node_id;
+}
+
+int DecisionTree::predict(const std::vector<float>& x) const {
+  assert(trained());
+  int node = 0;
+  while (nodes_[node].feature >= 0) {
+    node = x[nodes_[node].feature] <= nodes_[node].threshold
+               ? nodes_[node].left
+               : nodes_[node].right;
+  }
+  return nodes_[node].label;
+}
+
+std::vector<int> DecisionTree::predict(
+    const std::vector<std::vector<float>>& X) const {
+  std::vector<int> out;
+  out.reserve(X.size());
+  for (const auto& x : X) out.push_back(predict(x));
+  return out;
+}
+
+double DecisionTree::score(const std::vector<std::vector<float>>& X,
+                           const std::vector<int>& y) const {
+  if (X.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < X.size(); ++i)
+    correct += (predict(X[i]) == y[i]);
+  return static_cast<double>(correct) / static_cast<double>(X.size());
+}
+
+int DecisionTree::depth() const {
+  // Depth via iterative traversal.
+  if (nodes_.empty()) return 0;
+  int max_depth = 0;
+  std::vector<std::pair<int, int>> stack{{0, 1}};
+  while (!stack.empty()) {
+    auto [node, depth] = stack.back();
+    stack.pop_back();
+    max_depth = std::max(max_depth, depth);
+    if (nodes_[node].feature >= 0) {
+      stack.push_back({nodes_[node].left, depth + 1});
+      stack.push_back({nodes_[node].right, depth + 1});
+    }
+  }
+  return max_depth;
+}
+
+int DecisionTree::num_leaves() const {
+  int leaves = 0;
+  for (const Node& node : nodes_) leaves += (node.feature < 0);
+  return leaves;
+}
+
+}  // namespace irgnn::ml

@@ -1,0 +1,57 @@
+// CART decision-tree classifier (gini impurity, axis-aligned splits),
+// mirroring scikit-learn's DecisionTreeClassifier defaults: grow until pure
+// or until min_samples_split, no pruning. Used for the paper's dynamic
+// baseline (counters -> config), the hybrid static/dynamic delegation model,
+// and the flag-sequence prediction model.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace irgnn::ml {
+
+struct DecisionTreeOptions {
+  int max_depth = 0;          // 0 = unlimited (scikit-learn default)
+  int min_samples_split = 2;  // scikit-learn default
+  int min_samples_leaf = 1;
+};
+
+class DecisionTree {
+ public:
+  explicit DecisionTree(DecisionTreeOptions options = {});
+
+  /// X is row-major [n_samples x n_features]; y holds class ids >= 0.
+  void fit(const std::vector<std::vector<float>>& X,
+           const std::vector<int>& y);
+
+  int predict(const std::vector<float>& x) const;
+  std::vector<int> predict(const std::vector<std::vector<float>>& X) const;
+
+  /// Fraction of samples classified correctly.
+  double score(const std::vector<std::vector<float>>& X,
+               const std::vector<int>& y) const;
+
+  int depth() const;
+  int num_leaves() const;
+  bool trained() const { return !nodes_.empty(); }
+
+ private:
+  struct Node {
+    int feature = -1;       // -1 for leaves
+    float threshold = 0.0f;  // go left when x[feature] <= threshold
+    int left = -1;
+    int right = -1;
+    int label = -1;  // leaf prediction
+  };
+
+  int build(std::vector<int>& indices, int begin, int end, int depth,
+            const std::vector<std::vector<float>>& X,
+            const std::vector<int>& y);
+
+  DecisionTreeOptions options_;
+  std::vector<Node> nodes_;
+  int num_classes_ = 0;
+};
+
+}  // namespace irgnn::ml

@@ -1,0 +1,158 @@
+#include "ml/genetic_selector.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+#include "ml/decision_tree.h"
+#include "support/rng.h"
+
+namespace irgnn::ml {
+
+namespace {
+
+using Individual = std::vector<int>;  // sorted unique feature indices
+
+Individual random_individual(int num_features, int subset_size, Rng& rng) {
+  auto picks = rng.sample_indices(static_cast<std::size_t>(num_features),
+                                  static_cast<std::size_t>(subset_size));
+  Individual ind(picks.begin(), picks.end());
+  std::sort(ind.begin(), ind.end());
+  return ind;
+}
+
+/// Uniform-ish set crossover: child draws half from each parent (union
+/// sampled down to subset_size), preserving uniqueness.
+Individual crossover(const Individual& a, const Individual& b, int subset_size,
+                     int num_features, Rng& rng) {
+  std::set<int> pool(a.begin(), a.end());
+  pool.insert(b.begin(), b.end());
+  std::vector<int> merged(pool.begin(), pool.end());
+  rng.shuffle(merged);
+  Individual child(merged.begin(),
+                   merged.begin() + std::min<std::size_t>(
+                                        merged.size(),
+                                        static_cast<std::size_t>(subset_size)));
+  while (static_cast<int>(child.size()) < subset_size) {
+    int candidate = static_cast<int>(rng.next_below(num_features));
+    if (std::find(child.begin(), child.end(), candidate) == child.end())
+      child.push_back(candidate);
+  }
+  std::sort(child.begin(), child.end());
+  return child;
+}
+
+void mutate(Individual& ind, int num_features, Rng& rng) {
+  // Replace one gene with a fresh feature index.
+  std::size_t slot = rng.next_below(ind.size());
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    int candidate = static_cast<int>(rng.next_below(num_features));
+    if (std::find(ind.begin(), ind.end(), candidate) == ind.end()) {
+      ind[slot] = candidate;
+      break;
+    }
+  }
+  std::sort(ind.begin(), ind.end());
+}
+
+}  // namespace
+
+GeneticSelectorResult select_features(int num_features,
+                                      const FitnessFn& fitness,
+                                      const GeneticSelectorOptions& options) {
+  assert(options.subset_size <= num_features);
+  Rng rng(options.seed);
+  std::vector<Individual> population;
+  population.reserve(options.population_size);
+  for (int i = 0; i < options.population_size; ++i)
+    population.push_back(
+        random_individual(num_features, options.subset_size, rng));
+
+  GeneticSelectorResult result;
+  std::vector<double> scores(population.size());
+
+  for (int gen = 0; gen < options.generations; ++gen) {
+    for (std::size_t i = 0; i < population.size(); ++i)
+      scores[i] = fitness(population[i]);
+
+    // Rank by fitness (descending).
+    std::vector<std::size_t> order(population.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) { return scores[a] > scores[b]; });
+
+    if (scores[order[0]] > result.best_fitness ||
+        result.best_subset.empty()) {
+      result.best_fitness = scores[order[0]];
+      result.best_subset = population[order[0]];
+    }
+    result.generation_best.push_back(scores[order[0]]);
+
+    // Next generation: elitism + tournament selection with crossover.
+    std::vector<Individual> next;
+    next.reserve(population.size());
+    for (int e = 0; e < options.elitism &&
+                    e < static_cast<int>(population.size());
+         ++e)
+      next.push_back(population[order[e]]);
+    auto tournament = [&]() -> const Individual& {
+      std::size_t a = rng.next_below(population.size());
+      std::size_t b = rng.next_below(population.size());
+      return scores[a] >= scores[b] ? population[a] : population[b];
+    };
+    while (next.size() < population.size()) {
+      if (rng.bernoulli(options.crossover_rate)) {
+        Individual child = crossover(tournament(), tournament(),
+                                     options.subset_size, num_features, rng);
+        if (rng.bernoulli(options.mutation_rate))
+          mutate(child, num_features, rng);
+        next.push_back(std::move(child));
+      } else {
+        Individual child = tournament();
+        if (rng.bernoulli(options.mutation_rate))
+          mutate(child, num_features, rng);
+        next.push_back(std::move(child));
+      }
+    }
+    population = std::move(next);
+  }
+  return result;
+}
+
+FitnessFn decision_tree_cv_fitness(const std::vector<std::vector<float>>& X,
+                                   const std::vector<int>& y, int folds) {
+  return [&X, &y, folds](const std::vector<int>& subset) -> double {
+    const int n = static_cast<int>(X.size());
+    if (n < folds) return 0.0;
+    auto restrict_row = [&](int row) {
+      std::vector<float> out;
+      out.reserve(subset.size());
+      for (int f : subset) out.push_back(X[row][f]);
+      return out;
+    };
+    double correct = 0.0;
+    for (int fold = 0; fold < folds; ++fold) {
+      std::vector<std::vector<float>> train_x;
+      std::vector<int> train_y;
+      std::vector<std::vector<float>> test_x;
+      std::vector<int> test_y;
+      for (int i = 0; i < n; ++i) {
+        if (i % folds == fold) {
+          test_x.push_back(restrict_row(i));
+          test_y.push_back(y[i]);
+        } else {
+          train_x.push_back(restrict_row(i));
+          train_y.push_back(y[i]);
+        }
+      }
+      if (train_x.empty() || test_x.empty()) continue;
+      DecisionTree tree;
+      tree.fit(train_x, train_y);
+      for (std::size_t i = 0; i < test_x.size(); ++i)
+        correct += (tree.predict(test_x[i]) == test_y[i]);
+    }
+    return correct / n;
+  };
+}
+
+}  // namespace irgnn::ml

@@ -1,0 +1,44 @@
+// Genetic-algorithm feature-subset selection (the paper's pyeasyga usage,
+// Sec. III-D2): individuals are subsets of `subset_size` feature indices out
+// of `num_features` (256-d graph vectors -> 10 indices). Fitness is the
+// cross-validated accuracy of a decision tree restricted to the subset.
+// GA hyper-parameters follow the paper: population 500, crossover 0.8,
+// mutation 0.1 (population/generations are configurable so the test suite
+// and benches can run scaled down).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace irgnn::ml {
+
+struct GeneticSelectorOptions {
+  int population_size = 500;
+  int generations = 20;
+  double crossover_rate = 0.8;
+  double mutation_rate = 0.1;
+  int subset_size = 10;
+  int elitism = 2;  // individuals copied unchanged each generation
+  std::uint64_t seed = 0xBEEF;
+};
+
+/// Fitness evaluates a candidate subset (sorted, unique indices).
+using FitnessFn = std::function<double(const std::vector<int>&)>;
+
+struct GeneticSelectorResult {
+  std::vector<int> best_subset;
+  double best_fitness = 0.0;
+  std::vector<double> generation_best;  // learning curve
+};
+
+GeneticSelectorResult select_features(int num_features,
+                                      const FitnessFn& fitness,
+                                      const GeneticSelectorOptions& options);
+
+/// Convenience fitness: leave-one-out-ish k-fold accuracy of a DecisionTree
+/// on (X restricted to subset, y).
+FitnessFn decision_tree_cv_fitness(const std::vector<std::vector<float>>& X,
+                                   const std::vector<int>& y, int folds = 3);
+
+}  // namespace irgnn::ml

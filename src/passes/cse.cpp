@@ -1,0 +1,157 @@
+// earlycse: block-local common-subexpression elimination over pure
+// instructions, plus load-after-load and load-after-store forwarding with an
+// identity-only alias model (any intervening store/call/atomic kills memory
+// facts).
+//
+// gvn: dominator-scoped value numbering — an instruction is replaced by an
+// identical computation whose definition dominates it. Memory is not
+// value-numbered here (earlycse handles the local cases).
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "ir/dominators.h"
+#include "passes/pass.h"
+
+namespace irgnn::passes {
+
+namespace {
+
+using ir::BasicBlock;
+using ir::Instruction;
+using ir::Opcode;
+using ir::Value;
+
+/// Structural key identifying a pure computation.
+struct ExprKey {
+  Opcode opcode;
+  std::vector<Value*> operands;
+  int payload;  // predicate / atomic op, 0 otherwise
+  ir::Type* type;
+
+  bool operator<(const ExprKey& other) const {
+    return std::tie(opcode, operands, payload, type) <
+           std::tie(other.opcode, other.operands, other.payload, other.type);
+  }
+};
+
+/// Pure, CSE-able instruction? (No memory, no control, no allocation.)
+bool is_cseable(const Instruction* inst) {
+  if (inst->is_terminator() || inst->has_side_effects()) return false;
+  switch (inst->opcode()) {
+    case Opcode::Phi:
+    case Opcode::Alloca:
+    case Opcode::Load:
+    case Opcode::Call:
+    case Opcode::AtomicRMW:
+      return false;
+    default:
+      return true;
+  }
+}
+
+ExprKey key_of(const Instruction* inst) {
+  ExprKey key;
+  key.opcode = inst->opcode();
+  for (unsigned i = 0; i < inst->num_operands(); ++i)
+    key.operands.push_back(inst->operand(i));
+  // Commutative ops: order operands deterministically so a+b matches b+a.
+  if (inst->is_commutative() && key.operands.size() == 2 &&
+      key.operands[1] < key.operands[0])
+    std::swap(key.operands[0], key.operands[1]);
+  key.payload = 0;
+  if (inst->opcode() == Opcode::ICmp)
+    key.payload = static_cast<int>(inst->icmp_pred());
+  if (inst->opcode() == Opcode::FCmp)
+    key.payload = static_cast<int>(inst->fcmp_pred()) + 16;
+  key.type = inst->type();
+  return key;
+}
+
+class EarlyCse : public FunctionPass {
+ public:
+  std::string name() const override { return "earlycse"; }
+
+  bool run_on_function(ir::Function& fn) override {
+    bool changed = false;
+    for (BasicBlock* block : fn.blocks()) {
+      std::map<ExprKey, Instruction*> available;
+      std::map<Value*, Value*> known_mem;  // pointer -> last known value
+      for (Instruction* inst : block->instructions()) {
+        if (inst->opcode() == Opcode::Store) {
+          // Stores through *other* pointers may alias; identity-only model
+          // keeps just the stored-through pointer's fact.
+          known_mem.clear();
+          known_mem[inst->operand(1)] = inst->operand(0);
+          continue;
+        }
+        if (inst->opcode() == Opcode::Call ||
+            inst->opcode() == Opcode::AtomicRMW) {
+          if (inst->has_side_effects()) known_mem.clear();
+          continue;
+        }
+        if (inst->opcode() == Opcode::Load) {
+          auto it = known_mem.find(inst->operand(0));
+          if (it != known_mem.end() && it->second->type() == inst->type()) {
+            inst->replace_all_uses_with(it->second);
+            inst->drop_all_references();
+            block->erase(inst);
+            changed = true;
+          } else {
+            known_mem[inst->operand(0)] = inst;
+          }
+          continue;
+        }
+        if (!is_cseable(inst)) continue;
+        ExprKey key = key_of(inst);
+        auto [it, inserted] = available.emplace(key, inst);
+        if (!inserted) {
+          inst->replace_all_uses_with(it->second);
+          inst->drop_all_references();
+          block->erase(inst);
+          changed = true;
+        }
+      }
+    }
+    return changed;
+  }
+};
+
+class Gvn : public FunctionPass {
+ public:
+  std::string name() const override { return "gvn"; }
+
+  bool run_on_function(ir::Function& fn) override {
+    ir::DominatorTree dt(fn);
+    changed_ = false;
+    std::map<ExprKey, Instruction*> scope;
+    walk(fn.entry(), dt, scope);
+    return changed_;
+  }
+
+ private:
+  void walk(BasicBlock* block, const ir::DominatorTree& dt,
+            std::map<ExprKey, Instruction*> scope) {  // by value: tree scoping
+    for (Instruction* inst : block->instructions()) {
+      if (!is_cseable(inst)) continue;
+      ExprKey key = key_of(inst);
+      auto [it, inserted] = scope.emplace(key, inst);
+      if (!inserted) {
+        inst->replace_all_uses_with(it->second);
+        inst->drop_all_references();
+        block->erase(inst);
+        changed_ = true;
+      }
+    }
+    for (BasicBlock* child : dt.children(block)) walk(child, dt, scope);
+  }
+
+  bool changed_ = false;
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> make_earlycse() { return std::make_unique<EarlyCse>(); }
+std::unique_ptr<Pass> make_gvn() { return std::make_unique<Gvn>(); }
+
+}  // namespace irgnn::passes

@@ -1,0 +1,94 @@
+// dce: classic worklist dead-code elimination. An instruction with no uses
+// and no side effects is erased; erasure may make its operands dead in turn.
+//
+// dse: block-local dead-store elimination — a store is dead when the same
+// pointer is overwritten later in the block with no intervening read or
+// potential aliasing access.
+#include <unordered_set>
+
+#include "passes/pass.h"
+
+namespace irgnn::passes {
+
+namespace {
+
+using ir::BasicBlock;
+using ir::Instruction;
+using ir::Opcode;
+using ir::Value;
+
+class Dce : public FunctionPass {
+ public:
+  std::string name() const override { return "dce"; }
+
+  bool run_on_function(ir::Function& fn) override {
+    bool changed = false;
+    std::vector<Instruction*> worklist;
+    for (BasicBlock* block : fn.blocks())
+      for (Instruction* inst : block->instructions())
+        if (inst->is_trivially_dead()) worklist.push_back(inst);
+
+    std::unordered_set<Instruction*> queued(worklist.begin(), worklist.end());
+    while (!worklist.empty()) {
+      Instruction* inst = worklist.back();
+      worklist.pop_back();
+      queued.erase(inst);
+      if (!inst->is_trivially_dead()) continue;
+      // Erasing may make operands dead.
+      std::vector<Value*> operands;
+      for (unsigned i = 0; i < inst->num_operands(); ++i)
+        operands.push_back(inst->operand(i));
+      inst->drop_all_references();
+      inst->parent()->erase(inst);
+      changed = true;
+      for (Value* op : operands) {
+        if (!op || op->value_kind() != Value::Kind::Instruction) continue;
+        auto* op_inst = static_cast<Instruction*>(op);
+        if (op_inst->is_trivially_dead() && queued.insert(op_inst).second)
+          worklist.push_back(op_inst);
+      }
+    }
+    return changed;
+  }
+};
+
+class Dse : public FunctionPass {
+ public:
+  std::string name() const override { return "dse"; }
+
+  bool run_on_function(ir::Function& fn) override {
+    bool changed = false;
+    for (BasicBlock* block : fn.blocks()) {
+      auto insts = block->instructions();
+      for (std::size_t i = 0; i < insts.size(); ++i) {
+        Instruction* store = insts[i];
+        if (store->opcode() != Opcode::Store) continue;
+        Value* pointer = store->operand(1);
+        for (std::size_t j = i + 1; j < insts.size(); ++j) {
+          Instruction* later = insts[j];
+          if (later->opcode() == Opcode::Store &&
+              later->operand(1) == pointer) {
+            store->drop_all_references();
+            block->erase(store);
+            changed = true;
+            break;
+          }
+          // Any read or unknown memory access may observe the old value;
+          // the pointer analysis here is identity-only, so stop at every
+          // load/call/atomic and at stores through other pointers (they
+          // might alias).
+          if (later->reads_memory() || later->opcode() == Opcode::Store)
+            break;
+        }
+      }
+    }
+    return changed;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> make_dce() { return std::make_unique<Dce>(); }
+std::unique_ptr<Pass> make_dse() { return std::make_unique<Dse>(); }
+
+}  // namespace irgnn::passes

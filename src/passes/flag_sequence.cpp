@@ -1,0 +1,37 @@
+#include "passes/flag_sequence.h"
+
+#include <sstream>
+
+#include "passes/pass.h"
+#include "support/rng.h"
+
+namespace irgnn::passes {
+
+std::string FlagSequence::to_string() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < passes.size(); ++i)
+    os << (i ? " " : "") << "-" << passes[i];
+  return os.str();
+}
+
+std::vector<FlagSequence> sample_flag_sequences(
+    std::size_t count, std::uint64_t seed,
+    const FlagSamplerOptions& options) {
+  const std::vector<std::string> o3 = o3_pipeline();
+  std::vector<FlagSequence> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    std::uint64_t substream = hash_combine64(seed, i);
+    Rng rng(substream);
+    FlagSequence seq;
+    seq.seed = substream;
+    for (int round = 0; round < options.rounds; ++round)
+      for (const std::string& pass : o3)
+        if (rng.bernoulli(options.keep_probability))
+          seq.passes.push_back(pass);
+    out.push_back(std::move(seq));
+  }
+  return out;
+}
+
+}  // namespace irgnn::passes

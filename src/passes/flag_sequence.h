@@ -1,0 +1,36 @@
+// Flag-sequence generation — the paper's dataset-augmentation device.
+//
+// Following Section III-A (and Popov et al. [1]), random compilation
+// sequences are produced by down-sampling the -O3 sequence: each pass of the
+// pipeline is removed with probability 0.8, and the down-sampling round is
+// repeated four times, concatenating the survivors. The goal is diversity of
+// exposed code properties, not peak optimization.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace irgnn::passes {
+
+struct FlagSequence {
+  std::vector<std::string> passes;
+  std::uint64_t seed = 0;  // the substream that generated this sequence
+
+  std::string to_string() const;
+};
+
+struct FlagSamplerOptions {
+  double keep_probability = 0.2;  // pass survives a round with this p
+  int rounds = 4;                 // down-sampling rounds, concatenated
+};
+
+/// Deterministically generates `count` flag sequences from `seed`.
+/// Sequence i depends only on (seed, i), so subsets are stable when the
+/// count changes. Empty sequences are kept (they model "no optimization" —
+/// a legal and occasionally informative variant).
+std::vector<FlagSequence> sample_flag_sequences(
+    std::size_t count, std::uint64_t seed,
+    const FlagSamplerOptions& options = {});
+
+}  // namespace irgnn::passes

@@ -1,0 +1,185 @@
+// inline: bottom-up function inlining with a size budget. A call site is
+// inlined when the callee has a body, is not (mutually) recursive at the
+// site, and is small. The call block is split at the call; callee blocks are
+// cloned into the caller; returns become branches to the continuation block
+// with a phi merging return values.
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "passes/pass.h"
+
+namespace irgnn::passes {
+
+namespace {
+
+using ir::BasicBlock;
+using ir::Instruction;
+using ir::Opcode;
+using ir::Value;
+
+constexpr std::size_t kMaxCalleeSize = 64;
+
+class Inliner : public Pass {
+ public:
+  std::string name() const override { return "inline"; }
+
+  bool run(ir::Module& module) override {
+    bool changed = false;
+    for (ir::Function* fn : module.functions()) {
+      if (fn->is_declaration()) continue;
+      bool progress = true;
+      while (progress) {
+        progress = false;
+        for (BasicBlock* block : fn->blocks()) {
+          for (Instruction* inst : block->instructions()) {
+            if (inst->opcode() != Opcode::Call) continue;
+            ir::Function* callee = inst->called_function();
+            if (!callee || callee->is_declaration() || callee == fn)
+              continue;
+            if (callee->instruction_count() > kMaxCalleeSize) continue;
+            if (is_recursive(callee)) continue;
+            inline_call(*fn, inst, *callee);
+            changed = true;
+            progress = true;
+            break;  // block structure changed; rescan the function
+          }
+          if (progress) break;
+        }
+      }
+    }
+    return changed;
+  }
+
+ private:
+  static bool is_recursive(ir::Function* fn) {
+    for (BasicBlock* block : fn->blocks())
+      for (Instruction* inst : block->instructions())
+        if (inst->opcode() == Opcode::Call &&
+            inst->called_function() == fn)
+          return true;
+    return false;
+  }
+
+  void inline_call(ir::Function& caller, Instruction* call,
+                   ir::Function& callee) {
+    ir::Module* module = caller.parent();
+    BasicBlock* call_block = call->parent();
+
+    // Split: move everything after the call into a continuation block.
+    BasicBlock* cont =
+        caller.add_block_after(call_block, call_block->name() + ".cont");
+    int call_idx = call_block->index_of(call);
+    std::vector<Instruction*> tail;
+    for (Instruction* inst : call_block->instructions()) {
+      if (call_block->index_of(inst) > call_idx) tail.push_back(inst);
+    }
+    for (Instruction* inst : tail) cont->push_back(call_block->remove(inst));
+    // Successor phis referenced call_block; they now live after cont.
+    for (BasicBlock* succ : cont->successors())
+      for (Instruction* phi : succ->phis()) {
+        int idx = phi->phi_incoming_index(call_block);
+        if (idx >= 0)
+          phi->set_operand(static_cast<unsigned>(2 * idx + 1), cont);
+      }
+
+    // Clone callee blocks.
+    std::unordered_map<Value*, Value*> vmap;
+    for (unsigned i = 0; i < callee.num_args(); ++i)
+      vmap[callee.arg(i)] = call->call_arg(i);
+    std::vector<BasicBlock*> cloned;
+    BasicBlock* insert_after = call_block;
+    for (BasicBlock* block : callee.blocks()) {
+      BasicBlock* nb = caller.add_block_after(
+          insert_after, callee.name() + "." + block->name());
+      insert_after = nb;
+      vmap[block] = nb;
+      cloned.push_back(nb);
+    }
+    std::vector<std::pair<Instruction*, Value*>> returns;  // (br-site, value)
+    for (BasicBlock* block : callee.blocks()) {
+      auto* nb = static_cast<BasicBlock*>(vmap.at(block));
+      for (Instruction* inst : block->instructions()) {
+        auto clone = std::make_unique<Instruction>(
+            inst->opcode(), inst->type(), std::vector<Value*>{},
+            inst->name());
+        if (inst->opcode() == Opcode::ICmp)
+          clone->set_icmp_pred(inst->icmp_pred());
+        if (inst->opcode() == Opcode::FCmp)
+          clone->set_fcmp_pred(inst->fcmp_pred());
+        if (inst->opcode() == Opcode::Alloca)
+          clone->set_allocated_type(inst->allocated_type());
+        if (inst->opcode() == Opcode::AtomicRMW)
+          clone->set_atomic_op(inst->atomic_op());
+        vmap[inst] = nb->push_back(std::move(clone));
+      }
+    }
+    for (BasicBlock* block : callee.blocks()) {
+      for (Instruction* inst : block->instructions()) {
+        auto* ni = static_cast<Instruction*>(vmap.at(inst));
+        if (inst->opcode() == Opcode::Ret) {
+          // Remember the site; a branch to the continuation replaces the
+          // shell afterwards.
+          Value* retval = inst->num_operands()
+                              ? map_operand(inst->operand(0), vmap)
+                              : nullptr;
+          returns.emplace_back(ni, retval);
+          continue;
+        }
+        for (unsigned i = 0; i < inst->num_operands(); ++i)
+          ni->add_operand(map_operand(inst->operand(i), vmap));
+      }
+    }
+    // Mutate return shells into branches, recording each return's home
+    // block and value for the merge phi.
+    std::vector<std::pair<BasicBlock*, Value*>> ret_edges;
+    for (auto& [site, value] : returns) {
+      BasicBlock* home = site->parent();
+      auto br = std::make_unique<Instruction>(
+          Opcode::Br, module->types().void_ty(),
+          std::vector<Value*>{cont});
+      site->drop_all_references();
+      home->erase(site);
+      home->push_back(std::move(br));
+      ret_edges.emplace_back(home, value);
+    }
+
+    // Merge return values at the continuation head.
+    Value* result = nullptr;
+    if (!call->type()->is_void()) {
+      if (ret_edges.size() == 1) {
+        result = ret_edges[0].second;
+      } else {
+        auto phi = std::make_unique<Instruction>(
+            Opcode::Phi, call->type(), std::vector<Value*>{},
+            call->name() + ".ret");
+        Instruction* raw = cont->push_front(std::move(phi));
+        for (auto& [home, value] : ret_edges)
+          raw->phi_add_incoming(value, home);
+        result = raw;
+      }
+    }
+
+    // Rewire the call: branch into the inlined entry, replace uses.
+    BasicBlock* inlined_entry = cloned.front();
+    if (result) call->replace_all_uses_with(result);
+    call->drop_all_references();
+    call_block->erase(call);
+    auto br = std::make_unique<Instruction>(
+        Opcode::Br, module->types().void_ty(),
+        std::vector<Value*>{inlined_entry});
+    call_block->push_back(std::move(br));
+  }
+
+  static Value* map_operand(Value* op,
+                            const std::unordered_map<Value*, Value*>& vmap) {
+    auto it = vmap.find(op);
+    return it != vmap.end() ? it->second : op;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> make_inline() { return std::make_unique<Inliner>(); }
+
+}  // namespace irgnn::passes

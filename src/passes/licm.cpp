@@ -1,0 +1,143 @@
+// licm: loop-invariant code motion. Pure computations whose operands are
+// defined outside the loop (or already hoisted) move to the preheader.
+// Loads are hoisted only when the loop body contains no store, call or
+// atomic (identity-only alias model). A canonical preheader is created on
+// demand (the loop-simplify part of the pass).
+#include <algorithm>
+#include <unordered_set>
+
+#include "ir/dominators.h"
+#include "ir/loop_info.h"
+#include "passes/pass.h"
+
+namespace irgnn::passes {
+
+namespace {
+
+using ir::BasicBlock;
+using ir::Instruction;
+using ir::Loop;
+using ir::Opcode;
+using ir::Value;
+
+/// Ensures `loop` has a dedicated preheader block ending in an unconditional
+/// branch to the header; returns it (creating and rewiring if necessary), or
+/// nullptr if the header is the function entry (no out-of-loop edge).
+BasicBlock* ensure_preheader(ir::Function& fn, Loop* loop) {
+  if (BasicBlock* existing = loop->preheader()) return existing;
+  BasicBlock* header = loop->header();
+  std::vector<BasicBlock*> outside;
+  for (BasicBlock* pred : header->predecessors())
+    if (!loop->contains(pred)) outside.push_back(pred);
+  if (outside.empty()) return nullptr;
+
+  BasicBlock* pre = fn.add_block_after(outside[0], header->name() + ".pre");
+  // Move header-phi incomings for outside predecessors into the preheader.
+  for (Instruction* phi : header->phis()) {
+    std::vector<std::pair<Value*, BasicBlock*>> moved;
+    for (BasicBlock* pred : outside) {
+      int idx = phi->phi_incoming_index(pred);
+      if (idx < 0) continue;
+      moved.emplace_back(phi->phi_incoming_value(idx), pred);
+      phi->phi_remove_incoming(static_cast<unsigned>(idx));
+    }
+    if (moved.empty()) continue;
+    bool all_same = std::all_of(
+        moved.begin(), moved.end(),
+        [&](const auto& p) { return p.first == moved[0].first; });
+    Value* incoming_from_pre = nullptr;
+    if (all_same && moved.size() == outside.size()) {
+      incoming_from_pre = moved[0].first;
+    } else {
+      auto merged = std::make_unique<Instruction>(
+          Opcode::Phi, phi->type(), std::vector<Value*>{},
+          phi->name() + ".pre");
+      Instruction* raw = pre->push_front(std::move(merged));
+      for (auto& [value, pred] : moved) raw->phi_add_incoming(value, pred);
+      incoming_from_pre = raw;
+    }
+    phi->phi_add_incoming(incoming_from_pre, pre);
+  }
+  // Terminate the preheader and retarget outside edges.
+  auto br = std::make_unique<Instruction>(
+      Opcode::Br, fn.parent()->types().void_ty(),
+      std::vector<Value*>{header});
+  pre->push_back(std::move(br));
+  for (BasicBlock* pred : outside) {
+    Instruction* term = pred->terminator();
+    for (unsigned i = 0; i < term->num_operands(); ++i)
+      if (term->operand(i) == header) term->set_operand(i, pre);
+  }
+  return pre;
+}
+
+class Licm : public FunctionPass {
+ public:
+  std::string name() const override { return "licm"; }
+
+  bool run_on_function(ir::Function& fn) override {
+    bool changed = false;
+    ir::DominatorTree dt(fn);
+    ir::LoopInfo li(fn, dt);
+    for (Loop* loop : li.loops_innermost_first())
+      changed |= hoist_from_loop(fn, loop);
+    return changed;
+  }
+
+ private:
+  bool hoist_from_loop(ir::Function& fn, Loop* loop) {
+    BasicBlock* pre = ensure_preheader(fn, loop);
+    if (!pre) return false;
+
+    bool loop_writes_memory = false;
+    for (BasicBlock* block : loop->blocks()) {
+      for (Instruction* inst : block->instructions()) {
+        if (inst->opcode() == Opcode::Store ||
+            inst->opcode() == Opcode::AtomicRMW ||
+            (inst->opcode() == Opcode::Call && inst->has_side_effects()))
+          loop_writes_memory = true;
+      }
+    }
+
+    std::unordered_set<Value*> hoisted;
+    auto is_invariant_operand = [&](Value* v) {
+      if (hoisted.count(v)) return true;
+      if (v->value_kind() != Value::Kind::Instruction) return true;
+      return !loop->contains(static_cast<Instruction*>(v)->parent());
+    };
+
+    bool changed = false;
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      for (BasicBlock* block : loop->blocks()) {
+        for (Instruction* inst : block->instructions()) {
+          if (inst->is_terminator() || inst->has_side_effects()) continue;
+          if (inst->opcode() == Opcode::Phi ||
+              inst->opcode() == Opcode::Alloca)
+            continue;
+          if (inst->opcode() == Opcode::Load && loop_writes_memory) continue;
+          if (inst->opcode() == Opcode::Call) continue;  // only pure ops
+          if (hoisted.count(inst)) continue;
+          bool invariant = true;
+          for (unsigned i = 0; i < inst->num_operands(); ++i)
+            invariant &= is_invariant_operand(inst->operand(i));
+          if (!invariant) continue;
+          // Move before the preheader terminator.
+          auto owned = block->remove(inst);
+          pre->insert_before(pre->terminator(), std::move(owned));
+          hoisted.insert(inst);
+          progress = true;
+          changed = true;
+        }
+      }
+    }
+    return changed;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> make_licm() { return std::make_unique<Licm>(); }
+
+}  // namespace irgnn::passes

@@ -1,0 +1,285 @@
+// loop-unroll: full unrolling of small, single-block counted loops.
+//
+// Pattern handled (the canonical rotated loop the builders and simplifycfg
+// produce):
+//
+//   pre:    br body
+//   body:   %i = phi [c0, pre], [%i.next, body]
+//           ...
+//           %i.next = add %i, step          (constant step)
+//           %cond = icmp slt/sle/ne %i.next, %N   (constant bound)
+//           br %cond, body, exit
+//
+// With trip count TC <= max_trip and body size <= max_body instructions the
+// body is cloned TC times with the induction phi substituted per iteration,
+// and external uses are rewired to the last iteration's values.
+#include <unordered_map>
+#include <vector>
+
+#include "ir/dominators.h"
+#include "ir/loop_info.h"
+#include "passes/pass.h"
+
+namespace irgnn::passes {
+
+namespace {
+
+using ir::BasicBlock;
+using ir::ConstantInt;
+using ir::ICmpPred;
+using ir::Instruction;
+using ir::Opcode;
+using ir::Value;
+
+constexpr std::int64_t kMaxTrip = 8;
+constexpr std::size_t kMaxBody = 48;
+
+struct CountedLoop {
+  BasicBlock* body = nullptr;
+  BasicBlock* exit = nullptr;
+  std::vector<Instruction*> phis;       // all header phis
+  std::vector<std::int64_t> init_i;     // constant int init per phi (if int)
+  Instruction* cond = nullptr;
+  std::int64_t trip_count = 0;
+};
+
+/// Computes the trip count of `icmp(next, bound)` driving the back edge,
+/// where next = i + step each iteration starting from init. Returns 0 when
+/// the pattern does not yield a positive, finite count.
+std::int64_t trip_count_of(ICmpPred pred, std::int64_t init,
+                           std::int64_t step, std::int64_t bound) {
+  if (step == 0) return 0;
+  std::int64_t n = 0;
+  std::int64_t i = init;
+  // Small bounds only; simulate (cheap and exact).
+  for (n = 1; n <= kMaxTrip + 1; ++n) {
+    std::int64_t next = i + step;
+    bool continues = false;
+    switch (pred) {
+      case ICmpPred::SLT: continues = next < bound; break;
+      case ICmpPred::SLE: continues = next <= bound; break;
+      case ICmpPred::SGT: continues = next > bound; break;
+      case ICmpPred::SGE: continues = next >= bound; break;
+      case ICmpPred::NE: continues = next != bound; break;
+      default: return 0;
+    }
+    if (!continues) return n;
+    i = next;
+  }
+  return 0;  // too many iterations
+}
+
+class LoopUnroll : public FunctionPass {
+ public:
+  std::string name() const override { return "loop-unroll"; }
+
+  bool run_on_function(ir::Function& fn) override {
+    bool changed = false;
+    // Re-analyze after each unroll (the CFG changed).
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      ir::DominatorTree dt(fn);
+      ir::LoopInfo li(fn, dt);
+      for (ir::Loop* loop : li.loops_innermost_first()) {
+        CountedLoop info;
+        if (!match(loop, info)) continue;
+        unroll(fn, info);
+        changed = true;
+        progress = true;
+        break;  // loop structures are invalidated
+      }
+    }
+    return changed;
+  }
+
+ private:
+  bool match(ir::Loop* loop, CountedLoop& info) {
+    BasicBlock* header = loop->header();
+    if (loop->blocks().size() != 1) return false;  // single-block bodies only
+    if (loop->latches().size() != 1 || loop->latches()[0] != header)
+      return false;
+    if (header->size() > kMaxBody) return false;
+
+    Instruction* term = header->terminator();
+    if (!term || !term->is_conditional_branch()) return false;
+    BasicBlock* exit = nullptr;
+    if (term->successor(0) == header)
+      exit = term->successor(1);
+    else if (term->successor(1) == header)
+      exit = term->successor(0);
+    else
+      return false;
+    if (term->successor(0) != header) return false;  // canonical: taken=body
+
+    auto* cond = term->branch_condition();
+    if (cond->value_kind() != Value::Kind::Instruction) return false;
+    auto* cmp = static_cast<Instruction*>(cond);
+    if (cmp->opcode() != Opcode::ICmp || cmp->parent() != header)
+      return false;
+    auto* bound = cmp->operand(1)->value_kind() == Value::Kind::ConstantInt
+                      ? static_cast<ConstantInt*>(cmp->operand(1))
+                      : nullptr;
+    if (!bound) return false;
+
+    // The compared value must be phi + constant step.
+    if (cmp->operand(0)->value_kind() != Value::Kind::Instruction)
+      return false;
+    auto* next = static_cast<Instruction*>(cmp->operand(0));
+    if (next->opcode() != Opcode::Add || next->parent() != header)
+      return false;
+    Instruction* ind_phi = nullptr;
+    ConstantInt* step = nullptr;
+    for (int side = 0; side < 2; ++side) {
+      auto* a = next->operand(side);
+      auto* b = next->operand(1 - side);
+      if (a->value_kind() == Value::Kind::Instruction &&
+          static_cast<Instruction*>(a)->opcode() == Opcode::Phi &&
+          static_cast<Instruction*>(a)->parent() == header &&
+          b->value_kind() == Value::Kind::ConstantInt) {
+        ind_phi = static_cast<Instruction*>(a);
+        step = static_cast<ConstantInt*>(b);
+        break;
+      }
+    }
+    if (!ind_phi || !step) return false;
+
+    // All phis must have exactly two incomings: preheader-side and latch.
+    for (Instruction* phi : header->phis()) {
+      if (phi->phi_num_incoming() != 2) return false;
+      if (phi->phi_incoming_index(header) < 0) return false;
+    }
+
+    // Induction start must be a constant.
+    int pre_idx = 1 - ind_phi->phi_incoming_index(header);
+    Value* init = ind_phi->phi_incoming_value(static_cast<unsigned>(
+        1 - ind_phi->phi_incoming_index(header)));
+    (void)pre_idx;
+    if (init->value_kind() != Value::Kind::ConstantInt) return false;
+
+    std::int64_t tc = trip_count_of(
+        cmp->icmp_pred(), static_cast<ConstantInt*>(init)->value(),
+        step->value(), bound->value());
+    if (tc <= 1 || tc > kMaxTrip) return false;
+
+    info.body = header;
+    info.exit = exit;
+    info.phis = header->phis();
+    info.cond = cmp;
+    info.trip_count = tc;
+    return true;
+  }
+
+  void unroll(ir::Function& fn, const CountedLoop& info) {
+    BasicBlock* body = info.body;
+    ir::Module* module = fn.parent();
+
+    // Current SSA value of each phi-carried variable.
+    std::unordered_map<Instruction*, Value*> carried;
+    for (Instruction* phi : info.phis) {
+      unsigned latch_idx = static_cast<unsigned>(
+          phi->phi_incoming_index(body));
+      carried[phi] = phi->phi_incoming_value(1 - latch_idx);
+    }
+
+    std::vector<Instruction*> body_insts;
+    for (Instruction* inst : body->instructions())
+      if (inst->opcode() != Opcode::Phi && !inst->is_terminator())
+        body_insts.push_back(inst);
+
+    // Insertion point: before the terminator of `body`; clones stack up in
+    // place and the original non-phi instructions are deleted afterwards.
+    std::unordered_map<Value*, Value*> last_map;
+    // Phi values observed by the final iteration (external phi uses see
+    // these, not the post-advance values).
+    std::unordered_map<Instruction*, Value*> final_phi_values;
+    Instruction* term = body->terminator();
+    for (std::int64_t iter = 0; iter < info.trip_count; ++iter) {
+      if (iter == info.trip_count - 1) final_phi_values = carried;
+      std::unordered_map<Value*, Value*> vmap;
+      for (auto& [phi, value] : carried) vmap[phi] = value;
+      for (Instruction* inst : body_insts) {
+        auto clone = std::make_unique<Instruction>(
+            inst->opcode(), inst->type(), std::vector<Value*>{},
+            inst->name().empty()
+                ? ""
+                : inst->name() + ".it" + std::to_string(iter));
+        if (inst->opcode() == Opcode::ICmp)
+          clone->set_icmp_pred(inst->icmp_pred());
+        if (inst->opcode() == Opcode::FCmp)
+          clone->set_fcmp_pred(inst->fcmp_pred());
+        if (inst->opcode() == Opcode::Alloca)
+          clone->set_allocated_type(inst->allocated_type());
+        if (inst->opcode() == Opcode::AtomicRMW)
+          clone->set_atomic_op(inst->atomic_op());
+        Instruction* raw = body->insert_before(term, std::move(clone));
+        for (unsigned i = 0; i < inst->num_operands(); ++i) {
+          Value* op = inst->operand(i);
+          auto it = vmap.find(op);
+          raw->add_operand(it != vmap.end() ? it->second : op);
+        }
+        vmap[inst] = raw;
+      }
+      // Advance carried values along the latch edge.
+      std::unordered_map<Instruction*, Value*> next_carried;
+      for (Instruction* phi : info.phis) {
+        unsigned latch_idx = static_cast<unsigned>(
+            phi->phi_incoming_index(body));
+        Value* latch_value = phi->phi_incoming_value(latch_idx);
+        auto it = vmap.find(latch_value);
+        next_carried[phi] = it != vmap.end() ? it->second : latch_value;
+      }
+      carried = std::move(next_carried);
+      last_map = std::move(vmap);
+    }
+
+    // Rewire external uses: values defined in the body used outside of it
+    // (exit phis and dominated code) take their final-iteration clones;
+    // header phis take the value observed by the final iteration.
+    for (Instruction* inst : body_insts) {
+      std::vector<Value::Use> snapshot = inst->uses();
+      for (const Value::Use& use : snapshot)
+        if (use.user->parent() != body)
+          use.user->set_operand(use.index, last_map.at(inst));
+    }
+    for (Instruction* phi : info.phis) {
+      std::vector<Value::Use> snapshot = phi->uses();
+      for (const Value::Use& use : snapshot)
+        if (use.user->parent() != body)
+          use.user->set_operand(use.index, final_phi_values.at(phi));
+    }
+
+    // Replace the conditional terminator with a direct branch to the exit.
+    term->drop_all_references();
+    body->erase(term);
+    auto br = std::make_unique<Instruction>(
+        Opcode::Br, module->types().void_ty(),
+        std::vector<Value*>{info.exit});
+    body->push_back(std::move(br));
+
+    // Delete the original (pre-clone) instructions and phis, in reverse
+    // order so uses are gone before defs.
+    for (auto it = body_insts.rbegin(); it != body_insts.rend(); ++it) {
+      (*it)->replace_all_uses_with(module->get_undef(
+          (*it)->type()->is_void() ? module->types().int32_ty()
+                                   : (*it)->type()));
+      (*it)->drop_all_references();
+      body->erase(*it);
+    }
+    for (Instruction* phi : info.phis) {
+      // Remaining uses can only be from instructions being deleted; they
+      // have already dropped their references, so the phi is free.
+      phi->replace_all_uses_with(module->get_undef(phi->type()));
+      phi->drop_all_references();
+      body->erase(phi);
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> make_loop_unroll() {
+  return std::make_unique<LoopUnroll>();
+}
+
+}  // namespace irgnn::passes

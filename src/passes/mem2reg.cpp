@@ -1,0 +1,164 @@
+// mem2reg: promotes stack slots (allocas) whose address never escapes into
+// SSA registers, inserting phi nodes at iterated dominance frontiers and
+// renaming along the dominator tree. This is the standard SSA-construction
+// algorithm; it is the first pass of every pipeline because the workload
+// generators emit allocas for loop counters and scalars the way a frontend
+// would.
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "ir/dominators.h"
+#include "passes/pass.h"
+
+namespace irgnn::passes {
+
+namespace {
+
+using ir::BasicBlock;
+using ir::Instruction;
+using ir::Opcode;
+using ir::Value;
+
+/// An alloca is promotable when it allocates a single first-class value and
+/// is only ever used directly as the pointer of loads and stores.
+bool is_promotable(const Instruction* alloca) {
+  if (alloca->allocated_type()->is_array()) return false;
+  if (!alloca->allocated_type()->is_first_class()) return false;
+  auto* size = alloca->operand(0);
+  if (size->value_kind() != Value::Kind::ConstantInt ||
+      !static_cast<const ir::ConstantInt*>(size)->is_one())
+    return false;
+  for (const Value::Use& use : alloca->uses()) {
+    switch (use.user->opcode()) {
+      case Opcode::Load:
+        break;
+      case Opcode::Store:
+        if (use.index != 1) return false;  // storing the address escapes it
+        break;
+      default:
+        return false;
+    }
+  }
+  return true;
+}
+
+class Mem2Reg : public FunctionPass {
+ public:
+  std::string name() const override { return "mem2reg"; }
+
+  bool run_on_function(ir::Function& fn) override {
+    std::vector<Instruction*> allocas;
+    for (BasicBlock* block : fn.blocks())
+      for (Instruction* inst : block->instructions())
+        if (inst->opcode() == Opcode::Alloca && is_promotable(inst))
+          allocas.push_back(inst);
+    if (allocas.empty()) return false;
+
+    ir::DominatorTree dt(fn);
+    std::unordered_map<Instruction*, std::size_t> slot_of;
+    for (std::size_t i = 0; i < allocas.size(); ++i) slot_of[allocas[i]] = i;
+
+    // Phase 1: place phis at the iterated dominance frontier of each slot's
+    // definition (store) blocks.
+    phi_slot_.clear();
+    for (std::size_t slot = 0; slot < allocas.size(); ++slot) {
+      std::vector<BasicBlock*> work;
+      std::unordered_set<BasicBlock*> def_blocks;
+      for (const Value::Use& use : allocas[slot]->uses())
+        if (use.user->opcode() == Opcode::Store)
+          if (def_blocks.insert(use.user->parent()).second)
+            work.push_back(use.user->parent());
+      std::unordered_set<BasicBlock*> has_phi;
+      while (!work.empty()) {
+        BasicBlock* block = work.back();
+        work.pop_back();
+        for (BasicBlock* front : dt.frontier(block)) {
+          if (!has_phi.insert(front).second) continue;
+          auto phi = std::make_unique<Instruction>(
+              Opcode::Phi, allocas[slot]->allocated_type(),
+              std::vector<Value*>{},
+              allocas[slot]->name() + ".phi");
+          phi_slot_[front->push_front(std::move(phi))] = slot;
+          if (!def_blocks.count(front)) work.push_back(front);
+        }
+      }
+    }
+
+    // Phase 2: rename along the dominator tree.
+    stacks_.assign(allocas.size(), {});
+    rename(fn.entry(), dt, slot_of);
+
+    // Phase 3: drop the allocas (their direct uses are gone).
+    for (Instruction* alloca : allocas) alloca->parent()->erase(alloca);
+    return true;
+  }
+
+ private:
+  Value* current_value(ir::Function& fn, std::size_t slot,
+                       ir::Type* type) {
+    if (!stacks_[slot].empty()) return stacks_[slot].back();
+    // Load before any store: the value is undefined.
+    return fn.parent()->get_undef(type);
+  }
+
+  void rename(BasicBlock* block, const ir::DominatorTree& dt,
+              const std::unordered_map<Instruction*, std::size_t>& slot_of) {
+    std::vector<std::size_t> pushed;
+
+    for (Instruction* inst : block->instructions()) {
+      auto phi_it = phi_slot_.find(inst);
+      if (phi_it != phi_slot_.end()) {
+        stacks_[phi_it->second].push_back(inst);
+        pushed.push_back(phi_it->second);
+        continue;
+      }
+      if (inst->opcode() == Opcode::Load) {
+        auto* src = inst->operand(0);
+        if (src->value_kind() != Value::Kind::Instruction) continue;
+        auto slot_it = slot_of.find(static_cast<Instruction*>(src));
+        if (slot_it == slot_of.end()) continue;
+        // RAUW leaves the load unused, so it can be erased on the spot
+        // (iteration is over a snapshot of the block's instructions).
+        inst->replace_all_uses_with(current_value(
+            *block->parent(), slot_it->second, inst->type()));
+        inst->drop_all_references();
+        block->erase(inst);
+      } else if (inst->opcode() == Opcode::Store) {
+        auto* dst = inst->operand(1);
+        if (dst->value_kind() != Value::Kind::Instruction) continue;
+        auto slot_it = slot_of.find(static_cast<Instruction*>(dst));
+        if (slot_it == slot_of.end()) continue;
+        stacks_[slot_it->second].push_back(inst->operand(0));
+        pushed.push_back(slot_it->second);
+        inst->drop_all_references();
+        block->erase(inst);
+      }
+    }
+
+    // Feed successor phis.
+    for (BasicBlock* succ : block->successors()) {
+      for (Instruction* phi : succ->phis()) {
+        auto phi_it = phi_slot_.find(phi);
+        if (phi_it == phi_slot_.end()) continue;
+        phi->phi_add_incoming(
+            current_value(*block->parent(), phi_it->second, phi->type()),
+            block);
+      }
+    }
+
+    for (BasicBlock* child : dt.children(block)) rename(child, dt, slot_of);
+
+    for (auto it = pushed.rbegin(); it != pushed.rend(); ++it)
+      stacks_[*it].pop_back();
+  }
+
+  std::unordered_map<Instruction*, std::size_t> phi_slot_;
+  std::vector<std::vector<Value*>> stacks_;
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> make_mem2reg() { return std::make_unique<Mem2Reg>(); }
+
+}  // namespace irgnn::passes

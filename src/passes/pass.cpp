@@ -1,0 +1,77 @@
+#include "passes/pass.h"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "ir/verifier.h"
+
+namespace irgnn::passes {
+
+PassRegistry& PassRegistry::instance() {
+  static PassRegistry registry;
+  return registry;
+}
+
+void PassRegistry::register_pass(
+    const std::string& name, std::function<std::unique_ptr<Pass>()> factory) {
+  for (auto& [existing, _] : factories_)
+    if (existing == name) return;  // idempotent registration
+  factories_.emplace_back(name, std::move(factory));
+}
+
+std::unique_ptr<Pass> PassRegistry::create(const std::string& name) const {
+  for (const auto& [candidate, factory] : factories_)
+    if (candidate == name) return factory();
+  return nullptr;
+}
+
+bool PassRegistry::contains(const std::string& name) const {
+  for (const auto& [candidate, _] : factories_)
+    if (candidate == name) return true;
+  return false;
+}
+
+std::vector<std::string> PassRegistry::names() const {
+  std::vector<std::string> out;
+  for (const auto& [name, _] : factories_) out.push_back(name);
+  return out;
+}
+
+PassManager::PassManager(const std::vector<std::string>& pass_names)
+    : names_(pass_names) {
+  register_builtin_passes();
+  for (const auto& name : pass_names) {
+    auto pass = PassRegistry::instance().create(name);
+    if (!pass) throw std::invalid_argument("unknown pass: " + name);
+    passes_.push_back(std::move(pass));
+  }
+}
+
+std::size_t PassManager::run(ir::Module& module) {
+  std::size_t changed = 0;
+  for (auto& pass : passes_) {
+    if (pass->run(module)) ++changed;
+#ifndef NDEBUG
+    std::string errors;
+    if (!ir::verify(module, &errors)) {
+      throw std::runtime_error("IR broken after pass '" + pass->name() +
+                               "':\n" + errors);
+    }
+#endif
+  }
+  return changed;
+}
+
+std::vector<std::string> o3_pipeline() {
+  return {
+      "mem2reg",     "instcombine", "simplifycfg", "earlycse",  "inline",
+      "mem2reg",     "instcombine", "simplifycfg", "gvn",       "licm",
+      "loop-unroll", "instcombine", "earlycse",    "dse",       "gvn",
+      "licm",        "dce",         "simplifycfg", "instcombine",
+      "dce",         "simplifycfg",
+  };
+}
+
+std::vector<std::string> default_pipeline() { return o3_pipeline(); }
+
+}  // namespace irgnn::passes

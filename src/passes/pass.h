@@ -1,0 +1,79 @@
+// Pass framework: a registry of named transformations and a PassManager
+// that runs sequences of them. Flag sequences (the paper's augmentation
+// device) are just lists of registered pass names.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/module.h"
+
+namespace irgnn::passes {
+
+class Pass {
+ public:
+  virtual ~Pass() = default;
+  virtual std::string name() const = 0;
+  /// Runs on the module; returns true if anything changed.
+  virtual bool run(ir::Module& module) = 0;
+};
+
+/// Adapter for passes that operate function-at-a-time (bodies only).
+class FunctionPass : public Pass {
+ public:
+  bool run(ir::Module& module) override {
+    bool changed = false;
+    for (ir::Function* fn : module.functions())
+      if (!fn->is_declaration()) changed |= run_on_function(*fn);
+    return changed;
+  }
+  virtual bool run_on_function(ir::Function& fn) = 0;
+};
+
+/// Global registry mapping pass names to factories.
+class PassRegistry {
+ public:
+  static PassRegistry& instance();
+
+  void register_pass(const std::string& name,
+                     std::function<std::unique_ptr<Pass>()> factory);
+  std::unique_ptr<Pass> create(const std::string& name) const;
+  bool contains(const std::string& name) const;
+  std::vector<std::string> names() const;
+
+ private:
+  std::vector<std::pair<std::string, std::function<std::unique_ptr<Pass>()>>>
+      factories_;
+};
+
+/// Runs a sequence of passes (by name) over a module.
+class PassManager {
+ public:
+  /// Throws std::invalid_argument on an unknown pass name.
+  explicit PassManager(const std::vector<std::string>& pass_names);
+
+  /// Runs the whole sequence once, in order. Returns the number of passes
+  /// that reported a change. In debug builds, verifies after every pass.
+  std::size_t run(ir::Module& module);
+
+  const std::vector<std::string>& pass_names() const { return names_; }
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<std::unique_ptr<Pass>> passes_;
+};
+
+/// Registers all built-in passes (idempotent); called by PassManager and the
+/// pipeline helpers.
+void register_builtin_passes();
+
+/// The default optimization pipeline (the "-O3 sequence" of the paper).
+std::vector<std::string> o3_pipeline();
+
+/// The default non-augmented compile ("-O2/O3 default flags" in the paper):
+/// same as o3_pipeline().
+std::vector<std::string> default_pipeline();
+
+}  // namespace irgnn::passes

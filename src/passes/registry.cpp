@@ -1,0 +1,31 @@
+// Registration of all built-in passes.
+#include "passes/pass.h"
+
+namespace irgnn::passes {
+
+std::unique_ptr<Pass> make_mem2reg();
+std::unique_ptr<Pass> make_simplify_cfg();
+std::unique_ptr<Pass> make_dce();
+std::unique_ptr<Pass> make_dse();
+std::unique_ptr<Pass> make_instcombine();
+std::unique_ptr<Pass> make_earlycse();
+std::unique_ptr<Pass> make_gvn();
+std::unique_ptr<Pass> make_licm();
+std::unique_ptr<Pass> make_loop_unroll();
+std::unique_ptr<Pass> make_inline();
+
+void register_builtin_passes() {
+  PassRegistry& registry = PassRegistry::instance();
+  registry.register_pass("mem2reg", make_mem2reg);
+  registry.register_pass("simplifycfg", make_simplify_cfg);
+  registry.register_pass("dce", make_dce);
+  registry.register_pass("dse", make_dse);
+  registry.register_pass("instcombine", make_instcombine);
+  registry.register_pass("earlycse", make_earlycse);
+  registry.register_pass("gvn", make_gvn);
+  registry.register_pass("licm", make_licm);
+  registry.register_pass("loop-unroll", make_loop_unroll);
+  registry.register_pass("inline", make_inline);
+}
+
+}  // namespace irgnn::passes

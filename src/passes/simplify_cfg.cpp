@@ -1,0 +1,205 @@
+// simplifycfg: CFG cleanups run to fixpoint —
+//   * removal of blocks unreachable from the entry,
+//   * folding of constant conditional branches,
+//   * merging of straight-line block pairs (unique succ / unique pred),
+//   * forwarding of empty blocks that only jump onward,
+//   * degenerate-phi elimination.
+#include <algorithm>
+#include <unordered_set>
+
+#include "ir/cfg.h"
+#include "passes/pass.h"
+
+namespace irgnn::passes {
+
+namespace {
+
+using ir::BasicBlock;
+using ir::ConstantInt;
+using ir::Instruction;
+using ir::Opcode;
+using ir::Value;
+
+/// Removes `pred` from every phi of `block`.
+void remove_phi_incoming_from(BasicBlock* block, BasicBlock* pred) {
+  for (Instruction* phi : block->phis()) {
+    int idx = phi->phi_incoming_index(pred);
+    if (idx >= 0) phi->phi_remove_incoming(static_cast<unsigned>(idx));
+  }
+}
+
+/// Replaces degenerate phis (single incoming, or all incoming equal).
+bool simplify_phis(BasicBlock* block) {
+  bool changed = false;
+  for (Instruction* phi : block->phis()) {
+    if (phi->phi_num_incoming() == 0) continue;
+    Value* first = phi->phi_incoming_value(0);
+    bool all_same = true;
+    for (unsigned i = 1; i < phi->phi_num_incoming(); ++i) {
+      Value* v = phi->phi_incoming_value(i);
+      if (v != first && v != phi) {
+        all_same = false;
+        break;
+      }
+    }
+    if (all_same && first != phi) {
+      phi->replace_all_uses_with(first);
+      phi->drop_all_references();
+      block->erase(phi);
+      changed = true;
+    }
+  }
+  return changed;
+}
+
+class SimplifyCfg : public FunctionPass {
+ public:
+  std::string name() const override { return "simplifycfg"; }
+
+  bool run_on_function(ir::Function& fn) override {
+    bool any = false;
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      changed |= fold_constant_branches(fn);
+      changed |= remove_unreachable(fn);
+      changed |= merge_straight_line(fn);
+      changed |= forward_empty_blocks(fn);
+      for (BasicBlock* block : fn.blocks()) changed |= simplify_phis(block);
+      any |= changed;
+    }
+    return any;
+  }
+
+ private:
+  bool fold_constant_branches(ir::Function& fn) {
+    bool changed = false;
+    for (BasicBlock* block : fn.blocks()) {
+      Instruction* term = block->terminator();
+      if (!term || !term->is_conditional_branch()) continue;
+      auto* cond = term->branch_condition();
+      BasicBlock* keep = nullptr;
+      BasicBlock* drop = nullptr;
+      if (cond->value_kind() == Value::Kind::ConstantInt) {
+        bool taken = static_cast<ConstantInt*>(cond)->value() != 0;
+        keep = term->successor(taken ? 0 : 1);
+        drop = term->successor(taken ? 1 : 0);
+      } else if (term->successor(0) == term->successor(1)) {
+        keep = term->successor(0);
+        drop = nullptr;
+      } else {
+        continue;
+      }
+      term->drop_all_references();
+      block->erase(term);
+      auto br = std::make_unique<Instruction>(
+          Opcode::Br, fn.parent()->types().void_ty(),
+          std::vector<Value*>{keep});
+      block->push_back(std::move(br));
+      if (drop && drop != keep) remove_phi_incoming_from(drop, block);
+      if (!drop) {
+        // Both edges pointed at `keep`; a phi may now carry a duplicate
+        // incoming entry for `block`.
+        for (Instruction* phi : keep->phis()) {
+          int first = phi->phi_incoming_index(block);
+          for (unsigned i = static_cast<unsigned>(first) + 1;
+               i < phi->phi_num_incoming();) {
+            if (phi->phi_incoming_block(i) == block)
+              phi->phi_remove_incoming(i);
+            else
+              ++i;
+          }
+        }
+      }
+      changed = true;
+    }
+    return changed;
+  }
+
+  bool remove_unreachable(ir::Function& fn) {
+    auto reachable = ir::reachable_blocks(fn);
+    std::vector<BasicBlock*> dead;
+    for (BasicBlock* block : fn.blocks())
+      if (!reachable.count(block)) dead.push_back(block);
+    if (dead.empty()) return false;
+    // Detach phi edges from dead predecessors, then drop instruction
+    // references so cross-block uses unlink, then erase.
+    for (BasicBlock* block : dead)
+      for (BasicBlock* succ : block->successors())
+        if (reachable.count(succ)) remove_phi_incoming_from(succ, block);
+    for (BasicBlock* block : dead)
+      for (Instruction* inst : block->instructions()) {
+        // Values in dead blocks may still be referenced by other dead
+        // blocks' instructions; break those links wholesale.
+        inst->replace_all_uses_with(
+            fn.parent()->get_undef(inst->type()->is_void()
+                                       ? fn.parent()->types().int32_ty()
+                                       : inst->type()));
+        inst->drop_all_references();
+      }
+    for (BasicBlock* block : dead) fn.erase_block(block);
+    return true;
+  }
+
+  bool merge_straight_line(ir::Function& fn) {
+    bool changed = false;
+    // Merging erases the successor block, which may appear later in the
+    // iteration snapshot; restart the scan after every merge.
+  restart:
+    for (BasicBlock* block : fn.blocks()) {
+      Instruction* term = block->terminator();
+      if (!term || term->num_successors() != 1) continue;
+      BasicBlock* succ = term->successor(0);
+      if (succ == block || succ == fn.entry()) continue;
+      auto preds = succ->predecessors();
+      if (preds.size() != 1) continue;
+      // Fold phis (single incoming from `block`).
+      for (Instruction* phi : succ->phis()) {
+        phi->replace_all_uses_with(phi->phi_incoming_value(0));
+        phi->drop_all_references();
+        succ->erase(phi);
+      }
+      // Splice successor instructions into `block`.
+      term->drop_all_references();
+      block->erase(term);
+      for (Instruction* inst : succ->instructions())
+        block->push_back(succ->remove(inst));
+      // The successor's targets may have phis referencing `succ`.
+      succ->replace_all_uses_with(block);
+      fn.erase_block(succ);
+      changed = true;
+      goto restart;
+    }
+    return changed;
+  }
+
+  bool forward_empty_blocks(ir::Function& fn) {
+    bool changed = false;
+    for (BasicBlock* block : fn.blocks()) {
+      if (block == fn.entry() || block->size() != 1) continue;
+      Instruction* term = block->terminator();
+      if (!term || term->num_successors() != 1) continue;
+      BasicBlock* target = term->successor(0);
+      if (target == block) continue;
+      // Forwarding is only safe when the target has no phis (otherwise the
+      // incoming values per predecessor would need merging).
+      if (!target->phis().empty()) continue;
+      // Any predecessor that already branches to `target` elsewhere is fine
+      // since target has no phis.
+      term->drop_all_references();
+      block->erase(term);
+      block->replace_all_uses_with(target);
+      fn.erase_block(block);
+      changed = true;
+    }
+    return changed;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> make_simplify_cfg() {
+  return std::make_unique<SimplifyCfg>();
+}
+
+}  // namespace irgnn::passes

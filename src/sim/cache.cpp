@@ -1,0 +1,172 @@
+#include "sim/cache.h"
+
+#include <cassert>
+
+namespace irgnn::sim {
+
+SetAssociativeCache::SetAssociativeCache(int size_bytes, int associativity,
+                                         int line_bytes)
+    : associativity_(associativity) {
+  num_sets_ = size_bytes / (associativity * line_bytes);
+  assert(num_sets_ > 0);
+  ways_.assign(static_cast<std::size_t>(num_sets_) * associativity_, Way{});
+}
+
+bool SetAssociativeCache::access(std::uint64_t line) {
+  Way* set = &ways_[static_cast<std::size_t>(set_of(line)) * associativity_];
+  for (int w = 0; w < associativity_; ++w) {
+    if (set[w].valid && set[w].line == line) {
+      set[w].lru = ++tick_;
+      set[w].prefetched = false;  // demand touch clears the tag
+      return true;
+    }
+  }
+  return false;
+}
+
+void SetAssociativeCache::insert(std::uint64_t line, bool prefetched) {
+  Way* set = &ways_[static_cast<std::size_t>(set_of(line)) * associativity_];
+  Way* victim = &set[0];
+  for (int w = 0; w < associativity_; ++w) {
+    if (set[w].valid && set[w].line == line) {
+      set[w].lru = ++tick_;
+      return;  // already present
+    }
+    if (!set[w].valid) {
+      victim = &set[w];
+      break;
+    }
+    if (set[w].lru < victim->lru) victim = &set[w];
+  }
+  if (victim->valid && victim->prefetched) ++polluting_evictions_;
+  victim->valid = true;
+  victim->line = line;
+  victim->lru = ++tick_;
+  victim->prefetched = prefetched;
+}
+
+bool SetAssociativeCache::contains(std::uint64_t line) const {
+  const Way* set =
+      &ways_[static_cast<std::size_t>(set_of(line)) * associativity_];
+  for (int w = 0; w < associativity_; ++w)
+    if (set[w].valid && set[w].line == line) return true;
+  return false;
+}
+
+bool SetAssociativeCache::is_prefetched(std::uint64_t line) const {
+  const Way* set =
+      &ways_[static_cast<std::size_t>(set_of(line)) * associativity_];
+  for (int w = 0; w < associativity_; ++w)
+    if (set[w].valid && set[w].line == line) return set[w].prefetched;
+  return false;
+}
+
+CoreCacheModel::CoreCacheModel(const MachineDesc& machine,
+                               const PrefetcherConfig& prefetch)
+    : line_bytes_(machine.line_bytes),
+      prefetch_(prefetch),
+      l1_(machine.l1_size_bytes, machine.l1_assoc, machine.line_bytes),
+      l2_(machine.l2_size_bytes, machine.l2_assoc, machine.line_bytes) {}
+
+void CoreCacheModel::l2_fill(std::uint64_t line, bool prefetched) {
+  l2_.insert(line, prefetched);
+  if (prefetch_.l2_adjacent && !prefetched) {
+    // Fetch the 128-byte buddy (pair line) alongside demand fills.
+    std::uint64_t buddy = line ^ 1ull;
+    if (!l2_.contains(buddy)) {
+      l2_.insert(buddy, /*prefetched=*/true);
+      ++stats_.prefetches_issued;
+    }
+  }
+}
+
+void CoreCacheModel::issue_l1_prefetch(std::uint64_t line) {
+  if (!l1_.contains(line)) {
+    ++stats_.prefetches_issued;
+    l1_.insert(line, /*prefetched=*/true);
+    if (!l2_.contains(line)) l2_.insert(line, /*prefetched=*/true);
+  }
+}
+
+void CoreCacheModel::issue_l2_prefetch(std::uint64_t line) {
+  if (!l2_.contains(line)) {
+    ++stats_.prefetches_issued;
+    l2_.insert(line, /*prefetched=*/true);
+  }
+}
+
+void CoreCacheModel::streamer_observe(std::uint64_t line) {
+  std::uint64_t page = line / (4096 / line_bytes_);
+  if (stream_table_.size() > kMaxStreams && !stream_table_.count(page))
+    stream_table_.clear();  // crude monitor recycling
+  StreamEntry& entry = stream_table_[page];
+  if (entry.confidence > 0) {
+    int direction = line > entry.last_line   ? 1
+                    : line < entry.last_line ? -1
+                                             : 0;
+    if (direction != 0 && direction == entry.direction) {
+      if (++entry.confidence >= 2) {
+        for (int d = 1; d <= kStreamDistance; ++d)
+          issue_l2_prefetch(line + static_cast<std::uint64_t>(
+                                       direction * d));
+      }
+    } else if (direction != 0) {
+      entry.direction = direction;
+      entry.confidence = 1;
+    }
+  } else {
+    entry.confidence = 1;
+    entry.direction = 1;
+  }
+  entry.last_line = line;
+}
+
+void CoreCacheModel::access(const MemoryAccess& access) {
+  ++stats_.accesses;
+  std::uint64_t line = access.address / static_cast<std::uint64_t>(line_bytes_);
+
+  // DCU IP-correlated prefetcher trains on every access.
+  if (prefetch_.dcu_ip) {
+    StrideEntry& entry = stride_table_[access.pc];
+    std::int64_t stride = static_cast<std::int64_t>(access.address) -
+                          static_cast<std::int64_t>(entry.last_address);
+    if (entry.last_address != 0 && stride != 0 && stride == entry.stride) {
+      if (++entry.confidence >= 2) {
+        std::uint64_t target =
+            (access.address + 2 * stride) / line_bytes_;
+        issue_l1_prefetch(target);
+      }
+    } else {
+      entry.stride = stride;
+      entry.confidence = 0;
+    }
+    entry.last_address = access.address;
+  }
+
+  bool was_prefetched = l1_.is_prefetched(line);
+  if (l1_.access(line)) {
+    ++stats_.l1_hits;
+    if (was_prefetched) ++stats_.prefetch_hits;
+    return;
+  }
+
+  // DCU next-line prefetcher triggers on L1 demand misses.
+  if (prefetch_.dcu_next_line) issue_l1_prefetch(line + 1);
+
+  // L2 lookup.
+  if (prefetch_.l2_streamer) streamer_observe(line);
+  bool l2_was_prefetched = l2_.is_prefetched(line);
+  if (l2_.access(line)) {
+    ++stats_.l2_hits;
+    if (l2_was_prefetched) ++stats_.prefetch_hits;
+    l1_.insert(line, /*prefetched=*/false);
+    return;
+  }
+
+  // Demand miss beyond L2: fill both levels.
+  ++stats_.l2_misses;
+  l2_fill(line, /*prefetched=*/false);
+  l1_.insert(line, /*prefetched=*/false);
+}
+
+}  // namespace irgnn::sim

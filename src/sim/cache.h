@@ -1,0 +1,132 @@
+// Set-associative caches with LRU replacement and the four per-core Intel
+// hardware prefetchers toggled by MSR 0x1A4:
+//   * DCU next-line    — on an L1 demand access, fetch line+1 into L1.
+//   * DCU IP-correlated— per-PC stride detector prefetching into L1.
+//   * L2 adjacent-line — on an L2 fill, also fetch the 128-byte buddy line.
+//   * L2 streamer      — per-4KB-page stream detector running ahead of the
+//                        access stream into L2 (forward and backward).
+//
+// The hierarchy is private L1+L2 per core (as on both testbeds); the shared
+// L3 and memory system are modeled at the NUMA level by the Simulator.
+// Prefetched lines are tagged so the statistics distinguish useful
+// prefetches (later demand-hit) from cache-polluting ones, and prefetch
+// traffic is accounted — this is what makes prefetchers *hurt* irregular
+// workloads, the effect the configuration space exploits.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/config.h"
+#include "sim/workload_model.h"
+
+namespace irgnn::sim {
+
+struct CacheStats {
+  std::uint64_t accesses = 0;
+  std::uint64_t l1_hits = 0;
+  std::uint64_t l2_hits = 0;
+  std::uint64_t l2_misses = 0;           // demand misses going below L2
+  std::uint64_t prefetches_issued = 0;   // lines requested by any prefetcher
+  std::uint64_t prefetch_hits = 0;       // demand hits on prefetched lines
+  std::uint64_t prefetch_unused = 0;     // prefetched lines evicted untouched
+
+  double l1_hit_rate() const {
+    return accesses ? static_cast<double>(l1_hits) / accesses : 0.0;
+  }
+  double l2_local_hit_rate() const {
+    std::uint64_t below_l1 = accesses - l1_hits;
+    return below_l1 ? static_cast<double>(l2_hits) / below_l1 : 0.0;
+  }
+  double beyond_l2_per_access() const {
+    return accesses ? static_cast<double>(l2_misses) / accesses : 0.0;
+  }
+  double prefetch_traffic_per_access() const {
+    return accesses ? static_cast<double>(prefetches_issued) / accesses : 0.0;
+  }
+  double prefetch_accuracy() const {
+    return prefetches_issued
+               ? static_cast<double>(prefetch_hits) / prefetches_issued
+               : 0.0;
+  }
+};
+
+/// LRU set-associative cache of 64-byte lines.
+class SetAssociativeCache {
+ public:
+  SetAssociativeCache(int size_bytes, int associativity, int line_bytes);
+
+  /// Looks up a line; on hit, updates LRU and returns true.
+  bool access(std::uint64_t line);
+  /// Inserts a line (evicting LRU); `prefetched` tags the line.
+  void insert(std::uint64_t line, bool prefetched);
+  bool contains(std::uint64_t line) const;
+  /// True iff the line is present and still carries the prefetch tag; the
+  /// tag is cleared by a demand access.
+  bool is_prefetched(std::uint64_t line) const;
+
+  /// Number of prefetched-but-never-touched lines evicted so far.
+  std::uint64_t polluting_evictions() const { return polluting_evictions_; }
+
+  int num_sets() const { return num_sets_; }
+
+ private:
+  struct Way {
+    std::uint64_t line = ~0ull;
+    std::uint64_t lru = 0;
+    bool valid = false;
+    bool prefetched = false;
+  };
+  int set_of(std::uint64_t line) const {
+    return static_cast<int>(line % static_cast<std::uint64_t>(num_sets_));
+  }
+
+  int num_sets_;
+  int associativity_;
+  std::vector<Way> ways_;  // num_sets_ * associativity_
+  std::uint64_t tick_ = 0;
+  std::uint64_t polluting_evictions_ = 0;
+};
+
+/// One core's private cache hierarchy plus prefetchers. Feed it a trace;
+/// read the stats.
+class CoreCacheModel {
+ public:
+  CoreCacheModel(const MachineDesc& machine, const PrefetcherConfig& prefetch);
+
+  void access(const MemoryAccess& access);
+  const CacheStats& stats() const { return stats_; }
+
+ private:
+  void l2_fill(std::uint64_t line, bool prefetched);
+  void issue_l1_prefetch(std::uint64_t line);
+  void issue_l2_prefetch(std::uint64_t line);
+  void streamer_observe(std::uint64_t line);
+
+  const int line_bytes_;
+  PrefetcherConfig prefetch_;
+  SetAssociativeCache l1_;
+  SetAssociativeCache l2_;
+  CacheStats stats_;
+
+  // DCU IP-correlated stride table (per access-site).
+  struct StrideEntry {
+    std::uint64_t last_address = 0;
+    std::int64_t stride = 0;
+    int confidence = 0;
+  };
+  std::unordered_map<std::uint32_t, StrideEntry> stride_table_;
+
+  // L2 streamer: per-4KB-page monitors.
+  struct StreamEntry {
+    std::uint64_t last_line = 0;
+    int direction = 0;  // +1 forward, -1 backward
+    int confidence = 0;
+  };
+  std::unordered_map<std::uint64_t, StreamEntry> stream_table_;
+  static constexpr int kStreamDistance = 4;  // lines run-ahead
+  static constexpr int kMaxStreams = 32;
+};
+
+}  // namespace irgnn::sim

@@ -1,0 +1,122 @@
+#include "sim/config.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+namespace irgnn::sim {
+
+const char* thread_mapping_name(ThreadMapping m) {
+  return m == ThreadMapping::Contiguous ? "contiguous" : "round_robin";
+}
+
+const char* page_mapping_name(PageMapping m) {
+  switch (m) {
+    case PageMapping::FirstTouch: return "first_touch";
+    case PageMapping::Locality: return "locality";
+    case PageMapping::Interleave: return "interleave";
+    case PageMapping::Balance: return "balance";
+  }
+  return "<invalid>";
+}
+
+std::string Configuration::to_string() const {
+  std::ostringstream os;
+  os << threads << "T/" << nodes << "N " << thread_mapping_name(thread_mapping)
+     << " " << page_mapping_name(page_mapping) << " pf=";
+  os << (prefetch.dcu_next_line ? "D" : "-")
+     << (prefetch.dcu_ip ? "I" : "-") << (prefetch.l2_adjacent ? "A" : "-")
+     << (prefetch.l2_streamer ? "S" : "-");
+  return os.str();
+}
+
+std::vector<Configuration> enumerate_configurations(const MachineDesc& m) {
+  std::vector<Configuration> numa_part;
+  for (int degree : m.single_node_degrees) {
+    Configuration c;
+    c.threads = degree;
+    c.nodes = 1;
+    c.thread_mapping = ThreadMapping::Contiguous;
+    c.page_mapping = PageMapping::Locality;
+    numa_part.push_back(c);
+  }
+  for (auto [threads, nodes] : m.multi_node_degrees) {
+    for (ThreadMapping tm : {ThreadMapping::Contiguous,
+                             ThreadMapping::RoundRobin}) {
+      for (PageMapping pm : {PageMapping::FirstTouch, PageMapping::Locality,
+                             PageMapping::Interleave, PageMapping::Balance}) {
+        Configuration c;
+        c.threads = threads;
+        c.nodes = nodes;
+        c.thread_mapping = tm;
+        c.page_mapping = pm;
+        numa_part.push_back(c);
+      }
+    }
+  }
+  std::vector<Configuration> out;
+  out.reserve(numa_part.size() * 16);
+  for (int mask = 0; mask < 16; ++mask) {
+    for (Configuration c : numa_part) {
+      c.prefetch = PrefetcherConfig::from_msr_mask(mask);
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+Configuration default_configuration(const MachineDesc& m) {
+  Configuration c;
+  c.threads = m.total_cores();
+  c.nodes = m.num_nodes;
+  c.thread_mapping = ThreadMapping::RoundRobin;  // "threads: scatter"
+  c.page_mapping = PageMapping::Locality;        // "data: locality"
+  c.prefetch = PrefetcherConfig::from_msr_mask(0);
+  return c;
+}
+
+Configuration translate_configuration(const Configuration& c,
+                                      const MachineDesc& from,
+                                      const MachineDesc& to) {
+  Configuration out = c;
+  // Scale the degree of parallelism by the saturation ratio and snap to the
+  // target's legal degrees (Sec. IV-D: a 48-thread Skylake configuration
+  // becomes a 32-thread Sandy Bridge one, and vice versa).
+  double ratio = static_cast<double>(to.total_cores()) /
+                 static_cast<double>(from.total_cores());
+  int want_threads = std::max(1, static_cast<int>(
+                                     std::lround(c.threads * ratio)));
+  double node_ratio =
+      static_cast<double>(to.num_nodes) / static_cast<double>(from.num_nodes);
+  int want_nodes = std::clamp(
+      static_cast<int>(std::lround(c.nodes * node_ratio)), 1, to.num_nodes);
+
+  // Snap to the nearest legal configuration point.
+  long best_cost = -1;
+  for (int degree : to.single_node_degrees) {
+    long cost = std::labs(degree - want_threads) +
+                std::labs(1 - want_nodes) * to.cores_per_node;
+    if (best_cost < 0 || cost < best_cost) {
+      best_cost = cost;
+      out.threads = degree;
+      out.nodes = 1;
+    }
+  }
+  for (auto [threads, nodes] : to.multi_node_degrees) {
+    long cost = std::labs(threads - want_threads) +
+                std::labs(nodes - want_nodes) * to.cores_per_node;
+    if (cost < best_cost) {
+      best_cost = cost;
+      out.threads = threads;
+      out.nodes = nodes;
+    }
+  }
+  if (out.nodes == 1) {
+    out.thread_mapping = ThreadMapping::Contiguous;
+    out.page_mapping = PageMapping::Locality;
+  }
+  return out;
+}
+
+}  // namespace irgnn::sim

@@ -1,0 +1,76 @@
+// The coupled NUMA + hardware-prefetcher configuration space (Sec. II-C).
+//
+// NUMA dimensions follow Popov et al.: degree of parallelism, number of
+// NUMA nodes, thread mapping (contiguous / round-robin a.k.a. scatter) and
+// page mapping (first-touch / locality / interleave / balance). Prefetcher
+// dimensions are the four per-core Intel prefetchers toggled through MSR
+// 0x1A4: DCU next-line, DCU IP-correlated, L2 adjacent-line, L2 streamer —
+// 16 masks. The full space has 320 (Sandy Bridge) or 288 (Skylake) points.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/machine.h"
+
+namespace irgnn::sim {
+
+enum class ThreadMapping { Contiguous, RoundRobin };
+enum class PageMapping { FirstTouch, Locality, Interleave, Balance };
+
+const char* thread_mapping_name(ThreadMapping m);
+const char* page_mapping_name(PageMapping m);
+
+struct PrefetcherConfig {
+  bool dcu_next_line = true;
+  bool dcu_ip = true;
+  bool l2_adjacent = true;
+  bool l2_streamer = true;
+
+  /// MSR-0x1A4-style bit mask (bit set = prefetcher DISABLED, as on the real
+  /// register). Mask 0 means everything enabled.
+  int msr_mask() const {
+    return (l2_streamer ? 0 : 1) | (l2_adjacent ? 0 : 2) |
+           (dcu_next_line ? 0 : 4) | (dcu_ip ? 0 : 8);
+  }
+  static PrefetcherConfig from_msr_mask(int mask) {
+    PrefetcherConfig c;
+    c.l2_streamer = !(mask & 1);
+    c.l2_adjacent = !(mask & 2);
+    c.dcu_next_line = !(mask & 4);
+    c.dcu_ip = !(mask & 8);
+    return c;
+  }
+  bool operator==(const PrefetcherConfig&) const = default;
+};
+
+struct Configuration {
+  int threads = 1;
+  int nodes = 1;
+  ThreadMapping thread_mapping = ThreadMapping::Contiguous;
+  PageMapping page_mapping = PageMapping::Locality;
+  PrefetcherConfig prefetch;
+
+  bool operator==(const Configuration&) const = default;
+  std::string to_string() const;
+};
+
+/// Enumerates the full space for a machine: 320 on Sandy Bridge, 288 on
+/// Skylake. Single-node entries use (Contiguous, Locality) since mappings
+/// collapse there.
+std::vector<Configuration> enumerate_configurations(const MachineDesc& m);
+
+/// The paper's baseline "already optimized default": all cores and NUMA
+/// nodes, data locality, threads scattered, all prefetchers on. Speedups
+/// everywhere in the evaluation are measured against this point.
+Configuration default_configuration(const MachineDesc& m);
+
+/// Translates a configuration between micro-architectures for the
+/// cross-architecture experiment (Sec. IV-D): prefetch and mapping policies
+/// carry over; thread/node counts rescale to the target's saturation points.
+Configuration translate_configuration(const Configuration& c,
+                                      const MachineDesc& from,
+                                      const MachineDesc& to);
+
+}  // namespace irgnn::sim

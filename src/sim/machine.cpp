@@ -1,0 +1,48 @@
+#include "sim/machine.h"
+
+namespace irgnn::sim {
+
+MachineDesc MachineDesc::sandy_bridge() {
+  MachineDesc m;
+  m.name = "SandyBridge";
+  m.num_nodes = 4;
+  m.cores_per_node = 8;
+  m.l2_size_bytes = 256 * 1024;
+  m.l3_size_bytes_per_node = 20ll * 1024 * 1024;
+  m.lat_l1 = 4;
+  m.lat_l2 = 12;
+  m.lat_l3 = 42;
+  m.lat_local_mem = 190;
+  m.lat_remote_mem = 380;  // two QPI hops on the 4-socket topology
+  m.node_bandwidth = 12.0;
+  m.interconnect_bandwidth = 6.0;
+  m.base_ipc = 1.8;
+  // 4 single-node + 2 multi-node x (2 thread maps x 4 page maps)
+  //   = 4 + 16 = 20 NUMA configurations; x16 prefetcher masks = 320.
+  m.single_node_degrees = {1, 2, 4, 8};
+  m.multi_node_degrees = {{16, 2}, {32, 4}};
+  return m;
+}
+
+MachineDesc MachineDesc::skylake() {
+  MachineDesc m;
+  m.name = "Skylake";
+  m.num_nodes = 2;
+  m.cores_per_node = 24;
+  m.l2_size_bytes = 1024 * 1024;
+  m.l3_size_bytes_per_node = 33ll * 1024 * 1024;
+  m.lat_l1 = 4;
+  m.lat_l2 = 14;
+  m.lat_l3 = 50;
+  m.lat_local_mem = 170;
+  m.lat_remote_mem = 290;  // single UPI hop
+  m.node_bandwidth = 32.0;
+  m.interconnect_bandwidth = 14.0;
+  m.base_ipc = 2.2;
+  // 2 single-node + 2 multi-node x 8 = 18 NUMA configurations; x16 = 288.
+  m.single_node_degrees = {12, 24};
+  m.multi_node_degrees = {{24, 2}, {48, 2}};
+  return m;
+}
+
+}  // namespace irgnn::sim

@@ -1,0 +1,57 @@
+// Machine descriptions for the two testbeds of the paper: the four-node
+// Intel Sandy Bridge EP E5-4650 and the dual-node Intel Skylake Platinum
+// 8168. Parameters (cache geometry, latencies, bandwidths) follow public
+// figures for the parts; they drive the trace-driven cache model and the
+// NUMA timing model.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace irgnn::sim {
+
+struct MachineDesc {
+  std::string name;
+  int num_nodes = 0;
+  int cores_per_node = 0;
+
+  // Cache geometry (per core for L1/L2; per node for the shared L3).
+  int line_bytes = 64;
+  int l1_size_bytes = 32 * 1024;
+  int l1_assoc = 8;
+  int l2_size_bytes = 0;
+  int l2_assoc = 8;
+  std::int64_t l3_size_bytes_per_node = 0;
+  int l3_assoc = 16;
+
+  // Access latencies in cycles.
+  double lat_l1 = 4;
+  double lat_l2 = 12;
+  double lat_l3 = 40;
+  double lat_local_mem = 180;
+  double lat_remote_mem = 0;
+
+  // Sustainable bandwidth, bytes per cycle.
+  double node_bandwidth = 0;          // one memory controller
+  double interconnect_bandwidth = 0;  // cross-node links (per node)
+
+  // Core model.
+  double base_ipc = 2.0;  // per-core peak instructions/cycle
+  double smt_threads = 1; // modeled without SMT (paper pins one per core)
+
+  /// Thread-degree options on a single node (thread/page mapping collapse
+  /// there, so each counts once in the configuration space).
+  std::vector<int> single_node_degrees;
+  /// (threads, nodes) options spanning several nodes; these cross with the
+  /// 2 thread mappings x 4 page mappings.
+  std::vector<std::pair<int, int>> multi_node_degrees;
+
+  int total_cores() const { return num_nodes * cores_per_node; }
+
+  static MachineDesc sandy_bridge();
+  static MachineDesc skylake();
+};
+
+}  // namespace irgnn::sim

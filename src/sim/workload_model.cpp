@@ -1,0 +1,125 @@
+#include "sim/workload_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/rng.h"
+
+namespace irgnn::sim {
+
+Phase effective_phase(const WorkloadTraits& traits, std::size_t phase_index,
+                      int call_index) {
+  Phase phase = traits.phases[phase_index];
+  if (traits.call_variability <= 0.0 || call_index <= 0) return phase;
+  // Deterministic per-call drift: irregularity and footprint oscillate with
+  // an amplitude set by call_variability. Mimics convergence phases
+  // (kmeans), data-dependent frontiers (bfs) and residual sweeps (mg).
+  Rng rng(hash_combine64(0xD21F7ull, static_cast<std::uint64_t>(call_index)));
+  // Each region drifts along its own trajectory: two regions with identical
+  // static structure can diverge dynamically (the effect the IR cannot
+  // show, which is what routes them to the dynamic model in the paper).
+  double region_angle = static_cast<double>(
+      hash_combine64(std::hash<std::string>{}(traits.region), 0x9E37ull) %
+      628) / 100.0;
+  double swing =
+      traits.call_variability *
+      std::sin(1.7 * call_index + 0.9 * static_cast<double>(phase_index) +
+               region_angle);
+  for (MemoryStream& stream : phase.streams) {
+    stream.irregularity =
+        std::clamp(stream.irregularity + traits.call_variability *
+                                             rng.uniform(-1.0, 1.0) +
+                       0.6 * swing,
+                   0.0, 1.0);
+    // Footprints swing by up to 3x around the nominal value: convergence
+    // phases, shrinking frontiers and multigrid levels all behave this way.
+    double footprint_factor = 1.0 + 2.0 * swing;
+    stream.footprint_bytes = static_cast<std::uint64_t>(
+        std::max(4096.0, stream.footprint_bytes * footprint_factor));
+    // Sharing pressure also drifts: growing frontiers touch more remote data.
+    stream.temporal_reuse =
+        std::clamp(stream.temporal_reuse - 0.4 * swing, 0.0, 1.0);
+  }
+  phase.sync_cost *= std::max(0.1, 1.0 + 1.2 * swing);
+  phase.flops_per_access *= std::max(0.25, 1.0 - 0.5 * swing);
+  return phase;
+}
+
+Trace generate_trace(const WorkloadTraits& traits, std::size_t phase_index,
+                     int num_threads, double size_scale, int call_index,
+                     const TraceOptions& options) {
+  const Phase phase = effective_phase(traits, phase_index, call_index);
+  Trace trace;
+  if (phase.streams.empty()) return trace;
+
+  Rng rng(hash_combine64(
+      hash_combine64(std::hash<std::string>{}(traits.region), phase_index),
+      hash_combine64(static_cast<std::uint64_t>(num_threads),
+                     static_cast<std::uint64_t>(call_index * 977 + 13))));
+
+  struct Cursor {
+    std::uint64_t base = 0;
+    std::uint64_t footprint = 0;
+    std::uint64_t position = 0;  // byte offset within footprint
+    std::uint32_t pc = 0;
+  };
+  std::vector<Cursor> cursors(phase.streams.size());
+  std::uint64_t next_base = 1ull << 30;  // streams live in disjoint ranges
+  for (std::size_t s = 0; s < phase.streams.size(); ++s) {
+    const MemoryStream& stream = phase.streams[s];
+    double fp = static_cast<double>(stream.footprint_bytes) * size_scale;
+    if (!stream.shared) fp /= std::max(1, num_threads);  // partitioned
+    cursors[s].footprint =
+        std::max<std::uint64_t>(4096, static_cast<std::uint64_t>(fp));
+    cursors[s].base = next_base;
+    next_base += cursors[s].footprint + (1ull << 22);  // pad ranges apart
+    cursors[s].pc = static_cast<std::uint32_t>(s + 1);
+  }
+
+  std::size_t length = std::min<std::size_t>(
+      options.max_length,
+      static_cast<std::size_t>(std::max<std::uint64_t>(
+          64, static_cast<std::uint64_t>(
+                  static_cast<double>(phase.accesses_per_call) * size_scale /
+                  std::max(1, num_threads)))));
+  trace.accesses.reserve(length);
+
+  // Recent lines ring for temporal-reuse modelling.
+  std::vector<std::uint64_t> recent(64, 0);
+  std::size_t recent_head = 0;
+
+  for (std::size_t i = 0; i < length; ++i) {
+    std::size_t s = i % phase.streams.size();
+    const MemoryStream& stream = phase.streams[s];
+    Cursor& cursor = cursors[s];
+
+    std::uint64_t address;
+    if (stream.temporal_reuse > 0.0 && rng.bernoulli(stream.temporal_reuse) &&
+        i > 8) {
+      address = recent[rng.next_below(recent.size())];
+      if (address == 0) address = cursor.base;
+    } else if (stream.irregularity > 0.0 &&
+               rng.bernoulli(stream.irregularity)) {
+      // Random jump within the footprint (pointer chase / indirection).
+      address = cursor.base + rng.next_below(cursor.footprint);
+      cursor.position = address - cursor.base;
+    } else {
+      cursor.position = (cursor.position +
+                         static_cast<std::uint64_t>(
+                             std::llabs(stream.stride_bytes))) %
+                        cursor.footprint;
+      address = cursor.base + cursor.position;
+    }
+    recent[recent_head] = address;
+    recent_head = (recent_head + 1) % recent.size();
+
+    MemoryAccess access;
+    access.address = address;
+    access.pc = cursor.pc;
+    access.is_write = rng.bernoulli(stream.write_fraction);
+    trace.accesses.push_back(access);
+  }
+  return trace;
+}
+
+}  // namespace irgnn::sim

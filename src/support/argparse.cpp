@@ -1,0 +1,101 @@
+#include "support/argparse.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+namespace irgnn {
+
+ArgParser::ArgParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+ArgParser& ArgParser::add(const std::string& name,
+                          const std::string& default_value,
+                          const std::string& help) {
+  if (!flags_.count(name)) order_.push_back(name);
+  flags_[name] = Flag{default_value, help};
+  return *this;
+}
+
+bool ArgParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(usage().c_str(), stdout);
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "error: unexpected positional argument '%s'\n%s",
+                   arg.c_str(), usage().c_str());
+      return false;
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    auto eq = name.find('=');
+    if (eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      has_value = true;
+    }
+    auto it = flags_.find(name);
+    if (it == flags_.end()) {
+      std::fprintf(stderr, "error: unknown flag '--%s'\n%s", name.c_str(),
+                   usage().c_str());
+      return false;
+    }
+    if (!has_value) {
+      // Boolean flags may omit the value; everything else takes the next arg.
+      bool is_bool = it->second.default_value == "true" ||
+                     it->second.default_value == "false";
+      if (is_bool && (i + 1 >= argc ||
+                      std::string(argv[i + 1]).rfind("--", 0) == 0)) {
+        value = "true";
+      } else if (i + 1 < argc) {
+        value = argv[++i];
+      } else {
+        std::fprintf(stderr, "error: flag '--%s' expects a value\n%s",
+                     name.c_str(), usage().c_str());
+        return false;
+      }
+    }
+    values_[name] = value;
+  }
+  return true;
+}
+
+std::string ArgParser::get_string(const std::string& name) const {
+  auto vit = values_.find(name);
+  if (vit != values_.end()) return vit->second;
+  auto fit = flags_.find(name);
+  if (fit == flags_.end())
+    throw std::invalid_argument("unregistered flag: " + name);
+  return fit->second.default_value;
+}
+
+std::int64_t ArgParser::get_int(const std::string& name) const {
+  return std::strtoll(get_string(name).c_str(), nullptr, 10);
+}
+
+double ArgParser::get_double(const std::string& name) const {
+  return std::strtod(get_string(name).c_str(), nullptr);
+}
+
+bool ArgParser::get_bool(const std::string& name) const {
+  std::string v = get_string(name);
+  return v == "true" || v == "1" || v == "yes";
+}
+
+std::string ArgParser::usage() const {
+  std::ostringstream os;
+  os << program_ << " — " << description_ << "\n\nFlags:\n";
+  for (const auto& name : order_) {
+    const Flag& f = flags_.at(name);
+    os << "  --" << name << " (default: " << f.default_value << ")\n      "
+       << f.help << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace irgnn

@@ -1,0 +1,47 @@
+// Minimal command-line flag parser used by the bench and example binaries.
+//
+// Supports `--name value`, `--name=value` and boolean `--name`. Unknown flags
+// are reported as errors so that harness typos do not silently change an
+// experiment's scale.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace irgnn {
+
+class ArgParser {
+ public:
+  ArgParser(std::string program, std::string description);
+
+  /// Registers a flag with a default value and a help string. Returns *this
+  /// for chaining. Values are stored as strings and converted on access.
+  ArgParser& add(const std::string& name, const std::string& default_value,
+                 const std::string& help);
+
+  /// Parses argv. On `--help` prints usage and returns false. On an unknown
+  /// or malformed flag prints an error plus usage and returns false.
+  bool parse(int argc, const char* const* argv);
+
+  std::string get_string(const std::string& name) const;
+  std::int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  bool get_bool(const std::string& name) const;
+
+  std::string usage() const;
+
+ private:
+  struct Flag {
+    std::string default_value;
+    std::string help;
+  };
+  std::string program_;
+  std::string description_;
+  std::vector<std::string> order_;  // registration order for usage output
+  std::map<std::string, Flag> flags_;
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace irgnn

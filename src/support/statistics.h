@@ -1,0 +1,60 @@
+// Small statistics helpers shared by the evaluation harnesses.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstddef>
+#include <numeric>
+#include <vector>
+
+namespace irgnn {
+
+inline double mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  return std::accumulate(v.begin(), v.end(), 0.0) / static_cast<double>(v.size());
+}
+
+inline double geomean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double acc = 0.0;
+  for (double x : v) acc += std::log(std::max(x, 1e-300));
+  return std::exp(acc / static_cast<double>(v.size()));
+}
+
+inline double stddev(const std::vector<double>& v) {
+  if (v.size() < 2) return 0.0;
+  double m = mean(v);
+  double acc = 0.0;
+  for (double x : v) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(v.size() - 1));
+}
+
+inline double median(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  std::size_t n = v.size();
+  return n % 2 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+/// Relative difference between two positive quantities as used throughout the
+/// paper's evaluation: |a-b| / max(|a|,|b|). Zero when both are zero.
+inline double relative_difference(double a, double b) {
+  double denom = std::max(std::fabs(a), std::fabs(b));
+  if (denom == 0.0) return 0.0;
+  return std::fabs(a - b) / denom;
+}
+
+inline std::size_t argmin(const std::vector<double>& v) {
+  assert(!v.empty());
+  return static_cast<std::size_t>(
+      std::min_element(v.begin(), v.end()) - v.begin());
+}
+
+inline std::size_t argmax(const std::vector<double>& v) {
+  assert(!v.empty());
+  return static_cast<std::size_t>(
+      std::max_element(v.begin(), v.end()) - v.begin());
+}
+
+}  // namespace irgnn

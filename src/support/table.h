@@ -1,0 +1,39 @@
+// Aligned console tables and CSV output for the figure-reproduction benches.
+//
+// Every bench binary prints (a) a human-readable aligned table mirroring the
+// rows/series of the corresponding paper figure and (b) optionally the same
+// data as CSV for downstream plotting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace irgnn {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string fmt(double v, int precision = 3);
+
+  /// Renders the table with aligned columns.
+  std::string to_string() const;
+
+  /// Renders as CSV (comma-separated, quotes around cells containing commas).
+  std::string to_csv() const;
+
+  /// Prints `to_string()` to stdout.
+  void print() const;
+
+  /// Writes CSV to the given path; returns false on I/O failure.
+  bool write_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace irgnn

@@ -1,0 +1,489 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace irgnn::tensor {
+
+using detail::Node;
+
+namespace {
+
+std::shared_ptr<Node> make_node(Shape shape) {
+  auto node = std::make_shared<Node>();
+  node->shape = shape;
+  node->data.assign(static_cast<std::size_t>(shape.numel()), 0.0f);
+  return node;
+}
+
+/// Output node wired to parents; requires_grad propagates.
+std::shared_ptr<Node> make_op_node(
+    Shape shape, std::vector<std::shared_ptr<Node>> parents,
+    std::function<void(Node&)> backward) {
+  auto node = make_node(shape);
+  for (const auto& p : parents) node->requires_grad |= p->requires_grad;
+  if (node->requires_grad) {
+    node->parents = std::move(parents);
+    node->backward_fn = std::move(backward);
+  }
+  return node;
+}
+
+}  // namespace
+
+Tensor Tensor::zeros(Shape shape, bool requires_grad) {
+  auto node = make_node(shape);
+  node->requires_grad = requires_grad;
+  return Tensor(node);
+}
+
+Tensor Tensor::full(Shape shape, float value, bool requires_grad) {
+  auto node = make_node(shape);
+  std::fill(node->data.begin(), node->data.end(), value);
+  node->requires_grad = requires_grad;
+  return Tensor(node);
+}
+
+Tensor Tensor::from_data(Shape shape, std::vector<float> values,
+                         bool requires_grad) {
+  assert(static_cast<int>(values.size()) == shape.numel());
+  auto node = make_node(shape);
+  node->data = std::move(values);
+  node->requires_grad = requires_grad;
+  return Tensor(node);
+}
+
+Tensor Tensor::xavier(Shape shape, Rng& rng) {
+  auto node = make_node(shape);
+  float limit = std::sqrt(6.0f / static_cast<float>(shape.rows + shape.cols));
+  for (float& v : node->data)
+    v = static_cast<float>(rng.uniform(-limit, limit));
+  node->requires_grad = true;
+  return Tensor(node);
+}
+
+Tensor Tensor::kaiming(Shape shape, Rng& rng) {
+  auto node = make_node(shape);
+  float stddev = std::sqrt(2.0f / static_cast<float>(shape.rows));
+  for (float& v : node->data)
+    v = static_cast<float>(rng.normal(0.0, stddev));
+  node->requires_grad = true;
+  return Tensor(node);
+}
+
+void Tensor::backward() {
+  if (!node_->requires_grad)
+    throw std::logic_error("backward() on a non-grad tensor");
+  // Topological order via iterative DFS. Index into the stack rather than
+  // holding a reference: pushing may reallocate the vector.
+  std::vector<Node*> order;
+  std::unordered_set<Node*> visited;
+  std::vector<std::pair<Node*, std::size_t>> stack{{node_.get(), 0}};
+  visited.insert(node_.get());
+  while (!stack.empty()) {
+    std::size_t top = stack.size() - 1;
+    Node* node = stack[top].first;
+    if (stack[top].second < node->parents.size()) {
+      Node* child = node->parents[stack[top].second++].get();
+      if (child->requires_grad && visited.insert(child).second)
+        stack.push_back({child, 0});
+    } else {
+      order.push_back(node);
+      stack.pop_back();
+    }
+  }
+  node_->ensure_grad();
+  std::fill(node_->grad.begin(), node_->grad.end(), 0.0f);
+  node_->grad[0] = 1.0f;  // seed (scalar roots)
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    if ((*it)->backward_fn) {
+      for (auto& p : (*it)->parents)
+        if (p->requires_grad) p->ensure_grad();
+      (*it)->backward_fn(**it);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Kernels
+// ---------------------------------------------------------------------------
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  assert(a.cols() == b.rows());
+  const int m = a.rows();
+  const int k = a.cols();
+  const int n = b.cols();
+  auto node = make_op_node(
+      {m, n}, {a.node(), b.node()}, [m, k, n](Node& out) {
+        Node& A = *out.parents[0];
+        Node& B = *out.parents[1];
+        const float* g = out.grad.data();
+        if (A.requires_grad) {
+          // dA = dC * B^T
+          float* ga = A.grad.data();
+#pragma omp parallel for if (m * k > 4096)
+          for (int i = 0; i < m; ++i)
+            for (int j = 0; j < n; ++j) {
+              float gij = g[i * n + j];
+              const float* brow = B.data.data() + j;
+              for (int l = 0; l < k; ++l) ga[i * k + l] += gij * brow[l * n];
+            }
+        }
+        if (B.requires_grad) {
+          // dB = A^T * dC
+          float* gb = B.grad.data();
+#pragma omp parallel for if (k * n > 4096)
+          for (int l = 0; l < k; ++l)
+            for (int i = 0; i < m; ++i) {
+              float ail = A.data[i * k + l];
+              const float* grow = g + i * n;
+              for (int j = 0; j < n; ++j) gb[l * n + j] += ail * grow[j];
+            }
+        }
+      });
+  // Forward: ikj loop order for locality.
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = node->data.data();
+#pragma omp parallel for if (m * n > 4096)
+  for (int i = 0; i < m; ++i) {
+    float* crow = pc + i * n;
+    for (int l = 0; l < k; ++l) {
+      float ail = pa[i * k + l];
+      if (ail == 0.0f) continue;
+      const float* brow = pb + l * n;
+      for (int j = 0; j < n; ++j) crow[j] += ail * brow[j];
+    }
+  }
+  return Tensor(node);
+}
+
+namespace {
+
+Tensor elementwise(const Tensor& a, const Tensor& b, float sign_b,
+                   bool product) {
+  assert(a.shape() == b.shape());
+  auto node = make_op_node(
+      a.shape(), {a.node(), b.node()},
+      [sign_b, product](Node& out) {
+        Node& A = *out.parents[0];
+        Node& B = *out.parents[1];
+        const std::size_t n = out.data.size();
+        for (std::size_t i = 0; i < n; ++i) {
+          float g = out.grad[i];
+          if (product) {
+            if (A.requires_grad) A.grad[i] += g * B.data[i];
+            if (B.requires_grad) B.grad[i] += g * A.data[i];
+          } else {
+            if (A.requires_grad) A.grad[i] += g;
+            if (B.requires_grad) B.grad[i] += g * sign_b;
+          }
+        }
+      });
+  const std::size_t n = node->data.size();
+  for (std::size_t i = 0; i < n; ++i)
+    node->data[i] = product ? a.data()[i] * b.data()[i]
+                            : a.data()[i] + sign_b * b.data()[i];
+  return Tensor(node);
+}
+
+}  // namespace
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  return elementwise(a, b, 1.0f, false);
+}
+Tensor sub(const Tensor& a, const Tensor& b) {
+  return elementwise(a, b, -1.0f, false);
+}
+Tensor mul(const Tensor& a, const Tensor& b) {
+  return elementwise(a, b, 0.0f, true);
+}
+
+Tensor add_bias(const Tensor& a, const Tensor& b) {
+  assert(b.rows() == 1 && b.cols() == a.cols());
+  const int m = a.rows();
+  const int n = a.cols();
+  auto node = make_op_node({m, n}, {a.node(), b.node()}, [m, n](Node& out) {
+    Node& A = *out.parents[0];
+    Node& B = *out.parents[1];
+    for (int i = 0; i < m; ++i)
+      for (int j = 0; j < n; ++j) {
+        float g = out.grad[i * n + j];
+        if (A.requires_grad) A.grad[i * n + j] += g;
+        if (B.requires_grad) B.grad[j] += g;
+      }
+  });
+  for (int i = 0; i < m; ++i)
+    for (int j = 0; j < n; ++j)
+      node->data[i * n + j] = a.data()[i * n + j] + b.data()[j];
+  return Tensor(node);
+}
+
+Tensor scale(const Tensor& a, float s) {
+  auto node = make_op_node(a.shape(), {a.node()}, [s](Node& out) {
+    Node& A = *out.parents[0];
+    if (!A.requires_grad) return;
+    for (std::size_t i = 0; i < out.data.size(); ++i)
+      A.grad[i] += s * out.grad[i];
+  });
+  for (std::size_t i = 0; i < node->data.size(); ++i)
+    node->data[i] = s * a.data()[i];
+  return Tensor(node);
+}
+
+Tensor relu(const Tensor& a) {
+  auto node = make_op_node(a.shape(), {a.node()}, [](Node& out) {
+    Node& A = *out.parents[0];
+    if (!A.requires_grad) return;
+    for (std::size_t i = 0; i < out.data.size(); ++i)
+      if (out.data[i] > 0.0f) A.grad[i] += out.grad[i];
+  });
+  for (std::size_t i = 0; i < node->data.size(); ++i)
+    node->data[i] = std::max(0.0f, a.data()[i]);
+  return Tensor(node);
+}
+
+Tensor tanh_t(const Tensor& a) {
+  auto node = make_op_node(a.shape(), {a.node()}, [](Node& out) {
+    Node& A = *out.parents[0];
+    if (!A.requires_grad) return;
+    for (std::size_t i = 0; i < out.data.size(); ++i)
+      A.grad[i] += (1.0f - out.data[i] * out.data[i]) * out.grad[i];
+  });
+  for (std::size_t i = 0; i < node->data.size(); ++i)
+    node->data[i] = std::tanh(a.data()[i]);
+  return Tensor(node);
+}
+
+Tensor sigmoid(const Tensor& a) {
+  auto node = make_op_node(a.shape(), {a.node()}, [](Node& out) {
+    Node& A = *out.parents[0];
+    if (!A.requires_grad) return;
+    for (std::size_t i = 0; i < out.data.size(); ++i)
+      A.grad[i] += out.data[i] * (1.0f - out.data[i]) * out.grad[i];
+  });
+  for (std::size_t i = 0; i < node->data.size(); ++i)
+    node->data[i] = 1.0f / (1.0f + std::exp(-a.data()[i]));
+  return Tensor(node);
+}
+
+Tensor layer_norm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
+                  float eps) {
+  assert(gamma.rows() == 1 && gamma.cols() == x.cols());
+  assert(beta.rows() == 1 && beta.cols() == x.cols());
+  const int m = x.rows();
+  const int n = x.cols();
+  // Cache per-row mean and inverse stddev for the backward pass.
+  auto stats = std::make_shared<std::vector<float>>(2 * m);
+  auto node = make_op_node(
+      {m, n}, {x.node(), gamma.node(), beta.node()},
+      [m, n, stats, eps](Node& out) {
+        Node& X = *out.parents[0];
+        Node& G = *out.parents[1];
+        Node& B = *out.parents[2];
+        for (int i = 0; i < m; ++i) {
+          float mean = (*stats)[2 * i];
+          float inv_std = (*stats)[2 * i + 1];
+          // xhat_j = (x_j - mean) * inv_std; y_j = gamma_j * xhat_j + beta_j
+          float sum_dy_g = 0.0f;
+          float sum_dy_g_xhat = 0.0f;
+          for (int j = 0; j < n; ++j) {
+            float xhat = (X.data[i * n + j] - mean) * inv_std;
+            float dy = out.grad[i * n + j];
+            float dy_g = dy * G.data[j];
+            sum_dy_g += dy_g;
+            sum_dy_g_xhat += dy_g * xhat;
+            if (G.requires_grad) G.grad[j] += dy * xhat;
+            if (B.requires_grad) B.grad[j] += dy;
+          }
+          if (X.requires_grad) {
+            for (int j = 0; j < n; ++j) {
+              float xhat = (X.data[i * n + j] - mean) * inv_std;
+              X.grad[i * n + j] +=
+                  inv_std *
+                  (out.grad[i * n + j] * G.data[j] -
+                   (sum_dy_g + xhat * sum_dy_g_xhat) / static_cast<float>(n));
+            }
+          }
+        }
+      });
+  for (int i = 0; i < m; ++i) {
+    float mean = 0.0f;
+    for (int j = 0; j < n; ++j) mean += x.data()[i * n + j];
+    mean /= static_cast<float>(n);
+    float var = 0.0f;
+    for (int j = 0; j < n; ++j) {
+      float d = x.data()[i * n + j] - mean;
+      var += d * d;
+    }
+    var /= static_cast<float>(n);
+    float inv_std = 1.0f / std::sqrt(var + eps);
+    (*stats)[2 * i] = mean;
+    (*stats)[2 * i + 1] = inv_std;
+    for (int j = 0; j < n; ++j)
+      node->data[i * n + j] =
+          gamma.data()[j] * (x.data()[i * n + j] - mean) * inv_std +
+          beta.data()[j];
+  }
+  return Tensor(node);
+}
+
+Tensor embedding(const Tensor& table, const std::vector<int>& indices) {
+  const int d = table.cols();
+  const int m = static_cast<int>(indices.size());
+  auto idx = std::make_shared<std::vector<int>>(indices);
+  auto node = make_op_node({m, d}, {table.node()}, [d, m, idx](Node& out) {
+    Node& T = *out.parents[0];
+    if (!T.requires_grad) return;
+    for (int i = 0; i < m; ++i) {
+      float* trow = T.grad.data() + (*idx)[i] * d;
+      const float* grow = out.grad.data() + i * d;
+      for (int j = 0; j < d; ++j) trow[j] += grow[j];
+    }
+  });
+  for (int i = 0; i < m; ++i) {
+    assert(indices[i] >= 0 && indices[i] < table.rows());
+    std::copy(table.data() + indices[i] * d, table.data() + (indices[i] + 1) * d,
+              node->data.data() + i * d);
+  }
+  return Tensor(node);
+}
+
+Tensor gather_rows(const Tensor& x, const std::vector<int>& index) {
+  return embedding(x, index);  // identical semantics
+}
+
+Tensor index_add_rows(const Tensor& x, const std::vector<int>& dst,
+                      const std::vector<float>& coeff, int num_rows) {
+  assert(dst.size() == static_cast<std::size_t>(x.rows()));
+  assert(coeff.size() == dst.size());
+  const int d = x.cols();
+  const int e = x.rows();
+  auto dst_copy = std::make_shared<std::vector<int>>(dst);
+  auto coeff_copy = std::make_shared<std::vector<float>>(coeff);
+  auto node = make_op_node(
+      {num_rows, d}, {x.node()}, [d, e, dst_copy, coeff_copy](Node& out) {
+        Node& X = *out.parents[0];
+        if (!X.requires_grad) return;
+#pragma omp parallel for if (e * d > 8192)
+        for (int i = 0; i < e; ++i) {
+          const float* grow = out.grad.data() + (*dst_copy)[i] * d;
+          float* xrow = X.grad.data() + i * d;
+          float c = (*coeff_copy)[i];
+          for (int j = 0; j < d; ++j) xrow[j] += c * grow[j];
+        }
+      });
+  for (int i = 0; i < e; ++i) {
+    assert(dst[i] >= 0 && dst[i] < num_rows);
+    float* orow = node->data.data() + dst[i] * d;
+    const float* xrow = x.data() + i * d;
+    for (int j = 0; j < d; ++j) orow[j] += coeff[i] * xrow[j];
+  }
+  return Tensor(node);
+}
+
+Tensor segment_mean(const Tensor& x, const std::vector<int>& segment,
+                    int num_segments) {
+  assert(segment.size() == static_cast<std::size_t>(x.rows()));
+  const int d = x.cols();
+  const int n = x.rows();
+  auto counts = std::make_shared<std::vector<float>>(num_segments, 0.0f);
+  for (int i = 0; i < n; ++i) (*counts)[segment[i]] += 1.0f;
+  auto seg = std::make_shared<std::vector<int>>(segment);
+  auto node = make_op_node(
+      {num_segments, d}, {x.node()}, [d, n, seg, counts](Node& out) {
+        Node& X = *out.parents[0];
+        if (!X.requires_grad) return;
+        for (int i = 0; i < n; ++i) {
+          float inv = 1.0f / (*counts)[(*seg)[i]];
+          const float* grow = out.grad.data() + (*seg)[i] * d;
+          float* xrow = X.grad.data() + i * d;
+          for (int j = 0; j < d; ++j) xrow[j] += inv * grow[j];
+        }
+      });
+  for (int i = 0; i < n; ++i) {
+    float inv = 1.0f / (*counts)[segment[i]];
+    float* orow = node->data.data() + segment[i] * d;
+    const float* xrow = x.data() + i * d;
+    for (int j = 0; j < d; ++j) orow[j] += inv * xrow[j];
+  }
+  return Tensor(node);
+}
+
+Tensor log_softmax(const Tensor& x) {
+  const int m = x.rows();
+  const int n = x.cols();
+  auto node = make_op_node({m, n}, {x.node()}, [m, n](Node& out) {
+    Node& X = *out.parents[0];
+    if (!X.requires_grad) return;
+    for (int i = 0; i < m; ++i) {
+      float sum_g = 0.0f;
+      for (int j = 0; j < n; ++j) sum_g += out.grad[i * n + j];
+      for (int j = 0; j < n; ++j)
+        X.grad[i * n + j] +=
+            out.grad[i * n + j] - std::exp(out.data[i * n + j]) * sum_g;
+    }
+  });
+  for (int i = 0; i < m; ++i) {
+    float mx = x.data()[i * n];
+    for (int j = 1; j < n; ++j) mx = std::max(mx, x.data()[i * n + j]);
+    float sum = 0.0f;
+    for (int j = 0; j < n; ++j) sum += std::exp(x.data()[i * n + j] - mx);
+    float lse = mx + std::log(sum);
+    for (int j = 0; j < n; ++j)
+      node->data[i * n + j] = x.data()[i * n + j] - lse;
+  }
+  return Tensor(node);
+}
+
+Tensor nll_loss(const Tensor& log_probs, const std::vector<int>& targets) {
+  assert(targets.size() == static_cast<std::size_t>(log_probs.rows()));
+  const int m = log_probs.rows();
+  const int n = log_probs.cols();
+  auto tgt = std::make_shared<std::vector<int>>(targets);
+  auto node = make_op_node({1, 1}, {log_probs.node()}, [m, n, tgt](Node& out) {
+    Node& L = *out.parents[0];
+    if (!L.requires_grad) return;
+    float g = out.grad[0] / static_cast<float>(m);
+    for (int i = 0; i < m; ++i) L.grad[i * n + (*tgt)[i]] -= g;
+  });
+  float loss = 0.0f;
+  for (int i = 0; i < m; ++i) {
+    assert(targets[i] >= 0 && targets[i] < n);
+    loss -= log_probs.data()[i * n + targets[i]];
+  }
+  node->data[0] = loss / static_cast<float>(m);
+  return Tensor(node);
+}
+
+Tensor dropout(const Tensor& x, float p, Rng& rng, bool training) {
+  if (!training || p <= 0.0f) return x;
+  auto mask = std::make_shared<std::vector<float>>(x.numel());
+  float keep = 1.0f - p;
+  for (float& v : *mask) v = rng.bernoulli(keep) ? 1.0f / keep : 0.0f;
+  auto node = make_op_node(x.shape(), {x.node()}, [mask](Node& out) {
+    Node& X = *out.parents[0];
+    if (!X.requires_grad) return;
+    for (std::size_t i = 0; i < out.data.size(); ++i)
+      X.grad[i] += (*mask)[i] * out.grad[i];
+  });
+  for (int i = 0; i < x.numel(); ++i)
+    node->data[i] = (*mask)[i] * x.data()[i];
+  return Tensor(node);
+}
+
+std::vector<int> argmax_rows(const Tensor& x) {
+  std::vector<int> out(x.rows());
+  for (int i = 0; i < x.rows(); ++i) {
+    int best = 0;
+    for (int j = 1; j < x.cols(); ++j)
+      if (x.at(i, j) > x.at(i, best)) best = j;
+    out[i] = best;
+  }
+  return out;
+}
+
+}  // namespace irgnn::tensor

@@ -1,0 +1,146 @@
+// Minimal tape-based autograd tensor library (the libtorch stand-in).
+//
+// Tensors are handles to shared nodes holding float data, an optional
+// gradient buffer and a backward closure. Ops build the DAG eagerly;
+// Tensor::backward() topologically sorts the graph and accumulates
+// gradients. Shapes are rank-1/2 (vectors and matrices) — all the GNN needs.
+// Heavy kernels (matmul, scatter/gather) parallelize with OpenMP.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "support/rng.h"
+
+namespace irgnn::tensor {
+
+struct Shape {
+  int rows = 0;
+  int cols = 1;  // rank-1 tensors have cols == 1
+  int numel() const { return rows * cols; }
+  bool operator==(const Shape& o) const {
+    return rows == o.rows && cols == o.cols;
+  }
+};
+
+class Tensor;
+
+namespace detail {
+struct Node {
+  Shape shape;
+  std::vector<float> data;
+  std::vector<float> grad;  // sized lazily on first backward touch
+  bool requires_grad = false;
+  std::vector<std::shared_ptr<Node>> parents;
+  std::function<void(Node&)> backward_fn;  // accumulates into parents' grads
+
+  void ensure_grad() {
+    if (grad.empty()) grad.assign(data.size(), 0.0f);
+  }
+};
+}  // namespace detail
+
+class Tensor {
+ public:
+  Tensor() = default;
+
+  // --- Constructors -------------------------------------------------------
+  static Tensor zeros(Shape shape, bool requires_grad = false);
+  static Tensor full(Shape shape, float value, bool requires_grad = false);
+  static Tensor from_data(Shape shape, std::vector<float> values,
+                          bool requires_grad = false);
+  /// Xavier/Glorot-uniform initialized parameter.
+  static Tensor xavier(Shape shape, Rng& rng);
+  /// Kaiming/He-normal initialized parameter (for ReLU stacks).
+  static Tensor kaiming(Shape shape, Rng& rng);
+
+  bool defined() const { return node_ != nullptr; }
+  const Shape& shape() const { return node_->shape; }
+  int rows() const { return node_->shape.rows; }
+  int cols() const { return node_->shape.cols; }
+  int numel() const { return node_->shape.numel(); }
+
+  float* data() { return node_->data.data(); }
+  const float* data() const { return node_->data.data(); }
+  float* grad() {
+    node_->ensure_grad();
+    return node_->grad.data();
+  }
+  bool requires_grad() const { return node_->requires_grad; }
+
+  float at(int r, int c = 0) const { return node_->data[r * cols() + c]; }
+  float item() const { return node_->data.at(0); }
+
+  /// Runs reverse-mode autodiff from this (scalar) tensor.
+  void backward();
+
+  /// Clears the gradient buffer (optimizers call this between steps).
+  void zero_grad() {
+    if (!node_->grad.empty())
+      std::fill(node_->grad.begin(), node_->grad.end(), 0.0f);
+  }
+
+  std::shared_ptr<detail::Node> node() const { return node_; }
+  explicit Tensor(std::shared_ptr<detail::Node> node)
+      : node_(std::move(node)) {}
+
+ private:
+  std::shared_ptr<detail::Node> node_;
+};
+
+// --- Ops (forward builds the tape) ------------------------------------------
+
+/// C[m,n] = A[m,k] * B[k,n]
+Tensor matmul(const Tensor& a, const Tensor& b);
+
+/// Elementwise addition of same-shape tensors.
+Tensor add(const Tensor& a, const Tensor& b);
+
+/// Adds a row vector b[1,n] to every row of a[m,n].
+Tensor add_bias(const Tensor& a, const Tensor& b);
+
+/// Elementwise subtraction / product.
+Tensor sub(const Tensor& a, const Tensor& b);
+Tensor mul(const Tensor& a, const Tensor& b);
+
+/// Scalar multiply.
+Tensor scale(const Tensor& a, float s);
+
+Tensor relu(const Tensor& a);
+Tensor tanh_t(const Tensor& a);
+Tensor sigmoid(const Tensor& a);
+
+/// Row-wise layer normalization with learnable gamma/beta (both [1,n]).
+Tensor layer_norm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
+                  float eps = 1e-5f);
+
+/// out[i,:] = table[indices[i],:]
+Tensor embedding(const Tensor& table, const std::vector<int>& indices);
+
+/// out[i,:] = x[index[i],:]  (row gather)
+Tensor gather_rows(const Tensor& x, const std::vector<int>& index);
+
+/// out[num_rows, d]; out[dst[e],:] += coeff[e] * x[e,:]
+Tensor index_add_rows(const Tensor& x, const std::vector<int>& dst,
+                      const std::vector<float>& coeff, int num_rows);
+
+/// Mean over row segments: out[s,:] = mean over {i : segment[i]==s} of x[i,:].
+/// Empty segments produce zero rows.
+Tensor segment_mean(const Tensor& x, const std::vector<int>& segment,
+                    int num_segments);
+
+/// Row-wise log-softmax.
+Tensor log_softmax(const Tensor& x);
+
+/// Mean negative log-likelihood of `targets` under log-probabilities.
+Tensor nll_loss(const Tensor& log_probs, const std::vector<int>& targets);
+
+/// Inverted dropout; identity when `training` is false.
+Tensor dropout(const Tensor& x, float p, Rng& rng, bool training);
+
+/// argmax per row.
+std::vector<int> argmax_rows(const Tensor& x);
+
+}  // namespace irgnn::tensor

@@ -1,0 +1,261 @@
+#include "workloads/ir_builders.h"
+
+#include <cassert>
+
+#include "ir/irbuilder.h"
+
+namespace irgnn::workloads {
+
+using ir::BasicBlock;
+using ir::Function;
+using ir::ICmpPred;
+using ir::IRBuilder;
+using ir::Instruction;
+using ir::Module;
+using ir::Opcode;
+using ir::Type;
+using ir::Value;
+
+std::string outlined_name(const std::string& kernel_name) {
+  return kernel_name + ".omp_outlined";
+}
+
+namespace {
+
+/// Emits a frontend-style counted loop driven by an alloca'd counter
+/// (mem2reg and friends then have real work to do on the augmented
+/// variants). Returns the loaded counter value inside the body.
+struct LoopFrame {
+  BasicBlock* header;
+  BasicBlock* body;
+  BasicBlock* exit;
+  Value* counter;        // loaded i64 value in the body
+  Instruction* counter_slot;  // the alloca
+};
+
+LoopFrame begin_loop(IRBuilder& b, Function* fn, const std::string& tag,
+                     Value* bound) {
+  Module* m = b.module();
+  auto& ctx = m->types();
+  Instruction* slot =
+      b.create_alloca(ctx.int64_ty(), nullptr, tag + ".slot");
+  b.create_store(m->get_i64(0), slot);
+  BasicBlock* header = fn->add_block(tag + ".header");
+  BasicBlock* body = fn->add_block(tag + ".body");
+  BasicBlock* exit = fn->add_block(tag + ".exit");
+  b.create_br(header);
+
+  b.set_insert_point(header);
+  Value* i = b.create_load(slot, tag + ".i");
+  Value* cond = b.create_icmp(ICmpPred::SLT, i, bound, tag + ".cond");
+  b.create_cond_br(cond, body, exit);
+
+  b.set_insert_point(body);
+  Value* i_body = b.create_load(slot, tag + ".iv");
+  LoopFrame frame{header, body, exit, i_body, slot};
+  return frame;
+}
+
+void end_loop(IRBuilder& b, const LoopFrame& frame) {
+  Module* m = b.module();
+  Value* next = b.create_add(frame.counter, m->get_i64(1));
+  b.create_store(next, frame.counter_slot);
+  b.create_br(frame.header);
+  b.set_insert_point(frame.exit);
+}
+
+}  // namespace
+
+std::unique_ptr<Module> build_kernel_module(const KernelSpec& spec) {
+  auto module = std::make_unique<Module>(spec.name);
+  auto& ctx = module->types();
+  Type* f64 = ctx.double_ty();
+  Type* i64 = ctx.int64_ty();
+  Type* f64p = ctx.pointer_to(f64);
+  Type* i64p = ctx.pointer_to(i64);
+
+  // Runtime declarations.
+  Function* sqrt_fn = nullptr;
+  Function* exp_fn = nullptr;
+  if (spec.math_calls > 0) {
+    sqrt_fn = module->add_function(ctx.function(f64, {f64}), "sqrt");
+    sqrt_fn->set_attribute("pure", "true");
+    exp_fn = module->add_function(ctx.function(f64, {f64}), "exp");
+    exp_fn->set_attribute("pure", "true");
+  }
+  Function* barrier_fn = nullptr;
+  if (spec.barrier_calls > 0) {
+    barrier_fn =
+        module->add_function(ctx.function(ctx.void_ty(), {}), "omp_barrier");
+  }
+
+  // Outlined kernel signature: (i64 n, double* a0..ak-1 [, i64* idx]).
+  std::vector<Type*> params{i64};
+  for (int a = 0; a < spec.num_arrays; ++a) params.push_back(f64p);
+  const bool needs_index = spec.indirect_gather || spec.pointer_chase;
+  if (needs_index) params.push_back(i64p);
+  Function* kernel = module->add_function(ctx.function(ctx.void_ty(), params),
+                                          outlined_name(spec.name));
+  kernel->set_attribute("omp.outlined", "true");
+  kernel->set_arg_name(0, "n");
+  for (int a = 0; a < spec.num_arrays; ++a)
+    kernel->set_arg_name(1 + a, "a" + std::to_string(a));
+  if (needs_index)
+    kernel->set_arg_name(1 + spec.num_arrays, "idx");
+
+  IRBuilder b(module.get());
+  BasicBlock* entry = kernel->add_block("entry");
+  b.set_insert_point(entry);
+
+  Value* n = kernel->arg(0);
+  std::vector<Value*> arrays;
+  for (int a = 0; a < spec.num_arrays; ++a)
+    arrays.push_back(kernel->arg(1 + a));
+  Value* index_array =
+      needs_index ? kernel->arg(1 + spec.num_arrays) : nullptr;
+
+  // Pointer-chase cursor lives in a slot (loop-carried dependence).
+  Instruction* chase_slot = nullptr;
+  if (spec.pointer_chase) {
+    chase_slot = b.create_alloca(i64, nullptr, "cursor.slot");
+    b.create_store(module->get_i64(0), chase_slot);
+  }
+
+  // Loop nest: outer over %n, then constant-extent inner loops.
+  std::vector<LoopFrame> frames;
+  frames.push_back(begin_loop(b, kernel, "outer", n));
+  for (std::size_t d = 0; d < spec.inner_extents.size(); ++d) {
+    frames.push_back(begin_loop(b, kernel, "inner" + std::to_string(d),
+                                module->get_i64(spec.inner_extents[d])));
+  }
+
+  // ---- Innermost body -------------------------------------------------------
+  // Linear element index: combine the loop counters.
+  Value* lin = frames[0].counter;
+  for (std::size_t d = 1; d < frames.size(); ++d) {
+    Value* scaled =
+        b.create_mul(lin, module->get_i64(spec.inner_extents[d - 1]), "");
+    lin = b.create_add(scaled, frames[d].counter, "lin");
+  }
+
+  Value* address_index = lin;
+  if (spec.indirect_gather) {
+    Value* slot_ptr = b.create_gep(index_array, {lin}, "idx.ptr");
+    address_index = b.create_load(slot_ptr, "idx.val");
+  } else if (spec.pointer_chase) {
+    Value* cursor = b.create_load(chase_slot, "cursor");
+    Value* slot_ptr = b.create_gep(index_array, {cursor}, "next.ptr");
+    Value* next = b.create_load(slot_ptr, "next");
+    b.create_store(next, chase_slot);
+    address_index = next;
+  }
+
+  // Primary load (+ stencil neighbours).
+  Value* src = arrays.size() > 1 ? arrays[1] : arrays[0];
+  Value* ptr = b.create_gep(src, {address_index}, "p");
+  Value* v = b.create_load(ptr, "v");
+  if (spec.stencil_offset > 0) {
+    Value* up_idx =
+        b.create_add(address_index, module->get_i64(spec.stencil_offset));
+    Value* dn_idx =
+        b.create_sub(address_index, module->get_i64(spec.stencil_offset));
+    Value* up = b.create_load(b.create_gep(src, {up_idx}), "vup");
+    Value* dn = b.create_load(b.create_gep(src, {dn_idx}), "vdn");
+    v = b.create_fadd(v, b.create_fadd(up, dn), "vsum");
+    v = b.create_fmul(v, module->get_double(1.0 / 3.0), "vavg");
+  }
+  // Additional array streams contribute one load each.
+  for (std::size_t a = 2; a < arrays.size(); ++a) {
+    Value* extra =
+        b.create_load(b.create_gep(arrays[a], {address_index}), "x");
+    v = b.create_fadd(v, extra);
+  }
+
+  // Unrollable micro-loop of flops (exposes micro-structure to the
+  // augmented graphs: small extents fully unroll under loop-unroll).
+  if (spec.unrollable_extent > 0) {
+    Instruction* acc_slot = b.create_alloca(f64, nullptr, "uacc.slot");
+    b.create_store(v, acc_slot);
+    LoopFrame micro = begin_loop(b, kernel, "micro",
+                                 module->get_i64(spec.unrollable_extent));
+    Value* acc = b.create_load(acc_slot, "uacc");
+    Value* scaled = b.create_fmul(acc, module->get_double(0.97), "");
+    Value* bumped = b.create_fadd(scaled, module->get_double(0.011), "");
+    b.create_store(bumped, acc_slot);
+    end_loop(b, micro);
+    v = b.create_load(acc_slot, "uacc.final");
+  }
+
+  // Flop chain.
+  for (int f = 0; f < spec.flop_chain; ++f) {
+    v = b.create_fmul(v, module->get_double(1.0 + 0.01 * (f + 1)), "");
+    if (f % 2 == 0) v = b.create_fadd(v, module->get_double(0.5), "");
+  }
+  for (int c = 0; c < spec.math_calls; ++c) {
+    Function* callee = (c % 2 == 0) ? sqrt_fn : exp_fn;
+    v = b.create_call(callee, {v}, "m");
+  }
+
+  if (spec.data_dependent_branch) {
+    // Frontend-style diamond through a temporary slot.
+    Instruction* tmp = b.create_alloca(f64, nullptr, "branch.slot");
+    Value* cond = b.create_fcmp(ir::FCmpPred::OGT, v,
+                                module->get_double(0.5), "bc");
+    BasicBlock* then_bb = kernel->add_block("then");
+    BasicBlock* else_bb = kernel->add_block("else");
+    BasicBlock* join_bb = kernel->add_block("join");
+    b.create_cond_br(cond, then_bb, else_bb);
+    b.set_insert_point(then_bb);
+    b.create_store(b.create_fmul(v, module->get_double(1.1)), tmp);
+    b.create_br(join_bb);
+    b.set_insert_point(else_bb);
+    b.create_store(b.create_fadd(v, module->get_double(0.1)), tmp);
+    b.create_br(join_bb);
+    b.set_insert_point(join_bb);
+    v = b.create_load(tmp, "merged");
+  }
+
+  // Result store (+ optional shared atomic reduction).
+  Value* out_ptr = b.create_gep(arrays[0], {lin}, "out");
+  b.create_store(v, out_ptr);
+  if (spec.atomic_reduction) {
+    Value* cell = b.create_gep(arrays[0], {module->get_i64(0)}, "red");
+    b.create_atomic_rmw(ir::AtomicOp::FAdd, cell, v, "old");
+  }
+
+  // Close inner loops (innermost first).
+  for (std::size_t d = frames.size(); d-- > 1;) end_loop(b, frames[d]);
+
+  // Barriers at the end of each outer iteration (CLOMP-style overhead).
+  for (int s = 0; s < spec.barrier_calls; ++s)
+    b.create_call(barrier_fn, {});
+
+  end_loop(b, frames[0]);
+  b.create_ret();
+
+  // Host wrapper calling the outlined kernel (gives the graph a call flow).
+  Function* host = module->add_function(ctx.function(ctx.void_ty(), {i64}),
+                                        spec.name + ".host");
+  host->set_arg_name(0, "n");
+  BasicBlock* host_entry = host->add_block("entry");
+  b.set_insert_point(host_entry);
+  std::vector<Value*> args{host->arg(0)};
+  for (int a = 0; a < spec.num_arrays; ++a) {
+    ir::GlobalVariable* g = module->add_global(
+        ctx.array_of(f64, 4096), spec.name + ".buf" + std::to_string(a));
+    args.push_back(b.create_gep(g, {module->get_i64(0), module->get_i64(0)},
+                                "g" + std::to_string(a)));
+  }
+  if (needs_index) {
+    ir::GlobalVariable* g =
+        module->add_global(ctx.array_of(i64, 4096), spec.name + ".index");
+    args.push_back(
+        b.create_gep(g, {module->get_i64(0), module->get_i64(0)}, "gi"));
+  }
+  b.create_call(kernel, args);
+  b.create_ret();
+
+  return module;
+}
+
+}  // namespace irgnn::workloads

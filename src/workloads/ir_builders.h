@@ -1,0 +1,52 @@
+// Parameterized IR emitters for the benchmark suite.
+//
+// Each region becomes a module with (a) an OpenMP-outlined kernel function
+// tagged "omp.outlined"="true" — the shape Clang gives `#pragma omp
+// parallel for` bodies — and (b) a host function calling it, plus runtime
+// declarations (libm, OpenMP barrier). The KernelSpec knobs (loop nest,
+// stencil offsets, indirection, flop chains, atomics, barriers, branches)
+// mirror the workload-trait knobs so the static view and the simulated
+// dynamic behaviour stay coupled.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/module.h"
+
+namespace irgnn::workloads {
+
+struct KernelSpec {
+  std::string name;
+
+  /// Nested counted loops, outermost first. The outermost loop runs to the
+  /// runtime bound %n; inner entries are compile-time constants.
+  std::vector<std::int64_t> inner_extents;
+
+  int num_arrays = 2;          // double* parameters a0..a{k-1}
+  int flop_chain = 2;          // fmul/fadd chain length in the body
+  bool indirect_gather = false;    // value loaded through an i64 index array
+  bool pointer_chase = false;      // loop-carried data-dependent address
+  bool atomic_reduction = false;   // atomicrmw fadd into a shared cell
+  int math_calls = 0;              // calls to @sqrt / @exp (pure decls)
+  int barrier_calls = 0;           // calls to @omp_barrier in the outer body
+  bool data_dependent_branch = false;  // if (v > t) alternate computation
+  /// Extra neighbour loads at +/- this element offset (stencil shape);
+  /// 0 = pure streaming.
+  std::int64_t stencil_offset = 0;
+  /// A small innermost loop with this constant trip count (unrollable by
+  /// the flag sequences — it exposes the region's micro-structure to the
+  /// augmented graphs). 0 = none.
+  std::int64_t unrollable_extent = 0;
+};
+
+/// Builds the module for one kernel spec. The outlined function has
+/// signature void(i64 %n, double* %a0, ..., i64* %idx?).
+std::unique_ptr<ir::Module> build_kernel_module(const KernelSpec& spec);
+
+/// Name of the outlined region function for a kernel name.
+std::string outlined_name(const std::string& kernel_name);
+
+}  // namespace irgnn::workloads

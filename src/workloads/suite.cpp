@@ -1,0 +1,603 @@
+#include "workloads/suite.h"
+
+#include <map>
+
+namespace irgnn::workloads {
+
+namespace {
+
+using sim::MemoryStream;
+using sim::Phase;
+using sim::WorkloadTraits;
+
+constexpr std::uint64_t MB = 1024ull * 1024;
+constexpr std::uint64_t KB = 1024ull;
+
+/// Small fluent helper so each region definition stays compact.
+struct RegionBuilder {
+  RegionSpec spec;
+
+  explicit RegionBuilder(std::string name, std::string family) {
+    spec.name = name;
+    spec.family = std::move(family);
+    spec.kernel.name = name;
+    for (char& c : spec.kernel.name)
+      if (c == ' ' || c == '+') c = '_';
+    spec.traits.region = std::move(name);
+  }
+
+  RegionBuilder& stream(std::int64_t stride, std::uint64_t footprint,
+                        double irregularity = 0.0, double reuse = 0.0,
+                        double writes = 0.0, bool shared = false) {
+    MemoryStream s;
+    s.stride_bytes = stride;
+    s.footprint_bytes = footprint;
+    s.irregularity = irregularity;
+    s.temporal_reuse = reuse;
+    s.write_fraction = writes;
+    s.shared = shared;
+    phase().streams.push_back(s);
+    return *this;
+  }
+
+  RegionBuilder& flops(double per_access) {
+    phase().flops_per_access = per_access;
+    return *this;
+  }
+  RegionBuilder& accesses(std::uint64_t per_call) {
+    phase().accesses_per_call = per_call;
+    return *this;
+  }
+  RegionBuilder& branchy(double irregularity) {
+    phase().branch_irregularity = irregularity;
+    return *this;
+  }
+  RegionBuilder& sync(double cost_per_access) {
+    phase().sync_cost = cost_per_access;
+    return *this;
+  }
+  RegionBuilder& false_share(double f) {
+    phase().false_sharing = f;
+    return *this;
+  }
+  RegionBuilder& dynamic_behaviour(double variability) {
+    spec.traits.call_variability = variability;
+    return *this;
+  }
+  RegionBuilder& serial(double fraction) {
+    spec.traits.serial_fraction = fraction;
+    return *this;
+  }
+  RegionBuilder& size2(double scale) {
+    spec.traits.size2_scale = scale;
+    return *this;
+  }
+
+  // Kernel (IR) knobs.
+  RegionBuilder& loops(std::vector<std::int64_t> inner_extents) {
+    spec.kernel.inner_extents = std::move(inner_extents);
+    return *this;
+  }
+  RegionBuilder& arrays(int n) {
+    spec.kernel.num_arrays = n;
+    return *this;
+  }
+  RegionBuilder& flop_chain(int n) {
+    spec.kernel.flop_chain = n;
+    return *this;
+  }
+  RegionBuilder& gather() {
+    spec.kernel.indirect_gather = true;
+    return *this;
+  }
+  RegionBuilder& chase() {
+    spec.kernel.pointer_chase = true;
+    return *this;
+  }
+  RegionBuilder& atomic() {
+    spec.kernel.atomic_reduction = true;
+    return *this;
+  }
+  RegionBuilder& math(int calls) {
+    spec.kernel.math_calls = calls;
+    return *this;
+  }
+  RegionBuilder& barriers(int calls) {
+    spec.kernel.barrier_calls = calls;
+    return *this;
+  }
+  RegionBuilder& branch_ir() {
+    spec.kernel.data_dependent_branch = true;
+    return *this;
+  }
+  RegionBuilder& stencil(std::int64_t offset) {
+    spec.kernel.stencil_offset = offset;
+    return *this;
+  }
+  RegionBuilder& micro_loop(std::int64_t extent) {
+    spec.kernel.unrollable_extent = extent;
+    return *this;
+  }
+
+  RegionSpec build() { return spec; }
+
+ private:
+  Phase& phase() {
+    if (spec.traits.phases.empty()) spec.traits.phases.emplace_back();
+    return spec.traits.phases.back();
+  }
+};
+
+using RB = RegionBuilder;
+
+/// NAS BT/SP solver sweeps: private 3D stencil streams; the sweep direction
+/// sets the dominant stride (x: unit, y: plane row, z: page-sized).
+RegionSpec nas_sweep(const std::string& name, std::int64_t stride,
+                     std::uint64_t fp, double flops, int flop_chain,
+                     std::int64_t micro) {
+  return RB(name, "nas")
+      .stream(stride, fp, 0.0, 0.05, 0.3)
+      .stream(8, fp / 2, 0.0, 0.1, 0.0)
+      .flops(flops)
+      .accesses(3'000'000)
+      .loops({64, 32})
+      .arrays(3)
+      .flop_chain(flop_chain)
+      .stencil(stride / 8 > 0 ? stride / 8 : 1)
+      .micro_loop(micro)
+      .size2(4.0)
+      .build();
+}
+
+RegionSpec clomp_region(const std::string& name, double sync_cost,
+                        std::uint64_t accesses, int barrier_calls,
+                        std::int64_t micro, double variability = 0.0) {
+  return RB(name, "clomp")
+      .stream(8, 1 * MB, 0.0, 0.3, 0.2)
+      .flops(1.0)
+      .accesses(accesses)
+      .sync(sync_cost)
+      .dynamic_behaviour(variability)
+      .serial(0.05)
+      .loops({16})
+      .arrays(1)
+      .flop_chain(1)
+      .barriers(barrier_calls)
+      .micro_loop(micro)
+      .size2(2.0)
+      .build();
+}
+
+RegionSpec lulesh_region(const std::string& name, std::uint64_t fp,
+                         double irregularity, double flops, int flop_chain,
+                         bool use_atomic, std::int64_t micro) {
+  RB rb(name, "lulesh");
+  rb.stream(8, fp, irregularity, 0.1, 0.35)
+      .stream(24, fp / 2, irregularity / 2, 0.05, 0.0)
+      .flops(flops)
+      .accesses(2'500'000)
+      .loops({48})
+      .arrays(4)
+      .flop_chain(flop_chain)
+      .gather()
+      .micro_loop(micro)
+      .size2(4.0);
+  if (use_atomic) rb.atomic();
+  return rb.build();
+}
+
+std::vector<RegionSpec> make_suite() {
+  std::vector<RegionSpec> suite;
+
+  // ---------------- NAS ----------------------------------------------------
+  suite.push_back(nas_sweep("bt xsolve", 8, 96 * MB, 8.0, 6, 0));
+  suite.push_back(nas_sweep("bt ysolve", 512, 96 * MB, 8.0, 6, 4));
+  suite.push_back(nas_sweep("bt zsolve", 4 * KB, 96 * MB, 8.0, 6, 6));
+  suite.push_back(RB("bt rhs", "nas")
+                      .stream(8, 128 * MB, 0.0, 0.05, 0.25)
+                      .stream(512, 64 * MB)
+                      .flops(10.0)
+                      .accesses(4'000'000)
+                      .dynamic_behaviour(0.25)
+                      .loops({64, 16})
+                      .arrays(5)
+                      .flop_chain(8)
+                      .stencil(64)
+                      .build());
+  suite.push_back(nas_sweep("sp xsolve", 8, 160 * MB, 4.0, 3, 0));
+  suite.push_back(nas_sweep("sp ysolve", 1 * KB, 160 * MB, 4.0, 3, 4));
+  suite.push_back(nas_sweep("sp zsolve", 8 * KB, 160 * MB, 4.0, 3, 6));
+  suite.push_back(RB("sp rhs", "nas")
+                      .stream(8, 192 * MB, 0.0, 0.05, 0.3)
+                      .stream(8, 96 * MB, 0.0, 0.0, 0.0, true)
+                      .flops(5.0)
+                      .accesses(5'000'000)
+                      .loops({64, 16})
+                      .arrays(6)
+                      .flop_chain(4)
+                      .stencil(16)
+                      .build());
+  suite.push_back(RB("lu rhs", "nas")
+                      .stream(8, 80 * MB, 0.05, 0.1, 0.3)
+                      .flops(7.0)
+                      .accesses(2'500'000)
+                      .loops({32, 16})
+                      .arrays(4)
+                      .flop_chain(6)
+                      .stencil(32)
+                      .build());
+  suite.push_back(RB("lu ssor", "nas")
+                      .stream(8, 80 * MB, 0.1, 0.15, 0.4)
+                      .flops(6.0)
+                      .accesses(2'000'000)
+                      .sync(0.02)
+                      .loops({32, 16})
+                      .arrays(3)
+                      .flop_chain(5)
+                      .stencil(32)
+                      .barriers(1)
+                      .build());
+  suite.push_back(RB("cg 405", "nas")
+                      .stream(8, 24 * MB, 0.55, 0.1, 0.1)
+                      .stream(8, 12 * MB, 0.3, 0.3, 0.0, true)
+                      .flops(2.0)
+                      .accesses(2'000'000)
+                      .dynamic_behaviour(0.3)
+                      .loops({128})
+                      .arrays(3)
+                      .gather()
+                      .flop_chain(2)
+                      .build());
+  suite.push_back(RB("cg 551", "nas")
+                      .stream(8, 48 * MB, 0.6, 0.05, 0.1)
+                      .stream(8, 24 * MB, 0.35, 0.25, 0.0, true)
+                      .flops(2.0)
+                      .accesses(3'000'000)
+                      .dynamic_behaviour(0.3)
+                      .loops({128})
+                      .arrays(4)
+                      .gather()
+                      .flop_chain(2)
+                      .micro_loop(4)
+                      .build());
+  suite.push_back(RB("ft step 1", "nas")
+                      .stream(2 * KB, 128 * MB, 0.0, 0.0, 0.5, true)
+                      .flops(3.0)
+                      .accesses(4'000'000)
+                      .loops({64})
+                      .arrays(2)
+                      .flop_chain(3)
+                      .micro_loop(4)
+                      .build());
+  suite.push_back(RB("ft step 2", "nas")
+                      .stream(16 * KB, 128 * MB, 0.0, 0.0, 0.5, true)
+                      .flops(3.0)
+                      .accesses(4'000'000)
+                      .dynamic_behaviour(0.35)
+                      .loops({64})
+                      .arrays(2)
+                      .flop_chain(3)
+                      .micro_loop(6)
+                      .build());
+  suite.push_back(RB("ft step 3", "nas")
+                      .stream(128 * KB, 128 * MB, 0.0, 0.0, 0.5, true)
+                      .flops(3.0)
+                      .accesses(4'000'000)
+                      .loops({64})
+                      .arrays(2)
+                      .flop_chain(3)
+                      .micro_loop(8)
+                      .build());
+  suite.push_back(RB("is rank", "nas")
+                      .stream(8, 32 * MB, 0.8, 0.05, 0.6, true)
+                      .flops(0.5)
+                      .accesses(2'000'000)
+                      .false_share(0.25)
+                      .dynamic_behaviour(0.3)
+                      .loops({256})
+                      .arrays(2)
+                      .gather()
+                      .atomic()
+                      .flop_chain(1)
+                      .build());
+  suite.push_back(RB("mg residual", "nas")
+                      .stream(8, 192 * MB, 0.0, 0.05, 0.3)
+                      .stream(4 * KB, 96 * MB)
+                      .flops(3.0)
+                      .accesses(4'000'000)
+                      .dynamic_behaviour(0.55)
+                      .loops({64, 8})
+                      .arrays(3)
+                      .flop_chain(3)
+                      .stencil(512)
+                      .build());
+  suite.push_back(RB("mg psinv", "nas")
+                      .stream(8, 160 * MB, 0.0, 0.05, 0.3)
+                      .stream(4 * KB, 80 * MB)
+                      .flops(4.0)
+                      .accesses(3'500'000)
+                      .dynamic_behaviour(0.35)
+                      .loops({64, 8})
+                      .arrays(3)
+                      .flop_chain(4)
+                      .stencil(512)
+                      .micro_loop(4)
+                      .build());
+
+  // ---------------- Rodinia -------------------------------------------------
+  suite.push_back(RB("bfs 135", "rodinia")
+                      .stream(8, 16 * MB, 0.85, 0.05, 0.2, true)
+                      .flops(0.5)
+                      .accesses(1'200'000)
+                      .branchy(0.6)
+                      .dynamic_behaviour(0.5)
+                      .loops({64})
+                      .arrays(2)
+                      .gather()
+                      .branch_ir()
+                      .flop_chain(1)
+                      .build());
+  suite.push_back(RB("bfs 157", "rodinia")
+                      .stream(8, 24 * MB, 0.8, 0.05, 0.25, true)
+                      .flops(0.5)
+                      .accesses(1'500'000)
+                      .branchy(0.55)
+                      .dynamic_behaviour(0.45)
+                      .loops({64})
+                      .arrays(3)
+                      .gather()
+                      .branch_ir()
+                      .flop_chain(1)
+                      .micro_loop(4)
+                      .build());
+  suite.push_back(RB("b+tree 86", "rodinia")
+                      .stream(8, 6 * MB, 0.9, 0.2, 0.0, true)
+                      .flops(0.5)
+                      .accesses(800'000)
+                      .branchy(0.5)
+                      .loops({32})
+                      .arrays(2)
+                      .chase()
+                      .branch_ir()
+                      .flop_chain(1)
+                      .build());
+  suite.push_back(RB("b+tree 96", "rodinia")
+                      .stream(8, 10 * MB, 0.9, 0.15, 0.0, true)
+                      .flops(0.5)
+                      .accesses(1'000'000)
+                      .branchy(0.5)
+                      .loops({32})
+                      .arrays(2)
+                      .chase()
+                      .branch_ir()
+                      .flop_chain(2)
+                      .build());
+  suite.push_back(RB("cfd 211", "rodinia")
+                      .stream(8, 96 * MB, 0.45, 0.1, 0.3)
+                      .stream(8, 48 * MB, 0.2, 0.1, 0.0, true)
+                      .flops(6.0)
+                      .accesses(3'000'000)
+                      .dynamic_behaviour(0.3)
+                      .loops({64})
+                      .arrays(4)
+                      .gather()
+                      .flop_chain(5)
+                      .build());
+  suite.push_back(RB("cfd 347", "rodinia")
+                      .stream(8, 128 * MB, 0.5, 0.1, 0.35)
+                      .stream(8, 64 * MB, 0.25, 0.1, 0.0, true)
+                      .flops(7.0)
+                      .accesses(3'500'000)
+                      .dynamic_behaviour(0.35)
+                      .loops({64})
+                      .arrays(5)
+                      .gather()
+                      .flop_chain(6)
+                      .micro_loop(4)
+                      .build());
+  suite.push_back(RB("Hotspot", "rodinia")
+                      .stream(8, 48 * MB, 0.0, 0.2, 0.3)
+                      .flops(6.0)
+                      .accesses(2'000'000)
+                      .loops({128})
+                      .arrays(3)
+                      .stencil(128)
+                      .flop_chain(5)
+                      .build());
+  suite.push_back(RB("hotspot3D", "rodinia")
+                      .stream(8, 120 * MB, 0.0, 0.1, 0.3)
+                      .stream(2 * KB, 60 * MB)
+                      .flops(7.0)
+                      .accesses(3'000'000)
+                      .loops({64, 8})
+                      .arrays(4)
+                      .stencil(256)
+                      .flop_chain(6)
+                      .build());
+  suite.push_back(RB("kmeans", "rodinia")
+                      .stream(8, 64 * MB, 0.0, 0.05, 0.1)
+                      .stream(8, 256 * KB, 0.1, 0.7, 0.3, true)
+                      .flops(4.0)
+                      .accesses(2'500'000)
+                      .dynamic_behaviour(0.5)
+                      .false_share(0.15)
+                      .loops({64, 8})
+                      .arrays(3)
+                      .flop_chain(3)
+                      .atomic()
+                      .build());
+  suite.push_back(RB("lud", "rodinia")
+                      .stream(8, 32 * MB, 0.05, 0.3, 0.3)
+                      .flops(5.0)
+                      .accesses(1'500'000)
+                      .dynamic_behaviour(0.3)
+                      .sync(0.03)
+                      .loops({48, 16})
+                      .arrays(2)
+                      .flop_chain(4)
+                      .barriers(1)
+                      .build());
+  suite.push_back(RB("nn", "rodinia")
+                      .stream(8, 3 * MB, 0.0, 0.1, 0.1)
+                      .flops(3.0)
+                      .accesses(400'000)
+                      .dynamic_behaviour(0.25)
+                      .serial(0.06)
+                      .loops({32})
+                      .arrays(2)
+                      .flop_chain(3)
+                      .math(1)
+                      .build());
+  suite.push_back(RB("needle 116", "rodinia")
+                      .stream(8, 24 * MB, 0.05, 0.15, 0.35)
+                      .flops(2.0)
+                      .accesses(1'200'000)
+                      .sync(0.08)
+                      .dynamic_behaviour(0.25)
+                      .loops({32})
+                      .arrays(3)
+                      .stencil(32)
+                      .barriers(2)
+                      .flop_chain(2)
+                      .build());
+  suite.push_back(RB("needle 176", "rodinia")
+                      .stream(8, 32 * MB, 0.05, 0.15, 0.35)
+                      .flops(2.0)
+                      .accesses(1'500'000)
+                      .sync(0.07)
+                      .dynamic_behaviour(0.22)
+                      .loops({32})
+                      .arrays(3)
+                      .stencil(32)
+                      .barriers(2)
+                      .flop_chain(3)
+                      .micro_loop(4)
+                      .build());
+  suite.push_back(RB("pathfinder", "rodinia")
+                      .stream(8, 8 * MB, 0.0, 0.25, 0.4)
+                      .flops(1.5)
+                      .accesses(800'000)
+                      .sync(0.06)
+                      .loops({64})
+                      .arrays(2)
+                      .stencil(1)
+                      .barriers(1)
+                      .flop_chain(1)
+                      .build());
+  suite.push_back(RB("streamcluster 451", "rodinia")
+                      .stream(8, 96 * MB, 0.0, 0.0, 0.05, true)
+                      .flops(4.0)
+                      .accesses(4'000'000)
+                      .dynamic_behaviour(0.35)
+                      .loops({128})
+                      .arrays(3)
+                      .flop_chain(4)
+                      .math(1)
+                      .build());
+  suite.push_back(RB("streamcluster 539", "rodinia")
+                      .stream(8, 128 * MB, 0.0, 0.0, 0.05, true)
+                      .flops(3.0)
+                      .accesses(5'000'000)
+                      .dynamic_behaviour(0.3)
+                      .loops({128})
+                      .arrays(3)
+                      .flop_chain(3)
+                      .math(1)
+                      .micro_loop(4)
+                      .build());
+
+  // ---------------- Misc (PARSEC / proxy apps) -----------------------------
+  suite.push_back(RB("blackscholes", "misc")
+                      .stream(8, 8 * MB, 0.0, 0.1, 0.15)
+                      .flops(30.0)
+                      .accesses(1'500'000)
+                      .loops({64})
+                      .arrays(3)
+                      .flop_chain(12)
+                      .math(4)
+                      .build());
+  suite.push_back(RB("HACCmk", "misc")
+                      .stream(8, 12 * MB, 0.0, 0.3, 0.1)
+                      .flops(40.0)
+                      .accesses(2'000'000)
+                      .loops({64, 32})
+                      .arrays(4)
+                      .flop_chain(14)
+                      .math(2)
+                      .micro_loop(8)
+                      .build());
+  suite.push_back(RB("quicksilver", "misc")
+                      .stream(8, 48 * MB, 0.5, 0.1, 0.2)
+                      .flops(5.0)
+                      .accesses(2'000'000)
+                      .branchy(0.6)
+                      .dynamic_behaviour(0.3)
+                      .loops({64})
+                      .arrays(4)
+                      .gather()
+                      .branch_ir()
+                      .flop_chain(4)
+                      .math(1)
+                      .build());
+
+  // ---------------- LULESH -------------------------------------------------
+  suite.push_back(lulesh_region("lulesh 549", 64 * MB, 0.2, 9.0, 7, false, 0));
+  suite.push_back(lulesh_region("lulesh 810", 80 * MB, 0.25, 10.0, 8, false, 4));
+  suite.push_back(lulesh_region("lulesh 1037", 96 * MB, 0.3, 11.0, 8, true, 0));
+  suite.push_back(
+      lulesh_region("lulesh 1538", 112 * MB, 0.35, 12.0, 9, false, 6));
+  suite.push_back(lulesh_region("lulesh 2051", 64 * MB, 0.2, 8.0, 6, true, 4));
+  suite.push_back(
+      lulesh_region("lulesh 2058", 128 * MB, 0.3, 13.0, 10, false, 0));
+  suite.push_back(lulesh_region("lulesh 2104", 48 * MB, 0.15, 7.0, 5, false, 8));
+  suite.push_back(lulesh_region("lulesh 2269", 96 * MB, 0.4, 9.0, 7, true, 6));
+
+  // ---------------- CLOMP --------------------------------------------------
+  suite.push_back(clomp_region("clomp 805", 0.6, 150'000, 2, 0));
+  suite.push_back(clomp_region("clomp 988", 0.9, 120'000, 3, 4, 0.25));
+  suite.push_back(clomp_region("clomp 1007", 1.2, 100'000, 3, 0));
+  suite.push_back(clomp_region("clomp 1017", 0.8, 140'000, 2, 6));
+  suite.push_back(clomp_region("clomp 1036", 1.5, 90'000, 4, 0));
+  suite.push_back(clomp_region("clomp 1046", 1.1, 110'000, 3, 8, 0.2));
+  suite.push_back(clomp_region("clomp 1056", 0.7, 160'000, 2, 4));
+  suite.push_back(clomp_region("clomp 1075", 1.3, 95'000, 4, 6));
+  suite.push_back(clomp_region("clomp 1085", 1.0, 125'000, 3, 8));
+  suite.push_back(clomp_region("clomp 1095", 1.4, 85'000, 4, 4));
+  suite.push_back(clomp_region("clomp 1105", 0.9, 130'000, 2, 0));
+
+  return suite;
+}
+
+}  // namespace
+
+const std::vector<RegionSpec>& benchmark_suite() {
+  static const std::vector<RegionSpec> suite = make_suite();
+  return suite;
+}
+
+const RegionSpec* find_region(const std::string& name) {
+  for (const RegionSpec& spec : benchmark_suite())
+    if (spec.name == name) return &spec;
+  return nullptr;
+}
+
+std::unique_ptr<ir::Module> build_region_module(const RegionSpec& spec) {
+  return build_kernel_module(spec.kernel);
+}
+
+std::vector<sim::WorkloadTraits> suite_traits() {
+  std::vector<sim::WorkloadTraits> out;
+  for (const RegionSpec& spec : benchmark_suite())
+    out.push_back(spec.traits);
+  return out;
+}
+
+std::vector<std::string> input_size_subset() {
+  return {"sp xsolve",  "mg psinv",   "ft step 3",  "cg 551",
+          "ft step 2",  "is rank",    "sp zsolve",  "ft step 1",
+          "streamcluster 539", "sp ysolve", "lu rhs", "lu ssor",
+          "streamcluster 451", "bt xsolve", "cg 405", "sp rhs",
+          "bt ysolve",  "mg residual", "bt zsolve", "bt rhs"};
+}
+
+}  // namespace irgnn::workloads

@@ -1,0 +1,46 @@
+// The benchmark suite: 56 OpenMP regions named after the paper's Fig. 3
+// region list (NAS bt/cg/ft/is/lu/mg/sp, Rodinia bfs/b+tree/cfd/hotspot/
+// hotspot3D/kmeans/lud/nn/needle/pathfinder/streamcluster, LULESH x8,
+// CLOMP x11, HACCmk, quicksilver, blackscholes). The paper evaluates 57
+// regions minus the IS random generator = 56.
+//
+// Every region couples (a) a KernelSpec — the IR the GNN sees — with (b)
+// WorkloadTraits — the behaviour the simulator times. The coupling is the
+// premise of the paper: regions whose IR looks alike behave alike, except
+// for the explicitly dynamic regions (call_variability > 0) whose behaviour
+// the IR cannot show.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/module.h"
+#include "sim/workload_model.h"
+#include "workloads/ir_builders.h"
+
+namespace irgnn::workloads {
+
+struct RegionSpec {
+  std::string name;    // e.g. "bt xsolve", "clomp 1046"
+  std::string family;  // "nas", "rodinia", "lulesh", "clomp", "misc"
+  KernelSpec kernel;
+  sim::WorkloadTraits traits;
+};
+
+/// All 56 regions, in a stable order.
+const std::vector<RegionSpec>& benchmark_suite();
+
+/// Region lookup by name; nullptr if absent.
+const RegionSpec* find_region(const std::string& name);
+
+/// Builds the region's IR module (host + outlined kernel).
+std::unique_ptr<ir::Module> build_region_module(const RegionSpec& spec);
+
+/// Traits of all regions, in suite order (what the simulator consumes).
+std::vector<sim::WorkloadTraits> suite_traits();
+
+/// The NAS-centric subset used by the input-size experiment (Fig. 10).
+std::vector<std::string> input_size_subset();
+
+}  // namespace irgnn::workloads

@@ -1,0 +1,192 @@
+// Unit tests for the ProGraML-style graph builder and the region extractor.
+#include <gtest/gtest.h>
+
+#include "graph/graph_builder.h"
+#include "graph/region_extractor.h"
+#include "ir/parser.h"
+#include "ir/verifier.h"
+#include "tests/test_helpers.h"
+
+namespace irgnn {
+namespace {
+
+using graph::EdgeKind;
+using graph::NodeKind;
+
+TEST(GraphBuilderTest, NodeAndEdgeCounts) {
+  auto module = testing::make_sum_loop_module();
+  auto g = graph::build_graph(*module);
+  // 8 instructions: br, 2 phis, 2 adds, icmp, condbr, ret.
+  std::size_t inst_nodes = 0;
+  for (const auto& n : g.nodes) inst_nodes += (n.kind == NodeKind::Instruction);
+  EXPECT_EQ(inst_nodes, 8u);
+  EXPECT_GT(g.count_edges(EdgeKind::Control), 0u);
+  EXPECT_GT(g.count_edges(EdgeKind::Data), 0u);
+  EXPECT_EQ(g.count_edges(EdgeKind::Call), 0u);
+}
+
+TEST(GraphBuilderTest, ControlEdgesFollowBranches) {
+  auto module = testing::make_sum_loop_module();
+  auto g = graph::build_graph(*module);
+  // Block-internal chains: entry(1 inst): 0, loop(6): 5, exit(1): 0.
+  // Terminator edges: entry->loop 1, loop->loop + loop->exit 2.
+  EXPECT_EQ(g.count_edges(EdgeKind::Control), 5u + 3u);
+}
+
+TEST(GraphBuilderTest, DataEdgesCarryOperandPositions) {
+  const char* text = R"(
+define i64 @f(i64 %a, i64 %b) {
+entry:
+  %d = sub i64 %a, %b
+  ret i64 %d
+}
+)";
+  auto module = ir::parse_module(text);
+  auto g = graph::build_graph(*module);
+  // Positions 0 and 1 must both appear on data edges into the sub.
+  bool pos0 = false;
+  bool pos1 = false;
+  for (const auto& e : g.edges) {
+    if (e.kind != EdgeKind::Data) continue;
+    if (g.nodes[e.dst].kind == NodeKind::Instruction) {
+      pos0 |= (e.position == 0);
+      pos1 |= (e.position == 1);
+    }
+  }
+  EXPECT_TRUE(pos0);
+  EXPECT_TRUE(pos1);
+}
+
+TEST(GraphBuilderTest, CallEdgesLinkCallSitesAndCallees) {
+  const char* text = R"(
+declare double @sqrt(double) "pure"="true"
+define double @helper(double %x) {
+entry:
+  %y = fmul double %x, 2.0
+  ret double %y
+}
+define double @main(double %v) {
+entry:
+  %a = call double @helper(double %v)
+  %b = call double @sqrt(double %a)
+  ret double %b
+}
+)";
+  auto module = ir::parse_module(text);
+  ASSERT_NE(module, nullptr);
+  auto g = graph::build_graph(*module);
+  // helper: call->entry + ret->call = 2; sqrt (external): 2.
+  EXPECT_EQ(g.count_edges(EdgeKind::Call), 4u);
+}
+
+TEST(GraphBuilderTest, ConstantsShareNodes) {
+  const char* text = R"(
+define i64 @f(i64 %a) {
+entry:
+  %x = add i64 %a, 7
+  %y = mul i64 %x, 7
+  ret i64 %y
+}
+)";
+  auto module = ir::parse_module(text);
+  auto g = graph::build_graph(*module);
+  std::size_t const_nodes = 0;
+  for (const auto& n : g.nodes) const_nodes += (n.kind == NodeKind::Constant);
+  EXPECT_EQ(const_nodes, 1u);  // the interned 7 appears once
+}
+
+TEST(GraphBuilderTest, FeaturesWithinVocabulary) {
+  auto module = testing::make_alloca_loop_module();
+  auto g = graph::build_graph(*module);
+  for (const auto& n : g.nodes) {
+    EXPECT_GE(n.feature, 0);
+    EXPECT_LT(n.feature, graph::vocabulary_size());
+  }
+}
+
+TEST(GraphBuilderTest, EdgeKindsCanBeDisabled) {
+  auto module = testing::make_sum_loop_module();
+  graph::GraphBuilderOptions options;
+  options.data_edges = false;
+  auto g = graph::build_graph(*module, options);
+  EXPECT_EQ(g.count_edges(EdgeKind::Data), 0u);
+  EXPECT_GT(g.count_edges(EdgeKind::Control), 0u);
+}
+
+TEST(GraphTextTest, RoundTrip) {
+  auto module = testing::make_sum_loop_module();
+  auto g = graph::build_graph(*module);
+  std::string text = g.to_text();
+  graph::ProgramGraph back;
+  ASSERT_TRUE(graph::ProgramGraph::from_text(text, &back));
+  EXPECT_EQ(back.num_nodes(), g.num_nodes());
+  EXPECT_EQ(back.num_edges(), g.num_edges());
+  EXPECT_EQ(back.to_text(), text);
+}
+
+TEST(GraphDotTest, ProducesGraphvizOutput) {
+  auto module = testing::make_sum_loop_module();
+  auto g = graph::build_graph(*module);
+  std::string dot = g.to_dot();
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("color=blue"), std::string::npos);   // control
+  EXPECT_NE(dot.find("color=black"), std::string::npos);  // data
+}
+
+TEST(RegionExtractorTest, FindsOutlinedRegions) {
+  const char* text = R"(
+define void @main.omp_outlined(double* %a, i64 %n) "omp.outlined"="true" {
+entry:
+  ret void
+}
+define void @main() {
+entry:
+  ret void
+}
+)";
+  auto module = ir::parse_module(text);
+  auto regions = graph::find_omp_regions(*module);
+  ASSERT_EQ(regions.size(), 1u);
+  EXPECT_EQ(regions[0], "main.omp_outlined");
+}
+
+TEST(RegionExtractorTest, ExtractsTransitiveClosure) {
+  const char* text = R"(
+declare double @sqrt(double) "pure"="true"
+define double @util(double %x) {
+entry:
+  %r = call double @sqrt(double %x)
+  ret double %r
+}
+define void @region(double* %p) "omp.outlined"="true" {
+entry:
+  %v = load double, double* %p
+  %u = call double @util(double %v)
+  store double %u, double* %p
+  ret void
+}
+define void @unrelated() {
+entry:
+  ret void
+}
+)";
+  auto module = ir::parse_module(text);
+  ASSERT_NE(module, nullptr);
+  auto extracted = graph::extract_region(*module, "region");
+  ASSERT_NE(extracted, nullptr);
+  EXPECT_TRUE(ir::verify(*extracted));
+  EXPECT_NE(extracted->get_function("region"), nullptr);
+  EXPECT_NE(extracted->get_function("util"), nullptr);
+  EXPECT_NE(extracted->get_function("sqrt"), nullptr);
+  EXPECT_EQ(extracted->get_function("unrelated"), nullptr);
+  // The original module is untouched.
+  EXPECT_NE(module->get_function("unrelated"), nullptr);
+}
+
+TEST(RegionExtractorTest, UnknownFunctionReturnsNull) {
+  auto module = testing::make_sum_loop_module();
+  EXPECT_EQ(graph::extract_region(*module, "nope"), nullptr);
+}
+
+}  // namespace
+}  // namespace irgnn

@@ -1,0 +1,239 @@
+// Unit tests for the IR substrate: types, values/use-lists, builder,
+// printer/parser round-trip, verifier, dominators and loop info.
+#include <gtest/gtest.h>
+
+#include "ir/cfg.h"
+#include "ir/dominators.h"
+#include "ir/loop_info.h"
+#include "ir/parser.h"
+#include "ir/printer.h"
+#include "ir/verifier.h"
+#include "tests/test_helpers.h"
+
+namespace irgnn {
+namespace {
+
+using ir::Opcode;
+
+TEST(TypeTest, InterningGivesPointerEquality) {
+  ir::TypeContext ctx;
+  EXPECT_EQ(ctx.pointer_to(ctx.double_ty()), ctx.pointer_to(ctx.double_ty()));
+  EXPECT_EQ(ctx.array_of(ctx.int32_ty(), 8), ctx.array_of(ctx.int32_ty(), 8));
+  EXPECT_NE(ctx.array_of(ctx.int32_ty(), 8), ctx.array_of(ctx.int32_ty(), 9));
+  EXPECT_EQ(ctx.function(ctx.void_ty(), {ctx.int64_ty()}),
+            ctx.function(ctx.void_ty(), {ctx.int64_ty()}));
+}
+
+TEST(TypeTest, ToStringAndParseRoundTrip) {
+  ir::TypeContext ctx;
+  ir::Type* cases[] = {
+      ctx.int1_ty(),
+      ctx.double_ty(),
+      ctx.pointer_to(ctx.float_ty()),
+      ctx.array_of(ctx.double_ty(), 1024),
+      ctx.pointer_to(ctx.array_of(ctx.pointer_to(ctx.int64_ty()), 4)),
+  };
+  for (ir::Type* ty : cases) EXPECT_EQ(ctx.parse(ty->to_string()), ty);
+}
+
+TEST(TypeTest, SizeInBytes) {
+  ir::TypeContext ctx;
+  EXPECT_EQ(ctx.int32_ty()->size_in_bytes(), 4u);
+  EXPECT_EQ(ctx.double_ty()->size_in_bytes(), 8u);
+  EXPECT_EQ(ctx.pointer_to(ctx.int8_ty())->size_in_bytes(), 8u);
+  EXPECT_EQ(ctx.array_of(ctx.double_ty(), 10)->size_in_bytes(), 80u);
+}
+
+TEST(ValueTest, UseListsTrackOperands) {
+  auto module = testing::make_sum_loop_module();
+  ir::Function* fn = module->get_function("sum");
+  ASSERT_NE(fn, nullptr);
+  // %inc is used by the icmp, by the phi and nothing else.
+  ir::Instruction* inc = nullptr;
+  for (ir::Instruction* inst : fn->blocks()[1]->instructions())
+    if (inst->name() == "inc") inc = inst;
+  ASSERT_NE(inc, nullptr);
+  EXPECT_EQ(inc->num_uses(), 2u);
+}
+
+TEST(ValueTest, ReplaceAllUsesWith) {
+  auto module = testing::make_foldable_module();
+  ir::Function* fn = module->get_function("fold");
+  auto insts = fn->entry()->instructions();
+  ir::Instruction* a = insts[0];
+  EXPECT_EQ(a->num_uses(), 1u);
+  a->replace_all_uses_with(module->get_i64(5));
+  EXPECT_EQ(a->num_uses(), 0u);
+}
+
+TEST(VerifierTest, AcceptsWellFormedModules) {
+  std::string errors;
+  EXPECT_TRUE(ir::verify(*testing::make_sum_loop_module(), &errors)) << errors;
+  EXPECT_TRUE(ir::verify(*testing::make_alloca_loop_module(), &errors))
+      << errors;
+}
+
+TEST(VerifierTest, DetectsMissingTerminator) {
+  auto module = std::make_unique<ir::Module>("bad");
+  auto& ctx = module->types();
+  ir::Function* fn =
+      module->add_function(ctx.function(ctx.void_ty(), {}), "f");
+  fn->add_block("entry");  // left empty
+  EXPECT_FALSE(ir::verify(*module));
+}
+
+TEST(VerifierTest, DetectsUseBeforeDef) {
+  // %x uses %y which is defined later in the same block.
+  const char* text = R"(
+define i64 @f(i64 %a) {
+entry:
+  %x = add i64 %y, 1
+  %y = add i64 %a, 1
+  ret i64 %x
+}
+)";
+  auto module = ir::parse_module(text);
+  ASSERT_NE(module, nullptr);
+  EXPECT_FALSE(ir::verify(*module));
+}
+
+TEST(PrinterParserTest, RoundTripPreservesStructure) {
+  auto module = testing::make_sum_loop_module();
+  std::string once = ir::print_module(*module);
+  std::string error;
+  auto reparsed = ir::parse_module(once, &error);
+  ASSERT_NE(reparsed, nullptr) << error;
+  EXPECT_EQ(ir::print_module(*reparsed), once);
+  EXPECT_TRUE(ir::verify(*reparsed));
+  EXPECT_EQ(reparsed->instruction_count(), module->instruction_count());
+}
+
+TEST(PrinterParserTest, RoundTripAllocaModule) {
+  auto module = testing::make_alloca_loop_module();
+  std::string once = ir::print_module(*module);
+  std::string error;
+  auto reparsed = ir::parse_module(once, &error);
+  ASSERT_NE(reparsed, nullptr) << error;
+  EXPECT_EQ(ir::print_module(*reparsed), once);
+}
+
+TEST(PrinterParserTest, ParsesDeclarationsAttributesAndGlobals) {
+  const char* text = R"(
+@table = global [256 x double]
+declare double @sqrt(double) "pure"="true"
+define void @kernel(double* %a, i64 %n) "omp.outlined"="true" {
+entry:
+  %g = getelementptr [256 x double], [256 x double]* @table, i64 0, i64 5
+  %v = load double, double* %g
+  %r = call double @sqrt(double %v)
+  store double %r, double* %a
+  ret void
+}
+)";
+  std::string error;
+  auto module = ir::parse_module(text, &error);
+  ASSERT_NE(module, nullptr) << error;
+  EXPECT_TRUE(ir::verify(*module));
+  EXPECT_NE(module->get_global("table"), nullptr);
+  EXPECT_TRUE(module->get_function("sqrt")->is_pure());
+  EXPECT_TRUE(module->get_function("kernel")->is_omp_outlined());
+}
+
+TEST(PrinterParserTest, RejectsMalformedInput) {
+  EXPECT_EQ(ir::parse_module("define bogus"), nullptr);
+  EXPECT_EQ(ir::parse_module("define void @f() { entry: frobnicate }"),
+            nullptr);
+  EXPECT_EQ(ir::parse_module("define void @f() {\nentry:\n  ret void\n"),
+            nullptr);
+  // Unknown local.
+  EXPECT_EQ(ir::parse_module(
+                "define i64 @f() {\nentry:\n  ret i64 %nope\n}\n"),
+            nullptr);
+}
+
+TEST(CfgTest, ReversePostOrderStartsAtEntry) {
+  auto module = testing::make_alloca_loop_module();
+  ir::Function* fn = module->get_function("asum");
+  auto rpo = ir::reverse_post_order(*fn);
+  ASSERT_EQ(rpo.size(), 4u);
+  EXPECT_EQ(rpo.front(), fn->entry());
+}
+
+TEST(DominatorsTest, EntryDominatesEverything) {
+  auto module = testing::make_alloca_loop_module();
+  ir::Function* fn = module->get_function("asum");
+  ir::DominatorTree dt(*fn);
+  for (ir::BasicBlock* block : fn->blocks())
+    EXPECT_TRUE(dt.dominates(fn->entry(), block));
+}
+
+TEST(DominatorsTest, IdomChain) {
+  auto module = testing::make_alloca_loop_module();
+  ir::Function* fn = module->get_function("asum");
+  auto blocks = fn->blocks();  // entry, header, body, exit
+  ir::DominatorTree dt(*fn);
+  EXPECT_EQ(dt.idom(blocks[1]), blocks[0]);
+  EXPECT_EQ(dt.idom(blocks[2]), blocks[1]);
+  EXPECT_EQ(dt.idom(blocks[3]), blocks[1]);
+  EXPECT_FALSE(dt.dominates(blocks[2], blocks[3]));
+}
+
+TEST(DominatorsTest, FrontierOfLoopBody) {
+  auto module = testing::make_alloca_loop_module();
+  ir::Function* fn = module->get_function("asum");
+  auto blocks = fn->blocks();
+  ir::DominatorTree dt(*fn);
+  // body's frontier is the header (it closes the loop).
+  auto df = dt.frontier(blocks[2]);
+  ASSERT_EQ(df.size(), 1u);
+  EXPECT_EQ(df[0], blocks[1]);
+}
+
+TEST(LoopInfoTest, FindsNaturalLoop) {
+  auto module = testing::make_alloca_loop_module();
+  ir::Function* fn = module->get_function("asum");
+  ir::DominatorTree dt(*fn);
+  ir::LoopInfo li(*fn, dt);
+  ASSERT_EQ(li.top_level().size(), 1u);
+  ir::Loop* loop = li.top_level()[0];
+  EXPECT_EQ(loop->header(), fn->blocks()[1]);
+  EXPECT_EQ(loop->blocks().size(), 2u);
+  EXPECT_EQ(loop->preheader(), fn->entry());
+  EXPECT_EQ(loop->depth(), 1u);
+}
+
+TEST(LoopInfoTest, SingleBlockLoopCanonicalInduction) {
+  auto module = testing::make_sum_loop_module();
+  ir::Function* fn = module->get_function("sum");
+  ir::DominatorTree dt(*fn);
+  ir::LoopInfo li(*fn, dt);
+  ASSERT_EQ(li.top_level().size(), 1u);
+  ir::Instruction* ind = li.top_level()[0]->canonical_induction();
+  ASSERT_NE(ind, nullptr);
+  EXPECT_EQ(ind->name(), "i");
+}
+
+TEST(CloneTest, DeepCloneIsStructurallyIdentical) {
+  auto module = testing::make_sum_loop_module();
+  auto clone = module->clone();
+  EXPECT_EQ(ir::print_module(*clone), ir::print_module(*module));
+  EXPECT_TRUE(ir::verify(*clone));
+  // Mutating the clone leaves the original untouched.
+  ir::Function* fn = clone->get_function("sum");
+  fn->set_attribute("omp.outlined", "true");
+  EXPECT_FALSE(module->get_function("sum")->is_omp_outlined());
+}
+
+TEST(PredecessorsTest, PhiReferenceIsNotAnEdge) {
+  auto module = testing::make_sum_loop_module();
+  ir::Function* fn = module->get_function("sum");
+  auto blocks = fn->blocks();  // entry, loop, exit
+  auto preds = blocks[1]->predecessors();
+  EXPECT_EQ(preds.size(), 2u);  // entry and loop itself, despite phi refs
+  auto exit_preds = blocks[2]->predecessors();
+  ASSERT_EQ(exit_preds.size(), 1u);
+  EXPECT_EQ(exit_preds[0], blocks[1]);
+}
+
+}  // namespace
+}  // namespace irgnn

@@ -1,0 +1,169 @@
+// Tests for the classical ML substrate: decision tree, GA feature
+// selection, k-fold splitting and metrics.
+#include <gtest/gtest.h>
+
+#include "ml/cross_validation.h"
+#include "ml/decision_tree.h"
+#include "ml/genetic_selector.h"
+#include "support/rng.h"
+
+namespace irgnn::ml {
+namespace {
+
+TEST(DecisionTreeTest, LearnsAxisAlignedSplit) {
+  std::vector<std::vector<float>> X;
+  std::vector<int> y;
+  for (int i = 0; i < 40; ++i) {
+    float v = static_cast<float>(i);
+    X.push_back({v, 0.0f});
+    y.push_back(v < 20 ? 0 : 1);
+  }
+  DecisionTree tree;
+  tree.fit(X, y);
+  EXPECT_EQ(tree.predict({5.0f, 0.0f}), 0);
+  EXPECT_EQ(tree.predict({35.0f, 0.0f}), 1);
+  EXPECT_DOUBLE_EQ(tree.score(X, y), 1.0);
+  EXPECT_LE(tree.depth(), 3);
+}
+
+TEST(DecisionTreeTest, XorNeedsDepthTwo) {
+  std::vector<std::vector<float>> X{{0, 0}, {0, 1}, {1, 0}, {1, 1}};
+  std::vector<int> y{0, 1, 1, 0};
+  DecisionTree tree;
+  tree.fit(X, y);
+  EXPECT_DOUBLE_EQ(tree.score(X, y), 1.0);
+  EXPECT_GE(tree.depth(), 2);
+}
+
+TEST(DecisionTreeTest, MaxDepthLimitsGrowth) {
+  Rng rng(3);
+  std::vector<std::vector<float>> X;
+  std::vector<int> y;
+  for (int i = 0; i < 200; ++i) {
+    X.push_back({static_cast<float>(rng.uniform()),
+                 static_cast<float>(rng.uniform())});
+    y.push_back(static_cast<int>(rng.next_below(4)));
+  }
+  DecisionTree shallow(DecisionTreeOptions{.max_depth = 2});
+  shallow.fit(X, y);
+  EXPECT_LE(shallow.depth(), 2 + 1);  // root at depth 1
+  EXPECT_LE(shallow.num_leaves(), 4);
+}
+
+TEST(DecisionTreeTest, MultiClassPurity) {
+  std::vector<std::vector<float>> X;
+  std::vector<int> y;
+  for (int c = 0; c < 5; ++c)
+    for (int i = 0; i < 10; ++i) {
+      X.push_back({static_cast<float>(c * 10 + i % 3)});
+      y.push_back(c);
+    }
+  DecisionTree tree;
+  tree.fit(X, y);
+  EXPECT_DOUBLE_EQ(tree.score(X, y), 1.0);
+}
+
+TEST(DecisionTreeTest, ConstantFeaturesFallBackToMajority) {
+  std::vector<std::vector<float>> X(10, {1.0f, 1.0f});
+  std::vector<int> y(10, 0);
+  y[0] = 1;
+  DecisionTree tree;
+  tree.fit(X, y);
+  EXPECT_EQ(tree.predict({1.0f, 1.0f}), 0);
+  EXPECT_EQ(tree.num_leaves(), 1);
+}
+
+TEST(GeneticSelectorTest, FindsInformativeFeatures) {
+  // Fitness rewards subsets containing features 3 and 7.
+  GeneticSelectorOptions options;
+  options.population_size = 30;
+  options.generations = 12;
+  options.subset_size = 4;
+  options.seed = 11;
+  auto result = select_features(
+      20,
+      [](const std::vector<int>& subset) {
+        double score = 0;
+        for (int f : subset) {
+          if (f == 3) score += 1.0;
+          if (f == 7) score += 1.0;
+        }
+        return score;
+      },
+      options);
+  EXPECT_DOUBLE_EQ(result.best_fitness, 2.0);
+  EXPECT_NE(std::find(result.best_subset.begin(), result.best_subset.end(), 3),
+            result.best_subset.end());
+  EXPECT_NE(std::find(result.best_subset.begin(), result.best_subset.end(), 7),
+            result.best_subset.end());
+}
+
+TEST(GeneticSelectorTest, SubsetsHaveRequestedSizeAndUnique) {
+  GeneticSelectorOptions options;
+  options.population_size = 10;
+  options.generations = 3;
+  options.subset_size = 5;
+  auto result = select_features(
+      16, [](const std::vector<int>& subset) {
+        return static_cast<double>(subset[0]);
+      },
+      options);
+  EXPECT_EQ(result.best_subset.size(), 5u);
+  for (std::size_t i = 1; i < result.best_subset.size(); ++i)
+    EXPECT_LT(result.best_subset[i - 1], result.best_subset[i]);
+}
+
+TEST(GeneticSelectorTest, DeterministicForSeed) {
+  GeneticSelectorOptions options;
+  options.population_size = 20;
+  options.generations = 5;
+  options.subset_size = 3;
+  options.seed = 99;
+  auto fitness = [](const std::vector<int>& subset) {
+    double s = 0;
+    for (int f : subset) s += f % 5;
+    return s;
+  };
+  auto a = select_features(32, fitness, options);
+  auto b = select_features(32, fitness, options);
+  EXPECT_EQ(a.best_subset, b.best_subset);
+}
+
+TEST(KFoldTest, PartitionIsCompleteAndDisjoint) {
+  auto folds = k_fold(57, 10, 42);
+  ASSERT_EQ(folds.size(), 10u);
+  std::vector<int> seen(57, 0);
+  for (const auto& fold : folds) {
+    for (int i : fold.validation_indices) ++seen[i];
+    EXPECT_EQ(fold.train_indices.size() + fold.validation_indices.size(),
+              57u);
+  }
+  for (int count : seen) EXPECT_EQ(count, 1);
+}
+
+TEST(KFoldTest, BalancedSizes) {
+  auto folds = k_fold(56, 10, 1);
+  for (const auto& fold : folds) {
+    EXPECT_GE(fold.validation_indices.size(), 5u);
+    EXPECT_LE(fold.validation_indices.size(), 6u);
+  }
+}
+
+TEST(KFoldTest, SeedChangesAssignment) {
+  auto a = k_fold(30, 5, 1);
+  auto b = k_fold(30, 5, 2);
+  EXPECT_NE(a[0].validation_indices, b[0].validation_indices);
+}
+
+TEST(MetricsTest, AccuracyAndTally) {
+  std::vector<int> pred{0, 1, 1, 2};
+  std::vector<int> truth{0, 1, 2, 2};
+  EXPECT_DOUBLE_EQ(accuracy(pred, truth), 0.75);
+  LabelTally tally = tally_labels(pred, truth, 3);
+  EXPECT_EQ(tally.oracle[2], 2);
+  EXPECT_EQ(tally.predicted[1], 2);
+  EXPECT_EQ(tally.correct[2], 1);
+}
+
+}  // namespace
+}  // namespace irgnn::ml

@@ -1,0 +1,468 @@
+// Unit tests for the transformation passes: each pass individually on
+// hand-built IR, then pipelines + verifier, then flag-sequence sampling.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+
+#include "ir/parser.h"
+#include "ir/printer.h"
+#include "ir/verifier.h"
+#include "passes/flag_sequence.h"
+#include "passes/pass.h"
+#include "tests/test_helpers.h"
+
+namespace irgnn {
+namespace {
+
+using passes::PassManager;
+
+std::size_t count_opcode(const ir::Module& module, ir::Opcode op) {
+  std::size_t n = 0;
+  for (ir::Function* fn : module.functions())
+    for (ir::BasicBlock* block : fn->blocks())
+      for (ir::Instruction* inst : block->instructions())
+        n += (inst->opcode() == op);
+  return n;
+}
+
+void expect_valid(const ir::Module& module, const std::string& context) {
+  std::string errors;
+  EXPECT_TRUE(ir::verify(module, &errors))
+      << context << ":\n"
+      << errors << ir::print_module(module);
+}
+
+TEST(Mem2RegTest, PromotesAllocasAndInsertsPhis) {
+  auto module = testing::make_alloca_loop_module();
+  PassManager pm({"mem2reg"});
+  EXPECT_EQ(pm.run(*module), 1u);
+  expect_valid(*module, "after mem2reg");
+  EXPECT_EQ(count_opcode(*module, ir::Opcode::Alloca), 0u);
+  EXPECT_EQ(count_opcode(*module, ir::Opcode::Load), 0u);
+  EXPECT_EQ(count_opcode(*module, ir::Opcode::Store), 0u);
+  EXPECT_GE(count_opcode(*module, ir::Opcode::Phi), 2u);  // i and acc
+}
+
+TEST(Mem2RegTest, LeavesEscapingAllocasAlone) {
+  const char* text = R"(
+declare void @use(i64*)
+define void @f() {
+entry:
+  %p = alloca i64, i64 1
+  call void @use(i64* %p)
+  ret void
+}
+)";
+  auto module = ir::parse_module(text);
+  ASSERT_NE(module, nullptr);
+  PassManager pm({"mem2reg"});
+  pm.run(*module);
+  EXPECT_EQ(count_opcode(*module, ir::Opcode::Alloca), 1u);
+}
+
+TEST(Mem2RegTest, LoadBeforeStoreBecomesUndef) {
+  const char* text = R"(
+define i64 @f() {
+entry:
+  %p = alloca i64, i64 1
+  %v = load i64, i64* %p
+  ret i64 %v
+}
+)";
+  auto module = ir::parse_module(text);
+  ASSERT_NE(module, nullptr);
+  PassManager pm({"mem2reg"});
+  pm.run(*module);
+  expect_valid(*module, "after mem2reg undef case");
+  EXPECT_EQ(count_opcode(*module, ir::Opcode::Load), 0u);
+}
+
+TEST(InstCombineTest, FoldsConstantChains) {
+  auto module = testing::make_foldable_module();
+  PassManager pm({"instcombine"});
+  pm.run(*module);
+  expect_valid(*module, "after instcombine");
+  // Everything folds into ret (arg + 20).
+  ir::Function* fn = module->get_function("fold");
+  EXPECT_LE(fn->instruction_count(), 2u);
+}
+
+TEST(InstCombineTest, StrengthReducesMulToShift) {
+  const char* text = R"(
+define i64 @f(i64 %x) {
+entry:
+  %m = mul i64 %x, 8
+  ret i64 %m
+}
+)";
+  auto module = ir::parse_module(text);
+  PassManager pm({"instcombine"});
+  pm.run(*module);
+  EXPECT_EQ(count_opcode(*module, ir::Opcode::Mul), 0u);
+  EXPECT_EQ(count_opcode(*module, ir::Opcode::Shl), 1u);
+}
+
+TEST(InstCombineTest, FoldsSelectAndCasts) {
+  const char* text = R"(
+define i64 @f(i64 %x) {
+entry:
+  %c = icmp slt i64 3, 5
+  %s = select i1 %c, i64 %x, i64 0
+  %t = trunc i64 300 to i8
+  %z = sext i8 %t to i64
+  %r = add i64 %s, %z
+  ret i64 %r
+}
+)";
+  auto module = ir::parse_module(text);
+  PassManager pm({"instcombine"});
+  pm.run(*module);
+  expect_valid(*module, "after instcombine select/cast");
+  EXPECT_EQ(count_opcode(*module, ir::Opcode::Select), 0u);
+  EXPECT_EQ(count_opcode(*module, ir::Opcode::ICmp), 0u);
+  // 300 wraps to 44 as i8; %r = %x + 44 remains a single add.
+  EXPECT_EQ(count_opcode(*module, ir::Opcode::Add), 1u);
+}
+
+TEST(DceTest, RemovesDeadChains) {
+  const char* text = R"(
+define i64 @f(i64 %x) {
+entry:
+  %dead1 = add i64 %x, 1
+  %dead2 = mul i64 %dead1, 3
+  %live = add i64 %x, 2
+  ret i64 %live
+}
+)";
+  auto module = ir::parse_module(text);
+  PassManager pm({"dce"});
+  pm.run(*module);
+  EXPECT_EQ(module->get_function("f")->instruction_count(), 2u);
+}
+
+TEST(DceTest, KeepsSideEffects) {
+  const char* text = R"(
+define void @f(i64* %p) {
+entry:
+  store i64 1, i64* %p
+  %unused = load i64, i64* %p
+  %rmw = atomicrmw add i64* %p, i64 2
+  ret void
+}
+)";
+  auto module = ir::parse_module(text);
+  PassManager pm({"dce"});
+  pm.run(*module);
+  EXPECT_EQ(count_opcode(*module, ir::Opcode::Store), 1u);
+  EXPECT_EQ(count_opcode(*module, ir::Opcode::AtomicRMW), 1u);
+  EXPECT_EQ(count_opcode(*module, ir::Opcode::Load), 0u);  // unused load dies
+}
+
+TEST(DseTest, RemovesOverwrittenStore) {
+  const char* text = R"(
+define void @f(i64* %p) {
+entry:
+  store i64 1, i64* %p
+  store i64 2, i64* %p
+  ret void
+}
+)";
+  auto module = ir::parse_module(text);
+  PassManager pm({"dse"});
+  pm.run(*module);
+  EXPECT_EQ(count_opcode(*module, ir::Opcode::Store), 1u);
+}
+
+TEST(DseTest, InterveningLoadBlocksElimination) {
+  const char* text = R"(
+define i64 @f(i64* %p) {
+entry:
+  store i64 1, i64* %p
+  %v = load i64, i64* %p
+  store i64 2, i64* %p
+  ret i64 %v
+}
+)";
+  auto module = ir::parse_module(text);
+  PassManager pm({"dse"});
+  pm.run(*module);
+  EXPECT_EQ(count_opcode(*module, ir::Opcode::Store), 2u);
+}
+
+TEST(EarlyCseTest, DeduplicatesPureExpressions) {
+  const char* text = R"(
+define i64 @f(i64 %a, i64 %b) {
+entry:
+  %x = add i64 %a, %b
+  %y = add i64 %b, %a
+  %z = add i64 %x, %y
+  ret i64 %z
+}
+)";
+  auto module = ir::parse_module(text);
+  PassManager pm({"earlycse"});
+  pm.run(*module);
+  // Commutative canonicalization merges x and y.
+  EXPECT_EQ(count_opcode(*module, ir::Opcode::Add), 2u);
+}
+
+TEST(EarlyCseTest, ForwardsLoadAfterStore) {
+  const char* text = R"(
+define i64 @f(i64* %p, i64 %v) {
+entry:
+  store i64 %v, i64* %p
+  %r = load i64, i64* %p
+  ret i64 %r
+}
+)";
+  auto module = ir::parse_module(text);
+  PassManager pm({"earlycse"});
+  pm.run(*module);
+  EXPECT_EQ(count_opcode(*module, ir::Opcode::Load), 0u);
+}
+
+TEST(GvnTest, EliminatesAcrossBlocks) {
+  const char* text = R"(
+define i64 @f(i64 %a, i1 %c) {
+entry:
+  %x = mul i64 %a, %a
+  br i1 %c, label %then, label %join
+then:
+  %y = mul i64 %a, %a
+  br label %join
+join:
+  %p = phi i64 [ %y, %then ], [ 0, %entry ]
+  %z = mul i64 %a, %a
+  %r = add i64 %p, %z
+  ret i64 %r
+}
+)";
+  auto module = ir::parse_module(text);
+  PassManager pm({"gvn"});
+  pm.run(*module);
+  expect_valid(*module, "after gvn");
+  EXPECT_EQ(count_opcode(*module, ir::Opcode::Mul), 1u);
+}
+
+TEST(SimplifyCfgTest, FoldsConstantBranchAndRemovesDeadBlock) {
+  const char* text = R"(
+define i64 @f(i64 %x) {
+entry:
+  br i1 1, label %a, label %b
+a:
+  ret i64 %x
+b:
+  ret i64 0
+}
+)";
+  auto module = ir::parse_module(text);
+  PassManager pm({"simplifycfg"});
+  pm.run(*module);
+  expect_valid(*module, "after simplifycfg");
+  // entry+a merge; b unreachable -> single block remains.
+  EXPECT_EQ(module->get_function("f")->num_blocks(), 1u);
+}
+
+TEST(SimplifyCfgTest, MergesStraightLineAndFixesPhis) {
+  const char* text = R"(
+define i64 @f(i64 %x, i1 %c) {
+entry:
+  br i1 %c, label %t, label %e
+t:
+  %a = add i64 %x, 1
+  br label %join
+e:
+  %b = add i64 %x, 2
+  br label %join
+join:
+  %p = phi i64 [ %a, %t ], [ %b, %e ]
+  ret i64 %p
+}
+)";
+  auto module = ir::parse_module(text);
+  PassManager pm({"simplifycfg"});
+  pm.run(*module);
+  expect_valid(*module, "after simplifycfg diamond");
+  EXPECT_EQ(count_opcode(*module, ir::Opcode::Phi), 1u);
+}
+
+TEST(LicmTest, HoistsInvariantComputation) {
+  const char* text = R"(
+define i64 @f(i64 %n, i64 %k) {
+entry:
+  br label %loop
+loop:
+  %i = phi i64 [ 0, %entry ], [ %inc, %loop ]
+  %acc = phi i64 [ 0, %entry ], [ %acc2, %loop ]
+  %inv = mul i64 %k, %k
+  %acc2 = add i64 %acc, %inv
+  %inc = add i64 %i, 1
+  %c = icmp slt i64 %inc, %n
+  br i1 %c, label %loop, label %exit
+exit:
+  ret i64 %acc2
+}
+)";
+  auto module = ir::parse_module(text);
+  PassManager pm({"licm"});
+  pm.run(*module);
+  expect_valid(*module, "after licm");
+  // %inv must have left the loop body.
+  ir::Function* fn = module->get_function("f");
+  ir::BasicBlock* loop = nullptr;
+  for (ir::BasicBlock* block : fn->blocks())
+    if (block->name() == "loop") loop = block;
+  ASSERT_NE(loop, nullptr);
+  for (ir::Instruction* inst : loop->instructions())
+    EXPECT_NE(inst->name(), "inv");
+}
+
+TEST(LicmTest, DoesNotHoistLoadPastStores) {
+  const char* text = R"(
+define void @f(i64 %n, i64* %p, i64* %q) {
+entry:
+  br label %loop
+loop:
+  %i = phi i64 [ 0, %entry ], [ %inc, %loop ]
+  %v = load i64, i64* %p
+  store i64 %v, i64* %q
+  %inc = add i64 %i, 1
+  %c = icmp slt i64 %inc, %n
+  br i1 %c, label %loop, label %exit
+exit:
+  ret void
+}
+)";
+  auto module = ir::parse_module(text);
+  PassManager pm({"licm"});
+  pm.run(*module);
+  expect_valid(*module, "after licm load");
+  ir::Function* fn = module->get_function("f");
+  ir::BasicBlock* loop = nullptr;
+  for (ir::BasicBlock* block : fn->blocks())
+    if (block->name() == "loop") loop = block;
+  bool load_in_loop = false;
+  for (ir::Instruction* inst : loop->instructions())
+    load_in_loop |= (inst->opcode() == ir::Opcode::Load);
+  EXPECT_TRUE(load_in_loop);
+}
+
+TEST(LoopUnrollTest, FullyUnrollsConstantTripLoop) {
+  auto module = testing::make_sum_loop_module(/*bound=*/4);
+  PassManager pm({"loop-unroll"});
+  EXPECT_EQ(pm.run(*module), 1u);
+  expect_valid(*module, "after unroll");
+  EXPECT_EQ(count_opcode(*module, ir::Opcode::Phi), 0u);
+  // Constant-fold the unrolled chain: sum 0..3 = 6.
+  PassManager cleanup({"instcombine", "dce", "simplifycfg"});
+  cleanup.run(*module);
+  std::string text = ir::print_module(*module);
+  EXPECT_NE(text.find("ret i64 6"), std::string::npos) << text;
+}
+
+TEST(LoopUnrollTest, LeavesDynamicLoopsAlone) {
+  auto module = testing::make_sum_loop_module();  // bound = %n
+  PassManager pm({"loop-unroll"});
+  EXPECT_EQ(pm.run(*module), 0u);
+}
+
+TEST(InlineTest, InlinesSmallCalleeWithBranches) {
+  const char* text = R"(
+define i64 @abs(i64 %x) {
+entry:
+  %neg = icmp slt i64 %x, 0
+  br i1 %neg, label %flip, label %done
+flip:
+  %m = sub i64 0, %x
+  br label %done
+done:
+  %r = phi i64 [ %m, %flip ], [ %x, %entry ]
+  ret i64 %r
+}
+define i64 @caller(i64 %a, i64 %b) {
+entry:
+  %x = call i64 @abs(i64 %a)
+  %y = call i64 @abs(i64 %b)
+  %s = add i64 %x, %y
+  ret i64 %s
+}
+)";
+  auto module = ir::parse_module(text);
+  ASSERT_NE(module, nullptr);
+  PassManager pm({"inline"});
+  EXPECT_EQ(pm.run(*module), 1u);
+  expect_valid(*module, "after inline");
+  EXPECT_EQ(count_opcode(*module, ir::Opcode::Call), 0u);
+}
+
+TEST(InlineTest, SkipsRecursionAndDeclarations) {
+  const char* text = R"(
+declare i64 @ext(i64)
+define i64 @rec(i64 %x) {
+entry:
+  %r = call i64 @rec(i64 %x)
+  %e = call i64 @ext(i64 %r)
+  ret i64 %e
+}
+)";
+  auto module = ir::parse_module(text);
+  PassManager pm({"inline"});
+  pm.run(*module);
+  EXPECT_EQ(count_opcode(*module, ir::Opcode::Call), 2u);
+}
+
+TEST(PipelineTest, O3PipelineKeepsModulesValid) {
+  std::vector<std::function<std::unique_ptr<ir::Module>()>> makers = {
+      [] { return testing::make_sum_loop_module(); },
+      [] { return testing::make_alloca_loop_module(); },
+  };
+  for (auto& maker : makers) {
+    auto module = maker();
+    PassManager pm(passes::o3_pipeline());
+    pm.run(*module);
+    expect_valid(*module, "after O3");
+  }
+}
+
+TEST(PipelineTest, UnknownPassNameThrows) {
+  EXPECT_THROW(PassManager({"not-a-pass"}), std::invalid_argument);
+}
+
+TEST(FlagSequenceTest, DeterministicForSeed) {
+  auto a = passes::sample_flag_sequences(20, 42);
+  auto b = passes::sample_flag_sequences(20, 42);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_EQ(a[i].passes, b[i].passes);
+}
+
+TEST(FlagSequenceTest, PrefixStableWhenCountGrows) {
+  auto small = passes::sample_flag_sequences(5, 7);
+  auto large = passes::sample_flag_sequences(50, 7);
+  for (std::size_t i = 0; i < small.size(); ++i)
+    EXPECT_EQ(small[i].passes, large[i].passes);
+}
+
+TEST(FlagSequenceTest, SampledSequencesRunAndKeepIrValid) {
+  auto sequences = passes::sample_flag_sequences(25, 11);
+  for (const auto& seq : sequences) {
+    auto module = testing::make_alloca_loop_module();
+    PassManager pm(seq.passes);
+    pm.run(*module);
+    expect_valid(*module, "after flag sequence " + seq.to_string());
+  }
+}
+
+TEST(FlagSequenceTest, KeepProbabilityShapesLength) {
+  // Expected kept passes per sequence: rounds * |O3| * keep_p.
+  auto sequences = passes::sample_flag_sequences(300, 3);
+  double total = 0;
+  for (const auto& seq : sequences) total += seq.passes.size();
+  double avg = total / sequences.size();
+  double expected = 4 * passes::o3_pipeline().size() * 0.2;
+  EXPECT_NEAR(avg, expected, expected * 0.25);
+}
+
+}  // namespace
+}  // namespace irgnn

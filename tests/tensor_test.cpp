@@ -1,0 +1,228 @@
+// Tensor/autograd tests. The core of the suite is numerical gradient
+// checking: for every differentiable op we compare the analytic gradient to
+// central finite differences on random inputs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "tensor/optimizer.h"
+#include "tensor/tensor.h"
+
+namespace irgnn::tensor {
+namespace {
+
+/// Central-difference gradient check of `loss_fn` wrt `input`'s entries.
+/// loss_fn must rebuild the graph from scratch at each call.
+void grad_check(Tensor input,
+                const std::function<Tensor()>& loss_fn,
+                float tolerance = 2e-2f) {
+  input.zero_grad();  // leaf grads persist across checks; start clean
+  Tensor loss = loss_fn();
+  loss.backward();
+  std::vector<float> analytic(input.grad(), input.grad() + input.numel());
+
+  const float eps = 1e-2f;
+  for (int i = 0; i < input.numel(); ++i) {
+    float saved = input.data()[i];
+    input.data()[i] = saved + eps;
+    float up = loss_fn().item();
+    input.data()[i] = saved - eps;
+    float down = loss_fn().item();
+    input.data()[i] = saved;
+    float numeric = (up - down) / (2 * eps);
+    EXPECT_NEAR(analytic[i], numeric,
+                tolerance * std::max(1.0f, std::fabs(numeric)))
+        << "entry " << i;
+  }
+}
+
+Tensor sum_all(const Tensor& t) {
+  // Reduce to scalar via segment_mean + scale (mean * n == sum).
+  std::vector<int> seg(t.rows(), 0);
+  Tensor pooled = segment_mean(t, seg, 1);
+  Tensor ones = Tensor::full({t.cols(), 1}, 1.0f);
+  return scale(matmul(pooled, ones), static_cast<float>(t.rows()));
+}
+
+TEST(TensorTest, ConstructorsAndAccessors) {
+  Tensor z = Tensor::zeros({2, 3});
+  EXPECT_EQ(z.numel(), 6);
+  EXPECT_EQ(z.at(1, 2), 0.0f);
+  Tensor f = Tensor::full({2, 2}, 3.5f);
+  EXPECT_EQ(f.at(0, 1), 3.5f);
+  Tensor d = Tensor::from_data({2, 2}, {1, 2, 3, 4});
+  EXPECT_EQ(d.at(1, 0), 3.0f);
+}
+
+TEST(TensorTest, MatmulForward) {
+  Tensor a = Tensor::from_data({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b = Tensor::from_data({3, 2}, {7, 8, 9, 10, 11, 12});
+  Tensor c = matmul(a, b);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 58);
+  EXPECT_FLOAT_EQ(c.at(0, 1), 64);
+  EXPECT_FLOAT_EQ(c.at(1, 0), 139);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 154);
+}
+
+TEST(TensorTest, MatmulGradient) {
+  Rng rng(1);
+  Tensor a = Tensor::xavier({3, 4}, rng);
+  Tensor b = Tensor::xavier({4, 2}, rng);
+  grad_check(a, [&] { return sum_all(matmul(a, b)); });
+  grad_check(b, [&] { return sum_all(matmul(a, b)); });
+}
+
+TEST(TensorTest, ElementwiseGradients) {
+  Rng rng(2);
+  Tensor a = Tensor::xavier({3, 3}, rng);
+  Tensor b = Tensor::xavier({3, 3}, rng);
+  grad_check(a, [&] { return sum_all(add(a, b)); });
+  grad_check(a, [&] { return sum_all(sub(a, b)); });
+  grad_check(a, [&] { return sum_all(mul(a, b)); });
+  grad_check(b, [&] { return sum_all(mul(a, b)); });
+}
+
+TEST(TensorTest, ActivationGradients) {
+  Rng rng(3);
+  Tensor a = Tensor::xavier({4, 4}, rng);
+  grad_check(a, [&] { return sum_all(tanh_t(a)); });
+  grad_check(a, [&] { return sum_all(sigmoid(a)); });
+  // relu is non-differentiable at 0; nudge values away from it.
+  for (int i = 0; i < a.numel(); ++i)
+    if (std::fabs(a.data()[i]) < 0.1f) a.data()[i] = 0.5f;
+  grad_check(a, [&] { return sum_all(relu(a)); });
+}
+
+TEST(TensorTest, AddBiasGradient) {
+  Rng rng(4);
+  Tensor a = Tensor::xavier({3, 4}, rng);
+  Tensor b = Tensor::xavier({1, 4}, rng);
+  grad_check(b, [&] { return sum_all(add_bias(a, b)); });
+}
+
+TEST(TensorTest, LayerNormGradient) {
+  Rng rng(5);
+  Tensor x = Tensor::xavier({3, 6}, rng);
+  Tensor gamma = Tensor::full({1, 6}, 1.0f, true);
+  Tensor beta = Tensor::zeros({1, 6}, true);
+  grad_check(x, [&] { return sum_all(mul(layer_norm(x, gamma, beta),
+                                         layer_norm(x, gamma, beta))); });
+  grad_check(gamma,
+             [&] { return sum_all(mul(layer_norm(x, gamma, beta),
+                                      layer_norm(x, gamma, beta))); });
+}
+
+TEST(TensorTest, LayerNormNormalizes) {
+  Rng rng(6);
+  Tensor x = Tensor::xavier({2, 8}, rng);
+  Tensor gamma = Tensor::full({1, 8}, 1.0f);
+  Tensor beta = Tensor::zeros({1, 8});
+  Tensor y = layer_norm(x, gamma, beta);
+  for (int i = 0; i < 2; ++i) {
+    float mean = 0;
+    for (int j = 0; j < 8; ++j) mean += y.at(i, j);
+    EXPECT_NEAR(mean / 8, 0.0f, 1e-5f);
+  }
+}
+
+TEST(TensorTest, EmbeddingGradientAccumulates) {
+  Tensor table = Tensor::from_data({3, 2}, {1, 2, 3, 4, 5, 6}, true);
+  Tensor out = embedding(table, {0, 2, 0});
+  EXPECT_FLOAT_EQ(out.at(2, 1), 2);
+  Tensor loss = sum_all(out);
+  loss.backward();
+  EXPECT_FLOAT_EQ(table.grad()[0], 2);  // row 0 used twice
+  EXPECT_FLOAT_EQ(table.grad()[4], 1);  // row 2 used once
+  EXPECT_FLOAT_EQ(table.grad()[2], 0);  // row 1 unused
+}
+
+TEST(TensorTest, IndexAddRowsForwardAndGradient) {
+  Rng rng(7);
+  Tensor x = Tensor::xavier({4, 3}, rng);
+  std::vector<int> dst{0, 1, 0, 1};
+  std::vector<float> coeff{0.5f, 1.0f, 0.5f, 1.0f};
+  Tensor out = index_add_rows(x, dst, coeff, 2);
+  EXPECT_NEAR(out.at(0, 0), 0.5f * (x.at(0, 0) + x.at(2, 0)), 1e-5f);
+  grad_check(x, [&] { return sum_all(mul(index_add_rows(x, dst, coeff, 2),
+                                         index_add_rows(x, dst, coeff, 2))); });
+}
+
+TEST(TensorTest, SegmentMeanForward) {
+  Tensor x = Tensor::from_data({4, 2}, {1, 2, 3, 4, 5, 6, 7, 8});
+  Tensor out = segment_mean(x, {0, 0, 1, 1}, 2);
+  EXPECT_FLOAT_EQ(out.at(0, 0), 2);
+  EXPECT_FLOAT_EQ(out.at(1, 1), 7);
+}
+
+TEST(TensorTest, LogSoftmaxRowsSumToOne) {
+  Rng rng(8);
+  Tensor x = Tensor::xavier({3, 5}, rng);
+  Tensor lp = log_softmax(x);
+  for (int i = 0; i < 3; ++i) {
+    float sum = 0;
+    for (int j = 0; j < 5; ++j) sum += std::exp(lp.at(i, j));
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+  }
+}
+
+TEST(TensorTest, NllLossGradient) {
+  Rng rng(9);
+  Tensor x = Tensor::xavier({4, 3}, rng);
+  std::vector<int> targets{0, 2, 1, 2};
+  grad_check(x, [&] { return nll_loss(log_softmax(x), targets); });
+}
+
+TEST(TensorTest, DropoutIdentityInEval) {
+  Rng rng(10);
+  Tensor x = Tensor::full({2, 2}, 3.0f);
+  Tensor y = dropout(x, 0.5f, rng, /*training=*/false);
+  EXPECT_EQ(y.at(0, 0), 3.0f);
+}
+
+TEST(TensorTest, ArgmaxRows) {
+  Tensor x = Tensor::from_data({2, 3}, {1, 5, 2, 9, 0, 3});
+  auto idx = argmax_rows(x);
+  EXPECT_EQ(idx[0], 1);
+  EXPECT_EQ(idx[1], 0);
+}
+
+TEST(OptimizerTest, AdamMinimizesQuadratic) {
+  // minimize ||w - target||^2
+  Tensor w = Tensor::zeros({1, 4}, true);
+  Tensor target = Tensor::from_data({1, 4}, {1, -2, 3, -4});
+  Adam adam({w}, {.lr = 0.1f});
+  for (int step = 0; step < 300; ++step) {
+    adam.zero_grad();
+    Tensor diff = sub(w, target);
+    Tensor loss = sum_all(mul(diff, diff));
+    loss.backward();
+    adam.step();
+  }
+  for (int i = 0; i < 4; ++i)
+    EXPECT_NEAR(w.data()[i], target.data()[i], 0.05f);
+}
+
+TEST(OptimizerTest, SgdMomentumMinimizes) {
+  Tensor w = Tensor::full({1, 2}, 5.0f, true);
+  Sgd sgd({w}, 0.05f, 0.9f);
+  for (int step = 0; step < 200; ++step) {
+    sgd.zero_grad();
+    Tensor loss = sum_all(mul(w, w));
+    loss.backward();
+    sgd.step();
+  }
+  EXPECT_NEAR(w.data()[0], 0.0f, 0.05f);
+}
+
+TEST(TensorTest, BackwardThroughSharedSubgraph) {
+  // y = a*a used twice: gradients must accumulate once per use.
+  Tensor a = Tensor::full({1, 1}, 3.0f, true);
+  Tensor sq = mul(a, a);
+  Tensor loss = add(sq, sq);  // d/da = 2 * 2a = 12
+  loss.backward();
+  EXPECT_NEAR(a.grad()[0], 12.0f, 1e-4f);
+}
+
+}  // namespace
+}  // namespace irgnn::tensor

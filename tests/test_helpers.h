@@ -1,0 +1,121 @@
+// Shared IR-construction helpers for the test suite.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "ir/irbuilder.h"
+#include "ir/module.h"
+
+namespace irgnn::testing {
+
+/// Builds:
+///   define i64 @sum(i64 %n) {          ; sum of 0..n-1 with a counted loop
+///   entry: br loop
+///   loop:  %i = phi [0,entry],[%inc,loop]
+///          %acc = phi [0,entry],[%acc2,loop]
+///          %acc2 = add %acc, %i
+///          %inc = add %i, 1
+///          %c = icmp slt %inc, %n
+///          br %c, loop, exit
+///   exit:  ret %acc2
+///   }
+inline std::unique_ptr<ir::Module> make_sum_loop_module(
+    std::int64_t bound = -1) {
+  auto module = std::make_unique<ir::Module>("sum_loop");
+  auto& ctx = module->types();
+  auto* fn_type = ctx.function(ctx.int64_ty(), {ctx.int64_ty()});
+  ir::Function* fn = module->add_function(fn_type, "sum");
+  fn->set_arg_name(0, "n");
+  ir::IRBuilder b(module.get());
+
+  auto* entry = fn->add_block("entry");
+  auto* loop = fn->add_block("loop");
+  auto* exit = fn->add_block("exit");
+
+  b.set_insert_point(entry);
+  b.create_br(loop);
+
+  b.set_insert_point(loop);
+  auto* i = b.create_phi(ctx.int64_ty(), "i");
+  auto* acc = b.create_phi(ctx.int64_ty(), "acc");
+  auto* acc2 = b.create_add(acc, i, "acc2");
+  auto* inc = b.create_add(i, module->get_i64(1), "inc");
+  ir::Value* limit = bound >= 0
+                         ? static_cast<ir::Value*>(module->get_i64(bound))
+                         : fn->arg(0);
+  auto* cond = b.create_icmp(ir::ICmpPred::SLT, inc, limit, "c");
+  b.create_cond_br(cond, loop, exit);
+  i->phi_add_incoming(module->get_i64(0), entry);
+  i->phi_add_incoming(inc, loop);
+  acc->phi_add_incoming(module->get_i64(0), entry);
+  acc->phi_add_incoming(acc2, loop);
+
+  b.set_insert_point(exit);
+  b.create_ret(acc2);
+  return module;
+}
+
+/// Builds a function that uses allocas for i/acc the way a frontend would,
+/// exercising mem2reg:
+///   define i64 @asum(i64 %n) { alloca-based loop summing 2*i }
+inline std::unique_ptr<ir::Module> make_alloca_loop_module() {
+  auto module = std::make_unique<ir::Module>("alloca_loop");
+  auto& ctx = module->types();
+  auto* fn_type = ctx.function(ctx.int64_ty(), {ctx.int64_ty()});
+  ir::Function* fn = module->add_function(fn_type, "asum");
+  fn->set_arg_name(0, "n");
+  ir::IRBuilder b(module.get());
+
+  auto* entry = fn->add_block("entry");
+  auto* header = fn->add_block("header");
+  auto* body = fn->add_block("body");
+  auto* exit = fn->add_block("exit");
+
+  b.set_insert_point(entry);
+  auto* iv = b.create_alloca(ctx.int64_ty(), nullptr, "iv");
+  auto* accv = b.create_alloca(ctx.int64_ty(), nullptr, "accv");
+  b.create_store(module->get_i64(0), iv);
+  b.create_store(module->get_i64(0), accv);
+  b.create_br(header);
+
+  b.set_insert_point(header);
+  auto* i0 = b.create_load(iv, "i0");
+  auto* c = b.create_icmp(ir::ICmpPred::SLT, i0, fn->arg(0), "c");
+  b.create_cond_br(c, body, exit);
+
+  b.set_insert_point(body);
+  auto* i1 = b.create_load(iv, "i1");
+  auto* twice = b.create_mul(i1, module->get_i64(2), "twice");
+  auto* a0 = b.create_load(accv, "a0");
+  auto* a1 = b.create_add(a0, twice, "a1");
+  b.create_store(a1, accv);
+  auto* i2 = b.create_add(i1, module->get_i64(1), "i2");
+  b.create_store(i2, iv);
+  b.create_br(header);
+
+  b.set_insert_point(exit);
+  auto* result = b.create_load(accv, "result");
+  b.create_ret(result);
+  return module;
+}
+
+/// A straight-line function full of foldable arithmetic.
+inline std::unique_ptr<ir::Module> make_foldable_module() {
+  auto module = std::make_unique<ir::Module>("foldable");
+  auto& ctx = module->types();
+  auto* fn_type = ctx.function(ctx.int64_ty(), {ctx.int64_ty()});
+  ir::Function* fn = module->add_function(fn_type, "fold");
+  ir::IRBuilder b(module.get());
+  auto* entry = fn->add_block("entry");
+  b.set_insert_point(entry);
+  auto* a = b.create_add(module->get_i64(2), module->get_i64(3), "a");  // 5
+  auto* m = b.create_mul(a, module->get_i64(4), "m");                   // 20
+  auto* x = b.create_add(fn->arg(0), module->get_i64(0), "x");  // arg
+  auto* y = b.create_mul(x, module->get_i64(1), "y");           // arg
+  auto* z = b.create_add(y, m, "z");                            // arg+20
+  b.create_ret(z);
+  return module;
+}
+
+}  // namespace irgnn::testing

@@ -1,0 +1,150 @@
+// Tests for the benchmark suite: completeness (56 regions as the paper
+// evaluates), IR validity of every region under every pipeline (a
+// parameterized sweep), trait sanity, and the static/dynamic coupling.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/graph_builder.h"
+#include "graph/region_extractor.h"
+#include "ir/verifier.h"
+#include "passes/flag_sequence.h"
+#include "passes/pass.h"
+#include "workloads/suite.h"
+
+namespace irgnn::workloads {
+namespace {
+
+TEST(SuiteTest, Has56RegionsLikeThePaper) {
+  EXPECT_EQ(benchmark_suite().size(), 56u);
+}
+
+TEST(SuiteTest, NamesAreUniqueAndFamiliesPopulated) {
+  std::set<std::string> names;
+  std::set<std::string> families;
+  for (const auto& spec : benchmark_suite()) {
+    EXPECT_TRUE(names.insert(spec.name).second) << spec.name;
+    families.insert(spec.family);
+  }
+  EXPECT_TRUE(families.count("nas"));
+  EXPECT_TRUE(families.count("rodinia"));
+  EXPECT_TRUE(families.count("lulesh"));
+  EXPECT_TRUE(families.count("clomp"));
+}
+
+TEST(SuiteTest, ExpectedRegionCounts) {
+  std::map<std::string, int> counts;
+  for (const auto& spec : benchmark_suite()) ++counts[spec.family];
+  EXPECT_EQ(counts["clomp"], 11);
+  EXPECT_EQ(counts["lulesh"], 8);
+  EXPECT_EQ(counts["nas"], 18);
+  EXPECT_EQ(counts["rodinia"], 16);
+  EXPECT_EQ(counts["misc"], 3);
+}
+
+TEST(SuiteTest, TraitsAreSane) {
+  for (const auto& spec : benchmark_suite()) {
+    ASSERT_FALSE(spec.traits.phases.empty()) << spec.name;
+    for (const auto& phase : spec.traits.phases) {
+      ASSERT_FALSE(phase.streams.empty()) << spec.name;
+      EXPECT_GT(phase.accesses_per_call, 0u) << spec.name;
+      for (const auto& stream : phase.streams) {
+        EXPECT_GT(stream.footprint_bytes, 0u) << spec.name;
+        EXPECT_GE(stream.irregularity, 0.0) << spec.name;
+        EXPECT_LE(stream.irregularity, 1.0) << spec.name;
+      }
+    }
+    EXPECT_GE(spec.traits.size2_scale, 1.0) << spec.name;
+    EXPECT_GE(spec.traits.call_variability, 0.0) << spec.name;
+  }
+}
+
+TEST(SuiteTest, DynamicRegionsMatchThePaperNarrative) {
+  // The regions the paper's Fig. 12 singles out must carry per-call drift.
+  for (const char* name : {"kmeans", "mg residual", "bfs 135", "cfd 347"})
+    EXPECT_GT(find_region(name)->traits.call_variability, 0.0) << name;
+  // The SP reference is stable.
+  EXPECT_DOUBLE_EQ(find_region("sp rhs")->traits.call_variability, 0.0);
+}
+
+TEST(SuiteTest, FindRegion) {
+  EXPECT_NE(find_region("lulesh 2104"), nullptr);
+  EXPECT_EQ(find_region("nonexistent"), nullptr);
+  EXPECT_EQ(find_region("b+tree 86")->family, "rodinia");
+}
+
+TEST(SuiteTest, InputSizeSubsetIsValid) {
+  auto subset = input_size_subset();
+  EXPECT_EQ(subset.size(), 20u);
+  for (const auto& name : subset)
+    EXPECT_NE(find_region(name), nullptr) << name;
+}
+
+TEST(SuiteTest, KernelSpecsCoupleWithTraits) {
+  // Regions with indirection in their traits expose it in the IR knobs and
+  // vice versa — the coupling premise.
+  EXPECT_TRUE(find_region("cg 405")->kernel.indirect_gather);
+  EXPECT_TRUE(find_region("b+tree 86")->kernel.pointer_chase);
+  EXPECT_GT(find_region("clomp 1036")->kernel.barrier_calls, 0);
+  EXPECT_GT(find_region("blackscholes")->kernel.math_calls, 0);
+  EXPECT_TRUE(find_region("is rank")->kernel.atomic_reduction);
+}
+
+TEST(SuiteTest, ModulesCarryOutlinedRegions) {
+  for (const auto& spec : benchmark_suite()) {
+    auto module = build_region_module(spec);
+    auto regions = graph::find_omp_regions(*module);
+    ASSERT_EQ(regions.size(), 1u) << spec.name;
+    EXPECT_EQ(regions[0], outlined_name(spec.kernel.name));
+  }
+}
+
+TEST(SuiteTest, GraphsDifferAcrossRegions) {
+  // Structural fingerprints should be (mostly) distinct across the suite —
+  // otherwise the GNN has nothing to work with.
+  std::set<std::pair<std::size_t, std::size_t>> fingerprints;
+  for (const auto& spec : benchmark_suite()) {
+    auto module = build_region_module(spec);
+    auto pg = graph::build_graph(*module);
+    fingerprints.insert({pg.num_nodes(), pg.num_edges()});
+  }
+  EXPECT_GE(fingerprints.size(), benchmark_suite().size() / 2);
+}
+
+// Parameterized: every region must verify before and after every pipeline.
+class RegionIrSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RegionIrSweep, ValidBeforeAndAfterPipelines) {
+  const RegionSpec& spec = benchmark_suite()[GetParam()];
+  auto module = build_region_module(spec);
+  std::string errors;
+  ASSERT_TRUE(ir::verify(*module, &errors)) << spec.name << "\n" << errors;
+
+  // The full -O3 pipeline.
+  auto o3 = module->clone();
+  passes::PassManager pm(passes::o3_pipeline());
+  pm.run(*o3);
+  EXPECT_TRUE(ir::verify(*o3, &errors)) << spec.name << "\n" << errors;
+
+  // A handful of sampled flag sequences.
+  for (const auto& seq : passes::sample_flag_sequences(4, 1234 + GetParam())) {
+    auto variant = module->clone();
+    passes::PassManager vm(seq.passes);
+    vm.run(*variant);
+    EXPECT_TRUE(ir::verify(*variant, &errors))
+        << spec.name << " under " << seq.to_string() << "\n"
+        << errors;
+    // Region extraction still finds the kernel afterwards.
+    auto region =
+        graph::extract_region(*variant, outlined_name(spec.kernel.name));
+    ASSERT_NE(region, nullptr) << spec.name;
+    auto pg = graph::build_graph(*region);
+    EXPECT_GT(pg.num_nodes(), 10u) << spec.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRegions, RegionIrSweep,
+                         ::testing::Range(0, 56));
+
+}  // namespace
+}  // namespace irgnn::workloads
