@@ -8,6 +8,7 @@
 #include "core/experiment.h"
 #include "support/argparse.h"
 #include "support/table.h"
+#include "tensor/tensor.h"
 
 namespace irgnn::bench {
 
@@ -21,6 +22,9 @@ inline ArgParser make_parser(const std::string& name,
       .add("folds", "10", "cross-validation folds")
       .add("labels", "13", "reduced label count")
       .add("seed", "24069", "master random seed")
+      .add("threads", "0",
+           "max worker threads (0: all cores; results are identical "
+           "for every value)")
       .add("csv", "", "optional path to also write the table as CSV");
   return parser;
 }
@@ -34,6 +38,8 @@ inline core::ExperimentOptions options_from(const ArgParser& parser) {
   options.folds = static_cast<int>(parser.get_int("folds"));
   options.num_labels = static_cast<int>(parser.get_int("labels"));
   options.seed = static_cast<std::uint64_t>(parser.get_int("seed"));
+  options.num_threads = static_cast<int>(parser.get_int("threads"));
+  tensor::set_kernel_parallelism(options.num_threads);
   return options;
 }
 

@@ -2,11 +2,107 @@
 // dynamic behaviour (the ones static models mispredict) alongside SP as a
 // stable reference, at the default configuration on Skylake. The unstable
 // per-call profiles are the behaviour static information cannot capture.
+//
+// A second section benchmarks the parallel execution engine itself: GNN
+// training and inference wall-clock at num_threads=1 vs =4, asserting that
+// the outputs stay bit-identical while only the wall-clock changes.
+#include <chrono>
+#include <cstring>
+#include <thread>
+
 #include "bench/bench_common.h"
+#include "gnn/model.h"
+#include "graph/graph_builder.h"
 #include "sim/simulator.h"
 #include "workloads/suite.h"
 
 using namespace irgnn;
+
+namespace {
+
+struct EngineRun {
+  double train_seconds = 0;
+  double infer_seconds = 0;
+  std::vector<double> epoch_loss;
+  std::vector<int> predictions;
+};
+
+EngineRun run_engine(const std::vector<const graph::ProgramGraph*>& graphs,
+                     const std::vector<int>& labels, int epochs,
+                     int num_threads, int restore_threads) {
+  tensor::set_kernel_parallelism(num_threads);
+  gnn::ModelConfig cfg;
+  cfg.vocab_size = graph::vocabulary_size();
+  cfg.num_labels = 4;
+  cfg.hidden_dim = 64;
+  cfg.num_layers = 3;
+  cfg.epochs = epochs;
+  cfg.dropout = 0.1f;
+  cfg.seed = 0xF16;
+  cfg.num_threads = num_threads;
+  gnn::StaticModel model(cfg);
+
+  EngineRun run;
+  auto t0 = std::chrono::steady_clock::now();
+  gnn::TrainStats stats = model.train(graphs, labels);
+  auto t1 = std::chrono::steady_clock::now();
+  for (int rep = 0; rep < 8; ++rep) run.predictions = model.predict(graphs);
+  auto t2 = std::chrono::steady_clock::now();
+
+  run.train_seconds = std::chrono::duration<double>(t1 - t0).count();
+  run.infer_seconds = std::chrono::duration<double>(t2 - t1).count();
+  run.epoch_loss = stats.epoch_loss;
+  // Reinstate the --threads cap the user asked for, not "all cores".
+  tensor::set_kernel_parallelism(restore_threads);
+  return run;
+}
+
+bool bit_identical(const EngineRun& a, const EngineRun& b) {
+  return a.epoch_loss.size() == b.epoch_loss.size() &&
+         std::memcmp(a.epoch_loss.data(), b.epoch_loss.data(),
+                     a.epoch_loss.size() * sizeof(double)) == 0 &&
+         a.predictions == b.predictions;
+}
+
+void engine_scaling_section(const ArgParser& parser) {
+  // A training set heavy enough to occupy several workers: every suite
+  // region graph, labelled by a structural proxy.
+  const auto& suite = workloads::benchmark_suite();
+  std::vector<graph::ProgramGraph> owned;
+  std::vector<const graph::ProgramGraph*> graphs;
+  std::vector<int> labels;
+  for (std::size_t r = 0; r < suite.size(); ++r) {
+    auto module = workloads::build_region_module(suite[r]);
+    owned.push_back(graph::build_graph(*module));
+    labels.push_back(static_cast<int>(r) % 4);
+  }
+  for (const auto& g : owned) graphs.push_back(&g);
+
+  const int epochs = static_cast<int>(parser.get_int("epochs"));
+  const int base_threads = static_cast<int>(parser.get_int("threads"));
+  EngineRun serial = run_engine(graphs, labels, epochs, 1, base_threads);
+  EngineRun parallel = run_engine(graphs, labels, epochs, 4, base_threads);
+
+  Table table({"stage", "num_threads=1 [s]", "num_threads=4 [s]", "speedup",
+               "bit-identical"});
+  const char* identical = bit_identical(serial, parallel) ? "yes" : "NO";
+  table.add_row({"training", Table::fmt(serial.train_seconds, 3),
+                 Table::fmt(parallel.train_seconds, 3),
+                 Table::fmt(serial.train_seconds / parallel.train_seconds, 2),
+                 identical});
+  table.add_row({"inference", Table::fmt(serial.infer_seconds, 3),
+                 Table::fmt(parallel.infer_seconds, 3),
+                 Table::fmt(serial.infer_seconds / parallel.infer_seconds, 2),
+                 identical});
+  std::printf("\n=== Parallel engine scaling (GNN training/inference, %zu "
+              "region graphs) ===\n",
+              graphs.size());
+  table.print();
+  std::printf("(hardware_concurrency=%u; speedups need real cores)\n",
+              std::thread::hardware_concurrency());
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   ArgParser parser = bench::make_parser(
@@ -43,5 +139,7 @@ int main(int argc, char** argv) {
     std::printf("variation[%s]: max/min = %.2fx %s\n", regions[i].c_str(),
                 hi / lo, i + 1 == regions.size() ? "(stable reference)" : "");
   }
+
+  engine_scaling_section(parser);
   return 0;
 }

@@ -1,7 +1,10 @@
 #include "core/dataset.h"
 
 #include <cassert>
+#include <cstdint>
 #include <stdexcept>
+
+#include "support/thread_pool.h"
 
 #include "graph/graph_builder.h"
 #include "graph/region_extractor.h"
@@ -21,29 +24,30 @@ Dataset build_dataset(const DatasetOptions& options) {
 
   passes::register_builtin_passes();
 
-#pragma omp parallel for schedule(dynamic)
-  for (std::size_t r = 0; r < suite.size(); ++r) {
-    const auto base_module = workloads::build_region_module(suite[r]);
-    std::vector<graph::ProgramGraph> variants;
-    variants.reserve(dataset.sequences.size());
-    for (const auto& sequence : dataset.sequences) {
-      auto variant = base_module->clone();
-      passes::PassManager pm(sequence.passes);
-      pm.run(*variant);
-      assert(ir::verify(*variant) && "flag sequence broke the region IR");
-      auto region_module = graph::extract_region(
-          *variant, workloads::outlined_name(suite[r].kernel.name));
-      if (!region_module)
-        throw std::runtime_error("missing outlined region for " +
-                                 suite[r].name);
-      graph::ProgramGraph g = graph::build_graph(*region_module);
-      g.name = suite[r].name + "@" + std::to_string(&sequence -
-                                                    dataset.sequences.data());
-      variants.push_back(std::move(g));
-    }
-#pragma omp critical
-    dataset.graphs[r] = std::move(variants);
-  }
+  // Regions compile independently; each writes only its own graphs slot.
+  support::ThreadPool::global().parallel_for(
+      0, static_cast<std::int64_t>(suite.size()), options.num_threads,
+      [&](std::int64_t r) {
+        const auto base_module = workloads::build_region_module(suite[r]);
+        std::vector<graph::ProgramGraph> variants;
+        variants.reserve(dataset.sequences.size());
+        for (const auto& sequence : dataset.sequences) {
+          auto variant = base_module->clone();
+          passes::PassManager pm(sequence.passes);
+          pm.run(*variant);
+          assert(ir::verify(*variant) && "flag sequence broke the region IR");
+          auto region_module = graph::extract_region(
+              *variant, workloads::outlined_name(suite[r].kernel.name));
+          if (!region_module)
+            throw std::runtime_error("missing outlined region for " +
+                                     suite[r].name);
+          graph::ProgramGraph g = graph::build_graph(*region_module);
+          g.name = suite[r].name + "@" +
+                   std::to_string(&sequence - dataset.sequences.data());
+          variants.push_back(std::move(g));
+        }
+        dataset.graphs[r] = std::move(variants);
+      });
   return dataset;
 }
 

@@ -30,6 +30,8 @@ struct Dataset {
 struct DatasetOptions {
   std::size_t num_sequences = 12;
   std::uint64_t seed = 0xDA7A;
+  /// Max threads for variant compilation (<= 0: all pool workers).
+  int num_threads = 0;
 };
 
 /// Builds the dataset for the whole benchmark suite. Compilation of the

@@ -9,6 +9,8 @@
 #include "ml/decision_tree.h"
 #include "ml/genetic_selector.h"
 #include "support/statistics.h"
+#include "support/thread_pool.h"
+#include "tensor/tensor.h"
 
 namespace irgnn::core {
 
@@ -31,6 +33,7 @@ gnn::ModelConfig model_config(const ExperimentOptions& options,
   cfg.epochs = options.epochs;
   cfg.learning_rate = options.learning_rate;
   cfg.seed = fold_seed;
+  cfg.num_threads = options.num_threads;
   return cfg;
 }
 
@@ -73,14 +76,20 @@ ExperimentResult run_experiment(const sim::MachineDesc& machine,
                                 const ExperimentOptions& options) {
   ExperimentResult result;
 
+  // The tensor kernels read a process-global parallelism cap; apply the
+  // experiment's knob so "num_threads caps every parallel stage" holds for
+  // library callers too, not just for benches that set it themselves.
+  tensor::set_kernel_parallelism(options.num_threads);
+
   // Steps A+B: augmentation and graphs.
-  Dataset dataset = build_dataset({options.num_sequences, options.seed});
+  Dataset dataset = build_dataset(
+      {options.num_sequences, options.seed, options.num_threads});
   const std::size_t R = dataset.num_regions();
   const std::size_t S = dataset.num_sequences();
 
   // Step C: exhaustive exploration once, label reduction.
   result.table = sim::explore(machine, workloads::suite_traits(),
-                              options.size_scale);
+                              options.size_scale, options.num_threads);
   result.labels = sim::reduce_labels(result.table, options.num_labels);
   const int L = static_cast<int>(result.labels.size());
   std::vector<int> oracle = sim::best_labels(result.table, result.labels);
@@ -103,7 +112,11 @@ ExperimentResult run_experiment(const sim::MachineDesc& machine,
   // was in validation (drives Fig. 5 and the flag-selection strategies).
   std::vector<std::vector<int>> pred_by_seq(R, std::vector<int>(S, 0));
 
-  for (std::size_t f = 0; f < folds.size(); ++f) {
+  // Folds are embarrassingly parallel: each writes only the RegionOutcome /
+  // pred_by_seq rows of its own (disjoint) validation regions, and every
+  // model seeds from (seed, fold) — so fold order and thread count never
+  // change a single bit of the result.
+  ml::for_each_fold(folds.size(), options.num_threads, [&](std::size_t f) {
     const ml::Fold& fold = folds[f];
     // Training set: every augmented variant of every training region.
     std::vector<const graph::ProgramGraph*> train_graphs;
@@ -164,7 +177,7 @@ ExperimentResult run_experiment(const sim::MachineDesc& machine,
       result.regions[r].static_confidence = std::exp(best);
     }
     if (f == 0) result.explored_sequence = explored_seq;
-  }
+  });
 
   // Static errors/speedups from the explored-sequence predictions.
   for (std::size_t r = 0; r < R; ++r) {
@@ -189,7 +202,9 @@ ExperimentResult run_experiment(const sim::MachineDesc& machine,
         features[r].push_back(static_cast<float>(counters.l3_miss_ratio));
       }
     }
-    for (const ml::Fold& fold : folds) {
+    // Each fold scores only its own validation regions — parallel-safe.
+    ml::for_each_fold(folds.size(), options.num_threads, [&](std::size_t f) {
+      const ml::Fold& fold = folds[f];
       std::vector<std::vector<float>> X;
       std::vector<int> y;
       for (int r : fold.train_indices) {
@@ -207,7 +222,7 @@ ExperimentResult run_experiment(const sim::MachineDesc& machine,
         out.dynamic_speedup =
             result.table.time[r][result.table.default_index] / t;
       }
-    }
+    });
   }
 
   // Per-fold mean errors (Fig. 4).
@@ -264,8 +279,11 @@ ExperimentResult run_experiment(const sim::MachineDesc& machine,
     }
     std::vector<std::vector<float>> X(R);
     for (std::size_t r = 0; r < R; ++r) X[r] = result.regions[r].embedding;
-    double total = 0;
-    for (const ml::Fold& fold : folds) {
+    // Per-fold partial speedups fold in fold order below: a deterministic
+    // reduction no matter which threads ran the folds.
+    std::vector<double> fold_total(folds.size(), 0.0);
+    ml::for_each_fold(folds.size(), options.num_threads, [&](std::size_t f) {
+      const ml::Fold& fold = folds[f];
       std::vector<std::vector<float>> train_x;
       std::vector<int> train_y;
       for (int r : fold.train_indices) {
@@ -292,9 +310,11 @@ ExperimentResult run_experiment(const sim::MachineDesc& machine,
       tree.fit(train_sub, train_y);
       for (int r : fold.validation_indices) {
         int pred = tree.predict(restrict_row(X[r]));
-        total += seq_speedup_matrix[r][seq_labels[pred]];
+        fold_total[f] += seq_speedup_matrix[r][seq_labels[pred]];
       }
-    }
+    });
+    double total = 0;
+    for (double t : fold_total) total += t;
     result.predicted_speedup = total / static_cast<double>(R);
   }
 
@@ -310,8 +330,9 @@ ExperimentResult run_experiment(const sim::MachineDesc& machine,
       X[r].push_back(result.regions[r].static_confidence);
       route[r] = result.regions[r].needs_profiling ? 1 : 0;
     }
-    int correct_routing = 0;
-    for (const ml::Fold& fold : folds) {
+    std::vector<int> fold_correct(folds.size(), 0);
+    ml::for_each_fold(folds.size(), options.num_threads, [&](std::size_t f) {
+      const ml::Fold& fold = folds[f];
       std::vector<std::vector<float>> train_x;
       std::vector<int> train_y;
       for (int r : fold.train_indices) {
@@ -338,7 +359,7 @@ ExperimentResult run_experiment(const sim::MachineDesc& machine,
       for (int r : fold.validation_indices) {
         RegionOutcome& out = result.regions[r];
         out.hybrid_profiled = router.predict(restrict_row(X[r])) == 1;
-        correct_routing += (out.hybrid_profiled == out.needs_profiling);
+        fold_correct[f] += (out.hybrid_profiled == out.needs_profiling);
         int label = out.hybrid_profiled ? out.dynamic_label
                                         : out.static_label;
         double t = label_time(result.table, result.labels, r, label);
@@ -346,7 +367,9 @@ ExperimentResult run_experiment(const sim::MachineDesc& machine,
         out.hybrid_speedup =
             result.table.time[r][result.table.default_index] / t;
       }
-    }
+    });
+    int correct_routing = 0;
+    for (int c : fold_correct) correct_routing += c;
     result.hybrid_router_accuracy =
         static_cast<double>(correct_routing) / static_cast<double>(R);
   }
@@ -411,7 +434,6 @@ CrossArchResult run_cross_architecture(const sim::MachineDesc& source,
 
 InputSizeResult run_input_size_study(const sim::MachineDesc& machine,
                                      const ExperimentOptions& options) {
-  (void)options;
   InputSizeResult out;
   out.regions = workloads::input_size_subset();
   std::vector<sim::WorkloadTraits> traits;
@@ -420,34 +442,42 @@ InputSizeResult run_input_size_study(const sim::MachineDesc& machine,
     assert(spec && "unknown region in input-size subset");
     traits.push_back(spec->traits);
   }
-  sim::ExplorationTable size1 = sim::explore(machine, traits, 1.0);
+  sim::ExplorationTable size1 =
+      sim::explore(machine, traits, 1.0, options.num_threads);
+  // Each region owns its result slots; the means fold in region order after.
+  const std::size_t R = out.regions.size();
+  out.speedup_loss.assign(R, 0.0);
+  std::vector<double> region_native(R, 0.0), region_transfer(R, 0.0);
+  support::ThreadPool::global().parallel_for(
+      0, static_cast<std::int64_t>(R), options.num_threads,
+      [&](std::int64_t r) {
+        double size2_scale =
+            workloads::find_region(out.regions[r])->traits.size2_scale;
+        // Explore size-2 with the same configuration enumeration.
+        sim::Simulator simulator(machine);
+        std::size_t best2 = 0;
+        double best2_time = std::numeric_limits<double>::max();
+        for (std::size_t c = 0; c < size1.configurations.size(); ++c) {
+          double t = simulator
+                         .simulate(traits[r], size1.configurations[c],
+                                   size2_scale)
+                         .cycles;
+          if (t < best2_time) {
+            best2_time = t;
+            best2 = c;
+          }
+        }
+        region_native[r] = size1.speedup(r, size1.best_config(r));
+        region_transfer[r] = size1.speedup(r, best2);
+        out.speedup_loss[r] = region_native[r] - region_transfer[r];
+      });
   double native = 0, transferred = 0;
-  for (std::size_t r = 0; r < out.regions.size(); ++r) {
-    double size2_scale = workloads::find_region(out.regions[r])
-                             ->traits.size2_scale;
-    // Explore size-2 with the same configuration enumeration.
-    sim::Simulator simulator(machine);
-    std::size_t best2 = 0;
-    double best2_time = std::numeric_limits<double>::max();
-    for (std::size_t c = 0; c < size1.configurations.size(); ++c) {
-      double t = simulator
-                     .simulate(traits[r], size1.configurations[c],
-                               size2_scale)
-                     .cycles;
-      if (t < best2_time) {
-        best2_time = t;
-        best2 = c;
-      }
-    }
-    double s_native = size1.speedup(r, size1.best_config(r));
-    double s_transfer = size1.speedup(r, best2);
-    out.speedup_loss.push_back(s_native - s_transfer);
-    native += s_native;
-    transferred += s_transfer;
+  for (std::size_t r = 0; r < R; ++r) {
+    native += region_native[r];
+    transferred += region_transfer[r];
   }
-  out.native_speedup = native / static_cast<double>(out.regions.size());
-  out.transferred_speedup =
-      transferred / static_cast<double>(out.regions.size());
+  out.native_speedup = native / static_cast<double>(R);
+  out.transferred_speedup = transferred / static_cast<double>(R);
   return out;
 }
 

@@ -32,6 +32,12 @@ struct ExperimentOptions {
   std::uint64_t seed = 0x5EED;
   double size_scale = 1.0;
 
+  /// Max threads for every parallel stage (dataset compilation, exhaustive
+  /// exploration, CV folds, minibatch gradient shards; <= 0: all workers of
+  /// the global pool). The determinism contract guarantees bit-identical
+  /// results for every value — this knob only trades wall-clock for cores.
+  int num_threads = 0;
+
   // GNN hyper-parameters.
   int hidden_dim = 32;
   int num_layers = 2;

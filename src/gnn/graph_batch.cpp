@@ -1,8 +1,20 @@
 #include "gnn/graph_batch.h"
 
+#include <array>
+#include <cstdint>
+
+#include "support/thread_pool.h"
+
 namespace irgnn::gnn {
 
-GraphBatch make_batch(const std::vector<const graph::ProgramGraph*>& graphs) {
+namespace {
+
+/// Below this many graphs the two-pass parallel assembly costs more than it
+/// saves; fall back to the straight serial concatenation.
+constexpr std::size_t kParallelBatchThreshold = 8;
+
+GraphBatch make_batch_serial(
+    const std::vector<const graph::ProgramGraph*>& graphs) {
   GraphBatch batch;
   batch.relations.resize(graph::kNumEdgeKinds);
   batch.num_graphs = static_cast<int>(graphs.size());
@@ -21,14 +33,88 @@ GraphBatch make_batch(const std::vector<const graph::ProgramGraph*>& graphs) {
     }
     offset += static_cast<int>(pg.nodes.size());
   }
+  return batch;
+}
+
+GraphBatch make_batch_parallel(
+    const std::vector<const graph::ProgramGraph*>& graphs, int num_threads) {
+  support::ThreadPool& pool = support::ThreadPool::global();
+  const std::size_t G = graphs.size();
+  GraphBatch batch;
+  batch.relations.resize(graph::kNumEdgeKinds);
+  batch.num_graphs = static_cast<int>(G);
+
+  // Pass 1: per-graph node and per-relation edge counts.
+  std::vector<int> node_count(G);
+  std::vector<std::array<int, graph::kNumEdgeKinds>> edge_count(
+      G, std::array<int, graph::kNumEdgeKinds>{});
+  pool.parallel_for(0, static_cast<std::int64_t>(G), num_threads,
+                    [&](std::int64_t g) {
+                      const graph::ProgramGraph& pg = *graphs[g];
+                      node_count[g] = static_cast<int>(pg.nodes.size());
+                      for (const auto& edge : pg.edges)
+                        ++edge_count[g][static_cast<int>(edge.kind)];
+                    });
+
+  // Prefix sums: node offsets and per-relation edge offsets.
+  std::vector<int> node_offset(G + 1, 0);
+  std::vector<std::array<int, graph::kNumEdgeKinds>> edge_offset(
+      G + 1, std::array<int, graph::kNumEdgeKinds>{});
+  for (std::size_t g = 0; g < G; ++g) {
+    node_offset[g + 1] = node_offset[g] + node_count[g];
+    for (int r = 0; r < graph::kNumEdgeKinds; ++r)
+      edge_offset[g + 1][r] = edge_offset[g][r] + edge_count[g][r];
+  }
+  batch.features.resize(node_offset[G]);
+  batch.segment.resize(node_offset[G]);
+  for (int r = 0; r < graph::kNumEdgeKinds; ++r) {
+    batch.relations[r].src.resize(edge_offset[G][r]);
+    batch.relations[r].dst.resize(edge_offset[G][r]);
+  }
+
+  // Pass 2: every graph fills its disjoint slices.
+  pool.parallel_for(
+      0, static_cast<std::int64_t>(G), num_threads, [&](std::int64_t g) {
+        const graph::ProgramGraph& pg = *graphs[g];
+        const int base = node_offset[g];
+        for (std::size_t i = 0; i < pg.nodes.size(); ++i) {
+          batch.features[base + i] = pg.nodes[i].feature;
+          batch.segment[base + i] = static_cast<int>(g);
+        }
+        std::array<int, graph::kNumEdgeKinds> cursor = edge_offset[g];
+        for (const auto& edge : pg.edges) {
+          const int r = static_cast<int>(edge.kind);
+          RelationEdges& rel = batch.relations[r];
+          rel.src[cursor[r]] = base + edge.src;
+          rel.dst[cursor[r]] = base + edge.dst;
+          ++cursor[r];
+        }
+      });
+  return batch;
+}
+
+}  // namespace
+
+GraphBatch make_batch(const std::vector<const graph::ProgramGraph*>& graphs,
+                      int num_threads) {
+  GraphBatch batch = (graphs.size() < kParallelBatchThreshold ||
+                      num_threads == 1)
+                         ? make_batch_serial(graphs)
+                         : make_batch_parallel(graphs, num_threads);
 
   // RGCN normalization: 1/c_{i,r} with c the in-degree of i under r.
-  for (RelationEdges& rel : batch.relations) {
-    std::vector<float> in_degree(batch.features.size(), 0.0f);
-    for (int dst : rel.dst) in_degree[dst] += 1.0f;
-    rel.coeff.reserve(rel.dst.size());
-    for (int dst : rel.dst) rel.coeff.push_back(1.0f / in_degree[dst]);
-  }
+  // Relations are few and independent; coefficients per relation fill in
+  // edge order either way, so this is deterministic too.
+  support::ThreadPool::global().parallel_for(
+      0, static_cast<std::int64_t>(batch.relations.size()),
+      batch.num_nodes() >= 1024 ? num_threads : 1, [&](std::int64_t r) {
+        RelationEdges& rel = batch.relations[r];
+        std::vector<float> in_degree(batch.features.size(), 0.0f);
+        for (int dst : rel.dst) in_degree[dst] += 1.0f;
+        rel.coeff.assign(rel.dst.size(), 0.0f);
+        for (std::size_t e = 0; e < rel.dst.size(); ++e)
+          rel.coeff[e] = 1.0f / in_degree[rel.dst[e]];
+      });
   return batch;
 }
 

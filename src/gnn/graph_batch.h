@@ -1,6 +1,11 @@
 // Batching of ProgramGraphs for the GNN: node features concatenate with an
 // offset, edges split per relation with RGCN normalization coefficients, and
 // a segment vector maps nodes back to their graph for pooling.
+//
+// Batch assembly parallelizes over graphs: a counting pass sizes every
+// per-graph slice, prefix sums fix the offsets, and a fill pass writes the
+// disjoint slices concurrently. Output ordering equals the serial
+// concatenation, so batches are byte-identical for every num_threads.
 #pragma once
 
 #include <vector>
@@ -19,6 +24,8 @@ struct GraphBatch {
 };
 
 /// Builds a batch from a set of graphs (order defines the segment ids).
-GraphBatch make_batch(const std::vector<const graph::ProgramGraph*>& graphs);
+/// num_threads caps the assembly parallelism (<= 0: all pool workers).
+GraphBatch make_batch(const std::vector<const graph::ProgramGraph*>& graphs,
+                      int num_threads = 0);
 
 }  // namespace irgnn::gnn

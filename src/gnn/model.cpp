@@ -3,47 +3,96 @@
 #include <algorithm>
 #include <cassert>
 
+#include "support/thread_pool.h"
+
 namespace irgnn::gnn {
 
 using tensor::Tensor;
 
-StaticModel::StaticModel(const ModelConfig& config)
-    : config_(config), rng_(config.seed) {
-  assert(config_.vocab_size > 0 && config_.num_labels > 0);
-  node_embedding_ = Embedding(config_.vocab_size, config_.hidden_dim, rng_);
-  for (int l = 0; l < config_.num_layers; ++l)
-    layers_.emplace_back(config_.hidden_dim, graph::kNumEdgeKinds, rng_);
-  norm_ = LayerNorm(config_.hidden_dim);
-  fc_ = Linear(config_.hidden_dim, config_.hidden_dim, rng_);
-  head_ = Linear(config_.hidden_dim, config_.num_labels, rng_);
+namespace {
+
+/// A minibatch splits into this many gradient shards. The count is a
+/// constant — never derived from num_threads — so the partition, and with it
+/// every float, is identical no matter how many workers execute the shards.
+constexpr std::size_t kGradShards = 8;
+
+Tensor clone_param(const Tensor& p) {
+  return Tensor::from_data(p.shape(),
+                           std::vector<float>(p.data(), p.data() + p.numel()),
+                           /*requires_grad=*/true);
 }
 
-std::vector<Tensor> StaticModel::parameters() const {
-  std::vector<Tensor> params = node_embedding_.parameters();
-  for (const RGCNLayer& layer : layers_) {
+}  // namespace
+
+std::vector<Tensor> StaticModel::Stack::parameters() const {
+  std::vector<Tensor> params = embedding.parameters();
+  for (const RGCNLayer& layer : layers) {
     auto lp = layer.parameters();
     params.insert(params.end(), lp.begin(), lp.end());
   }
   for (const auto& mod_params :
-       {norm_.parameters(), fc_.parameters(), head_.parameters()})
+       {norm.parameters(), fc.parameters(), head.parameters()})
     params.insert(params.end(), mod_params.begin(), mod_params.end());
   return params;
 }
 
-Tensor StaticModel::forward(const GraphBatch& batch, bool training,
-                            Tensor* embeddings) const {
-  Tensor h0 = node_embedding_.forward(batch.features);
+StaticModel::StaticModel(const ModelConfig& config)
+    : config_(config), rng_(config.seed) {
+  assert(config_.vocab_size > 0 && config_.num_labels > 0);
+  stack_.embedding = Embedding(config_.vocab_size, config_.hidden_dim, rng_);
+  for (int l = 0; l < config_.num_layers; ++l)
+    stack_.layers.emplace_back(config_.hidden_dim, graph::kNumEdgeKinds, rng_);
+  stack_.norm = LayerNorm(config_.hidden_dim);
+  stack_.fc = Linear(config_.hidden_dim, config_.hidden_dim, rng_);
+  stack_.head = Linear(config_.hidden_dim, config_.num_labels, rng_);
+}
+
+std::vector<Tensor> StaticModel::parameters() const {
+  return stack_.parameters();
+}
+
+void StaticModel::refresh_replica(Stack& replica) const {
+  std::vector<Tensor> src = stack_.parameters();
+  std::vector<Tensor> dst = replica.parameters();
+  for (std::size_t k = 0; k < src.size(); ++k) {
+    std::copy(src[k].data(), src[k].data() + src[k].numel(), dst[k].data());
+    dst[k].zero_grad();
+  }
+}
+
+StaticModel::Stack StaticModel::make_grad_replica() const {
+  Stack replica;
+  replica.embedding = Embedding(clone_param(stack_.embedding.parameters()[0]));
+  for (const RGCNLayer& layer : stack_.layers) {
+    auto lp = layer.parameters();  // {self_weight, relation_weights...}
+    std::vector<Tensor> relations;
+    for (std::size_t r = 1; r < lp.size(); ++r)
+      relations.push_back(clone_param(lp[r]));
+    replica.layers.emplace_back(clone_param(lp[0]), std::move(relations));
+  }
+  auto np = stack_.norm.parameters();
+  replica.norm = LayerNorm(clone_param(np[0]), clone_param(np[1]));
+  auto fp = stack_.fc.parameters();
+  replica.fc = Linear(clone_param(fp[0]), clone_param(fp[1]));
+  auto hp = stack_.head.parameters();
+  replica.head = Linear(clone_param(hp[0]), clone_param(hp[1]));
+  return replica;
+}
+
+Tensor StaticModel::forward(const Stack& stack, const GraphBatch& batch,
+                            Rng* dropout_rng, Tensor* embeddings) const {
+  Tensor h0 = stack.embedding.forward(batch.features);
   Tensor h = h0;
-  for (const RGCNLayer& layer : layers_)
+  for (const RGCNLayer& layer : stack.layers)
     h = layer.forward(h, batch.relations);
   // Residual link from the initial embedding, then Add & Norm (Fig. 2a).
-  h = norm_.forward(tensor::add(h, h0));
-  if (training && config_.dropout > 0.0f)
-    h = tensor::dropout(h, config_.dropout, rng_, true);
+  h = stack.norm.forward(tensor::add(h, h0));
+  if (dropout_rng && config_.dropout > 0.0f)
+    h = tensor::dropout(h, config_.dropout, *dropout_rng, true);
   Tensor pooled = tensor::segment_mean(h, batch.segment, batch.num_graphs);
-  Tensor vec = tensor::relu(fc_.forward(pooled));
+  Tensor vec = stack.fc.forward(pooled, tensor::Act::Relu);
   if (embeddings) *embeddings = vec;
-  return head_.forward(vec);
+  return stack.head.forward(vec);
 }
 
 TrainStats StaticModel::train(
@@ -52,32 +101,91 @@ TrainStats StaticModel::train(
   assert(graphs.size() == labels.size());
   TrainStats stats;
   tensor::Adam optimizer(parameters(), {.lr = config_.learning_rate});
+  std::vector<Tensor> main_params = parameters();
+  support::ThreadPool& pool = support::ThreadPool::global();
 
   std::vector<std::size_t> order(graphs.size());
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  // Shard replicas allocate once and are refreshed (weights re-copied,
+  // gradients zeroed) every batch — the optimizer moved the weights in
+  // between, but the buffers themselves are reusable.
+  std::vector<Stack> replicas(kGradShards);
+  std::vector<char> replica_ready(kGradShards, 0);
 
   for (int epoch = 0; epoch < config_.epochs; ++epoch) {
     rng_.shuffle(order);
     double epoch_loss = 0.0;
     std::size_t batches = 0;
+    std::size_t batch_index = 0;
     for (std::size_t start = 0; start < order.size();
-         start += static_cast<std::size_t>(config_.batch_size)) {
+         start += static_cast<std::size_t>(config_.batch_size),
+                     ++batch_index) {
       std::size_t end = std::min(
           order.size(), start + static_cast<std::size_t>(config_.batch_size));
-      std::vector<const graph::ProgramGraph*> chunk;
-      std::vector<int> chunk_labels;
-      for (std::size_t i = start; i < end; ++i) {
-        chunk.push_back(graphs[order[i]]);
-        chunk_labels.push_back(labels[order[i]]);
-      }
-      GraphBatch batch = make_batch(chunk);
+      const std::size_t n = end - start;
+      // Recompute the shard count from the rounded-up shard size: a partial
+      // minibatch (e.g. n=9 against 8 target shards) would otherwise leave
+      // trailing shards empty, and an empty nll_loss is 0/0 = NaN.
+      const std::size_t target_shards = std::min(kGradShards, n);
+      const std::size_t shard_size = (n + target_shards - 1) / target_shards;
+      const std::size_t num_shards = (n + shard_size - 1) / shard_size;
+
+      // Every shard forwards/backwards against its own replica; the shard
+      // key (not the executing thread) seeds its dropout stream.
+      std::vector<double> shard_loss(num_shards, 0.0);
+      std::vector<std::size_t> shard_count(num_shards, 0);
+      const std::uint64_t batch_key = hash_combine64(
+          hash_combine64(config_.seed, static_cast<std::uint64_t>(epoch)),
+          static_cast<std::uint64_t>(batch_index));
+      pool.parallel_for_seeded(
+          0, static_cast<std::int64_t>(num_shards), config_.num_threads,
+          batch_key, [&](std::int64_t s, Rng& dropout_rng) {
+            std::size_t s0 = start + static_cast<std::size_t>(s) * shard_size;
+            std::size_t s1 = std::min(end, s0 + shard_size);
+            std::vector<const graph::ProgramGraph*> chunk;
+            std::vector<int> chunk_labels;
+            for (std::size_t i = s0; i < s1; ++i) {
+              chunk.push_back(graphs[order[i]]);
+              chunk_labels.push_back(labels[order[i]]);
+            }
+            // Shards are small; keep the batch build serial and spend the
+            // workers on whole shards instead.
+            GraphBatch batch = make_batch(chunk, /*num_threads=*/1);
+            if (replica_ready[s]) {
+              refresh_replica(replicas[s]);
+            } else {
+              replicas[s] = make_grad_replica();
+              replica_ready[s] = 1;
+            }
+            Stack& replica = replicas[s];
+            Tensor logits = forward(replica, batch, &dropout_rng, nullptr);
+            Tensor loss = tensor::nll_loss(tensor::log_softmax(logits),
+                                           chunk_labels);
+            loss.backward();
+            shard_loss[s] = loss.item();
+            shard_count[s] = s1 - s0;
+          });
+
+      // Deterministic reduction: shard gradients fold in shard order with
+      // weights shard_n / batch_n, then one optimizer step for the batch.
       optimizer.zero_grad();
-      Tensor logits = forward(batch, /*training=*/true, nullptr);
-      Tensor loss = tensor::nll_loss(tensor::log_softmax(logits),
-                                     chunk_labels);
-      loss.backward();
+      double batch_loss = 0.0;
+      for (std::size_t s = 0; s < num_shards; ++s) {
+        const float weight = static_cast<float>(shard_count[s]) /
+                             static_cast<float>(n);
+        std::vector<Tensor> shard_params = replicas[s].parameters();
+        for (std::size_t k = 0; k < main_params.size(); ++k) {
+          float* dst = main_params[k].grad();
+          float* src = shard_params[k].grad();
+          for (int i = 0; i < main_params[k].numel(); ++i)
+            dst[i] += weight * src[i];
+        }
+        batch_loss += shard_loss[s] * static_cast<double>(shard_count[s]) /
+                      static_cast<double>(n);
+      }
       optimizer.step();
-      epoch_loss += loss.item();
+      epoch_loss += batch_loss;
       ++batches;
     }
     stats.epoch_loss.push_back(epoch_loss / static_cast<double>(batches));
@@ -97,16 +205,16 @@ TrainStats StaticModel::train(
 
 std::vector<int> StaticModel::predict(
     const std::vector<const graph::ProgramGraph*>& graphs) const {
-  GraphBatch batch = make_batch(graphs);
-  Tensor logits = forward(batch, /*training=*/false, nullptr);
+  GraphBatch batch = make_batch(graphs, config_.num_threads);
+  Tensor logits = forward(stack_, batch, nullptr, nullptr);
   return tensor::argmax_rows(logits);
 }
 
 std::vector<std::vector<float>> StaticModel::predict_log_probs(
     const std::vector<const graph::ProgramGraph*>& graphs) const {
-  GraphBatch batch = make_batch(graphs);
+  GraphBatch batch = make_batch(graphs, config_.num_threads);
   Tensor logp =
-      tensor::log_softmax(forward(batch, /*training=*/false, nullptr));
+      tensor::log_softmax(forward(stack_, batch, nullptr, nullptr));
   std::vector<std::vector<float>> out(graphs.size());
   for (std::size_t g = 0; g < graphs.size(); ++g) {
     out[g].assign(logp.data() + g * config_.num_labels,
@@ -117,9 +225,9 @@ std::vector<std::vector<float>> StaticModel::predict_log_probs(
 
 std::vector<std::vector<float>> StaticModel::embed(
     const std::vector<const graph::ProgramGraph*>& graphs) const {
-  GraphBatch batch = make_batch(graphs);
+  GraphBatch batch = make_batch(graphs, config_.num_threads);
   Tensor embeddings;
-  forward(batch, /*training=*/false, &embeddings);
+  forward(stack_, batch, nullptr, &embeddings);
   std::vector<std::vector<float>> out(graphs.size());
   for (std::size_t g = 0; g < graphs.size(); ++g)
     out[g].assign(embeddings.data() + g * config_.hidden_dim,

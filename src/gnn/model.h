@@ -6,6 +6,14 @@
 //
 // The vector after the fully-connected layer is the "graph vector" consumed
 // by the hybrid model and the flag-prediction model (Sec. III-D/E).
+//
+// Training parallelizes inside each minibatch: the batch splits into a fixed
+// number of gradient shards (independent of num_threads), every shard runs
+// forward/backward against its own parameter replica, and shard gradients
+// fold into the optimizer in shard order. Because the partition, the
+// per-shard dropout streams (derived from (seed, epoch, batch, shard) via
+// splitmix64) and the reduction order never depend on the thread count,
+// TrainStats and predictions are bit-identical for every num_threads.
 #pragma once
 
 #include <cstdint>
@@ -28,6 +36,12 @@ struct ModelConfig {
   int epochs = 60;
   int batch_size = 32;
   std::uint64_t seed = 0x5EED;
+  /// Max threads for this model's shard dispatch and batch assembly (<= 0:
+  /// every worker of the global pool). The tensor kernels inside read the
+  /// process-global tensor::set_kernel_parallelism cap instead — set both
+  /// to bound total fan-out (core::run_experiment does). Results are
+  /// bit-identical for every value of either knob.
+  int num_threads = 0;
 };
 
 struct TrainStats {
@@ -60,18 +74,34 @@ class StaticModel {
   std::vector<tensor::Tensor> parameters() const;
 
  private:
+  /// The full parameter stack. Gradient shards train against deep-copied
+  /// replicas so concurrent backward passes never share gradient buffers.
+  struct Stack {
+    Embedding embedding;
+    std::vector<RGCNLayer> layers;
+    LayerNorm norm;
+    Linear fc;
+    Linear head;
+
+    std::vector<tensor::Tensor> parameters() const;
+  };
+
   /// Returns logits [G, num_labels]; fills `embeddings` with the pooled
-  /// post-FC representation when non-null.
-  tensor::Tensor forward(const GraphBatch& batch, bool training,
-                         tensor::Tensor* embeddings) const;
+  /// post-FC representation when non-null. A non-null `dropout_rng` enables
+  /// training-mode dropout drawing from that stream.
+  tensor::Tensor forward(const Stack& stack, const GraphBatch& batch,
+                         Rng* dropout_rng, tensor::Tensor* embeddings) const;
+
+  /// Deep copy of the stack whose parameters carry fresh gradient buffers.
+  Stack make_grad_replica() const;
+
+  /// Re-syncs an existing replica: copies the current weights in and zeroes
+  /// its gradients, reusing the buffers allocated by make_grad_replica().
+  void refresh_replica(Stack& replica) const;
 
   ModelConfig config_;
   mutable Rng rng_;
-  Embedding node_embedding_;
-  std::vector<RGCNLayer> layers_;
-  LayerNorm norm_;
-  Linear fc_;
-  Linear head_;
+  Stack stack_;
 };
 
 }  // namespace irgnn::gnn

@@ -18,8 +18,13 @@ class Linear {
       : weight_(Tensor::xavier({in, out}, rng)),
         bias_(Tensor::zeros({1, out}, /*requires_grad=*/true)) {}
 
-  Tensor forward(const Tensor& x) const {
-    return tensor::add_bias(tensor::matmul(x, weight_), bias_);
+  /// Constructs over existing parameter tensors (gradient-shard replicas).
+  Linear(Tensor weight, Tensor bias)
+      : weight_(std::move(weight)), bias_(std::move(bias)) {}
+
+  /// y = act(x W + b); the bias add and activation run as one fused kernel.
+  Tensor forward(const Tensor& x, tensor::Act act = tensor::Act::None) const {
+    return tensor::add_bias_act(tensor::matmul(x, weight_), bias_, act);
   }
 
   std::vector<Tensor> parameters() const { return {weight_, bias_}; }
@@ -34,6 +39,7 @@ class Embedding {
   Embedding() = default;
   Embedding(int vocab, int dim, Rng& rng)
       : table_(Tensor::xavier({vocab, dim}, rng)) {}
+  explicit Embedding(Tensor table) : table_(std::move(table)) {}
 
   Tensor forward(const std::vector<int>& indices) const {
     return tensor::embedding(table_, indices);
@@ -51,6 +57,8 @@ class LayerNorm {
   explicit LayerNorm(int dim)
       : gamma_(Tensor::full({1, dim}, 1.0f, /*requires_grad=*/true)),
         beta_(Tensor::zeros({1, dim}, /*requires_grad=*/true)) {}
+  LayerNorm(Tensor gamma, Tensor beta)
+      : gamma_(std::move(gamma)), beta_(std::move(beta)) {}
 
   Tensor forward(const Tensor& x) const {
     return tensor::layer_norm(x, gamma_, beta_);
@@ -81,6 +89,9 @@ class RGCNLayer {
     for (int r = 0; r < num_relations; ++r)
       relation_weights_.push_back(Tensor::xavier({dim, dim}, rng));
   }
+  RGCNLayer(Tensor self_weight, std::vector<Tensor> relation_weights)
+      : self_weight_(std::move(self_weight)),
+        relation_weights_(std::move(relation_weights)) {}
 
   /// `h` is [num_nodes, dim]; `relations` has one entry per relation.
   Tensor forward(const Tensor& h,

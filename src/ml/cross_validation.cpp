@@ -1,8 +1,18 @@
 #include "ml/cross_validation.h"
 
 #include <cassert>
+#include <cstdint>
+
+#include "support/thread_pool.h"
 
 namespace irgnn::ml {
+
+void for_each_fold(std::size_t num_folds, int num_threads,
+                   const std::function<void(std::size_t)>& fn) {
+  support::ThreadPool::global().parallel_for(
+      0, static_cast<std::int64_t>(num_folds), num_threads,
+      [&fn](std::int64_t f) { fn(static_cast<std::size_t>(f)); });
+}
 
 std::vector<Fold> k_fold(int n, int k, std::uint64_t seed) {
   assert(k >= 2 && n >= k);

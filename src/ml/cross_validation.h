@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "support/rng.h"
@@ -17,6 +18,14 @@ struct Fold {
 /// Splits n items into k folds after a seeded shuffle. Every item appears in
 /// exactly one validation fold; fold sizes differ by at most one.
 std::vector<Fold> k_fold(int n, int k, std::uint64_t seed);
+
+/// Runs fn(fold_index) for every fold index in [0, num_folds), up to
+/// num_threads concurrently (<= 0: all pool workers). Folds are independent
+/// by construction (disjoint validation sets), so callers keep determinism
+/// by writing only fold-owned state and folding any scalar accumulators in
+/// fold order afterwards.
+void for_each_fold(std::size_t num_folds, int num_threads,
+                   const std::function<void(std::size_t)>& fn);
 
 /// Classification accuracy.
 double accuracy(const std::vector<int>& predictions,

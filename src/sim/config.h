@@ -42,7 +42,10 @@ struct PrefetcherConfig {
     c.dcu_ip = !(mask & 8);
     return c;
   }
-  bool operator==(const PrefetcherConfig&) const = default;
+  bool operator==(const PrefetcherConfig& o) const {
+    return dcu_next_line == o.dcu_next_line && dcu_ip == o.dcu_ip &&
+           l2_adjacent == o.l2_adjacent && l2_streamer == o.l2_streamer;
+  }
 };
 
 struct Configuration {
@@ -52,7 +55,11 @@ struct Configuration {
   PageMapping page_mapping = PageMapping::Locality;
   PrefetcherConfig prefetch;
 
-  bool operator==(const Configuration&) const = default;
+  bool operator==(const Configuration& o) const {
+    return threads == o.threads && nodes == o.nodes &&
+           thread_mapping == o.thread_mapping &&
+           page_mapping == o.page_mapping && prefetch == o.prefetch;
+  }
   std::string to_string() const;
 };
 

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdint>
 #include <limits>
+
+#include "support/thread_pool.h"
 
 namespace irgnn::sim {
 
@@ -21,7 +24,7 @@ double ExplorationTable::full_exploration_speedup() const {
 
 ExplorationTable explore(const MachineDesc& machine,
                          const std::vector<WorkloadTraits>& regions,
-                         double size_scale) {
+                         double size_scale, int num_threads) {
   ExplorationTable table;
   table.configurations = enumerate_configurations(machine);
   Configuration def = default_configuration(machine);
@@ -55,20 +58,22 @@ ExplorationTable explore(const MachineDesc& machine,
       regions.size(),
       std::vector<PerfCounters>(table.probe_indices.size()));
 
-#pragma omp parallel for schedule(dynamic)
-  for (std::size_t r = 0; r < regions.size(); ++r) {
-    Simulator simulator(machine);  // one per region: memoization w/o sharing
-    for (std::size_t c = 0; c < table.configurations.size(); ++c) {
-      SimResult result =
-          simulator.simulate(regions[r], table.configurations[c], size_scale);
-      table.time[r][c] = result.cycles;
-      if (static_cast<int>(c) == table.default_index)
-        table.default_counters[r] = result.counters;
-      for (std::size_t p = 0; p < table.probe_indices.size(); ++p)
-        if (static_cast<int>(c) == table.probe_indices[p])
-          table.probe_counters[r][p] = result.counters;
-    }
-  }
+  support::ThreadPool::global().parallel_for(
+      0, static_cast<std::int64_t>(regions.size()), num_threads,
+      [&](std::int64_t r) {
+        Simulator simulator(machine);  // one per region: memoization w/o sharing
+        for (std::size_t c = 0; c < table.configurations.size(); ++c) {
+          SimResult result = simulator.simulate(regions[r],
+                                                table.configurations[c],
+                                                size_scale);
+          table.time[r][c] = result.cycles;
+          if (static_cast<int>(c) == table.default_index)
+            table.default_counters[r] = result.counters;
+          for (std::size_t p = 0; p < table.probe_indices.size(); ++p)
+            if (static_cast<int>(c) == table.probe_indices[p])
+              table.probe_counters[r][p] = result.counters;
+        }
+      });
   return table;
 }
 

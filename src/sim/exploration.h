@@ -36,10 +36,13 @@ struct ExplorationTable {
   double full_exploration_speedup() const;
 };
 
-/// Simulates every (region, configuration) pair; parallelized over regions.
+/// Simulates every (region, configuration) pair; parallelized over regions
+/// on the shared pool (num_threads <= 0: all workers). Each region owns its
+/// table row and simulates with a private memoizing Simulator, so the table
+/// is bit-identical for every thread count.
 ExplorationTable explore(const MachineDesc& machine,
                          const std::vector<WorkloadTraits>& regions,
-                         double size_scale = 1.0);
+                         double size_scale = 1.0, int num_threads = 0);
 
 /// Greedily selects `k` configuration indices so that assigning each region
 /// its best configuration *within the subset* minimizes total time. The

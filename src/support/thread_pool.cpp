@@ -1,0 +1,160 @@
+#include "support/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+
+namespace irgnn::support {
+
+ThreadPool::ThreadPool(int num_workers) {
+  workers_.reserve(std::max(num_workers, 0));
+  for (int i = 0; i < num_workers; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool([] {
+    if (const char* env = std::getenv("IRGNN_NUM_THREADS")) {
+      int n = std::atoi(env);
+      if (n > 0) return n - 1;  // the caller counts as one executor
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return static_cast<int>(std::max(hw, 8u)) - 1;
+  }());
+  return pool;
+}
+
+void ThreadPool::enqueue(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!stop_) queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+namespace {
+
+/// Shared state of one parallel_for call. Helpers that the scheduler never
+/// ran before the caller finished observe `closed` and back out without
+/// touching `fn`, which lives on the caller's stack.
+struct ParallelForState {
+  std::int64_t end = 0;
+  std::int64_t chunk = 1;
+  std::atomic<std::int64_t> next{0};
+  std::atomic<bool> closed{false};
+  std::atomic<int> active_helpers{0};
+  std::mutex mutex;
+  std::condition_variable done_cv;
+  std::exception_ptr error;           // from the lowest failing chunk
+  std::int64_t error_chunk = -1;
+  const std::function<void(std::int64_t)>* fn = nullptr;
+
+  void run_chunks() {
+    for (;;) {
+      std::int64_t start = next.fetch_add(chunk, std::memory_order_relaxed);
+      if (start >= end) return;
+      std::int64_t stop = std::min(end, start + chunk);
+      try {
+        for (std::int64_t i = start; i < stop; ++i) (*fn)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (error_chunk < 0 || start < error_chunk) {
+          error_chunk = start;
+          error = std::current_exception();
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+void ThreadPool::parallel_for(std::int64_t begin, std::int64_t end,
+                              int max_parallelism,
+                              const std::function<void(std::int64_t)>& fn) {
+  const std::int64_t n = end - begin;
+  if (n <= 0) return;
+  int parallelism = max_parallelism > 0 ? max_parallelism : num_workers() + 1;
+  parallelism = static_cast<int>(
+      std::min<std::int64_t>(parallelism, n));
+  if (parallelism <= 1 || num_workers() == 0) {
+    for (std::int64_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+
+  auto state = std::make_shared<ParallelForState>();
+  state->end = end;
+  // ~4 chunks per executor keeps stragglers short without per-index
+  // scheduling overhead. Chunking never affects results: indices are
+  // independent under the parallel_for contract.
+  state->chunk = std::max<std::int64_t>(1, n / (4 * parallelism));
+  state->next.store(begin, std::memory_order_relaxed);
+  state->fn = &fn;
+
+  auto leave = [](const std::shared_ptr<ParallelForState>& s) {
+    // Decrement under the mutex: a bare atomic store could slip between the
+    // caller's predicate check and its sleep, losing the wakeup.
+    {
+      std::lock_guard<std::mutex> lock(s->mutex);
+      s->active_helpers.fetch_sub(1);
+    }
+    s->done_cv.notify_all();
+  };
+  for (int h = 0; h < parallelism - 1; ++h) {
+    enqueue([state, leave] {
+      state->active_helpers.fetch_add(1);
+      if (state->closed.load()) {
+        // The caller already drained every chunk and may have returned;
+        // fn is gone, so leave without touching the counter-protected work.
+        leave(state);
+        return;
+      }
+      state->run_chunks();
+      leave(state);
+    });
+  }
+
+  state->run_chunks();
+  state->closed.store(true);
+  {
+    std::unique_lock<std::mutex> lock(state->mutex);
+    state->done_cv.wait(lock,
+                        [&] { return state->active_helpers.load() == 0; });
+    if (state->error) std::rethrow_exception(state->error);
+  }
+}
+
+void ThreadPool::parallel_for_seeded(
+    std::int64_t begin, std::int64_t end, int max_parallelism,
+    std::uint64_t seed, const std::function<void(std::int64_t, Rng&)>& fn) {
+  parallel_for(begin, end, max_parallelism, [&fn, seed](std::int64_t i) {
+    Rng rng(hash_combine64(seed, static_cast<std::uint64_t>(i)));
+    fn(i, rng);
+  });
+}
+
+}  // namespace irgnn::support

@@ -1,0 +1,97 @@
+// Fixed-size worker pool — the single parallelism substrate of the library.
+//
+// Every parallel layer (tensor kernels, minibatch gradient shards, CV folds,
+// configuration exploration) funnels through ThreadPool::parallel_for, which
+// has two properties the determinism contract depends on:
+//
+//  1. The caller participates: the submitting thread drains index chunks
+//     alongside the workers, so nested parallel_for calls (a fold training a
+//     model whose matmuls parallelize again) can never deadlock even when
+//     every worker is busy — helper tasks that never get scheduled simply
+//     find the chunk counter exhausted and exit.
+//  2. Work is partitioned by *index*, never by thread: fn(i) must only write
+//     state owned by index i, and any randomness must come from the seeded
+//     variant (parallel_for_seeded derives a per-index Rng from the seed via
+//     splitmix64). Under that contract results are bit-identical for every
+//     max_parallelism, including 1.
+//
+// Reductions that would break property 2 (summing per-item floats) are the
+// caller's job: accumulate into per-index slots and fold them in index order
+// after parallel_for returns.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "support/rng.h"
+
+namespace irgnn::support {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_workers` threads (0 is allowed: every submit/parallel_for
+  /// then runs inline on the caller).
+  explicit ThreadPool(int num_workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+
+  /// Process-wide pool, created on first use. Sized by the
+  /// IRGNN_NUM_THREADS environment variable when set, otherwise
+  /// max(hardware_concurrency, 8) so that explicit `num_threads` requests up
+  /// to 8 are honoured even when hardware detection under-reports.
+  static ThreadPool& global();
+
+  /// Enqueues `fn` and returns a future for its result. Exceptions thrown by
+  /// `fn` surface from future::get(). A worker-less pool runs the task
+  /// inline before returning (the future would otherwise never resolve).
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> result = task->get_future();
+    if (workers_.empty())
+      (*task)();
+    else
+      enqueue([task] { (*task)(); });
+    return result;
+  }
+
+  /// Runs fn(i) for every i in [begin, end). At most `max_parallelism`
+  /// threads (caller included; <= 0 means all workers + caller) execute
+  /// concurrently. Rethrows the exception of the lowest-indexed failing
+  /// chunk after all started work drains. fn must treat distinct indices as
+  /// independent (see the file comment for the determinism contract).
+  void parallel_for(std::int64_t begin, std::int64_t end, int max_parallelism,
+                    const std::function<void(std::int64_t)>& fn);
+
+  /// parallel_for with a per-index deterministic random stream: fn(i, rng)
+  /// receives an Rng seeded from splitmix64-mixing (seed, i), so the stream
+  /// an index observes never depends on which thread ran it.
+  void parallel_for_seeded(std::int64_t begin, std::int64_t end,
+                           int max_parallelism, std::uint64_t seed,
+                           const std::function<void(std::int64_t, Rng&)>& fn);
+
+ private:
+  void enqueue(std::function<void()> task);
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace irgnn::support

@@ -1,16 +1,43 @@
 #include "tensor/tensor.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <cmath>
 #include <stdexcept>
 #include <unordered_set>
+
+#include "support/thread_pool.h"
 
 namespace irgnn::tensor {
 
 using detail::Node;
 
 namespace {
+
+std::atomic<int> g_kernel_parallelism{0};  // <= 0: all global-pool workers
+
+/// Rows per parallel work item: large enough that scheduling noise is
+/// amortized, small enough that row counts in the tens still spread.
+constexpr std::int64_t kRowBlock = 16;
+/// Below this many scalar multiply-adds a kernel runs serially.
+constexpr std::int64_t kParallelFlops = 16 * 1024;
+
+/// Runs fn(row_begin, row_end) over blocks of rows, in parallel when `flops`
+/// justifies it. Blocks are disjoint, so any per-row-owned output keeps the
+/// bit-identical-across-thread-counts contract.
+void for_row_blocks(std::int64_t rows, std::int64_t flops,
+                    const std::function<void(std::int64_t, std::int64_t)>& fn) {
+  if (flops < kParallelFlops || rows <= kRowBlock) {
+    fn(0, rows);
+    return;
+  }
+  std::int64_t blocks = (rows + kRowBlock - 1) / kRowBlock;
+  support::ThreadPool::global().parallel_for(
+      0, blocks, g_kernel_parallelism.load(), [&](std::int64_t b) {
+        fn(b * kRowBlock, std::min(rows, (b + 1) * kRowBlock));
+      });
+}
 
 std::shared_ptr<Node> make_node(Shape shape) {
   auto node = std::make_shared<Node>();
@@ -33,6 +60,12 @@ std::shared_ptr<Node> make_op_node(
 }
 
 }  // namespace
+
+void set_kernel_parallelism(int max_threads) {
+  g_kernel_parallelism.store(max_threads > 0 ? max_threads : 0);
+}
+
+int kernel_parallelism() { return g_kernel_parallelism.load(); }
 
 Tensor Tensor::zeros(Shape shape, bool requires_grad) {
   auto node = make_node(shape);
@@ -111,53 +144,91 @@ void Tensor::backward() {
 // Kernels
 // ---------------------------------------------------------------------------
 
+namespace {
+
+/// Packs src[rows, cols] transposed into dst[cols, rows].
+void transpose_into(const float* src, int rows, int cols,
+                    std::vector<float>& dst) {
+  dst.resize(static_cast<std::size_t>(rows) * cols);
+  constexpr int kTile = 32;
+  for (int i0 = 0; i0 < rows; i0 += kTile)
+    for (int j0 = 0; j0 < cols; j0 += kTile)
+      for (int i = i0; i < std::min(rows, i0 + kTile); ++i)
+        for (int j = j0; j < std::min(cols, j0 + kTile); ++j)
+          dst[static_cast<std::size_t>(j) * rows + i] =
+              src[static_cast<std::size_t>(i) * cols + j];
+}
+
+}  // namespace
+
 Tensor matmul(const Tensor& a, const Tensor& b) {
   assert(a.cols() == b.rows());
   const int m = a.rows();
   const int k = a.cols();
   const int n = b.cols();
+  const std::int64_t flops =
+      static_cast<std::int64_t>(m) * k * n;
   auto node = make_op_node(
-      {m, n}, {a.node(), b.node()}, [m, k, n](Node& out) {
+      {m, n}, {a.node(), b.node()}, [m, k, n, flops](Node& out) {
         Node& A = *out.parents[0];
         Node& B = *out.parents[1];
         const float* g = out.grad.data();
         if (A.requires_grad) {
-          // dA = dC * B^T
+          // dA[i,l] = sum_j g[i,j] * B[l,j] — B rows are contiguous in j, so
+          // the inner loop is a dot product without any packing.
           float* ga = A.grad.data();
-#pragma omp parallel for if (m * k > 4096)
-          for (int i = 0; i < m; ++i)
-            for (int j = 0; j < n; ++j) {
-              float gij = g[i * n + j];
-              const float* brow = B.data.data() + j;
-              for (int l = 0; l < k; ++l) ga[i * k + l] += gij * brow[l * n];
+          const float* pb = B.data.data();
+          for_row_blocks(m, flops, [&](std::int64_t i0, std::int64_t i1) {
+            for (std::int64_t i = i0; i < i1; ++i) {
+              const float* grow = g + i * n;
+              float* garow = ga + i * k;
+              for (int l = 0; l < k; ++l) {
+                const float* brow = pb + static_cast<std::int64_t>(l) * n;
+                float acc = 0.0f;
+                for (int j = 0; j < n; ++j) acc += grow[j] * brow[j];
+                garow[l] += acc;
+              }
             }
+          });
         }
         if (B.requires_grad) {
-          // dB = A^T * dC
+          // dB[l,:] += A[i,l] * g[i,:], i ascending. Pack A transposed so
+          // each dB row reads a contiguous At row; parallel over dB rows.
           float* gb = B.grad.data();
-#pragma omp parallel for if (k * n > 4096)
-          for (int l = 0; l < k; ++l)
-            for (int i = 0; i < m; ++i) {
-              float ail = A.data[i * k + l];
-              const float* grow = g + i * n;
-              for (int j = 0; j < n; ++j) gb[l * n + j] += ail * grow[j];
+          std::vector<float> at;  // [k, m]
+          transpose_into(A.data.data(), m, k, at);
+          for_row_blocks(k, flops, [&](std::int64_t l0, std::int64_t l1) {
+            for (std::int64_t l = l0; l < l1; ++l) {
+              const float* atrow = at.data() + l * m;
+              float* gbrow = gb + l * n;
+              for (int i = 0; i < m; ++i) {
+                float ail = atrow[i];
+                if (ail == 0.0f) continue;
+                const float* grow = g + static_cast<std::int64_t>(i) * n;
+                for (int j = 0; j < n; ++j) gbrow[j] += ail * grow[j];
+              }
             }
+          });
         }
       });
-  // Forward: ikj loop order for locality.
+  // Forward: pack B transposed once, then every C entry is a contiguous dot
+  // product; row blocks parallelize and reuse the Bt panel from cache.
   const float* pa = a.data();
-  const float* pb = b.data();
   float* pc = node->data.data();
-#pragma omp parallel for if (m * n > 4096)
-  for (int i = 0; i < m; ++i) {
-    float* crow = pc + i * n;
-    for (int l = 0; l < k; ++l) {
-      float ail = pa[i * k + l];
-      if (ail == 0.0f) continue;
-      const float* brow = pb + l * n;
-      for (int j = 0; j < n; ++j) crow[j] += ail * brow[j];
+  std::vector<float> bt;  // [n, k]
+  transpose_into(b.data(), k, n, bt);
+  for_row_blocks(m, flops, [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) {
+      const float* arow = pa + i * k;
+      float* crow = pc + i * n;
+      for (int j = 0; j < n; ++j) {
+        const float* btrow = bt.data() + static_cast<std::int64_t>(j) * k;
+        float acc = 0.0f;
+        for (int l = 0; l < k; ++l) acc += arow[l] * btrow[l];
+        crow[j] = acc;
+      }
     }
-  }
+  });
   return Tensor(node);
 }
 
@@ -203,22 +274,75 @@ Tensor mul(const Tensor& a, const Tensor& b) {
 }
 
 Tensor add_bias(const Tensor& a, const Tensor& b) {
+  return add_bias_act(a, b, Act::None);
+}
+
+namespace {
+
+inline float apply_act(float x, Act act) {
+  switch (act) {
+    case Act::Relu:
+      return x > 0.0f ? x : 0.0f;
+    case Act::Tanh:
+      return std::tanh(x);
+    case Act::Sigmoid:
+      return 1.0f / (1.0f + std::exp(-x));
+    case Act::None:
+      break;
+  }
+  return x;
+}
+
+/// d act / d pre-activation, expressed through the activation's own output y
+/// (all three activations allow that, which spares caching the input).
+inline float act_derivative(float y, Act act) {
+  switch (act) {
+    case Act::Relu:
+      return y > 0.0f ? 1.0f : 0.0f;
+    case Act::Tanh:
+      return 1.0f - y * y;
+    case Act::Sigmoid:
+      return y * (1.0f - y);
+    case Act::None:
+      break;
+  }
+  return 1.0f;
+}
+
+}  // namespace
+
+Tensor add_bias_act(const Tensor& a, const Tensor& b, Act act) {
   assert(b.rows() == 1 && b.cols() == a.cols());
   const int m = a.rows();
   const int n = a.cols();
-  auto node = make_op_node({m, n}, {a.node(), b.node()}, [m, n](Node& out) {
-    Node& A = *out.parents[0];
-    Node& B = *out.parents[1];
-    for (int i = 0; i < m; ++i)
-      for (int j = 0; j < n; ++j) {
-        float g = out.grad[i * n + j];
-        if (A.requires_grad) A.grad[i * n + j] += g;
-        if (B.requires_grad) B.grad[j] += g;
-      }
+  const std::int64_t work = static_cast<std::int64_t>(m) * n;
+  auto node =
+      make_op_node({m, n}, {a.node(), b.node()}, [m, n, act, work](Node& out) {
+        Node& A = *out.parents[0];
+        Node& B = *out.parents[1];
+        // Partition by *columns*: each column owns its bias-gradient slot, so
+        // the row sum stays an ordered (i ascending) deterministic reduction
+        // inside one work item.
+        for_row_blocks(n, work, [&](std::int64_t j0, std::int64_t j1) {
+          for (int i = 0; i < m; ++i) {
+            const float* grow = out.grad.data() + static_cast<std::int64_t>(i) * n;
+            const float* yrow = out.data.data() + static_cast<std::int64_t>(i) * n;
+            for (std::int64_t j = j0; j < j1; ++j) {
+              float g = grow[j] * act_derivative(yrow[j], act);
+              if (A.requires_grad) A.grad[i * n + j] += g;
+              if (B.requires_grad) B.grad[j] += g;
+            }
+          }
+        });
+      });
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* py = node->data.data();
+  for_row_blocks(m, work, [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i)
+      for (int j = 0; j < n; ++j)
+        py[i * n + j] = apply_act(pa[i * n + j] + pb[j], act);
   });
-  for (int i = 0; i < m; ++i)
-    for (int j = 0; j < n; ++j)
-      node->data[i * n + j] = a.data()[i * n + j] + b.data()[j];
   return Tensor(node);
 }
 
@@ -310,24 +434,29 @@ Tensor layer_norm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
           }
         }
       });
-  for (int i = 0; i < m; ++i) {
-    float mean = 0.0f;
-    for (int j = 0; j < n; ++j) mean += x.data()[i * n + j];
-    mean /= static_cast<float>(n);
-    float var = 0.0f;
-    for (int j = 0; j < n; ++j) {
-      float d = x.data()[i * n + j] - mean;
-      var += d * d;
-    }
-    var /= static_cast<float>(n);
-    float inv_std = 1.0f / std::sqrt(var + eps);
-    (*stats)[2 * i] = mean;
-    (*stats)[2 * i + 1] = inv_std;
-    for (int j = 0; j < n; ++j)
-      node->data[i * n + j] =
-          gamma.data()[j] * (x.data()[i * n + j] - mean) * inv_std +
-          beta.data()[j];
-  }
+  // Rows normalize independently (stats slots are per-row too).
+  for_row_blocks(m, static_cast<std::int64_t>(m) * n * 3,
+                 [&](std::int64_t i0, std::int64_t i1) {
+                   for (std::int64_t i = i0; i < i1; ++i) {
+                     float mean = 0.0f;
+                     for (int j = 0; j < n; ++j) mean += x.data()[i * n + j];
+                     mean /= static_cast<float>(n);
+                     float var = 0.0f;
+                     for (int j = 0; j < n; ++j) {
+                       float d = x.data()[i * n + j] - mean;
+                       var += d * d;
+                     }
+                     var /= static_cast<float>(n);
+                     float inv_std = 1.0f / std::sqrt(var + eps);
+                     (*stats)[2 * i] = mean;
+                     (*stats)[2 * i + 1] = inv_std;
+                     for (int j = 0; j < n; ++j)
+                       node->data[i * n + j] =
+                           gamma.data()[j] * (x.data()[i * n + j] - mean) *
+                               inv_std +
+                           beta.data()[j];
+                   }
+                 });
   return Tensor(node);
 }
 
@@ -368,13 +497,17 @@ Tensor index_add_rows(const Tensor& x, const std::vector<int>& dst,
       {num_rows, d}, {x.node()}, [d, e, dst_copy, coeff_copy](Node& out) {
         Node& X = *out.parents[0];
         if (!X.requires_grad) return;
-#pragma omp parallel for if (e * d > 8192)
-        for (int i = 0; i < e; ++i) {
-          const float* grow = out.grad.data() + (*dst_copy)[i] * d;
-          float* xrow = X.grad.data() + i * d;
-          float c = (*coeff_copy)[i];
-          for (int j = 0; j < d; ++j) xrow[j] += c * grow[j];
-        }
+        // Each edge owns its x-gradient row; destination rows are only read.
+        for_row_blocks(e, static_cast<std::int64_t>(e) * d,
+                       [&](std::int64_t i0, std::int64_t i1) {
+                         for (std::int64_t i = i0; i < i1; ++i) {
+                           const float* grow =
+                               out.grad.data() + (*dst_copy)[i] * d;
+                           float* xrow = X.grad.data() + i * d;
+                           float c = (*coeff_copy)[i];
+                           for (int j = 0; j < d; ++j) xrow[j] += c * grow[j];
+                         }
+                       });
       });
   for (int i = 0; i < e; ++i) {
     assert(dst[i] >= 0 && dst[i] < num_rows);

@@ -4,7 +4,10 @@
 // gradient buffer and a backward closure. Ops build the DAG eagerly;
 // Tensor::backward() topologically sorts the graph and accumulates
 // gradients. Shapes are rank-1/2 (vectors and matrices) — all the GNN needs.
-// Heavy kernels (matmul, scatter/gather) parallelize with OpenMP.
+// Heavy kernels (matmul and its backward, fused bias+activation) tile for
+// cache locality and parallelize over row blocks on the shared ThreadPool;
+// every output element is owned by exactly one index and inner summation
+// order is fixed, so results are bit-identical for every thread count.
 #pragma once
 
 #include <cstdint>
@@ -90,9 +93,17 @@ class Tensor {
   std::shared_ptr<detail::Node> node_;
 };
 
+/// Caps how many threads the parallel kernels (matmul and its backward,
+/// add_bias_act, index_add_rows backward) may use; <= 0 restores the default
+/// of "all global-pool workers". Results are bit-identical for every value —
+/// this only trades wall-clock for core occupancy.
+void set_kernel_parallelism(int max_threads);
+int kernel_parallelism();
+
 // --- Ops (forward builds the tape) ------------------------------------------
 
-/// C[m,n] = A[m,k] * B[k,n]
+/// C[m,n] = A[m,k] * B[k,n]. Blocked over row/column tiles with B packed
+/// transposed so the inner loop is a contiguous dot product.
 Tensor matmul(const Tensor& a, const Tensor& b);
 
 /// Elementwise addition of same-shape tensors.
@@ -100,6 +111,13 @@ Tensor add(const Tensor& a, const Tensor& b);
 
 /// Adds a row vector b[1,n] to every row of a[m,n].
 Tensor add_bias(const Tensor& a, const Tensor& b);
+
+/// Pointwise activations fusable into add_bias_act.
+enum class Act { None, Relu, Tanh, Sigmoid };
+
+/// Fused act(a + broadcast bias): one pass over the data instead of two ops
+/// and an intermediate tape node. b is [1,n], a is [m,n].
+Tensor add_bias_act(const Tensor& a, const Tensor& b, Act act);
 
 /// Elementwise subtraction / product.
 Tensor sub(const Tensor& a, const Tensor& b);

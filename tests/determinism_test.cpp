@@ -1,0 +1,139 @@
+// The parallel execution engine's determinism contract: every result —
+// training losses, predictions, embeddings, exploration tables, reduced
+// labels — is bit-identical no matter how many threads execute it.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "gnn/model.h"
+#include "graph/graph_builder.h"
+#include "ml/cross_validation.h"
+#include "sim/exploration.h"
+#include "tensor/tensor.h"
+#include "workloads/suite.h"
+
+namespace irgnn {
+namespace {
+
+struct TrainOutcome {
+  std::vector<double> epoch_loss;
+  std::vector<int> predictions;
+  std::vector<float> embedding;
+};
+
+TrainOutcome train_with_threads(int num_threads) {
+  static const std::vector<graph::ProgramGraph> graphs_owned = [] {
+    std::vector<graph::ProgramGraph> graphs;
+    for (int r : {0, 3, 7, 12, 21, 30, 41, 50}) {
+      auto module =
+          workloads::build_region_module(workloads::benchmark_suite()[r]);
+      graphs.push_back(graph::build_graph(*module));
+    }
+    return graphs;
+  }();
+  std::vector<const graph::ProgramGraph*> graphs;
+  std::vector<int> labels;
+  for (std::size_t i = 0; i < graphs_owned.size(); ++i) {
+    graphs.push_back(&graphs_owned[i]);
+    labels.push_back(static_cast<int>(i) % 3);
+  }
+
+  gnn::ModelConfig cfg;
+  cfg.vocab_size = graph::vocabulary_size();
+  cfg.num_labels = 3;
+  cfg.hidden_dim = 16;
+  cfg.num_layers = 2;
+  cfg.epochs = 4;
+  cfg.batch_size = 4;  // several minibatches and gradient shards per epoch
+  cfg.dropout = 0.2f;  // exercises the per-shard seeded dropout streams
+  cfg.seed = 0xD5EED;
+  cfg.num_threads = num_threads;
+
+  tensor::set_kernel_parallelism(num_threads);
+  gnn::StaticModel model(cfg);
+  gnn::TrainStats stats = model.train(graphs, labels);
+  TrainOutcome out;
+  out.epoch_loss = stats.epoch_loss;
+  out.predictions = model.predict(graphs);
+  out.embedding = model.embed(graphs)[0];
+  tensor::set_kernel_parallelism(0);
+  return out;
+}
+
+/// Bitwise equality — EXPECT_EQ on doubles would accept mere closeness
+/// through -0.0 vs 0.0, and hides nothing else anyway; the contract is
+/// "identical bits", so compare the representation.
+template <typename T>
+bool bits_equal(const std::vector<T>& a, const std::vector<T>& b) {
+  if (a.size() != b.size()) return false;
+  return a.empty() ||
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(T)) == 0;
+}
+
+TEST(DeterminismTest, TrainingIsBitIdenticalAcrossThreadCounts) {
+  TrainOutcome t1 = train_with_threads(1);
+  TrainOutcome t2 = train_with_threads(2);
+  TrainOutcome t8 = train_with_threads(8);
+
+  ASSERT_EQ(t1.epoch_loss.size(), t2.epoch_loss.size());
+  EXPECT_TRUE(bits_equal(t1.epoch_loss, t2.epoch_loss));
+  EXPECT_TRUE(bits_equal(t1.epoch_loss, t8.epoch_loss));
+  EXPECT_EQ(t1.predictions, t2.predictions);
+  EXPECT_EQ(t1.predictions, t8.predictions);
+  EXPECT_TRUE(bits_equal(t1.embedding, t2.embedding));
+  EXPECT_TRUE(bits_equal(t1.embedding, t8.embedding));
+}
+
+TEST(DeterminismTest, ExplorationIsBitIdenticalAcrossThreadCounts) {
+  sim::MachineDesc machine = sim::MachineDesc::skylake();
+  std::vector<sim::WorkloadTraits> traits;
+  for (int r : {2, 9, 17, 28, 39})
+    traits.push_back(workloads::benchmark_suite()[r].traits);
+
+  sim::ExplorationTable serial = sim::explore(machine, traits, 1.0, 1);
+  sim::ExplorationTable parallel4 = sim::explore(machine, traits, 1.0, 4);
+  sim::ExplorationTable parallel8 = sim::explore(machine, traits, 1.0, 8);
+
+  ASSERT_EQ(serial.time.size(), parallel4.time.size());
+  for (std::size_t r = 0; r < serial.time.size(); ++r) {
+    EXPECT_TRUE(bits_equal(serial.time[r], parallel4.time[r])) << "row " << r;
+    EXPECT_TRUE(bits_equal(serial.time[r], parallel8.time[r])) << "row " << r;
+  }
+  // Downstream label selection sees identical inputs, so it must agree too.
+  auto labels1 = sim::reduce_labels(serial, 6);
+  auto labels8 = sim::reduce_labels(parallel8, 6);
+  EXPECT_EQ(labels1, labels8);
+  EXPECT_EQ(sim::best_labels(serial, labels1),
+            sim::best_labels(parallel8, labels8));
+}
+
+TEST(DeterminismTest, MatmulIdenticalForEveryKernelParallelism) {
+  Rng rng(42);
+  tensor::Tensor a = tensor::Tensor::xavier({95, 70}, rng);
+  tensor::Tensor b = tensor::Tensor::xavier({70, 63}, rng);
+  tensor::set_kernel_parallelism(1);
+  tensor::Tensor serial = tensor::matmul(a, b);
+  tensor::set_kernel_parallelism(8);
+  tensor::Tensor parallel = tensor::matmul(a, b);
+  tensor::set_kernel_parallelism(0);
+  for (int i = 0; i < serial.numel(); ++i)
+    ASSERT_EQ(serial.data()[i], parallel.data()[i]) << "entry " << i;
+}
+
+TEST(DeterminismTest, ForEachFoldRunsEveryFoldOnce) {
+  auto folds = ml::k_fold(57, 10, 0x5EED);
+  std::vector<int> visits(folds.size(), 0);
+  ml::for_each_fold(folds.size(), 4,
+                    [&](std::size_t f) { ++visits[f]; });
+  for (std::size_t f = 0; f < folds.size(); ++f) EXPECT_EQ(visits[f], 1);
+  // Same seed, same folds.
+  auto again = ml::k_fold(57, 10, 0x5EED);
+  for (std::size_t f = 0; f < folds.size(); ++f) {
+    EXPECT_EQ(folds[f].train_indices, again[f].train_indices);
+    EXPECT_EQ(folds[f].validation_indices, again[f].validation_indices);
+  }
+}
+
+}  // namespace
+}  // namespace irgnn

@@ -2,6 +2,8 @@
 // model's ability to fit / generalize on controlled graph data.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "gnn/graph_batch.h"
 #include "gnn/model.h"
 #include "graph/graph_builder.h"
@@ -52,6 +54,66 @@ TEST(GraphBatchTest, RgcnNormalizationCoefficients) {
   }
 }
 
+TEST(GraphBatchTest, EmptyInput) {
+  GraphBatch batch = make_batch({});
+  EXPECT_EQ(batch.num_graphs, 0);
+  EXPECT_EQ(batch.num_nodes(), 0);
+  ASSERT_EQ(batch.relations.size(),
+            static_cast<std::size_t>(graph::kNumEdgeKinds));
+  for (const RelationEdges& rel : batch.relations) {
+    EXPECT_TRUE(rel.src.empty());
+    EXPECT_TRUE(rel.dst.empty());
+    EXPECT_TRUE(rel.coeff.empty());
+  }
+}
+
+TEST(GraphBatchTest, SingleGraphKeepsLocalIndices) {
+  graph::ProgramGraph g = tiny_graph(5);
+  GraphBatch batch = make_batch({&g});
+  EXPECT_EQ(batch.num_graphs, 1);
+  EXPECT_EQ(batch.num_nodes(), 3);
+  for (int s : batch.segment) EXPECT_EQ(s, 0);
+  const RelationEdges& data =
+      batch.relations[static_cast<int>(graph::EdgeKind::Data)];
+  ASSERT_EQ(data.src.size(), 2u);
+  EXPECT_EQ(data.src[0], 0);  // no offset applied to a lone graph
+  EXPECT_EQ(data.dst[0], 2);
+}
+
+TEST(GraphBatchTest, NodeWithoutInEdgesGetsNoCoefficient) {
+  // Node 0 of tiny_graph has out-edges only; every coefficient must belong
+  // to a node with in-degree >= 1 and equal its inverse in-degree exactly.
+  graph::ProgramGraph g = tiny_graph(1);
+  GraphBatch batch = make_batch({&g});
+  for (const RelationEdges& rel : batch.relations) {
+    ASSERT_EQ(rel.coeff.size(), rel.dst.size());
+    std::vector<int> in_degree(batch.num_nodes(), 0);
+    for (int dst : rel.dst) ++in_degree[dst];
+    for (std::size_t e = 0; e < rel.dst.size(); ++e)
+      EXPECT_FLOAT_EQ(rel.coeff[e], 1.0f / in_degree[rel.dst[e]]);
+  }
+}
+
+TEST(GraphBatchTest, ParallelAssemblyMatchesSerial) {
+  // Enough graphs to cross the parallel-assembly threshold; the batch must
+  // equal the serial concatenation element for element.
+  std::vector<graph::ProgramGraph> owned;
+  for (int i = 0; i < 24; ++i) owned.push_back(tiny_graph(i % 7));
+  std::vector<const graph::ProgramGraph*> graphs;
+  for (const auto& g : owned) graphs.push_back(&g);
+
+  GraphBatch serial = make_batch(graphs, /*num_threads=*/1);
+  GraphBatch parallel = make_batch(graphs, /*num_threads=*/8);
+  EXPECT_EQ(serial.features, parallel.features);
+  EXPECT_EQ(serial.segment, parallel.segment);
+  ASSERT_EQ(serial.relations.size(), parallel.relations.size());
+  for (std::size_t r = 0; r < serial.relations.size(); ++r) {
+    EXPECT_EQ(serial.relations[r].src, parallel.relations[r].src);
+    EXPECT_EQ(serial.relations[r].dst, parallel.relations[r].dst);
+    EXPECT_EQ(serial.relations[r].coeff, parallel.relations[r].coeff);
+  }
+}
+
 TEST(RgcnLayerTest, MessagePassingChangesNodeStates) {
   Rng rng(5);
   RGCNLayer layer(8, graph::kNumEdgeKinds, rng);
@@ -95,6 +157,29 @@ TEST(StaticModelTest, OverfitsSmallDataset) {
   EXPECT_DOUBLE_EQ(stats.final_train_accuracy, 1.0);
   // Loss decreased.
   EXPECT_LT(stats.epoch_loss.back(), stats.epoch_loss.front());
+}
+
+TEST(StaticModelTest, PartialMinibatchKeepsLossFinite) {
+  // 41 graphs with batch_size 32 leave a trailing batch of 9: shard sizing
+  // must not produce empty shards, whose nll_loss would be 0/0 = NaN.
+  std::vector<graph::ProgramGraph> owned;
+  std::vector<const graph::ProgramGraph*> graphs;
+  std::vector<int> labels;
+  for (int i = 0; i < 41; ++i) {
+    owned.push_back(tiny_graph(i % 5));
+    labels.push_back(i % 2);
+  }
+  for (const auto& g : owned) graphs.push_back(&g);
+
+  ModelConfig cfg;
+  cfg.vocab_size = graph::vocabulary_size();
+  cfg.num_labels = 2;
+  cfg.hidden_dim = 8;
+  cfg.num_layers = 1;
+  cfg.epochs = 2;
+  StaticModel model(cfg);
+  TrainStats stats = model.train(graphs, labels);
+  for (double loss : stats.epoch_loss) EXPECT_TRUE(std::isfinite(loss));
 }
 
 TEST(StaticModelTest, DeterministicForSeed) {

@@ -65,6 +65,30 @@ TEST(TensorTest, MatmulForward) {
   EXPECT_FLOAT_EQ(c.at(1, 1), 154);
 }
 
+TEST(TensorTest, BlockedMatmulMatchesNaiveReference) {
+  // The blocked/transposed kernel against a straight triple loop, on shapes
+  // deliberately not multiples of any block size (1, primes, pow2 +/- 1).
+  struct Case {
+    int m, k, n;
+  };
+  for (const Case& c : {Case{1, 1, 1}, Case{3, 5, 2}, Case{17, 31, 13},
+                        Case{64, 64, 64}, Case{65, 33, 17}, Case{128, 1, 9},
+                        Case{1, 200, 1}, Case{47, 16, 129}}) {
+    Rng rng(1000 + c.m + c.k + c.n);
+    Tensor a = Tensor::xavier({c.m, c.k}, rng);
+    Tensor b = Tensor::xavier({c.k, c.n}, rng);
+    Tensor prod = matmul(a, b);
+    for (int i = 0; i < c.m; ++i)
+      for (int j = 0; j < c.n; ++j) {
+        float ref = 0.0f;
+        for (int l = 0; l < c.k; ++l) ref += a.at(i, l) * b.at(l, j);
+        ASSERT_NEAR(prod.at(i, j), ref, 1e-5f)
+            << c.m << "x" << c.k << "x" << c.n << " at (" << i << "," << j
+            << ")";
+      }
+  }
+}
+
 TEST(TensorTest, MatmulGradient) {
   Rng rng(1);
   Tensor a = Tensor::xavier({3, 4}, rng);
@@ -99,6 +123,39 @@ TEST(TensorTest, AddBiasGradient) {
   Tensor a = Tensor::xavier({3, 4}, rng);
   Tensor b = Tensor::xavier({1, 4}, rng);
   grad_check(b, [&] { return sum_all(add_bias(a, b)); });
+}
+
+TEST(TensorTest, FusedBiasActivationMatchesUnfused) {
+  Rng rng(11);
+  Tensor a = Tensor::xavier({5, 6}, rng);
+  Tensor b = Tensor::xavier({1, 6}, rng);
+  Tensor fused_relu = add_bias_act(a, b, Act::Relu);
+  Tensor unfused_relu = relu(add_bias_act(a, b, Act::None));
+  Tensor fused_tanh = add_bias_act(a, b, Act::Tanh);
+  Tensor unfused_tanh = tanh_t(add_bias_act(a, b, Act::None));
+  Tensor fused_sig = add_bias_act(a, b, Act::Sigmoid);
+  Tensor unfused_sig = sigmoid(add_bias_act(a, b, Act::None));
+  for (int i = 0; i < a.numel(); ++i) {
+    EXPECT_EQ(fused_relu.node()->data[i], unfused_relu.node()->data[i]);
+    EXPECT_NEAR(fused_tanh.node()->data[i], unfused_tanh.node()->data[i],
+                1e-7f);
+    EXPECT_NEAR(fused_sig.node()->data[i], unfused_sig.node()->data[i],
+                1e-7f);
+  }
+}
+
+TEST(TensorTest, FusedBiasActivationGradients) {
+  Rng rng(12);
+  Tensor a = Tensor::xavier({4, 5}, rng);
+  Tensor b = Tensor::xavier({1, 5}, rng);
+  // relu is non-differentiable at 0; nudge pre-activations away from it.
+  for (int i = 0; i < a.numel(); ++i)
+    if (std::fabs(a.data()[i]) < 0.1f) a.data()[i] = 0.4f;
+  grad_check(a, [&] { return sum_all(add_bias_act(a, b, Act::Tanh)); });
+  grad_check(b, [&] { return sum_all(add_bias_act(a, b, Act::Tanh)); });
+  grad_check(a, [&] { return sum_all(add_bias_act(a, b, Act::Sigmoid)); });
+  grad_check(a, [&] { return sum_all(mul(add_bias_act(a, b, Act::Relu),
+                                         add_bias_act(a, b, Act::Relu))); });
 }
 
 TEST(TensorTest, LayerNormGradient) {
