@@ -5,6 +5,7 @@
 // family-classification proxy task: once on the real typed graphs, once
 // with every edge collapsed into a single relation. Typed relations should
 // win (and the gap is the value of the RGCN choice).
+#include <algorithm>
 #include <cstdio>
 
 #include "gnn/model.h"

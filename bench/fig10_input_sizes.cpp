@@ -3,6 +3,7 @@
 // configuration is applied to size-1; the loss is
 //   L = S(size1 | best-config(size1)) - S(size1 | best-config(size2)).
 // Lower is better. The paper measured ~0.05x average loss on a Skylake.
+#include <algorithm>
 #include "bench/bench_common.h"
 
 using namespace irgnn;

@@ -3,6 +3,8 @@
 // Sandy Bridge and Skylake. Lower is better. Regions are ordered by
 // (static - dynamic) error, reproducing the paper's layout where the static
 // model dominates the right side of the plot and loses on the left.
+#include <algorithm>
+
 #include "bench/bench_common.h"
 
 using namespace irgnn;

@@ -4,6 +4,7 @@
 // "router_miss" marks regions where the router chose the wrong side (red
 // names in the paper). The hybrid matches the dynamic model's gains while
 // profiling only a fraction of the programs.
+#include <algorithm>
 #include "bench/bench_common.h"
 
 using namespace irgnn;

@@ -1,0 +1,171 @@
+// Per-kernel microbenchmarks for the SIMD/arena engine.
+//
+// Each kernel runs `warmup` untimed repetitions (which also fills the
+// buffer arena), then `reps` timed ones; the table reports the median
+// wall-clock, the implied GFLOP/s, and how many bytes the measured
+// repetitions pulled from malloc (pool misses) — the last column is the
+// zero-allocation contract made visible: it must read 0 once warm.
+//
+// Shapes mirror the GNN hot path: [nodes, hidden] activations against
+// [hidden, hidden] weights, plus square shapes for peak-throughput context.
+//
+//   ./microbench_kernels --threads 1 --reps 9
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "support/arena.h"
+#include "support/argparse.h"
+#include "support/table.h"
+#include "tensor/tensor.h"
+
+using namespace irgnn;
+using tensor::Act;
+using tensor::Tensor;
+
+namespace {
+
+struct Timing {
+  double median_ms = 0;
+  std::uint64_t malloc_bytes = 0;  // pool misses during the timed reps
+};
+
+template <typename Fn>
+Timing bench(int warmup, int reps, const Fn& fn) {
+  for (int i = 0; i < warmup; ++i) fn();
+  support::BufferPool::Stats before = support::BufferPool::global().stats();
+  std::vector<double> times;
+  times.reserve(reps);
+  for (int i = 0; i < reps; ++i) {
+    auto t0 = std::chrono::steady_clock::now();
+    fn();
+    auto t1 = std::chrono::steady_clock::now();
+    times.push_back(
+        std::chrono::duration<double, std::milli>(t1 - t0).count());
+  }
+  support::BufferPool::Stats after = support::BufferPool::global().stats();
+  std::sort(times.begin(), times.end());
+  return {times[times.size() / 2], after.malloc_bytes - before.malloc_bytes};
+}
+
+std::string gflops(double flops, double ms) {
+  return Table::fmt(flops / (ms * 1e-3) / 1e9, 2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser parser("microbench_kernels",
+                   "SIMD tensor-kernel microbenchmarks (median-of-N, "
+                   "GFLOP/s, bytes pulled from malloc while warm)");
+  parser.add("reps", "9", "timed repetitions per kernel (median reported)")
+      .add("warmup", "3", "untimed warmup repetitions (fills the arena)")
+      .add("threads", "1",
+           "kernel parallelism cap (1 isolates single-core throughput)")
+      .add("csv", "", "optional path to also write the table as CSV");
+  if (!parser.parse(argc, argv)) return 1;
+
+  const int reps = static_cast<int>(parser.get_int("reps"));
+  const int warmup = static_cast<int>(parser.get_int("warmup"));
+  const int threads = static_cast<int>(parser.get_int("threads"));
+  tensor::set_kernel_parallelism(threads);
+
+  Table table({"kernel", "shape", "median [ms]", "GFLOP/s", "malloc B/rep"});
+  Rng rng(0xBE7C4);
+
+  auto add_result = [&](const std::string& kernel, const std::string& shape,
+                        double flops, const Timing& t) {
+    table.add_row({kernel, shape, Table::fmt(t.median_ms, 3),
+                   gflops(flops, t.median_ms),
+                   std::to_string(t.malloc_bytes / reps)});
+  };
+
+  // --- matmul forward -------------------------------------------------------
+  struct MmCase {
+    int m, k, n;
+  };
+  for (const MmCase& c :
+       {MmCase{256, 256, 256}, MmCase{2048, 64, 64}, MmCase{512, 128, 512}}) {
+    Tensor a = Tensor::xavier({c.m, c.k}, rng);
+    Tensor b = Tensor::xavier({c.k, c.n}, rng);
+    Timing t = bench(warmup, reps, [&] { tensor::matmul(a, b); });
+    add_result("matmul fwd",
+               std::to_string(c.m) + "x" + std::to_string(c.k) + "x" +
+                   std::to_string(c.n),
+               2.0 * c.m * c.k * c.n, t);
+  }
+
+  // --- matmul forward + backward (both GEMMs) ------------------------------
+  {
+    const int m = 512, k = 128, n = 128;
+    Tensor a = Tensor::xavier({m, k}, rng);
+    Tensor b = Tensor::xavier({k, n}, rng);
+    Timing t = bench(warmup, reps, [&] {
+      Tensor c = tensor::matmul(a, b);
+      auto node = c.node();
+      node->ensure_grad();
+      std::fill(node->grad.begin(), node->grad.end(), 1.0f);
+      a.grad();
+      b.grad();
+      node->backward_fn(*node);
+    });
+    add_result("matmul fwd+bwd", "512x128x128", 3 * 2.0 * m * k * n, t);
+  }
+
+  // --- fused bias + activation ---------------------------------------------
+  {
+    const int m = 4096, n = 256;
+    Tensor a = Tensor::xavier({m, n}, rng);
+    Tensor b = Tensor::xavier({1, n}, rng);
+    Timing t =
+        bench(warmup, reps, [&] { tensor::add_bias_act(a, b, Act::Relu); });
+    add_result("add_bias_act relu", "4096x256", 2.0 * m * n, t);
+  }
+
+  // --- layer norm -----------------------------------------------------------
+  {
+    const int m = 4096, n = 256;
+    Tensor x = Tensor::xavier({m, n}, rng);
+    Tensor gamma = Tensor::full({1, n}, 1.0f);
+    Tensor beta = Tensor::zeros({1, n});
+    Timing t =
+        bench(warmup, reps, [&] { tensor::layer_norm(x, gamma, beta); });
+    add_result("layer_norm", "4096x256", 7.0 * m * n, t);
+  }
+
+  // --- scatter/gather reductions -------------------------------------------
+  {
+    const int e = 65536, d = 128, rows = 8192;
+    Tensor x = Tensor::xavier({e, d}, rng);
+    std::vector<int> dst(e);
+    std::vector<float> coeff(e, 0.5f);
+    for (int i = 0; i < e; ++i)
+      dst[i] = static_cast<int>(rng.uniform(0.0, 1.0) * (rows - 1));
+    Timing t = bench(warmup, reps,
+                     [&] { tensor::index_add_rows(x, dst, coeff, rows); });
+    add_result("index_add_rows", "65536x128->8192", 2.0 * e * d, t);
+
+    std::vector<int> seg(e);
+    for (int i = 0; i < e; ++i) seg[i] = i * rows / e;
+    Timing ts =
+        bench(warmup, reps, [&] { tensor::segment_mean(x, seg, rows); });
+    add_result("segment_mean", "65536x128->8192", 2.0 * e * d, ts);
+  }
+
+  std::printf("=== Tensor kernel microbenchmarks (threads=%d, median of %d, "
+              "%d warmup) ===\n",
+              threads, reps, warmup);
+  table.print();
+  support::BufferPool::Stats stats = support::BufferPool::global().stats();
+  std::printf("arena: %llu allocations from malloc (%.1f MiB) vs %llu served "
+              "from the pool\n",
+              static_cast<unsigned long long>(stats.malloc_calls),
+              static_cast<double>(stats.malloc_bytes) / (1024.0 * 1024.0),
+              static_cast<unsigned long long>(stats.pool_hits));
+  std::string csv = parser.get_string("csv");
+  if (!csv.empty() && table.write_csv(csv))
+    std::printf("(csv written to %s)\n", csv.c_str());
+  return 0;
+}

@@ -3,6 +3,7 @@
 #include <array>
 #include <cstdint>
 
+#include "support/arena.h"
 #include "support/thread_pool.h"
 
 namespace irgnn::gnn {
@@ -13,12 +14,22 @@ namespace {
 /// saves; fall back to the straight serial concatenation.
 constexpr std::size_t kParallelBatchThreshold = 8;
 
-GraphBatch make_batch_serial(
-    const std::vector<const graph::ProgramGraph*>& graphs) {
-  GraphBatch batch;
+/// Empties the batch while keeping every buffer's capacity, so a reused
+/// batch assembles without reallocating.
+void reset_batch(GraphBatch& batch, int num_graphs) {
   batch.relations.resize(graph::kNumEdgeKinds);
-  batch.num_graphs = static_cast<int>(graphs.size());
+  batch.features.clear();
+  batch.segment.clear();
+  for (RelationEdges& rel : batch.relations) {
+    rel.src.clear();
+    rel.dst.clear();
+    rel.coeff.clear();
+  }
+  batch.num_graphs = num_graphs;
+}
 
+void fill_batch_serial(GraphBatch& batch,
+                       const std::vector<const graph::ProgramGraph*>& graphs) {
   int offset = 0;
   for (int g = 0; g < batch.num_graphs; ++g) {
     const graph::ProgramGraph& pg = *graphs[g];
@@ -33,20 +44,17 @@ GraphBatch make_batch_serial(
     }
     offset += static_cast<int>(pg.nodes.size());
   }
-  return batch;
 }
 
-GraphBatch make_batch_parallel(
-    const std::vector<const graph::ProgramGraph*>& graphs, int num_threads) {
+void fill_batch_parallel(GraphBatch& batch,
+                         const std::vector<const graph::ProgramGraph*>& graphs,
+                         int num_threads) {
   support::ThreadPool& pool = support::ThreadPool::global();
   const std::size_t G = graphs.size();
-  GraphBatch batch;
-  batch.relations.resize(graph::kNumEdgeKinds);
-  batch.num_graphs = static_cast<int>(G);
 
   // Pass 1: per-graph node and per-relation edge counts.
-  std::vector<int> node_count(G);
-  std::vector<std::array<int, graph::kNumEdgeKinds>> edge_count(
+  support::PoolVector<int> node_count(G);
+  support::PoolVector<std::array<int, graph::kNumEdgeKinds>> edge_count(
       G, std::array<int, graph::kNumEdgeKinds>{});
   pool.parallel_for(0, static_cast<std::int64_t>(G), num_threads,
                     [&](std::int64_t g) {
@@ -57,8 +65,8 @@ GraphBatch make_batch_parallel(
                     });
 
   // Prefix sums: node offsets and per-relation edge offsets.
-  std::vector<int> node_offset(G + 1, 0);
-  std::vector<std::array<int, graph::kNumEdgeKinds>> edge_offset(
+  support::PoolVector<int> node_offset(G + 1, 0);
+  support::PoolVector<std::array<int, graph::kNumEdgeKinds>> edge_offset(
       G + 1, std::array<int, graph::kNumEdgeKinds>{});
   for (std::size_t g = 0; g < G; ++g) {
     node_offset[g + 1] = node_offset[g] + node_count[g];
@@ -90,17 +98,18 @@ GraphBatch make_batch_parallel(
           ++cursor[r];
         }
       });
-  return batch;
 }
 
 }  // namespace
 
-GraphBatch make_batch(const std::vector<const graph::ProgramGraph*>& graphs,
-                      int num_threads) {
-  GraphBatch batch = (graphs.size() < kParallelBatchThreshold ||
-                      num_threads == 1)
-                         ? make_batch_serial(graphs)
-                         : make_batch_parallel(graphs, num_threads);
+void make_batch_into(GraphBatch& batch,
+                     const std::vector<const graph::ProgramGraph*>& graphs,
+                     int num_threads) {
+  reset_batch(batch, static_cast<int>(graphs.size()));
+  if (graphs.size() < kParallelBatchThreshold || num_threads == 1)
+    fill_batch_serial(batch, graphs);
+  else
+    fill_batch_parallel(batch, graphs, num_threads);
 
   // RGCN normalization: 1/c_{i,r} with c the in-degree of i under r.
   // Relations are few and independent; coefficients per relation fill in
@@ -109,12 +118,18 @@ GraphBatch make_batch(const std::vector<const graph::ProgramGraph*>& graphs,
       0, static_cast<std::int64_t>(batch.relations.size()),
       batch.num_nodes() >= 1024 ? num_threads : 1, [&](std::int64_t r) {
         RelationEdges& rel = batch.relations[r];
-        std::vector<float> in_degree(batch.features.size(), 0.0f);
+        support::PoolVector<float> in_degree(batch.features.size(), 0.0f);
         for (int dst : rel.dst) in_degree[dst] += 1.0f;
         rel.coeff.assign(rel.dst.size(), 0.0f);
         for (std::size_t e = 0; e < rel.dst.size(); ++e)
           rel.coeff[e] = 1.0f / in_degree[rel.dst[e]];
       });
+}
+
+GraphBatch make_batch(const std::vector<const graph::ProgramGraph*>& graphs,
+                      int num_threads) {
+  GraphBatch batch;
+  make_batch_into(batch, graphs, num_threads);
   return batch;
 }
 

@@ -28,4 +28,12 @@ struct GraphBatch {
 GraphBatch make_batch(const std::vector<const graph::ProgramGraph*>& graphs,
                       int num_threads = 0);
 
+/// Rebuilds `batch` in place from `graphs`, producing exactly what
+/// make_batch returns but reusing the batch's existing buffers (clear keeps
+/// capacity). The training loop holds one scratch batch per gradient shard
+/// so steady-state batch assembly performs no heap allocations.
+void make_batch_into(GraphBatch& batch,
+                     const std::vector<const graph::ProgramGraph*>& graphs,
+                     int num_threads = 0);
+
 }  // namespace irgnn::gnn

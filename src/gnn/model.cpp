@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <utility>
 
+#include "support/simd.h"
 #include "support/thread_pool.h"
 
 namespace irgnn::gnn {
@@ -51,9 +53,8 @@ std::vector<Tensor> StaticModel::parameters() const {
   return stack_.parameters();
 }
 
-void StaticModel::refresh_replica(Stack& replica) const {
-  std::vector<Tensor> src = stack_.parameters();
-  std::vector<Tensor> dst = replica.parameters();
+void StaticModel::refresh_replica(const std::vector<Tensor>& src,
+                                  std::vector<Tensor>& dst) {
   for (std::size_t k = 0; k < src.size(); ++k) {
     std::copy(src[k].data(), src[k].data() + src[k].numel(), dst[k].data());
     dst[k].zero_grad();
@@ -109,9 +110,22 @@ TrainStats StaticModel::train(
 
   // Shard replicas allocate once and are refreshed (weights re-copied,
   // gradients zeroed) every batch — the optimizer moved the weights in
-  // between, but the buffers themselves are reusable.
+  // between, but the buffers themselves are reusable. The parameter handle
+  // vectors and the per-shard chunk/batch scratch persist for the same
+  // reason: after the first few minibatches every buffer a step needs
+  // already exists, and a full train step touches malloc zero times.
   std::vector<Stack> replicas(kGradShards);
+  std::vector<std::vector<Tensor>> replica_params(kGradShards);
   std::vector<char> replica_ready(kGradShards, 0);
+
+  struct ShardScratch {
+    std::vector<const graph::ProgramGraph*> chunk;
+    std::vector<int> labels;
+    GraphBatch batch;
+  };
+  std::vector<ShardScratch> scratch(kGradShards);
+  std::vector<double> shard_loss(kGradShards, 0.0);
+  std::vector<std::size_t> shard_count(kGradShards, 0);
 
   for (int epoch = 0; epoch < config_.epochs; ++epoch) {
     rng_.shuffle(order);
@@ -133,8 +147,6 @@ TrainStats StaticModel::train(
 
       // Every shard forwards/backwards against its own replica; the shard
       // key (not the executing thread) seeds its dropout stream.
-      std::vector<double> shard_loss(num_shards, 0.0);
-      std::vector<std::size_t> shard_count(num_shards, 0);
       const std::uint64_t batch_key = hash_combine64(
           hash_combine64(config_.seed, static_cast<std::uint64_t>(epoch)),
           static_cast<std::uint64_t>(batch_index));
@@ -143,25 +155,27 @@ TrainStats StaticModel::train(
           batch_key, [&](std::int64_t s, Rng& dropout_rng) {
             std::size_t s0 = start + static_cast<std::size_t>(s) * shard_size;
             std::size_t s1 = std::min(end, s0 + shard_size);
-            std::vector<const graph::ProgramGraph*> chunk;
-            std::vector<int> chunk_labels;
+            ShardScratch& sc = scratch[s];
+            sc.chunk.clear();
+            sc.labels.clear();
             for (std::size_t i = s0; i < s1; ++i) {
-              chunk.push_back(graphs[order[i]]);
-              chunk_labels.push_back(labels[order[i]]);
+              sc.chunk.push_back(graphs[order[i]]);
+              sc.labels.push_back(labels[order[i]]);
             }
             // Shards are small; keep the batch build serial and spend the
             // workers on whole shards instead.
-            GraphBatch batch = make_batch(chunk, /*num_threads=*/1);
+            make_batch_into(sc.batch, sc.chunk, /*num_threads=*/1);
             if (replica_ready[s]) {
-              refresh_replica(replicas[s]);
+              refresh_replica(main_params, replica_params[s]);
             } else {
               replicas[s] = make_grad_replica();
+              replica_params[s] = replicas[s].parameters();
               replica_ready[s] = 1;
             }
-            Stack& replica = replicas[s];
-            Tensor logits = forward(replica, batch, &dropout_rng, nullptr);
+            Tensor logits = forward(replicas[s], sc.batch, &dropout_rng,
+                                    nullptr);
             Tensor loss = tensor::nll_loss(tensor::log_softmax(logits),
-                                           chunk_labels);
+                                           sc.labels);
             loss.backward();
             shard_loss[s] = loss.item();
             shard_count[s] = s1 - s0;
@@ -169,17 +183,21 @@ TrainStats StaticModel::train(
 
       // Deterministic reduction: shard gradients fold in shard order with
       // weights shard_n / batch_n, then one optimizer step for the batch.
+      // Shard gradients are read through the const accessor — a parameter a
+      // shard never touched (e.g. a relation with no edges in its chunk)
+      // has no gradient buffer, contributes zero, and must not be forced to
+      // allocate one here.
       optimizer.zero_grad();
       double batch_loss = 0.0;
       for (std::size_t s = 0; s < num_shards; ++s) {
         const float weight = static_cast<float>(shard_count[s]) /
                              static_cast<float>(n);
-        std::vector<Tensor> shard_params = replicas[s].parameters();
+        const std::vector<Tensor>& shard_params = replica_params[s];
         for (std::size_t k = 0; k < main_params.size(); ++k) {
-          float* dst = main_params[k].grad();
-          float* src = shard_params[k].grad();
-          for (int i = 0; i < main_params[k].numel(); ++i)
-            dst[i] += weight * src[i];
+          const float* src = shard_params[k].grad();
+          if (src == nullptr) continue;
+          simd::axpy(main_params[k].grad(), weight, src,
+                     main_params[k].numel());
         }
         batch_loss += shard_loss[s] * static_cast<double>(shard_count[s]) /
                       static_cast<double>(n);

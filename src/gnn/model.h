@@ -14,6 +14,12 @@
 // per-shard dropout streams (derived from (seed, epoch, batch, shard) via
 // splitmix64) and the reduction order never depend on the thread count,
 // TrainStats and predictions are bit-identical for every num_threads.
+//
+// The loop is allocation-free in steady state: replicas, their parameter
+// handle vectors and each shard's chunk/batch scratch persist across
+// minibatches (cleared, never freed), tensor ops recycle node and buffer
+// storage through the arena, and the gradient reduction runs 8-wide over
+// the cached handles.
 #pragma once
 
 #include <cstdint>
@@ -95,9 +101,11 @@ class StaticModel {
   /// Deep copy of the stack whose parameters carry fresh gradient buffers.
   Stack make_grad_replica() const;
 
-  /// Re-syncs an existing replica: copies the current weights in and zeroes
-  /// its gradients, reusing the buffers allocated by make_grad_replica().
-  void refresh_replica(Stack& replica) const;
+  /// Re-syncs an existing replica through its cached parameter handles:
+  /// copies the current weights in and zeroes its gradients, reusing the
+  /// buffers allocated by make_grad_replica(). Allocation-free.
+  static void refresh_replica(const std::vector<tensor::Tensor>& src,
+                              std::vector<tensor::Tensor>& dst);
 
   ModelConfig config_;
   mutable Rng rng_;

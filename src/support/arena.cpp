@@ -1,0 +1,71 @@
+#include "support/arena.h"
+
+#include <cstdlib>
+
+namespace irgnn::support {
+
+BufferPool& BufferPool::global() {
+  static BufferPool* pool = new BufferPool;  // leaked by design (see header)
+  return *pool;
+}
+
+int BufferPool::bucket_of(std::size_t bytes) {
+  if (bytes > (static_cast<std::size_t>(1) << kMaxBucketBits)) return -1;
+  int bucket = 0;
+  while (bucket_bytes(bucket) < bytes) ++bucket;
+  return bucket;
+}
+
+void* BufferPool::allocate(std::size_t bytes) {
+  const int bucket = bucket_of(bytes);
+  if (bucket < 0) {  // oversize: bypass the pool
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.malloc_calls;
+    stats_.malloc_bytes += bytes;
+    return ::operator new(bytes);
+  }
+  const std::size_t rounded = bucket_bytes(bucket);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<void*>& list = free_[bucket];
+    if (!list.empty()) {
+      void* ptr = list.back();
+      list.pop_back();
+      ++stats_.pool_hits;
+      stats_.pool_hit_bytes += rounded;
+      return ptr;
+    }
+    ++stats_.malloc_calls;
+    stats_.malloc_bytes += rounded;
+  }
+  // The actual allocation happens outside the lock; counters above already
+  // recorded it.
+  return ::operator new(rounded);
+}
+
+void BufferPool::deallocate(void* ptr, std::size_t bytes) {
+  if (ptr == nullptr) return;
+  const int bucket = bucket_of(bytes);
+  if (bucket < 0) {
+    ::operator delete(ptr);
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  free_[bucket].push_back(ptr);
+}
+
+BufferPool::Stats BufferPool::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void BufferPool::trim() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (std::vector<void*>& list : free_) {
+    for (void* ptr : list) ::operator delete(ptr);
+    list.clear();
+    list.shrink_to_fit();
+  }
+}
+
+}  // namespace irgnn::support

@@ -1,0 +1,128 @@
+// Heap-free callable wrappers for the hot path.
+//
+// std::function heap-allocates any capture bigger than its tiny inline
+// buffer, which would put one malloc on every tape node (backward closures)
+// and every thread-pool task. These two wrappers close that hole:
+//
+//   InlineFunction<Sig, N>  - owning, move-only, capture stored in N bytes
+//                             inline; over-large captures fail to compile
+//                             instead of silently allocating.
+//   FunctionRef<Sig>        - non-owning view of a callable; safe whenever
+//                             the callee returns before the callable dies
+//                             (parallel_for blocks, so its body qualifies).
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace irgnn::support {
+
+template <typename Signature, std::size_t Capacity = 64>
+class InlineFunction;
+
+template <typename R, typename... Args, std::size_t Capacity>
+class InlineFunction<R(Args...), Capacity> {
+ public:
+  InlineFunction() noexcept = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineFunction>>>
+  InlineFunction(F&& fn) {  // NOLINT: implicit by design, mirrors std::function
+    using Fn = std::decay_t<F>;
+    static_assert(sizeof(Fn) <= Capacity,
+                  "capture too large for InlineFunction storage");
+    static_assert(alignof(Fn) <= alignof(std::max_align_t),
+                  "capture over-aligned for InlineFunction storage");
+    ::new (storage_) Fn(std::forward<F>(fn));
+    ops_ = &ops_for<Fn>;
+  }
+
+  InlineFunction(InlineFunction&& other) noexcept { move_from(other); }
+
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+
+  ~InlineFunction() { reset(); }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  R operator()(Args... args) const {
+    return ops_->invoke(const_cast<unsigned char*>(storage_),
+                        std::forward<Args>(args)...);
+  }
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    R (*invoke)(void*, Args&&...);
+    void (*relocate)(void* from, void* to);  // move-construct + destroy source
+    void (*destroy)(void*);
+  };
+
+  template <typename Fn>
+  static constexpr Ops ops_for = {
+      [](void* f, Args&&... args) -> R {
+        return (*static_cast<Fn*>(f))(std::forward<Args>(args)...);
+      },
+      [](void* from, void* to) {
+        Fn* src = static_cast<Fn*>(from);
+        ::new (to) Fn(std::move(*src));
+        src->~Fn();
+      },
+      [](void* f) { static_cast<Fn*>(f)->~Fn(); }};
+
+  void move_from(InlineFunction& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(other.storage_, storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[Capacity];
+  const Ops* ops_ = nullptr;
+};
+
+template <typename Signature>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, FunctionRef>>>
+  FunctionRef(F&& fn) noexcept  // NOLINT: implicit by design
+      : obj_(const_cast<void*>(static_cast<const void*>(std::addressof(fn)))),
+        call_([](void* obj, Args... args) -> R {
+          return (*static_cast<std::remove_reference_t<F>*>(obj))(
+              std::forward<Args>(args)...);
+        }) {}
+
+  R operator()(Args... args) const {
+    return call_(obj_, std::forward<Args>(args)...);
+  }
+
+ private:
+  void* obj_;
+  R (*call_)(void*, Args...);
+};
+
+}  // namespace irgnn::support

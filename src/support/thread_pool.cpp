@@ -34,7 +34,7 @@ ThreadPool& ThreadPool::global() {
   return pool;
 }
 
-void ThreadPool::enqueue(std::function<void()> task) {
+void ThreadPool::enqueue(Task task) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (!stop_) queue_.push_back(std::move(task));
@@ -44,7 +44,7 @@ void ThreadPool::enqueue(std::function<void()> task) {
 
 void ThreadPool::worker_loop() {
   for (;;) {
-    std::function<void()> task;
+    Task task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
@@ -71,7 +71,9 @@ struct ParallelForState {
   std::condition_variable done_cv;
   std::exception_ptr error;           // from the lowest failing chunk
   std::int64_t error_chunk = -1;
-  const std::function<void(std::int64_t)>* fn = nullptr;
+  // Borrowed view of the caller's callable, valid until `closed` is set and
+  // every helper has left (parallel_for blocks for exactly that long).
+  const FunctionRef<void(std::int64_t)>* fn = nullptr;
 
   void run_chunks() {
     for (;;) {
@@ -95,7 +97,7 @@ struct ParallelForState {
 
 void ThreadPool::parallel_for(std::int64_t begin, std::int64_t end,
                               int max_parallelism,
-                              const std::function<void(std::int64_t)>& fn) {
+                              FunctionRef<void(std::int64_t)> fn) {
   const std::int64_t n = end - begin;
   if (n <= 0) return;
   int parallelism = max_parallelism > 0 ? max_parallelism : num_workers() + 1;
@@ -106,7 +108,7 @@ void ThreadPool::parallel_for(std::int64_t begin, std::int64_t end,
     return;
   }
 
-  auto state = std::make_shared<ParallelForState>();
+  auto state = make_pooled<ParallelForState>();
   state->end = end;
   // ~4 chunks per executor keeps stragglers short without per-index
   // scheduling overhead. Chunking never affects results: indices are
@@ -150,7 +152,7 @@ void ThreadPool::parallel_for(std::int64_t begin, std::int64_t end,
 
 void ThreadPool::parallel_for_seeded(
     std::int64_t begin, std::int64_t end, int max_parallelism,
-    std::uint64_t seed, const std::function<void(std::int64_t, Rng&)>& fn) {
+    std::uint64_t seed, FunctionRef<void(std::int64_t, Rng&)> fn) {
   parallel_for(begin, end, max_parallelism, [&fn, seed](std::int64_t i) {
     Rng rng(hash_combine64(seed, static_cast<std::uint64_t>(i)));
     fn(i, rng);

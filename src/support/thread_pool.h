@@ -18,12 +18,18 @@
 // Reductions that would break property 2 (summing per-item floats) are the
 // caller's job: accumulate into per-index slots and fold them in index order
 // after parallel_for returns.
+//
+// The dispatch path is allocation-free in steady state: tasks are
+// InlineFunction (captures live inside the queue slot, never on the heap),
+// the queue's block storage recycles through the buffer arena, parallel_for
+// borrows the caller's callable via FunctionRef instead of copying it into a
+// std::function, and its shared state is pool-allocated. A warm train loop
+// therefore schedules work without touching malloc.
 #pragma once
 
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -31,12 +37,18 @@
 #include <type_traits>
 #include <vector>
 
+#include "support/arena.h"
+#include "support/inline_function.h"
 #include "support/rng.h"
 
 namespace irgnn::support {
 
 class ThreadPool {
  public:
+  /// Queued work item. 64 inline bytes cover every internal capture; the
+  /// InlineFunction static_assert flags anything bigger at compile time.
+  using Task = InlineFunction<void(), 64>;
+
   /// Spawns `num_workers` threads (0 is allowed: every submit/parallel_for
   /// then runs inline on the caller).
   explicit ThreadPool(int num_workers);
@@ -72,23 +84,25 @@ class ThreadPool {
   /// threads (caller included; <= 0 means all workers + caller) execute
   /// concurrently. Rethrows the exception of the lowest-indexed failing
   /// chunk after all started work drains. fn must treat distinct indices as
-  /// independent (see the file comment for the determinism contract).
+  /// independent (see the file comment for the determinism contract). The
+  /// callable is borrowed, not copied: parallel_for returns only after every
+  /// helper is done with it.
   void parallel_for(std::int64_t begin, std::int64_t end, int max_parallelism,
-                    const std::function<void(std::int64_t)>& fn);
+                    FunctionRef<void(std::int64_t)> fn);
 
   /// parallel_for with a per-index deterministic random stream: fn(i, rng)
   /// receives an Rng seeded from splitmix64-mixing (seed, i), so the stream
   /// an index observes never depends on which thread ran it.
   void parallel_for_seeded(std::int64_t begin, std::int64_t end,
                            int max_parallelism, std::uint64_t seed,
-                           const std::function<void(std::int64_t, Rng&)>& fn);
+                           FunctionRef<void(std::int64_t, Rng&)> fn);
 
  private:
-  void enqueue(std::function<void()> task);
+  void enqueue(Task task);
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<Task, PoolAllocator<Task>> queue_;
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stop_ = false;

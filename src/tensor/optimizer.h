@@ -4,6 +4,7 @@
 #include <cmath>
 #include <vector>
 
+#include "support/arena.h"
 #include "tensor/tensor.h"
 
 namespace irgnn::tensor {
@@ -24,8 +25,8 @@ class Adam {
   explicit Adam(std::vector<Tensor> params, AdamOptions options = {})
       : params_(std::move(params)), options_(options) {
     for (const Tensor& p : params_) {
-      m_.emplace_back(p.numel(), 0.0f);
-      v_.emplace_back(p.numel(), 0.0f);
+      m_.emplace_back(static_cast<std::size_t>(p.numel()), 0.0f);
+      v_.emplace_back(static_cast<std::size_t>(p.numel()), 0.0f);
     }
   }
 
@@ -41,7 +42,7 @@ class Adam {
       Tensor& p = params_[k];
       float* w = p.data();
       float* g = p.grad();
-      for (int i = 0; i < p.numel(); ++i) {
+      for (std::int64_t i = 0; i < p.numel(); ++i) {
         float grad = g[i] + options_.weight_decay * w[i];
         m_[k][i] = options_.beta1 * m_[k][i] + (1.0f - options_.beta1) * grad;
         v_[k][i] =
@@ -58,8 +59,10 @@ class Adam {
  private:
   std::vector<Tensor> params_;
   Options options_;
-  std::vector<std::vector<float>> m_;
-  std::vector<std::vector<float>> v_;
+  // Moment buffers recycle through the arena like every other hot-path
+  // allocation, so rebuilding an optimizer between runs stays malloc-free.
+  std::vector<support::PoolVector<float>> m_;
+  std::vector<support::PoolVector<float>> v_;
   int t_ = 0;
 };
 
@@ -68,7 +71,8 @@ class Sgd {
  public:
   Sgd(std::vector<Tensor> params, float lr, float momentum = 0.0f)
       : params_(std::move(params)), lr_(lr), momentum_(momentum) {
-    for (const Tensor& p : params_) velocity_.emplace_back(p.numel(), 0.0f);
+    for (const Tensor& p : params_)
+      velocity_.emplace_back(static_cast<std::size_t>(p.numel()), 0.0f);
   }
 
   void zero_grad() {
@@ -80,7 +84,7 @@ class Sgd {
       Tensor& p = params_[k];
       float* w = p.data();
       float* g = p.grad();
-      for (int i = 0; i < p.numel(); ++i) {
+      for (std::int64_t i = 0; i < p.numel(); ++i) {
         velocity_[k][i] = momentum_ * velocity_[k][i] - lr_ * g[i];
         w[i] += velocity_[k][i];
       }
@@ -91,7 +95,7 @@ class Sgd {
   std::vector<Tensor> params_;
   float lr_;
   float momentum_;
-  std::vector<std::vector<float>> velocity_;
+  std::vector<support::PoolVector<float>> velocity_;
 };
 
 }  // namespace irgnn::tensor

@@ -5,17 +5,22 @@
 #include <cassert>
 #include <cmath>
 #include <stdexcept>
-#include <unordered_set>
+#include <utility>
 
+#include "support/simd.h"
 #include "support/thread_pool.h"
 
 namespace irgnn::tensor {
 
 using detail::Node;
+using simd::v8f;
 
 namespace {
 
 std::atomic<int> g_kernel_parallelism{0};  // <= 0: all global-pool workers
+
+/// Monotone epoch for backward() traversals; see Node::visit_mark.
+std::atomic<std::uint64_t> g_visit_epoch{0};
 
 /// Rows per parallel work item: large enough that scheduling noise is
 /// amortized, small enough that row counts in the tens still spread.
@@ -25,11 +30,13 @@ constexpr std::int64_t kParallelFlops = 16 * 1024;
 
 /// Runs fn(row_begin, row_end) over blocks of rows, in parallel when `flops`
 /// justifies it. Blocks are disjoint, so any per-row-owned output keeps the
-/// bit-identical-across-thread-counts contract.
-void for_row_blocks(std::int64_t rows, std::int64_t flops,
-                    const std::function<void(std::int64_t, std::int64_t)>& fn) {
+/// bit-identical-across-thread-counts contract. Templated (not
+/// std::function) so the serial path inlines and the parallel path passes a
+/// borrowed FunctionRef — no allocation either way.
+template <typename Fn>
+void for_row_blocks(std::int64_t rows, std::int64_t flops, const Fn& fn) {
   if (flops < kParallelFlops || rows <= kRowBlock) {
-    fn(0, rows);
+    fn(static_cast<std::int64_t>(0), rows);
     return;
   }
   std::int64_t blocks = (rows + kRowBlock - 1) / kRowBlock;
@@ -40,7 +47,7 @@ void for_row_blocks(std::int64_t rows, std::int64_t flops,
 }
 
 std::shared_ptr<Node> make_node(Shape shape) {
-  auto node = std::make_shared<Node>();
+  auto node = support::make_pooled<Node>();
   node->shape = shape;
   node->data.assign(static_cast<std::size_t>(shape.numel()), 0.0f);
   return node;
@@ -48,12 +55,18 @@ std::shared_ptr<Node> make_node(Shape shape) {
 
 /// Output node wired to parents; requires_grad propagates.
 std::shared_ptr<Node> make_op_node(
-    Shape shape, std::vector<std::shared_ptr<Node>> parents,
-    std::function<void(Node&)> backward) {
+    Shape shape, std::initializer_list<std::shared_ptr<Node>> parents,
+    support::InlineFunction<void(Node&), 64> backward) {
   auto node = make_node(shape);
   for (const auto& p : parents) node->requires_grad |= p->requires_grad;
   if (node->requires_grad) {
-    node->parents = std::move(parents);
+    // Hard check, not an assert: overflowing the fixed parent array would
+    // corrupt the adjacent inline closure storage in NDEBUG builds.
+    if (parents.size() > Node::kMaxParents)
+      throw std::logic_error("op exceeds Node::kMaxParents inputs");
+    int count = 0;
+    for (const auto& p : parents) node->parents[count++] = p;
+    node->num_parents = count;
     node->backward_fn = std::move(backward);
   }
   return node;
@@ -82,9 +95,12 @@ Tensor Tensor::full(Shape shape, float value, bool requires_grad) {
 
 Tensor Tensor::from_data(Shape shape, std::vector<float> values,
                          bool requires_grad) {
-  assert(static_cast<int>(values.size()) == shape.numel());
-  auto node = make_node(shape);
-  node->data = std::move(values);
+  assert(static_cast<std::int64_t>(values.size()) == shape.numel());
+  // Bypass make_node's zero fill: assign into the empty pooled buffer so
+  // the data is written once (replica cloning calls this per shard).
+  auto node = support::make_pooled<Node>();
+  node->shape = shape;
+  node->data.assign(values.begin(), values.end());
   node->requires_grad = requires_grad;
   return Tensor(node);
 }
@@ -110,19 +126,25 @@ Tensor Tensor::kaiming(Shape shape, Rng& rng) {
 void Tensor::backward() {
   if (!node_->requires_grad)
     throw std::logic_error("backward() on a non-grad tensor");
-  // Topological order via iterative DFS. Index into the stack rather than
-  // holding a reference: pushing may reallocate the vector.
-  std::vector<Node*> order;
-  std::unordered_set<Node*> visited;
-  std::vector<std::pair<Node*, std::size_t>> stack{{node_.get(), 0}};
-  visited.insert(node_.get());
+  // Topological order via iterative DFS. Visited state is an epoch stamp on
+  // the node (no per-call hash set) and the work vectors recycle through the
+  // arena, so the traversal itself is allocation-free once warm. Index into
+  // the stack rather than holding a reference: pushing may reallocate.
+  const std::uint64_t epoch =
+      g_visit_epoch.fetch_add(1, std::memory_order_relaxed) + 1;
+  support::PoolVector<Node*> order;
+  support::PoolVector<std::pair<Node*, int>> stack;
+  stack.push_back({node_.get(), 0});
+  node_->visit_mark = epoch;
   while (!stack.empty()) {
     std::size_t top = stack.size() - 1;
     Node* node = stack[top].first;
-    if (stack[top].second < node->parents.size()) {
+    if (stack[top].second < node->num_parents) {
       Node* child = node->parents[stack[top].second++].get();
-      if (child->requires_grad && visited.insert(child).second)
+      if (child->requires_grad && child->visit_mark != epoch) {
+        child->visit_mark = epoch;
         stack.push_back({child, 0});
+      }
     } else {
       order.push_back(node);
       stack.pop_back();
@@ -133,8 +155,8 @@ void Tensor::backward() {
   node_->grad[0] = 1.0f;  // seed (scalar roots)
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
     if ((*it)->backward_fn) {
-      for (auto& p : (*it)->parents)
-        if (p->requires_grad) p->ensure_grad();
+      for (int p = 0; p < (*it)->num_parents; ++p)
+        if ((*it)->parents[p]->requires_grad) (*it)->parents[p]->ensure_grad();
       (*it)->backward_fn(**it);
     }
   }
@@ -146,87 +168,80 @@ void Tensor::backward() {
 
 namespace {
 
-/// Packs src[rows, cols] transposed into dst[cols, rows].
-void transpose_into(const float* src, int rows, int cols,
-                    std::vector<float>& dst) {
-  dst.resize(static_cast<std::size_t>(rows) * cols);
-  constexpr int kTile = 32;
-  for (int i0 = 0; i0 < rows; i0 += kTile)
-    for (int j0 = 0; j0 < cols; j0 += kTile)
-      for (int i = i0; i < std::min(rows, i0 + kTile); ++i)
-        for (int j = j0; j < std::min(cols, j0 + kTile); ++j)
-          dst[static_cast<std::size_t>(j) * rows + i] =
-              src[static_cast<std::size_t>(i) * cols + j];
+/// Packs src[rows, cols] transposed into dst[cols, rows]. dst recycles
+/// through the arena (callers hold it only for the kernel's duration).
+void transpose_into(const float* src, std::int64_t rows, std::int64_t cols,
+                    support::PoolVector<float>& dst) {
+  dst.resize(static_cast<std::size_t>(rows * cols));
+  constexpr std::int64_t kTile = 32;
+  for (std::int64_t i0 = 0; i0 < rows; i0 += kTile)
+    for (std::int64_t j0 = 0; j0 < cols; j0 += kTile)
+      for (std::int64_t i = i0; i < std::min(rows, i0 + kTile); ++i)
+        for (std::int64_t j = j0; j < std::min(cols, j0 + kTile); ++j)
+          dst[j * rows + i] = src[i * cols + j];
 }
 
 }  // namespace
 
 Tensor matmul(const Tensor& a, const Tensor& b) {
   assert(a.cols() == b.rows());
-  const int m = a.rows();
-  const int k = a.cols();
-  const int n = b.cols();
-  const std::int64_t flops =
-      static_cast<std::int64_t>(m) * k * n;
+  const std::int64_t m = a.rows();
+  const std::int64_t k = a.cols();
+  const std::int64_t n = b.cols();
+  const std::int64_t flops = m * k * n;
   auto node = make_op_node(
-      {m, n}, {a.node(), b.node()}, [m, k, n, flops](Node& out) {
+      {static_cast<int>(m), static_cast<int>(n)}, {a.node(), b.node()},
+      [m, k, n, flops](Node& out) {
         Node& A = *out.parents[0];
         Node& B = *out.parents[1];
         const float* g = out.grad.data();
         if (A.requires_grad) {
           // dA[i,l] = sum_j g[i,j] * B[l,j] — B rows are contiguous in j, so
-          // the inner loop is a dot product without any packing.
+          // the inner loop is an 8-wide dot product without any packing.
           float* ga = A.grad.data();
           const float* pb = B.data.data();
           for_row_blocks(m, flops, [&](std::int64_t i0, std::int64_t i1) {
             for (std::int64_t i = i0; i < i1; ++i) {
               const float* grow = g + i * n;
               float* garow = ga + i * k;
-              for (int l = 0; l < k; ++l) {
-                const float* brow = pb + static_cast<std::int64_t>(l) * n;
-                float acc = 0.0f;
-                for (int j = 0; j < n; ++j) acc += grow[j] * brow[j];
-                garow[l] += acc;
-              }
+              for (std::int64_t l = 0; l < k; ++l)
+                garow[l] += simd::dot(grow, pb + l * n, n);
             }
           });
         }
         if (B.requires_grad) {
           // dB[l,:] += A[i,l] * g[i,:], i ascending. Pack A transposed so
-          // each dB row reads a contiguous At row; parallel over dB rows.
+          // each dB row reads a contiguous At row; parallel over dB rows,
+          // with the per-row update an 8-wide axpy.
           float* gb = B.grad.data();
-          std::vector<float> at;  // [k, m]
+          support::PoolVector<float> at;  // [k, m]
           transpose_into(A.data.data(), m, k, at);
           for_row_blocks(k, flops, [&](std::int64_t l0, std::int64_t l1) {
             for (std::int64_t l = l0; l < l1; ++l) {
               const float* atrow = at.data() + l * m;
               float* gbrow = gb + l * n;
-              for (int i = 0; i < m; ++i) {
+              for (std::int64_t i = 0; i < m; ++i) {
                 float ail = atrow[i];
                 if (ail == 0.0f) continue;
-                const float* grow = g + static_cast<std::int64_t>(i) * n;
-                for (int j = 0; j < n; ++j) gbrow[j] += ail * grow[j];
+                simd::axpy(gbrow, ail, g + i * n, n);
               }
             }
           });
         }
       });
-  // Forward: pack B transposed once, then every C entry is a contiguous dot
-  // product; row blocks parallelize and reuse the Bt panel from cache.
+  // Forward: pack B transposed once, then every C entry is one contiguous
+  // 8-wide dot product; row blocks parallelize and reuse the Bt panel from
+  // cache.
   const float* pa = a.data();
   float* pc = node->data.data();
-  std::vector<float> bt;  // [n, k]
+  support::PoolVector<float> bt;  // [n, k]
   transpose_into(b.data(), k, n, bt);
   for_row_blocks(m, flops, [&](std::int64_t i0, std::int64_t i1) {
     for (std::int64_t i = i0; i < i1; ++i) {
       const float* arow = pa + i * k;
       float* crow = pc + i * n;
-      for (int j = 0; j < n; ++j) {
-        const float* btrow = bt.data() + static_cast<std::int64_t>(j) * k;
-        float acc = 0.0f;
-        for (int l = 0; l < k; ++l) acc += arow[l] * btrow[l];
-        crow[j] = acc;
-      }
+      for (std::int64_t j = 0; j < n; ++j)
+        crow[j] = simd::dot(arow, bt.data() + j * k, k);
     }
   });
   return Tensor(node);
@@ -309,28 +324,79 @@ inline float act_derivative(float y, Act act) {
   return 1.0f;
 }
 
+/// y[0..n) = act(a[0..n) + b[0..n)). The add is 8-wide; relu stays 8-wide
+/// via max (bit-identical to the scalar `x > 0 ? x : 0`), tanh/sigmoid
+/// transform the stored sums with scalar libm calls.
+void bias_act_row(const float* a, const float* b, float* y, std::int64_t n,
+                  Act act) {
+  std::int64_t j = 0;
+  if (act == Act::Relu) {
+    v8f zero = v8f::zero();
+    for (; j + simd::kLanes <= n; j += simd::kLanes)
+      v8f::max(v8f::load(a + j) + v8f::load(b + j), zero).store(y + j);
+  } else {
+    for (; j + simd::kLanes <= n; j += simd::kLanes)
+      (v8f::load(a + j) + v8f::load(b + j)).store(y + j);
+  }
+  for (; j < n; ++j) y[j] = apply_act(a[j] + b[j], act);
+  if (act == Act::Tanh || act == Act::Sigmoid) {
+    // The vector blocks above stored the raw sums; finish them scalar. The
+    // tail already applied the activation.
+    for (std::int64_t t = 0; t < n - (n % simd::kLanes); ++t)
+      y[t] = apply_act(y[t], act);
+  }
+}
+
+/// gd[0..8) = g * dact(y) for one 8-lane block, matching act_derivative's
+/// scalar expressions lane for lane (same multiplication association).
+inline v8f act_backward_block(v8f g, v8f y, Act act) {
+  switch (act) {
+    case Act::Relu:
+      return v8f::where_gt_zero(y, g);
+    case Act::Tanh:
+      return g * (v8f::broadcast(1.0f) - y * y);
+    case Act::Sigmoid:
+      return g * (y * (v8f::broadcast(1.0f) - y));
+    case Act::None:
+      break;
+  }
+  return g;
+}
+
 }  // namespace
 
 Tensor add_bias_act(const Tensor& a, const Tensor& b, Act act) {
   assert(b.rows() == 1 && b.cols() == a.cols());
-  const int m = a.rows();
-  const int n = a.cols();
-  const std::int64_t work = static_cast<std::int64_t>(m) * n;
-  auto node =
-      make_op_node({m, n}, {a.node(), b.node()}, [m, n, act, work](Node& out) {
+  const std::int64_t m = a.rows();
+  const std::int64_t n = a.cols();
+  const std::int64_t work = m * n;
+  auto node = make_op_node(
+      {static_cast<int>(m), static_cast<int>(n)}, {a.node(), b.node()},
+      [m, n, act, work](Node& out) {
         Node& A = *out.parents[0];
         Node& B = *out.parents[1];
         // Partition by *columns*: each column owns its bias-gradient slot, so
         // the row sum stays an ordered (i ascending) deterministic reduction
-        // inside one work item.
+        // inside one work item. Within a column span the update is 8-wide;
+        // the per-(i,j) value never depends on the span boundaries.
         for_row_blocks(n, work, [&](std::int64_t j0, std::int64_t j1) {
-          for (int i = 0; i < m; ++i) {
-            const float* grow = out.grad.data() + static_cast<std::int64_t>(i) * n;
-            const float* yrow = out.data.data() + static_cast<std::int64_t>(i) * n;
-            for (std::int64_t j = j0; j < j1; ++j) {
-              float g = grow[j] * act_derivative(yrow[j], act);
-              if (A.requires_grad) A.grad[i * n + j] += g;
-              if (B.requires_grad) B.grad[j] += g;
+          for (std::int64_t i = 0; i < m; ++i) {
+            const float* grow = out.grad.data() + i * n;
+            const float* yrow = out.data.data() + i * n;
+            float* garow = A.requires_grad ? A.grad.data() + i * n : nullptr;
+            float* gb = B.requires_grad ? B.grad.data() : nullptr;
+            std::int64_t j = j0;
+            for (; j + simd::kLanes <= j1; j += simd::kLanes) {
+              v8f gd = act_backward_block(v8f::load(grow + j),
+                                          v8f::load(yrow + j), act);
+              if (garow != nullptr)
+                (v8f::load(garow + j) + gd).store(garow + j);
+              if (gb != nullptr) (v8f::load(gb + j) + gd).store(gb + j);
+            }
+            for (; j < j1; ++j) {
+              float gd = grow[j] * act_derivative(yrow[j], act);
+              if (garow != nullptr) garow[j] += gd;
+              if (gb != nullptr) gb[j] += gd;
             }
           }
         });
@@ -340,8 +406,7 @@ Tensor add_bias_act(const Tensor& a, const Tensor& b, Act act) {
   float* py = node->data.data();
   for_row_blocks(m, work, [&](std::int64_t i0, std::int64_t i1) {
     for (std::int64_t i = i0; i < i1; ++i)
-      for (int j = 0; j < n; ++j)
-        py[i * n + j] = apply_act(pa[i * n + j] + pb[j], act);
+      bias_act_row(pa + i * n, pb, py + i * n, n, act);
   });
   return Tensor(node);
 }
@@ -398,25 +463,48 @@ Tensor layer_norm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
                   float eps) {
   assert(gamma.rows() == 1 && gamma.cols() == x.cols());
   assert(beta.rows() == 1 && beta.cols() == x.cols());
-  const int m = x.rows();
-  const int n = x.cols();
+  const std::int64_t m = x.rows();
+  const std::int64_t n = x.cols();
   // Cache per-row mean and inverse stddev for the backward pass.
-  auto stats = std::make_shared<std::vector<float>>(2 * m);
+  auto stats = support::make_pooled<support::PoolVector<float>>(2 * m);
   auto node = make_op_node(
-      {m, n}, {x.node(), gamma.node(), beta.node()},
-      [m, n, stats, eps](Node& out) {
+      {static_cast<int>(m), static_cast<int>(n)},
+      {x.node(), gamma.node(), beta.node()},
+      [m, n, stats](Node& out) {
         Node& X = *out.parents[0];
         Node& G = *out.parents[1];
         Node& B = *out.parents[2];
-        for (int i = 0; i < m; ++i) {
-          float mean = (*stats)[2 * i];
-          float inv_std = (*stats)[2 * i + 1];
-          // xhat_j = (x_j - mean) * inv_std; y_j = gamma_j * xhat_j + beta_j
-          float sum_dy_g = 0.0f;
-          float sum_dy_g_xhat = 0.0f;
-          for (int j = 0; j < n; ++j) {
-            float xhat = (X.data[i * n + j] - mean) * inv_std;
-            float dy = out.grad[i * n + j];
+        const v8f vn = v8f::broadcast(static_cast<float>(n));
+        for (std::int64_t i = 0; i < m; ++i) {
+          const float mean = (*stats)[2 * i];
+          const float inv_std = (*stats)[2 * i + 1];
+          const v8f vmean = v8f::broadcast(mean);
+          const v8f vinv = v8f::broadcast(inv_std);
+          const float* xrow = X.data.data() + i * n;
+          const float* grow = out.grad.data() + i * n;
+          // xhat_j = (x_j - mean) * inv_std; y_j = gamma_j * xhat_j + beta_j.
+          // The two row sums fold 8-lane blocks through the fixed tree, then
+          // tail elements in order — one canonical reduction per row.
+          v8f acc_dy_g = v8f::zero();
+          v8f acc_dy_g_xhat = v8f::zero();
+          std::int64_t j = 0;
+          for (; j + simd::kLanes <= n; j += simd::kLanes) {
+            v8f xhat = (v8f::load(xrow + j) - vmean) * vinv;
+            v8f dy = v8f::load(grow + j);
+            v8f dy_g = dy * v8f::load(G.data.data() + j);
+            acc_dy_g += dy_g;
+            acc_dy_g_xhat += dy_g * xhat;
+            if (G.requires_grad)
+              (v8f::load(G.grad.data() + j) + dy * xhat)
+                  .store(G.grad.data() + j);
+            if (B.requires_grad)
+              (v8f::load(B.grad.data() + j) + dy).store(B.grad.data() + j);
+          }
+          float sum_dy_g = acc_dy_g.hsum();
+          float sum_dy_g_xhat = acc_dy_g_xhat.hsum();
+          for (; j < n; ++j) {
+            float xhat = (xrow[j] - mean) * inv_std;
+            float dy = grow[j];
             float dy_g = dy * G.data[j];
             sum_dy_g += dy_g;
             sum_dy_g_xhat += dy_g * xhat;
@@ -424,59 +512,75 @@ Tensor layer_norm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
             if (B.requires_grad) B.grad[j] += dy;
           }
           if (X.requires_grad) {
-            for (int j = 0; j < n; ++j) {
-              float xhat = (X.data[i * n + j] - mean) * inv_std;
-              X.grad[i * n + j] +=
-                  inv_std *
-                  (out.grad[i * n + j] * G.data[j] -
-                   (sum_dy_g + xhat * sum_dy_g_xhat) / static_cast<float>(n));
+            float* gx = X.grad.data() + i * n;
+            const v8f vs1 = v8f::broadcast(sum_dy_g);
+            const v8f vs2 = v8f::broadcast(sum_dy_g_xhat);
+            j = 0;
+            for (; j + simd::kLanes <= n; j += simd::kLanes) {
+              v8f xhat = (v8f::load(xrow + j) - vmean) * vinv;
+              v8f dy_g = v8f::load(grow + j) * v8f::load(G.data.data() + j);
+              v8f num = (vs1 + xhat * vs2) / vn;
+              (v8f::load(gx + j) + vinv * (dy_g - num)).store(gx + j);
+            }
+            for (; j < n; ++j) {
+              float xhat = (xrow[j] - mean) * inv_std;
+              gx[j] += inv_std *
+                       (grow[j] * G.data[j] -
+                        (sum_dy_g + xhat * sum_dy_g_xhat) /
+                            static_cast<float>(n));
             }
           }
         }
       });
-  // Rows normalize independently (stats slots are per-row too).
-  for_row_blocks(m, static_cast<std::int64_t>(m) * n * 3,
-                 [&](std::int64_t i0, std::int64_t i1) {
-                   for (std::int64_t i = i0; i < i1; ++i) {
-                     float mean = 0.0f;
-                     for (int j = 0; j < n; ++j) mean += x.data()[i * n + j];
-                     mean /= static_cast<float>(n);
-                     float var = 0.0f;
-                     for (int j = 0; j < n; ++j) {
-                       float d = x.data()[i * n + j] - mean;
-                       var += d * d;
-                     }
-                     var /= static_cast<float>(n);
-                     float inv_std = 1.0f / std::sqrt(var + eps);
-                     (*stats)[2 * i] = mean;
-                     (*stats)[2 * i + 1] = inv_std;
-                     for (int j = 0; j < n; ++j)
-                       node->data[i * n + j] =
-                           gamma.data()[j] * (x.data()[i * n + j] - mean) *
-                               inv_std +
-                           beta.data()[j];
-                   }
-                 });
+  // Rows normalize independently (stats slots are per-row too). Mean and
+  // variance use the canonical tree reductions of support/simd.h.
+  const float* px = x.data();
+  const float* pg = gamma.data();
+  const float* pbeta = beta.data();
+  float* py = node->data.data();
+  for_row_blocks(m, m * n * 3, [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) {
+      const float* xrow = px + i * n;
+      float mean = simd::sum(xrow, n) / static_cast<float>(n);
+      float var = simd::sum_sq_diff(xrow, mean, n) / static_cast<float>(n);
+      float inv_std = 1.0f / std::sqrt(var + eps);
+      (*stats)[2 * i] = mean;
+      (*stats)[2 * i + 1] = inv_std;
+      float* yrow = py + i * n;
+      const v8f vmean = v8f::broadcast(mean);
+      const v8f vinv = v8f::broadcast(inv_std);
+      std::int64_t j = 0;
+      for (; j + simd::kLanes <= n; j += simd::kLanes) {
+        v8f xhat = (v8f::load(xrow + j) - vmean) * vinv;
+        (v8f::load(pg + j) * xhat + v8f::load(pbeta + j)).store(yrow + j);
+      }
+      for (; j < n; ++j) {
+        float xhat = (xrow[j] - mean) * inv_std;
+        yrow[j] = pg[j] * xhat + pbeta[j];
+      }
+    }
+  });
   return Tensor(node);
 }
 
 Tensor embedding(const Tensor& table, const std::vector<int>& indices) {
-  const int d = table.cols();
-  const int m = static_cast<int>(indices.size());
-  auto idx = std::make_shared<std::vector<int>>(indices);
-  auto node = make_op_node({m, d}, {table.node()}, [d, m, idx](Node& out) {
-    Node& T = *out.parents[0];
-    if (!T.requires_grad) return;
-    for (int i = 0; i < m; ++i) {
-      float* trow = T.grad.data() + (*idx)[i] * d;
-      const float* grow = out.grad.data() + i * d;
-      for (int j = 0; j < d; ++j) trow[j] += grow[j];
-    }
-  });
-  for (int i = 0; i < m; ++i) {
+  const std::int64_t d = table.cols();
+  const std::int64_t m = static_cast<std::int64_t>(indices.size());
+  auto idx = support::make_pooled<support::PoolVector<int>>(indices.begin(),
+                                                            indices.end());
+  auto node = make_op_node({static_cast<int>(m), static_cast<int>(d)},
+                           {table.node()}, [d, m, idx](Node& out) {
+                             Node& T = *out.parents[0];
+                             if (!T.requires_grad) return;
+                             for (std::int64_t i = 0; i < m; ++i)
+                               simd::add_inplace(
+                                   T.grad.data() + (*idx)[i] * d,
+                                   out.grad.data() + i * d, d);
+                           });
+  for (std::int64_t i = 0; i < m; ++i) {
     assert(indices[i] >= 0 && indices[i] < table.rows());
-    std::copy(table.data() + indices[i] * d, table.data() + (indices[i] + 1) * d,
-              node->data.data() + i * d);
+    std::copy(table.data() + indices[i] * d,
+              table.data() + (indices[i] + 1) * d, node->data.data() + i * d);
   }
   return Tensor(node);
 }
@@ -489,31 +593,27 @@ Tensor index_add_rows(const Tensor& x, const std::vector<int>& dst,
                       const std::vector<float>& coeff, int num_rows) {
   assert(dst.size() == static_cast<std::size_t>(x.rows()));
   assert(coeff.size() == dst.size());
-  const int d = x.cols();
-  const int e = x.rows();
-  auto dst_copy = std::make_shared<std::vector<int>>(dst);
-  auto coeff_copy = std::make_shared<std::vector<float>>(coeff);
+  const std::int64_t d = x.cols();
+  const std::int64_t e = x.rows();
+  auto dst_copy =
+      support::make_pooled<support::PoolVector<int>>(dst.begin(), dst.end());
+  auto coeff_copy = support::make_pooled<support::PoolVector<float>>(
+      coeff.begin(), coeff.end());
   auto node = make_op_node(
-      {num_rows, d}, {x.node()}, [d, e, dst_copy, coeff_copy](Node& out) {
+      {num_rows, static_cast<int>(d)}, {x.node()},
+      [d, e, dst_copy, coeff_copy](Node& out) {
         Node& X = *out.parents[0];
         if (!X.requires_grad) return;
         // Each edge owns its x-gradient row; destination rows are only read.
-        for_row_blocks(e, static_cast<std::int64_t>(e) * d,
-                       [&](std::int64_t i0, std::int64_t i1) {
-                         for (std::int64_t i = i0; i < i1; ++i) {
-                           const float* grow =
-                               out.grad.data() + (*dst_copy)[i] * d;
-                           float* xrow = X.grad.data() + i * d;
-                           float c = (*coeff_copy)[i];
-                           for (int j = 0; j < d; ++j) xrow[j] += c * grow[j];
-                         }
-                       });
+        for_row_blocks(e, e * d, [&](std::int64_t i0, std::int64_t i1) {
+          for (std::int64_t i = i0; i < i1; ++i)
+            simd::axpy(X.grad.data() + i * d, (*coeff_copy)[i],
+                       out.grad.data() + (*dst_copy)[i] * d, d);
+        });
       });
-  for (int i = 0; i < e; ++i) {
+  for (std::int64_t i = 0; i < e; ++i) {
     assert(dst[i] >= 0 && dst[i] < num_rows);
-    float* orow = node->data.data() + dst[i] * d;
-    const float* xrow = x.data() + i * d;
-    for (int j = 0; j < d; ++j) orow[j] += coeff[i] * xrow[j];
+    simd::axpy(node->data.data() + dst[i] * d, coeff[i], x.data() + i * d, d);
   }
   return Tensor(node);
 }
@@ -521,52 +621,53 @@ Tensor index_add_rows(const Tensor& x, const std::vector<int>& dst,
 Tensor segment_mean(const Tensor& x, const std::vector<int>& segment,
                     int num_segments) {
   assert(segment.size() == static_cast<std::size_t>(x.rows()));
-  const int d = x.cols();
-  const int n = x.rows();
-  auto counts = std::make_shared<std::vector<float>>(num_segments, 0.0f);
-  for (int i = 0; i < n; ++i) (*counts)[segment[i]] += 1.0f;
-  auto seg = std::make_shared<std::vector<int>>(segment);
+  const std::int64_t d = x.cols();
+  const std::int64_t n = x.rows();
+  auto counts = support::make_pooled<support::PoolVector<float>>(
+      static_cast<std::size_t>(num_segments), 0.0f);
+  for (std::int64_t i = 0; i < n; ++i) (*counts)[segment[i]] += 1.0f;
+  auto seg = support::make_pooled<support::PoolVector<int>>(segment.begin(),
+                                                            segment.end());
   auto node = make_op_node(
-      {num_segments, d}, {x.node()}, [d, n, seg, counts](Node& out) {
+      {num_segments, static_cast<int>(d)}, {x.node()},
+      [d, n, seg, counts](Node& out) {
         Node& X = *out.parents[0];
         if (!X.requires_grad) return;
-        for (int i = 0; i < n; ++i) {
-          float inv = 1.0f / (*counts)[(*seg)[i]];
-          const float* grow = out.grad.data() + (*seg)[i] * d;
-          float* xrow = X.grad.data() + i * d;
-          for (int j = 0; j < d; ++j) xrow[j] += inv * grow[j];
-        }
+        for (std::int64_t i = 0; i < n; ++i)
+          simd::axpy(X.grad.data() + i * d, 1.0f / (*counts)[(*seg)[i]],
+                     out.grad.data() + (*seg)[i] * d, d);
       });
-  for (int i = 0; i < n; ++i) {
-    float inv = 1.0f / (*counts)[segment[i]];
-    float* orow = node->data.data() + segment[i] * d;
-    const float* xrow = x.data() + i * d;
-    for (int j = 0; j < d; ++j) orow[j] += inv * xrow[j];
-  }
+  for (std::int64_t i = 0; i < n; ++i)
+    simd::axpy(node->data.data() + segment[i] * d, 1.0f / (*counts)[segment[i]],
+               x.data() + i * d, d);
   return Tensor(node);
 }
 
 Tensor log_softmax(const Tensor& x) {
-  const int m = x.rows();
-  const int n = x.cols();
-  auto node = make_op_node({m, n}, {x.node()}, [m, n](Node& out) {
-    Node& X = *out.parents[0];
-    if (!X.requires_grad) return;
-    for (int i = 0; i < m; ++i) {
-      float sum_g = 0.0f;
-      for (int j = 0; j < n; ++j) sum_g += out.grad[i * n + j];
-      for (int j = 0; j < n; ++j)
-        X.grad[i * n + j] +=
-            out.grad[i * n + j] - std::exp(out.data[i * n + j]) * sum_g;
-    }
-  });
-  for (int i = 0; i < m; ++i) {
+  const std::int64_t m = x.rows();
+  const std::int64_t n = x.cols();
+  auto node = make_op_node(
+      {static_cast<int>(m), static_cast<int>(n)}, {x.node()},
+      [m, n](Node& out) {
+        Node& X = *out.parents[0];
+        if (!X.requires_grad) return;
+        for (std::int64_t i = 0; i < m; ++i) {
+          float sum_g = 0.0f;
+          for (std::int64_t j = 0; j < n; ++j) sum_g += out.grad[i * n + j];
+          for (std::int64_t j = 0; j < n; ++j)
+            X.grad[i * n + j] +=
+                out.grad[i * n + j] - std::exp(out.data[i * n + j]) * sum_g;
+        }
+      });
+  for (std::int64_t i = 0; i < m; ++i) {
     float mx = x.data()[i * n];
-    for (int j = 1; j < n; ++j) mx = std::max(mx, x.data()[i * n + j]);
+    for (std::int64_t j = 1; j < n; ++j)
+      mx = std::max(mx, x.data()[i * n + j]);
     float sum = 0.0f;
-    for (int j = 0; j < n; ++j) sum += std::exp(x.data()[i * n + j] - mx);
+    for (std::int64_t j = 0; j < n; ++j)
+      sum += std::exp(x.data()[i * n + j] - mx);
     float lse = mx + std::log(sum);
-    for (int j = 0; j < n; ++j)
+    for (std::int64_t j = 0; j < n; ++j)
       node->data[i * n + j] = x.data()[i * n + j] - lse;
   }
   return Tensor(node);
@@ -574,17 +675,18 @@ Tensor log_softmax(const Tensor& x) {
 
 Tensor nll_loss(const Tensor& log_probs, const std::vector<int>& targets) {
   assert(targets.size() == static_cast<std::size_t>(log_probs.rows()));
-  const int m = log_probs.rows();
-  const int n = log_probs.cols();
-  auto tgt = std::make_shared<std::vector<int>>(targets);
+  const std::int64_t m = log_probs.rows();
+  const std::int64_t n = log_probs.cols();
+  auto tgt = support::make_pooled<support::PoolVector<int>>(targets.begin(),
+                                                            targets.end());
   auto node = make_op_node({1, 1}, {log_probs.node()}, [m, n, tgt](Node& out) {
     Node& L = *out.parents[0];
     if (!L.requires_grad) return;
     float g = out.grad[0] / static_cast<float>(m);
-    for (int i = 0; i < m; ++i) L.grad[i * n + (*tgt)[i]] -= g;
+    for (std::int64_t i = 0; i < m; ++i) L.grad[i * n + (*tgt)[i]] -= g;
   });
   float loss = 0.0f;
-  for (int i = 0; i < m; ++i) {
+  for (std::int64_t i = 0; i < m; ++i) {
     assert(targets[i] >= 0 && targets[i] < n);
     loss -= log_probs.data()[i * n + targets[i]];
   }
@@ -594,7 +696,8 @@ Tensor nll_loss(const Tensor& log_probs, const std::vector<int>& targets) {
 
 Tensor dropout(const Tensor& x, float p, Rng& rng, bool training) {
   if (!training || p <= 0.0f) return x;
-  auto mask = std::make_shared<std::vector<float>>(x.numel());
+  auto mask = support::make_pooled<support::PoolVector<float>>(
+      static_cast<std::size_t>(x.numel()));
   float keep = 1.0f - p;
   for (float& v : *mask) v = rng.bernoulli(keep) ? 1.0f / keep : 0.0f;
   auto node = make_op_node(x.shape(), {x.node()}, [mask](Node& out) {
@@ -603,7 +706,7 @@ Tensor dropout(const Tensor& x, float p, Rng& rng, bool training) {
     for (std::size_t i = 0; i < out.data.size(); ++i)
       X.grad[i] += (*mask)[i] * out.grad[i];
   });
-  for (int i = 0; i < x.numel(); ++i)
+  for (std::int64_t i = 0; i < x.numel(); ++i)
     node->data[i] = (*mask)[i] * x.data()[i];
   return Tensor(node);
 }

@@ -4,17 +4,29 @@
 // gradient buffer and a backward closure. Ops build the DAG eagerly;
 // Tensor::backward() topologically sorts the graph and accumulates
 // gradients. Shapes are rank-1/2 (vectors and matrices) — all the GNN needs.
-// Heavy kernels (matmul and its backward, fused bias+activation) tile for
-// cache locality and parallelize over row blocks on the shared ThreadPool;
-// every output element is owned by exactly one index and inner summation
-// order is fixed, so results are bit-identical for every thread count.
+// Sizes and index arithmetic are 64-bit throughout, so batched graphs with
+// rows*cols beyond 2^31 don't overflow.
+//
+// Heavy kernels (matmul and its backward, fused bias+activation, layer norm,
+// row scatter/gather reductions) run 8-wide through the simd::v8f wrapper,
+// tile for cache locality and parallelize over row blocks on the shared
+// ThreadPool; every output element is owned by exactly one index and inner
+// summation order is the fixed 8-lane accumulation tree of support/simd.h,
+// so results are bit-identical for every thread count and ISA.
+//
+// The hot path is allocation-free after warmup: nodes, data/grad buffers,
+// per-op auxiliary vectors and pack scratch all recycle through the buffer
+// arena (support/arena.h), and backward closures live inline in the node
+// (support/inline_function.h) instead of on the heap.
 #pragma once
 
+#include <array>
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <vector>
 
+#include "support/arena.h"
+#include "support/inline_function.h"
 #include "support/rng.h"
 
 namespace irgnn::tensor {
@@ -22,7 +34,9 @@ namespace irgnn::tensor {
 struct Shape {
   int rows = 0;
   int cols = 1;  // rank-1 tensors have cols == 1
-  int numel() const { return rows * cols; }
+  std::int64_t numel() const {
+    return static_cast<std::int64_t>(rows) * cols;
+  }
   bool operator==(const Shape& o) const {
     return rows == o.rows && cols == o.cols;
   }
@@ -32,12 +46,20 @@ class Tensor;
 
 namespace detail {
 struct Node {
+  /// No tape op takes more than this many inputs (layer_norm: x/gamma/beta).
+  static constexpr int kMaxParents = 3;
+
   Shape shape;
-  std::vector<float> data;
-  std::vector<float> grad;  // sized lazily on first backward touch
+  support::PoolVector<float> data;
+  support::PoolVector<float> grad;  // sized lazily on first backward touch
   bool requires_grad = false;
-  std::vector<std::shared_ptr<Node>> parents;
-  std::function<void(Node&)> backward_fn;  // accumulates into parents' grads
+  int num_parents = 0;
+  /// Epoch stamp of the last backward() traversal that visited this node —
+  /// replaces a per-call hash set, so the topological sort allocates nothing.
+  std::uint64_t visit_mark = 0;
+  std::array<std::shared_ptr<Node>, kMaxParents> parents;
+  support::InlineFunction<void(Node&), 64> backward_fn;  // accumulates into
+                                                         // parents' grads
 
   void ensure_grad() {
     if (grad.empty()) grad.assign(data.size(), 0.0f);
@@ -63,17 +85,30 @@ class Tensor {
   const Shape& shape() const { return node_->shape; }
   int rows() const { return node_->shape.rows; }
   int cols() const { return node_->shape.cols; }
-  int numel() const { return node_->shape.numel(); }
+  std::int64_t numel() const { return node_->shape.numel(); }
 
   float* data() { return node_->data.data(); }
   const float* data() const { return node_->data.data(); }
+
+  /// Mutable gradient buffer; allocates (zero-filled) on first touch.
   float* grad() {
     node_->ensure_grad();
     return node_->grad.data();
   }
+  /// Read-only gradient access that never allocates: null until a backward
+  /// pass (or the mutable accessor) materialized the buffer. Reductions and
+  /// tests should prefer this so inspection can't change allocation state.
+  const float* grad() const {
+    return node_->grad.empty() ? nullptr : node_->grad.data();
+  }
+  /// Whether the gradient buffer has been materialized.
+  bool grad_allocated() const { return !node_->grad.empty(); }
+
   bool requires_grad() const { return node_->requires_grad; }
 
-  float at(int r, int c = 0) const { return node_->data[r * cols() + c]; }
+  float at(int r, int c = 0) const {
+    return node_->data[static_cast<std::int64_t>(r) * cols() + c];
+  }
   float item() const { return node_->data.at(0); }
 
   /// Runs reverse-mode autodiff from this (scalar) tensor.
@@ -103,7 +138,7 @@ int kernel_parallelism();
 // --- Ops (forward builds the tape) ------------------------------------------
 
 /// C[m,n] = A[m,k] * B[k,n]. Blocked over row/column tiles with B packed
-/// transposed so the inner loop is a contiguous dot product.
+/// transposed so the inner loop is one 8-wide contiguous dot product.
 Tensor matmul(const Tensor& a, const Tensor& b);
 
 /// Elementwise addition of same-shape tensors.

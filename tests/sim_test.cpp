@@ -3,6 +3,7 @@
 // counters, label reduction and cross-architecture translation. The
 // parameterized sweeps check mechanistic invariants across the whole
 // configuration space.
+#include <algorithm>
 #include <gtest/gtest.h>
 
 #include <cmath>

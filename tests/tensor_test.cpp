@@ -1,11 +1,17 @@
 // Tensor/autograd tests. The core of the suite is numerical gradient
 // checking: for every differentiable op we compare the analytic gradient to
-// central finite differences on random inputs.
+// central finite differences on random inputs. A second block pins the SIMD
+// determinism contract: every vectorized kernel must be bit-identical to an
+// unrolled scalar reference that performs the same fixed 8-lane accumulation
+// tree, across odd sizes, tail lanes and empty segments.
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <functional>
+#include <vector>
 
+#include "support/simd.h"
 #include "tensor/optimizer.h"
 #include "tensor/tensor.h"
 
@@ -270,6 +276,268 @@ TEST(OptimizerTest, SgdMomentumMinimizes) {
     sgd.step();
   }
   EXPECT_NEAR(w.data()[0], 0.0f, 0.05f);
+}
+
+// --- SIMD bit-identity ------------------------------------------------------
+// Unrolled scalar references for the canonical reductions of
+// support/simd.h: 8 lane accumulators fed block by block, folded with the
+// fixed pairing ((l0+l4)+(l2+l6)) + ((l1+l5)+(l3+l7)), tail elements in
+// order. The vectorized helpers must match these bit for bit.
+
+float ref_tree_fold(const float lane[8]) {
+  float a04 = lane[0] + lane[4];
+  float a15 = lane[1] + lane[5];
+  float a26 = lane[2] + lane[6];
+  float a37 = lane[3] + lane[7];
+  return (a04 + a26) + (a15 + a37);
+}
+
+float ref_dot(const float* a, const float* b, std::int64_t n) {
+  float lane[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8)
+    for (int l = 0; l < 8; ++l) lane[l] += a[i + l] * b[i + l];
+  float s = ref_tree_fold(lane);
+  for (; i < n; ++i) s += a[i] * b[i];
+  return s;
+}
+
+float ref_sum(const float* a, std::int64_t n) {
+  float lane[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8)
+    for (int l = 0; l < 8; ++l) lane[l] += a[i + l];
+  float s = ref_tree_fold(lane);
+  for (; i < n; ++i) s += a[i];
+  return s;
+}
+
+float ref_sum_sq_diff(const float* a, float mean, std::int64_t n) {
+  float lane[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8)
+    for (int l = 0; l < 8; ++l) {
+      float d = a[i + l] - mean;
+      lane[l] += d * d;
+    }
+  float s = ref_tree_fold(lane);
+  for (; i < n; ++i) {
+    float d = a[i] - mean;
+    s += d * d;
+  }
+  return s;
+}
+
+std::vector<float> random_vec(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(n);
+  for (float& x : v) x = static_cast<float>(rng.uniform(-2.0, 2.0));
+  return v;
+}
+
+// Sizes straddling every tail case: empty, sub-lane, exact lanes, lanes+tail.
+const std::int64_t kSimdSizes[] = {0, 1, 3, 7, 8, 9, 15, 16, 17, 31, 33, 64,
+                                   100, 129};
+
+TEST(SimdTest, ReductionsBitIdenticalToScalarTree) {
+  for (std::int64_t n : kSimdSizes) {
+    std::vector<float> a = random_vec(n, 100 + n);
+    std::vector<float> b = random_vec(n, 200 + n);
+    EXPECT_EQ(simd::dot(a.data(), b.data(), n), ref_dot(a.data(), b.data(), n))
+        << "dot n=" << n;
+    EXPECT_EQ(simd::sum(a.data(), n), ref_sum(a.data(), n)) << "sum n=" << n;
+    EXPECT_EQ(simd::sum_sq_diff(a.data(), 0.375f, n),
+              ref_sum_sq_diff(a.data(), 0.375f, n))
+        << "sum_sq_diff n=" << n;
+  }
+}
+
+TEST(SimdTest, ElementwiseHelpersBitIdenticalToScalar) {
+  for (std::int64_t n : kSimdSizes) {
+    std::vector<float> x = random_vec(n, 300 + n);
+    std::vector<float> dst_v = random_vec(n, 400 + n);
+    std::vector<float> dst_s = dst_v;
+    simd::axpy(dst_v.data(), 1.25f, x.data(), n);
+    for (std::int64_t i = 0; i < n; ++i) dst_s[i] += 1.25f * x.data()[i];
+    EXPECT_EQ(dst_v, dst_s) << "axpy n=" << n;
+
+    dst_v = random_vec(n, 500 + n);
+    dst_s = dst_v;
+    simd::add_inplace(dst_v.data(), x.data(), n);
+    for (std::int64_t i = 0; i < n; ++i) dst_s[i] += x.data()[i];
+    EXPECT_EQ(dst_v, dst_s) << "add_inplace n=" << n;
+  }
+}
+
+TEST(SimdTest, MatmulForwardBitIdenticalToTreeReference) {
+  struct Case {
+    int m, k, n;
+  };
+  for (const Case& c : {Case{1, 1, 1}, Case{3, 7, 2}, Case{5, 9, 13},
+                        Case{17, 33, 8}, Case{16, 64, 31}, Case{2, 200, 3}}) {
+    Rng rng(7000 + c.m + c.k + c.n);
+    Tensor a = Tensor::xavier({c.m, c.k}, rng);
+    Tensor b = Tensor::xavier({c.k, c.n}, rng);
+    Tensor prod = matmul(a, b);
+    // Reference: same packed-transpose layout, same per-entry tree dot.
+    std::vector<float> bt(static_cast<std::size_t>(c.k) * c.n);
+    for (int l = 0; l < c.k; ++l)
+      for (int j = 0; j < c.n; ++j) bt[j * c.k + l] = b.at(l, j);
+    for (int i = 0; i < c.m; ++i)
+      for (int j = 0; j < c.n; ++j)
+        ASSERT_EQ(prod.at(i, j),
+                  ref_dot(a.data() + static_cast<std::int64_t>(i) * c.k,
+                          bt.data() + static_cast<std::int64_t>(j) * c.k, c.k))
+            << c.m << "x" << c.k << "x" << c.n << " at (" << i << "," << j
+            << ")";
+  }
+}
+
+TEST(SimdTest, MatmulBackwardBitIdenticalToTreeReference) {
+  const int m = 5, k = 19, n = 11;  // odd sizes: tails in every direction
+  Rng rng(81);
+  Tensor a = Tensor::xavier({m, k}, rng);
+  Tensor b = Tensor::xavier({k, n}, rng);
+  Tensor c = matmul(a, b);
+  // Drive the backward closure directly with a known upstream gradient.
+  auto node = c.node();
+  node->ensure_grad();
+  std::vector<float> g = random_vec(static_cast<std::size_t>(m) * n, 9);
+  std::copy(g.begin(), g.end(), node->grad.begin());
+  a.grad();  // materialize
+  b.grad();
+  node->backward_fn(*node);
+
+  // dA[i,l] = tree_dot(g[i,:], B[l,:]).
+  for (int i = 0; i < m; ++i)
+    for (int l = 0; l < k; ++l)
+      ASSERT_EQ(a.grad()[i * k + l],
+                ref_dot(g.data() + static_cast<std::int64_t>(i) * n,
+                        b.data() + static_cast<std::int64_t>(l) * n, n))
+          << "dA(" << i << "," << l << ")";
+  // dB[l,:] = sum_i A[i,l] * g[i,:], i ascending, element-wise adds.
+  std::vector<float> db(static_cast<std::size_t>(k) * n, 0.0f);
+  for (int l = 0; l < k; ++l)
+    for (int i = 0; i < m; ++i) {
+      float ail = a.at(i, l);
+      if (ail == 0.0f) continue;
+      for (int j = 0; j < n; ++j) db[l * n + j] += ail * g[i * n + j];
+    }
+  for (int l = 0; l < k; ++l)
+    for (int j = 0; j < n; ++j)
+      ASSERT_EQ(b.grad()[l * n + j], db[l * n + j])
+          << "dB(" << l << "," << j << ")";
+}
+
+TEST(SimdTest, AddBiasActBitIdenticalToScalar) {
+  for (int n : {1, 7, 8, 19, 32, 45}) {
+    const int m = 3;
+    Rng rng(600 + n);
+    Tensor a = Tensor::xavier({m, n}, rng);
+    Tensor b = Tensor::xavier({1, n}, rng);
+    for (Act act : {Act::None, Act::Relu, Act::Tanh, Act::Sigmoid}) {
+      Tensor y = add_bias_act(a, b, act);
+      for (int i = 0; i < m; ++i)
+        for (int j = 0; j < n; ++j) {
+          float pre = a.at(i, j) + b.at(0, j);
+          float ref = pre;
+          switch (act) {
+            case Act::Relu:
+              ref = pre > 0.0f ? pre : 0.0f;
+              break;
+            case Act::Tanh:
+              ref = std::tanh(pre);
+              break;
+            case Act::Sigmoid:
+              ref = 1.0f / (1.0f + std::exp(-pre));
+              break;
+            case Act::None:
+              break;
+          }
+          ASSERT_EQ(y.at(i, j), ref)
+              << "act " << static_cast<int>(act) << " n=" << n << " (" << i
+              << "," << j << ")";
+        }
+    }
+  }
+}
+
+TEST(SimdTest, LayerNormForwardBitIdenticalToTreeReference) {
+  for (int n : {1, 5, 8, 13, 24, 37}) {
+    const int m = 4;
+    Rng rng(700 + n);
+    Tensor x = Tensor::xavier({m, n}, rng);
+    Tensor gamma = Tensor::xavier({1, n}, rng);
+    Tensor beta = Tensor::xavier({1, n}, rng);
+    Tensor y = layer_norm(x, gamma, beta);
+    for (int i = 0; i < m; ++i) {
+      const float* row = x.data() + static_cast<std::int64_t>(i) * n;
+      float mean = ref_sum(row, n) / static_cast<float>(n);
+      float var = ref_sum_sq_diff(row, mean, n) / static_cast<float>(n);
+      float inv_std = 1.0f / std::sqrt(var + 1e-5f);
+      for (int j = 0; j < n; ++j) {
+        float xhat = (row[j] - mean) * inv_std;
+        ASSERT_EQ(y.at(i, j), gamma.at(0, j) * xhat + beta.at(0, j))
+            << "n=" << n << " (" << i << "," << j << ")";
+      }
+    }
+  }
+}
+
+TEST(SimdTest, ScatterKernelsBitIdenticalWithEmptySegments) {
+  for (int d : {1, 6, 8, 21, 40}) {
+    const int rows = 7;
+    Rng rng(800 + d);
+    Tensor x = Tensor::xavier({rows, d}, rng);
+    // Segment 1 is empty; segment 3 collects most rows.
+    std::vector<int> seg{0, 3, 3, 2, 3, 0, 3};
+    Tensor pooled = segment_mean(x, seg, 4);
+    std::vector<float> ref(static_cast<std::size_t>(4) * d, 0.0f);
+    std::vector<float> count(4, 0.0f);
+    for (int i = 0; i < rows; ++i) count[seg[i]] += 1.0f;
+    for (int i = 0; i < rows; ++i)
+      for (int j = 0; j < d; ++j)
+        ref[seg[i] * d + j] += (1.0f / count[seg[i]]) * x.at(i, j);
+    for (int s = 0; s < 4; ++s)
+      for (int j = 0; j < d; ++j)
+        ASSERT_EQ(pooled.at(s, j), ref[s * d + j])
+            << "segment_mean d=" << d << " (" << s << "," << j << ")";
+    for (int j = 0; j < d; ++j)
+      ASSERT_EQ(pooled.at(1, j), 0.0f) << "empty segment must stay zero";
+
+    std::vector<int> dst{2, 0, 2, 1, 2, 0, 1};
+    std::vector<float> coeff{0.5f, 1.0f, 0.25f, 2.0f, 1.5f, 1.0f, 0.75f};
+    Tensor scattered = index_add_rows(x, dst, coeff, 3);
+    std::vector<float> ref2(static_cast<std::size_t>(3) * d, 0.0f);
+    for (int i = 0; i < rows; ++i)
+      for (int j = 0; j < d; ++j)
+        ref2[dst[i] * d + j] += coeff[i] * x.at(i, j);
+    for (int r = 0; r < 3; ++r)
+      for (int j = 0; j < d; ++j)
+        ASSERT_EQ(scattered.at(r, j), ref2[r * d + j])
+            << "index_add_rows d=" << d << " (" << r << "," << j << ")";
+  }
+}
+
+TEST(TensorTest, NumelIsInt64ForHugeShapes) {
+  // 100000 * 30000 = 3e9 overflows int32; numel must report it exactly.
+  Shape huge{100000, 30000};
+  EXPECT_EQ(huge.numel(), static_cast<std::int64_t>(3000000000LL));
+  Shape negative_check{46341, 46341};  // 2147488281 > 2^31 - 1
+  EXPECT_GT(negative_check.numel(), 0);
+}
+
+TEST(TensorTest, ConstGradAccessDoesNotAllocate) {
+  Tensor t = Tensor::zeros({2, 3}, /*requires_grad=*/true);
+  const Tensor& ct = t;
+  EXPECT_FALSE(t.grad_allocated());
+  EXPECT_EQ(ct.grad(), nullptr);       // const read must not materialize
+  EXPECT_FALSE(t.grad_allocated());    // ... and must leave no trace
+  float* g = t.grad();                 // mutable access materializes zeros
+  ASSERT_NE(g, nullptr);
+  EXPECT_TRUE(t.grad_allocated());
+  EXPECT_EQ(ct.grad(), g);
+  EXPECT_EQ(ct.grad()[0], 0.0f);
 }
 
 TEST(TensorTest, BackwardThroughSharedSubgraph) {
