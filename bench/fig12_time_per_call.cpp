@@ -110,21 +110,24 @@ void engine_scaling_section(const ArgParser& parser) {
 }
 
 void kernel_engine_section(const ArgParser& parser) {
-  // Pre-SIMD scalar baselines, recorded with this harness at 1 thread on
-  // the commit before the kernels were vectorized (Release, same machine
-  // class). The point of the table is the shape of the win, not the exact
-  // host: the SIMD kernels land 3-4x on every GEMM shape the GNN uses.
+  // Recorded baselines, both measured with this harness at 1 thread on the
+  // same machine class (Release): the pre-SIMD scalar kernels (before PR 2)
+  // and the PR 2 single-dot SIMD kernels (before the PR 3 register-blocked
+  // micro-kernel). The point of the table is the shape of the win, not the
+  // exact host.
   struct Case {
     int m, k, n;
-    double baseline_ms;
+    double scalar_ms;  // pre-SIMD (PR 1)
+    double simd_ms;    // PR 2 one-dot-per-element kernel
   };
-  const Case cases[] = {
-      {256, 256, 256, 8.70}, {2048, 64, 64, 2.88}, {512, 128, 512, 15.07}};
+  const Case cases[] = {{256, 256, 256, 8.70, 2.36},
+                        {2048, 64, 64, 2.88, 0.82},
+                        {512, 128, 512, 15.07, 4.70}};
 
   const int restore = static_cast<int>(parser.get_int("threads"));
   tensor::set_kernel_parallelism(1);
-  Table table({"matmul fwd shape", "pre-SIMD [ms]", "now [ms]", "speedup",
-               "GFLOP/s now"});
+  Table table({"matmul fwd shape", "pre-SIMD [ms]", "PR2 SIMD [ms]",
+               "now [ms]", "vs scalar", "vs PR2", "GFLOP/s now"});
   Rng rng(0xF12);
   for (const Case& c : cases) {
     tensor::Tensor a = tensor::Tensor::xavier({c.m, c.k}, rng);
@@ -143,13 +146,14 @@ void kernel_engine_section(const ArgParser& parser) {
     const double flops = 2.0 * c.m * c.k * c.n;
     table.add_row({std::to_string(c.m) + "x" + std::to_string(c.k) + "x" +
                        std::to_string(c.n),
-                   Table::fmt(c.baseline_ms, 2), Table::fmt(ms, 2),
-                   Table::fmt(c.baseline_ms / ms, 2),
+                   Table::fmt(c.scalar_ms, 2), Table::fmt(c.simd_ms, 2),
+                   Table::fmt(ms, 2), Table::fmt(c.scalar_ms / ms, 2),
+                   Table::fmt(c.simd_ms / ms, 2),
                    Table::fmt(flops / (ms * 1e-3) / 1e9, 2)});
   }
   tensor::set_kernel_parallelism(restore);
-  std::printf("\n=== SIMD kernel engine (matmul fwd, 1 thread, vs recorded "
-              "pre-SIMD baseline) ===\n");
+  std::printf("\n=== Kernel engine (matmul fwd, 1 thread, vs recorded "
+              "pre-SIMD and PR 2 baselines) ===\n");
   table.print();
   support::BufferPool::Stats stats = support::BufferPool::global().stats();
   std::printf("arena: %llu mallocs total vs %llu pool hits (warm kernels "

@@ -9,17 +9,28 @@
 // Shapes mirror the GNN hot path: [nodes, hidden] activations against
 // [hidden, hidden] weights, plus square shapes for peak-throughput context.
 //
+// Two engine sections follow the kernel table: a GEMM before/after pitting
+// the PR 2 one-dot-per-element kernel against the register-blocked 4x2
+// micro-kernel (same packed panel, bit-identical outputs), and an inference
+// section measuring the tape-free batched predict path (graphs/sec,
+// ms/graph, malloc bytes per warm call — the last must read 0).
+//
 //   ./microbench_kernels --threads 1 --reps 9
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
+#include "gnn/model.h"
+#include "graph/graph_builder.h"
 #include "support/arena.h"
 #include "support/argparse.h"
 #include "support/table.h"
+#include "tensor/gemm.h"
 #include "tensor/tensor.h"
+#include "workloads/suite.h"
 
 using namespace irgnn;
 using tensor::Act;
@@ -67,8 +78,11 @@ int main(int argc, char** argv) {
       .add("csv", "", "optional path to also write the table as CSV");
   if (!parser.parse(argc, argv)) return 1;
 
-  const int reps = static_cast<int>(parser.get_int("reps"));
-  const int warmup = static_cast<int>(parser.get_int("warmup"));
+  // At least one timed rep (bench() takes a median and divides by reps) and
+  // one warmup rep (the malloc columns and their threads=1 gate below only
+  // mean anything once the arena is warm).
+  const int reps = std::max(1, static_cast<int>(parser.get_int("reps")));
+  const int warmup = std::max(1, static_cast<int>(parser.get_int("warmup")));
   const int threads = static_cast<int>(parser.get_int("threads"));
   tensor::set_kernel_parallelism(threads);
 
@@ -83,11 +97,14 @@ int main(int argc, char** argv) {
   };
 
   // --- matmul forward -------------------------------------------------------
+  // The fig12 GEMM shapes; the before/after section below reuses the same
+  // list so both tables always speak about identical shapes.
   struct MmCase {
     int m, k, n;
   };
-  for (const MmCase& c :
-       {MmCase{256, 256, 256}, MmCase{2048, 64, 64}, MmCase{512, 128, 512}}) {
+  const MmCase gemm_shapes[] = {
+      {256, 256, 256}, {2048, 64, 64}, {512, 128, 512}};
+  for (const MmCase& c : gemm_shapes) {
     Tensor a = Tensor::xavier({c.m, c.k}, rng);
     Tensor b = Tensor::xavier({c.k, c.n}, rng);
     Timing t = bench(warmup, reps, [&] { tensor::matmul(a, b); });
@@ -164,8 +181,118 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(stats.malloc_calls),
               static_cast<double>(stats.malloc_bytes) / (1024.0 * 1024.0),
               static_cast<unsigned long long>(stats.pool_hits));
+
+  // Contract violations detected below (GEMM bit-identity, warm-inference
+  // allocations) turn into a nonzero exit so the CI smoke run is a real
+  // gate, not just a log line.
+  int failures = 0;
+
+  // --- GEMM micro-kernel before/after --------------------------------------
+  // The PR 2 kernel (one simd::dot per output element) against the PR 3
+  // register-blocked 4x2 micro-kernel, on identical pre-packed panels and
+  // single-threaded raw buffers — pure kernel throughput, no tape, no
+  // packing in the timed region. Outputs are verified bit-identical.
+  {
+    Table gemm_table({"GEMM shape", "row-wise [ms]", "blocked [ms]",
+                      "speedup", "GFLOP/s now", "bit-identical"});
+    for (const MmCase& c : gemm_shapes) {
+      const std::int64_t m = c.m, k = c.k, n = c.n;
+      std::vector<float> a(static_cast<std::size_t>(m * k));
+      std::vector<float> bt(static_cast<std::size_t>(n * k));
+      for (float& v : a) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+      for (float& v : bt) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+      std::vector<float> c_row(static_cast<std::size_t>(m * n), 0.0f);
+      std::vector<float> c_blk = c_row;
+      Timing rowwise = bench(warmup, reps, [&] {
+        tensor::detail::gemm_dot_rowwise<false>(a.data(), k, bt.data(), k, m,
+                                                n, k, c_row.data(), n);
+      });
+      Timing blocked = bench(warmup, reps, [&] {
+        tensor::detail::gemm_dot_panels<false>(a.data(), k, bt.data(), k, m,
+                                               n, k, c_blk.data(), n);
+      });
+      const bool identical = std::memcmp(c_row.data(), c_blk.data(),
+                                         c_row.size() * sizeof(float)) == 0;
+      if (!identical) ++failures;
+      const double flops = 2.0 * c.m * c.k * c.n;
+      gemm_table.add_row(
+          {std::to_string(c.m) + "x" + std::to_string(c.k) + "x" +
+               std::to_string(c.n),
+           Table::fmt(rowwise.median_ms, 3), Table::fmt(blocked.median_ms, 3),
+           Table::fmt(rowwise.median_ms / blocked.median_ms, 2),
+           gflops(flops, blocked.median_ms), identical ? "yes" : "NO"});
+    }
+    std::printf("\n=== GEMM kernel: PR 2 row-wise dots vs register-blocked "
+                "4x2 (1 thread, packed panels) ===\n");
+    gemm_table.print();
+  }
+
+  // --- Inference engine -----------------------------------------------------
+  // Tape-free batched predict over the full workload suite's region graphs
+  // against an untrained (weights are irrelevant to throughput) GNN of the
+  // paper's size. Warm calls reuse the model's pooled inference context and
+  // caller-owned outputs, so the malloc column must read 0.
+  {
+    std::vector<graph::ProgramGraph> owned;
+    std::vector<const graph::ProgramGraph*> graphs;
+    for (const auto& spec : workloads::benchmark_suite()) {
+      auto module = workloads::build_region_module(spec);
+      owned.push_back(graph::build_graph(*module));
+    }
+    for (const auto& g : owned) graphs.push_back(&g);
+
+    gnn::ModelConfig cfg;
+    cfg.vocab_size = graph::vocabulary_size();
+    cfg.num_labels = 13;
+    cfg.hidden_dim = 64;
+    cfg.num_layers = 3;
+    cfg.seed = 0x1FE2;
+    cfg.num_threads = threads;
+    gnn::StaticModel model(cfg);
+
+    std::vector<int> preds;
+    gnn::Evaluation eval;
+    Timing predict_t =
+        bench(warmup, reps, [&] { model.predict_into(graphs, preds); });
+    Timing eval_t = bench(warmup, reps, [&] {
+      model.evaluate(graphs, eval, /*want_embeddings=*/true);
+    });
+
+    const double G = static_cast<double>(graphs.size());
+    Table infer_table({"query", "graphs", "ms/call", "ms/graph", "graphs/sec",
+                       "malloc B/call"});
+    auto add_infer = [&](const char* name, const Timing& t) {
+      infer_table.add_row(
+          {name, std::to_string(graphs.size()), Table::fmt(t.median_ms, 3),
+           Table::fmt(t.median_ms / G, 4),
+           Table::fmt(G / (t.median_ms * 1e-3), 0),
+           std::to_string(t.malloc_bytes / reps)});
+    };
+    add_infer("predict", predict_t);
+    add_infer("evaluate (+log-probs, +embeddings)", eval_t);
+    std::printf("\n=== Inference engine (tape-free batched predict, "
+                "hidden=64, layers=3, threads=%d) ===\n",
+                threads);
+    infer_table.print();
+    // Single-threaded warm inference is deterministic and must be
+    // allocation-free; concurrent shards may legitimately grow the pool
+    // while ramping, so the gate applies only at threads=1.
+    if (threads == 1 &&
+        (predict_t.malloc_bytes != 0 || eval_t.malloc_bytes != 0)) {
+      ++failures;
+      std::printf("FAILED: warm single-threaded inference pulled bytes from "
+                  "malloc\n");
+    }
+  }
+
   std::string csv = parser.get_string("csv");
   if (!csv.empty() && table.write_csv(csv))
     std::printf("(csv written to %s)\n", csv.c_str());
+  if (failures != 0) {
+    std::printf("FAILED: %d engine contract violation(s) (see tables "
+                "above)\n",
+                failures);
+    return 1;
+  }
   return 0;
 }

@@ -221,35 +221,125 @@ TrainStats StaticModel::train(
   return stats;
 }
 
+void StaticModel::forward_shards(
+    const std::vector<const graph::ProgramGraph*>& graphs,
+    bool want_embeddings,
+    support::FunctionRef<void(std::size_t, const Tensor&, const Tensor&)>
+        consume) const {
+  if (graphs.empty()) return;
+  std::lock_guard<std::mutex> lock(infer_mutex_);
+  const std::size_t G = graphs.size();
+  const std::size_t num_shards =
+      (G + kInferenceShardGraphs - 1) / kInferenceShardGraphs;
+  if (infer_shards_.size() < num_shards) infer_shards_.resize(num_shards);
+
+  auto run_shard = [&](std::int64_t s) {
+    // Arm the tape switch on whichever thread runs this shard: forward
+    // records no nodes, touches no grad buffers, builds no backward scratch.
+    tensor::InferenceGuard guard;
+    const std::size_t g0 =
+        static_cast<std::size_t>(s) * kInferenceShardGraphs;
+    const std::size_t g1 = std::min(G, g0 + kInferenceShardGraphs);
+    InferenceShard& shard = infer_shards_[s];
+    shard.chunk.clear();
+    for (std::size_t g = g0; g < g1; ++g) shard.chunk.push_back(graphs[g]);
+    // Shards are small; build serially and spend workers on whole shards.
+    make_batch_into(shard.batch, shard.chunk, /*num_threads=*/1);
+    Tensor embeddings;
+    Tensor logits = forward(stack_, shard.batch, nullptr,
+                            want_embeddings ? &embeddings : nullptr);
+    consume(g0, logits, embeddings);
+  };
+
+  // Per-graph outputs never depend on which other graphs share a batch
+  // (message passing stays inside a graph, pooling is per segment, and
+  // every kernel's reduction order is per output element), so the sharded
+  // results are bit-identical to one full-batch forward — and to each
+  // other for every thread count, since shards partition by index.
+  if (num_shards == 1)
+    run_shard(0);
+  else
+    support::ThreadPool::global().parallel_for(
+        0, static_cast<std::int64_t>(num_shards), config_.num_threads,
+        run_shard);
+}
+
 std::vector<int> StaticModel::predict(
     const std::vector<const graph::ProgramGraph*>& graphs) const {
-  GraphBatch batch = make_batch(graphs, config_.num_threads);
-  Tensor logits = forward(stack_, batch, nullptr, nullptr);
-  return tensor::argmax_rows(logits);
+  std::vector<int> out;
+  predict_into(graphs, out);
+  return out;
+}
+
+void StaticModel::predict_into(
+    const std::vector<const graph::ProgramGraph*>& graphs,
+    std::vector<int>& out) const {
+  out.resize(graphs.size());
+  const int L = config_.num_labels;
+  forward_shards(
+      graphs, /*want_embeddings=*/false,
+      [&](std::size_t g0, const Tensor& logits, const Tensor&) {
+        for (int i = 0; i < logits.rows(); ++i)
+          out[g0 + static_cast<std::size_t>(i)] = tensor::argmax_row(
+              logits.data() + static_cast<std::int64_t>(i) * L, L);
+      });
+}
+
+void StaticModel::evaluate(
+    const std::vector<const graph::ProgramGraph*>& graphs, Evaluation& out,
+    bool want_embeddings) const {
+  const int L = config_.num_labels;
+  const int H = config_.hidden_dim;
+  const std::size_t G = graphs.size();
+  out.predictions.resize(G);
+  out.log_probs.resize(G * static_cast<std::size_t>(L));
+  out.embeddings.resize(want_embeddings ? G * static_cast<std::size_t>(H)
+                                        : 0);
+  forward_shards(
+      graphs, want_embeddings,
+      [&](std::size_t g0, const Tensor& logits, const Tensor& embeddings) {
+        // Still inside the shard's InferenceGuard: tape-free log_softmax.
+        Tensor logp = tensor::log_softmax(logits);
+        const std::int64_t rows = logits.rows();
+        std::copy(logp.data(), logp.data() + rows * L,
+                  out.log_probs.begin() + g0 * static_cast<std::size_t>(L));
+        for (std::int64_t i = 0; i < rows; ++i)
+          out.predictions[g0 + static_cast<std::size_t>(i)] =
+              tensor::argmax_row(logits.data() + i * L, L);
+        if (want_embeddings)
+          std::copy(embeddings.data(), embeddings.data() + rows * H,
+                    out.embeddings.begin() + g0 * static_cast<std::size_t>(H));
+      });
 }
 
 std::vector<std::vector<float>> StaticModel::predict_log_probs(
     const std::vector<const graph::ProgramGraph*>& graphs) const {
-  GraphBatch batch = make_batch(graphs, config_.num_threads);
-  Tensor logp =
-      tensor::log_softmax(forward(stack_, batch, nullptr, nullptr));
+  const int L = config_.num_labels;
   std::vector<std::vector<float>> out(graphs.size());
-  for (std::size_t g = 0; g < graphs.size(); ++g) {
-    out[g].assign(logp.data() + g * config_.num_labels,
-                  logp.data() + (g + 1) * config_.num_labels);
-  }
+  forward_shards(
+      graphs, /*want_embeddings=*/false,
+      [&](std::size_t g0, const Tensor& logits, const Tensor&) {
+        Tensor logp = tensor::log_softmax(logits);
+        for (int i = 0; i < logits.rows(); ++i)
+          out[g0 + static_cast<std::size_t>(i)].assign(
+              logp.data() + static_cast<std::int64_t>(i) * L,
+              logp.data() + static_cast<std::int64_t>(i + 1) * L);
+      });
   return out;
 }
 
 std::vector<std::vector<float>> StaticModel::embed(
     const std::vector<const graph::ProgramGraph*>& graphs) const {
-  GraphBatch batch = make_batch(graphs, config_.num_threads);
-  Tensor embeddings;
-  forward(stack_, batch, nullptr, &embeddings);
+  const int H = config_.hidden_dim;
   std::vector<std::vector<float>> out(graphs.size());
-  for (std::size_t g = 0; g < graphs.size(); ++g)
-    out[g].assign(embeddings.data() + g * config_.hidden_dim,
-                  embeddings.data() + (g + 1) * config_.hidden_dim);
+  forward_shards(
+      graphs, /*want_embeddings=*/true,
+      [&](std::size_t g0, const Tensor&, const Tensor& embeddings) {
+        for (std::int64_t i = 0;
+             i < static_cast<std::int64_t>(embeddings.rows()); ++i)
+          out[g0 + static_cast<std::size_t>(i)].assign(
+              embeddings.data() + i * H, embeddings.data() + (i + 1) * H);
+      });
   return out;
 }
 

@@ -20,14 +20,25 @@
 // minibatches (cleared, never freed), tensor ops recycle node and buffer
 // storage through the arena, and the gradient reduction runs 8-wide over
 // the cached handles.
+//
+// Inference is a separate fast path: predict / predict_log_probs / embed /
+// evaluate run tape-free under tensor::InferenceGuard (no autograd nodes,
+// no gradient buffers), shard the graph set in fixed 16-graph chunks across
+// the shared pool against a persistent per-model context of pooled
+// GraphBatch scratch, and concatenate per-shard results in shard order.
+// Results are bit-identical to a serial full-batch forward for every thread
+// count, and a warm query into caller-reused storage performs zero heap
+// allocations.
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "gnn/graph_batch.h"
 #include "gnn/modules.h"
 #include "graph/program_graph.h"
+#include "support/inline_function.h"
 #include "tensor/optimizer.h"
 
 namespace irgnn::gnn {
@@ -55,6 +66,16 @@ struct TrainStats {
   double final_train_accuracy = 0.0;
 };
 
+/// Everything one inference pass can report, in flat caller-owned storage so
+/// a warm evaluate() performs no heap allocations. All three members come
+/// from the same batch build + forward per shard — logits, log-probs and
+/// embeddings are never computed from separately re-packed batches.
+struct Evaluation {
+  std::vector<int> predictions;  // [G] argmax label per graph
+  std::vector<float> log_probs;  // [G * num_labels], row-major
+  std::vector<float> embeddings; // [G * hidden_dim] when requested, else empty
+};
+
 class StaticModel {
  public:
   explicit StaticModel(const ModelConfig& config);
@@ -63,9 +84,33 @@ class StaticModel {
   TrainStats train(const std::vector<const graph::ProgramGraph*>& graphs,
                    const std::vector<int>& labels);
 
+  // --- Inference fast path --------------------------------------------------
+  // Every query below runs tape-free (tensor::InferenceGuard): forward
+  // records no autograd nodes and touches no gradient buffers. Graph sets
+  // shard across the shared ThreadPool in fixed-size index chunks against a
+  // persistent per-model context (pooled GraphBatch scratch reused via
+  // make_batch_into), and per-shard results concatenate in shard order —
+  // so results are bit-identical to a serial full-batch forward for every
+  // thread count, and a warm call into caller-reused output storage
+  // performs zero heap allocations (tests/arena_test.cpp enforces it).
+  // Queries are serialized per model by an internal lock; distinct models
+  // (e.g. one per CV fold) run concurrently.
+
   /// Predicted label per graph.
   std::vector<int> predict(
       const std::vector<const graph::ProgramGraph*>& graphs) const;
+
+  /// predict() into caller-owned storage (resized to the graph count). The
+  /// allocation-free form for hot query loops.
+  void predict_into(const std::vector<const graph::ProgramGraph*>& graphs,
+                    std::vector<int>& out) const;
+
+  /// Predictions + log-probabilities (+ graph embeddings when requested)
+  /// from one batch build and one forward per shard. The allocation-free
+  /// workhorse behind predict_log_probs()/embed() and the experiment's
+  /// evaluation path.
+  void evaluate(const std::vector<const graph::ProgramGraph*>& graphs,
+                Evaluation& out, bool want_embeddings = false) const;
 
   /// Per-graph log-probabilities [G, num_labels] (row-major).
   std::vector<std::vector<float>> predict_log_probs(
@@ -107,9 +152,39 @@ class StaticModel {
   static void refresh_replica(const std::vector<tensor::Tensor>& src,
                               std::vector<tensor::Tensor>& dst);
 
+  /// Graphs per inference shard. A fixed constant (never derived from the
+  /// thread count) so the shard partition — and with it every float — is
+  /// identical no matter how many workers run the shards.
+  static constexpr std::size_t kInferenceShardGraphs = 16;
+
+  /// One shard's persistent scratch: the graph chunk and its pooled batch,
+  /// reused across queries so a warm shard assembles allocation-free.
+  struct InferenceShard {
+    std::vector<const graph::ProgramGraph*> chunk;
+    GraphBatch batch;
+  };
+
+  /// Shards `graphs` in fixed chunks across the pool; each shard builds its
+  /// batch into persistent scratch and runs one tape-free forward, then
+  /// `consume(first_graph_index, logits, embeddings)` fires per shard
+  /// (embeddings is undefined unless want_embeddings). consume runs
+  /// concurrently for distinct shards and must only write state owned by
+  /// its shard's graph indices; it executes under the shard's
+  /// InferenceGuard, so tensor ops inside stay tape-free too.
+  void forward_shards(
+      const std::vector<const graph::ProgramGraph*>& graphs,
+      bool want_embeddings,
+      support::FunctionRef<void(std::size_t, const tensor::Tensor&,
+                                const tensor::Tensor&)>
+          consume) const;
+
   ModelConfig config_;
   mutable Rng rng_;
   Stack stack_;
+  /// Persistent inference context; the mutex serializes queries on one
+  /// model (predict is const and models are queried from parallel folds).
+  mutable std::mutex infer_mutex_;
+  mutable std::vector<InferenceShard> infer_shards_;
 };
 
 }  // namespace irgnn::gnn

@@ -1,0 +1,263 @@
+// Register-blocked GEMM micro-kernels on top of simd::v8f.
+//
+// The PR 2 kernels computed one output element at a time: a single v8f
+// accumulator walking the shared (k) dimension, folded through the fixed
+// 8-lane tree, tail in order (simd::dot). That loads every A chunk once per
+// output column and every B chunk once per output row. The micro-kernels
+// here keep the *identical arithmetic per output element* — each C[i,j] is
+// still exactly simd::dot(A row i, packed B column j) — but compute a 4x2
+// block of C at once with all eight v8f accumulators held in registers, so
+// each A chunk is loaded once per two columns and each packed-B chunk once
+// per four rows. Register blocking changes only which loads are shared,
+// never the order of any float addition, which is what keeps the results
+// bit-identical to the PR 2 kernels (and to the scalar tree references in
+// tests/tensor_test.cpp) across ISAs, thread counts and block shapes.
+//
+// Layout convention: `a` is row-major [m, k] with leading dimension lda;
+// `bt` is the packed transpose of B — row j of bt is column j of B, length
+// k, leading dimension ldb — produced once per GEMM and reused across every
+// row block (the "packed B panel").
+//
+// gemm_axpy_panels is the register-blocked form of the dB backward GEMM
+// (dB[l,:] += A[i,l] * G[i,:], i ascending): four destination rows tile
+// their columns in 16-float strips held in registers across the whole i
+// loop, preserving the per-element add order and the A[i,l]==0 skip of the
+// PR 2 loop exactly.
+#pragma once
+
+#include <cstdint>
+
+#include "support/simd.h"
+
+namespace irgnn::tensor::detail {
+
+/// Rows x packed-B columns of C computed per micro-kernel call. 8 v8f
+/// accumulators + 1 A broadcast + 2 B loads stay comfortably inside 16
+/// vector registers on AVX.
+inline constexpr std::int64_t kGemmBlockRows = 4;
+inline constexpr std::int64_t kGemmBlockCols = 2;
+
+/// out[r][c] = dot(a + r*lda, b + c*ldb, k) for r < 4, c < 2, every element
+/// with the canonical block/tree/tail order of simd::dot. The 8 accumulators
+/// live in registers; each 8-float chunk of a row is loaded once per call
+/// instead of once per output element.
+inline void dot_panel_4x2(const float* a, std::int64_t lda, const float* b,
+                          std::int64_t ldb, std::int64_t k, float out[4][2]) {
+  using simd::v8f;
+  const float* a0 = a;
+  const float* a1 = a + lda;
+  const float* a2 = a + 2 * lda;
+  const float* a3 = a + 3 * lda;
+  const float* b0 = b;
+  const float* b1 = b + ldb;
+  v8f c00 = v8f::zero(), c01 = v8f::zero();
+  v8f c10 = v8f::zero(), c11 = v8f::zero();
+  v8f c20 = v8f::zero(), c21 = v8f::zero();
+  v8f c30 = v8f::zero(), c31 = v8f::zero();
+  std::int64_t i = 0;
+  for (; i + simd::kLanes <= k; i += simd::kLanes) {
+    const v8f vb0 = v8f::load(b0 + i);
+    const v8f vb1 = v8f::load(b1 + i);
+    v8f va = v8f::load(a0 + i);
+    c00 += va * vb0;
+    c01 += va * vb1;
+    va = v8f::load(a1 + i);
+    c10 += va * vb0;
+    c11 += va * vb1;
+    va = v8f::load(a2 + i);
+    c20 += va * vb0;
+    c21 += va * vb1;
+    va = v8f::load(a3 + i);
+    c30 += va * vb0;
+    c31 += va * vb1;
+  }
+  out[0][0] = c00.hsum();
+  out[0][1] = c01.hsum();
+  out[1][0] = c10.hsum();
+  out[1][1] = c11.hsum();
+  out[2][0] = c20.hsum();
+  out[2][1] = c21.hsum();
+  out[3][0] = c30.hsum();
+  out[3][1] = c31.hsum();
+  for (; i < k; ++i) {
+    const float fb0 = b0[i];
+    const float fb1 = b1[i];
+    out[0][0] += a0[i] * fb0;
+    out[0][1] += a0[i] * fb1;
+    out[1][0] += a1[i] * fb0;
+    out[1][1] += a1[i] * fb1;
+    out[2][0] += a2[i] * fb0;
+    out[2][1] += a2[i] * fb1;
+    out[3][0] += a3[i] * fb0;
+    out[3][1] += a3[i] * fb1;
+  }
+}
+
+/// The PR 2-era kernel: one simd::dot per output element, no register
+/// reuse. Kept as the bench's "before" and as the bit-identity reference
+/// the register-blocked kernel is pinned against.
+/// C[i,j] op= dot(a row i, bt row j, k); op is += when Accumulate.
+template <bool Accumulate>
+inline void gemm_dot_rowwise(const float* a, std::int64_t lda,
+                             const float* bt, std::int64_t ldb, std::int64_t m,
+                             std::int64_t n, std::int64_t k, float* c,
+                             std::int64_t ldc) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* arow = a + i * lda;
+    float* crow = c + i * ldc;
+    for (std::int64_t j = 0; j < n; ++j) {
+      const float v = simd::dot(arow, bt + j * ldb, k);
+      if (Accumulate)
+        crow[j] += v;
+      else
+        crow[j] = v;
+    }
+  }
+}
+
+/// Register-blocked GEMM over dot products: C[i,j] op= dot(a row i, bt row
+/// j, k), computed in 4x2 blocks via dot_panel_4x2 with row/column
+/// remainders falling back to single dots. Bit-identical to
+/// gemm_dot_rowwise for every shape, including empty m/n/k.
+template <bool Accumulate>
+inline void gemm_dot_panels(const float* a, std::int64_t lda, const float* bt,
+                            std::int64_t ldb, std::int64_t m, std::int64_t n,
+                            std::int64_t k, float* c, std::int64_t ldc) {
+  std::int64_t i = 0;
+  for (; i + kGemmBlockRows <= m; i += kGemmBlockRows) {
+    const float* arow = a + i * lda;
+    float* crow = c + i * ldc;
+    std::int64_t j = 0;
+    for (; j + kGemmBlockCols <= n; j += kGemmBlockCols) {
+      float out[4][2];
+      dot_panel_4x2(arow, lda, bt + j * ldb, ldb, k, out);
+      for (std::int64_t r = 0; r < kGemmBlockRows; ++r)
+        for (std::int64_t cc = 0; cc < kGemmBlockCols; ++cc) {
+          if (Accumulate)
+            crow[r * ldc + j + cc] += out[r][cc];
+          else
+            crow[r * ldc + j + cc] = out[r][cc];
+        }
+    }
+    for (; j < n; ++j) {  // odd trailing column of this 4-row band
+      for (std::int64_t r = 0; r < kGemmBlockRows; ++r) {
+        const float v = simd::dot(arow + r * lda, bt + j * ldb, k);
+        if (Accumulate)
+          crow[r * ldc + j] += v;
+        else
+          crow[r * ldc + j] = v;
+      }
+    }
+  }
+  if (i < m)  // remaining 1-3 rows
+    gemm_dot_rowwise<Accumulate>(a + i * lda, lda, bt, ldb, m - i, n, k,
+                                 c + i * ldc, ldc);
+}
+
+/// Register-blocked outer-product accumulation (the dB backward GEMM):
+///   d[l, j] += at[l, i] * g[i, j]   for i ascending, skipping at[l,i]==0,
+/// over l in [0, rows), j in [0, n). `at` is A packed transposed ([rows, m],
+/// leading dimension lda); `g` is [m, n] with leading dimension ldg; `d` has
+/// leading dimension ldd. Four destination rows process their columns in
+/// 16-float strips whose accumulators stay in registers across the whole i
+/// loop — each element still receives exactly the adds of the PR 2 per-row
+/// simd::axpy loop, in the same ascending-i order with the same zero skip,
+/// so the result is bit-identical.
+inline void gemm_axpy_panels(const float* at, std::int64_t lda, const float* g,
+                             std::int64_t ldg, std::int64_t rows,
+                             std::int64_t m, std::int64_t n, float* d,
+                             std::int64_t ldd) {
+  using simd::v8f;
+  std::int64_t l = 0;
+  for (; l + 4 <= rows; l += 4) {
+    const float* t0 = at + l * lda;
+    const float* t1 = at + (l + 1) * lda;
+    const float* t2 = at + (l + 2) * lda;
+    const float* t3 = at + (l + 3) * lda;
+    float* d0 = d + l * ldd;
+    float* d1 = d + (l + 1) * ldd;
+    float* d2 = d + (l + 2) * ldd;
+    float* d3 = d + (l + 3) * ldd;
+    std::int64_t j = 0;
+    for (; j + 2 * simd::kLanes <= n; j += 2 * simd::kLanes) {
+      v8f a00 = v8f::load(d0 + j), a01 = v8f::load(d0 + j + simd::kLanes);
+      v8f a10 = v8f::load(d1 + j), a11 = v8f::load(d1 + j + simd::kLanes);
+      v8f a20 = v8f::load(d2 + j), a21 = v8f::load(d2 + j + simd::kLanes);
+      v8f a30 = v8f::load(d3 + j), a31 = v8f::load(d3 + j + simd::kLanes);
+      for (std::int64_t i = 0; i < m; ++i) {
+        const v8f g0 = v8f::load(g + i * ldg + j);
+        const v8f g1 = v8f::load(g + i * ldg + j + simd::kLanes);
+        if (t0[i] != 0.0f) {
+          const v8f s = v8f::broadcast(t0[i]);
+          a00 += s * g0;
+          a01 += s * g1;
+        }
+        if (t1[i] != 0.0f) {
+          const v8f s = v8f::broadcast(t1[i]);
+          a10 += s * g0;
+          a11 += s * g1;
+        }
+        if (t2[i] != 0.0f) {
+          const v8f s = v8f::broadcast(t2[i]);
+          a20 += s * g0;
+          a21 += s * g1;
+        }
+        if (t3[i] != 0.0f) {
+          const v8f s = v8f::broadcast(t3[i]);
+          a30 += s * g0;
+          a31 += s * g1;
+        }
+      }
+      a00.store(d0 + j);
+      a01.store(d0 + j + simd::kLanes);
+      a10.store(d1 + j);
+      a11.store(d1 + j + simd::kLanes);
+      a20.store(d2 + j);
+      a21.store(d2 + j + simd::kLanes);
+      a30.store(d3 + j);
+      a31.store(d3 + j + simd::kLanes);
+    }
+    for (; j + simd::kLanes <= n; j += simd::kLanes) {
+      v8f a0 = v8f::load(d0 + j);
+      v8f a1 = v8f::load(d1 + j);
+      v8f a2 = v8f::load(d2 + j);
+      v8f a3 = v8f::load(d3 + j);
+      for (std::int64_t i = 0; i < m; ++i) {
+        const v8f g0 = v8f::load(g + i * ldg + j);
+        if (t0[i] != 0.0f) a0 += v8f::broadcast(t0[i]) * g0;
+        if (t1[i] != 0.0f) a1 += v8f::broadcast(t1[i]) * g0;
+        if (t2[i] != 0.0f) a2 += v8f::broadcast(t2[i]) * g0;
+        if (t3[i] != 0.0f) a3 += v8f::broadcast(t3[i]) * g0;
+      }
+      a0.store(d0 + j);
+      a1.store(d1 + j);
+      a2.store(d2 + j);
+      a3.store(d3 + j);
+    }
+    for (; j < n; ++j) {  // scalar column tail
+      float s0 = d0[j], s1 = d1[j], s2 = d2[j], s3 = d3[j];
+      for (std::int64_t i = 0; i < m; ++i) {
+        const float gij = g[i * ldg + j];
+        if (t0[i] != 0.0f) s0 += t0[i] * gij;
+        if (t1[i] != 0.0f) s1 += t1[i] * gij;
+        if (t2[i] != 0.0f) s2 += t2[i] * gij;
+        if (t3[i] != 0.0f) s3 += t3[i] * gij;
+      }
+      d0[j] = s0;
+      d1[j] = s1;
+      d2[j] = s2;
+      d3[j] = s3;
+    }
+  }
+  for (; l < rows; ++l) {  // remaining 1-3 destination rows: PR 2 loop
+    const float* trow = at + l * lda;
+    float* drow = d + l * ldd;
+    for (std::int64_t i = 0; i < m; ++i) {
+      const float ail = trow[i];
+      if (ail == 0.0f) continue;
+      simd::axpy(drow, ail, g + i * ldg, n);
+    }
+  }
+}
+
+}  // namespace irgnn::tensor::detail

@@ -9,6 +9,7 @@
 
 #include "support/simd.h"
 #include "support/thread_pool.h"
+#include "tensor/gemm.h"
 
 namespace irgnn::tensor {
 
@@ -18,6 +19,11 @@ using simd::v8f;
 namespace {
 
 std::atomic<int> g_kernel_parallelism{0};  // <= 0: all global-pool workers
+
+/// Per-thread tape switch; see InferenceGuard. Thread-local because a pool
+/// worker running an inference shard must not stop a concurrent training
+/// shard on another worker from recording.
+thread_local bool t_inference_mode = false;
 
 /// Monotone epoch for backward() traversals; see Node::visit_mark.
 std::atomic<std::uint64_t> g_visit_epoch{0};
@@ -53,11 +59,14 @@ std::shared_ptr<Node> make_node(Shape shape) {
   return node;
 }
 
-/// Output node wired to parents; requires_grad propagates.
+/// Output node wired to parents; requires_grad propagates. Under an
+/// InferenceGuard the node stays tape-free: no parents, no closure, no grad
+/// propagation — parents' buffers can recycle the moment their handles die.
 std::shared_ptr<Node> make_op_node(
     Shape shape, std::initializer_list<std::shared_ptr<Node>> parents,
     support::InlineFunction<void(Node&), 64> backward) {
   auto node = make_node(shape);
+  if (t_inference_mode) return node;
   for (const auto& p : parents) node->requires_grad |= p->requires_grad;
   if (node->requires_grad) {
     // Hard check, not an assert: overflowing the fixed parent array would
@@ -79,6 +88,14 @@ void set_kernel_parallelism(int max_threads) {
 }
 
 int kernel_parallelism() { return g_kernel_parallelism.load(); }
+
+InferenceGuard::InferenceGuard() : prev_(t_inference_mode) {
+  t_inference_mode = true;
+}
+
+InferenceGuard::~InferenceGuard() { t_inference_mode = prev_; }
+
+bool inference_mode() { return t_inference_mode; }
 
 Tensor Tensor::zeros(Shape shape, bool requires_grad) {
   auto node = make_node(shape);
@@ -196,53 +213,40 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
         Node& B = *out.parents[1];
         const float* g = out.grad.data();
         if (A.requires_grad) {
-          // dA[i,l] = sum_j g[i,j] * B[l,j] — B rows are contiguous in j, so
-          // the inner loop is an 8-wide dot product without any packing.
+          // dA[i,l] += sum_j g[i,j] * B[l,j] — a GEMM over dot products with
+          // B's rows already contiguous in j (B itself is the packed panel).
+          // Register-blocked 4x2, bit-identical to one simd::dot per entry.
           float* ga = A.grad.data();
           const float* pb = B.data.data();
           for_row_blocks(m, flops, [&](std::int64_t i0, std::int64_t i1) {
-            for (std::int64_t i = i0; i < i1; ++i) {
-              const float* grow = g + i * n;
-              float* garow = ga + i * k;
-              for (std::int64_t l = 0; l < k; ++l)
-                garow[l] += simd::dot(grow, pb + l * n, n);
-            }
+            detail::gemm_dot_panels<true>(g + i0 * n, n, pb, n, i1 - i0, k, n,
+                                          ga + i0 * k, k);
           });
         }
         if (B.requires_grad) {
           // dB[l,:] += A[i,l] * g[i,:], i ascending. Pack A transposed so
           // each dB row reads a contiguous At row; parallel over dB rows,
-          // with the per-row update an 8-wide axpy.
+          // register-blocked four rows at a time with the column strips held
+          // in registers across the whole i loop.
           float* gb = B.grad.data();
           support::PoolVector<float> at;  // [k, m]
           transpose_into(A.data.data(), m, k, at);
           for_row_blocks(k, flops, [&](std::int64_t l0, std::int64_t l1) {
-            for (std::int64_t l = l0; l < l1; ++l) {
-              const float* atrow = at.data() + l * m;
-              float* gbrow = gb + l * n;
-              for (std::int64_t i = 0; i < m; ++i) {
-                float ail = atrow[i];
-                if (ail == 0.0f) continue;
-                simd::axpy(gbrow, ail, g + i * n, n);
-              }
-            }
+            detail::gemm_axpy_panels(at.data() + l0 * m, m, g, n, l1 - l0, m,
+                                     n, gb + l0 * n, n);
           });
         }
       });
-  // Forward: pack B transposed once, then every C entry is one contiguous
-  // 8-wide dot product; row blocks parallelize and reuse the Bt panel from
-  // cache.
+  // Forward: pack B transposed once; the panel is reused by every row block.
+  // The register-blocked micro-kernel computes 4x2 outputs per call, each
+  // still the canonical 8-wide tree dot product of its A row and Bt row.
   const float* pa = a.data();
   float* pc = node->data.data();
   support::PoolVector<float> bt;  // [n, k]
   transpose_into(b.data(), k, n, bt);
   for_row_blocks(m, flops, [&](std::int64_t i0, std::int64_t i1) {
-    for (std::int64_t i = i0; i < i1; ++i) {
-      const float* arow = pa + i * k;
-      float* crow = pc + i * n;
-      for (std::int64_t j = 0; j < n; ++j)
-        crow[j] = simd::dot(arow, bt.data() + j * k, k);
-    }
+    detail::gemm_dot_panels<false>(pa + i0 * k, k, bt.data(), k, i1 - i0, n,
+                                   k, pc + i0 * n, n);
   });
   return Tensor(node);
 }
@@ -566,8 +570,12 @@ Tensor layer_norm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
 Tensor embedding(const Tensor& table, const std::vector<int>& indices) {
   const std::int64_t d = table.cols();
   const std::int64_t m = static_cast<std::int64_t>(indices.size());
-  auto idx = support::make_pooled<support::PoolVector<int>>(indices.begin(),
-                                                            indices.end());
+  // The index copy exists only for the backward closure; skip it when the
+  // tape is off or the table is frozen (the closure is dropped either way).
+  std::shared_ptr<support::PoolVector<int>> idx;
+  if (!inference_mode() && table.requires_grad())
+    idx = support::make_pooled<support::PoolVector<int>>(indices.begin(),
+                                                         indices.end());
   auto node = make_op_node({static_cast<int>(m), static_cast<int>(d)},
                            {table.node()}, [d, m, idx](Node& out) {
                              Node& T = *out.parents[0];
@@ -595,10 +603,15 @@ Tensor index_add_rows(const Tensor& x, const std::vector<int>& dst,
   assert(coeff.size() == dst.size());
   const std::int64_t d = x.cols();
   const std::int64_t e = x.rows();
-  auto dst_copy =
-      support::make_pooled<support::PoolVector<int>>(dst.begin(), dst.end());
-  auto coeff_copy = support::make_pooled<support::PoolVector<float>>(
-      coeff.begin(), coeff.end());
+  // Backward-only copies (forward reads the caller's vectors directly).
+  std::shared_ptr<support::PoolVector<int>> dst_copy;
+  std::shared_ptr<support::PoolVector<float>> coeff_copy;
+  if (!inference_mode() && x.requires_grad()) {
+    dst_copy =
+        support::make_pooled<support::PoolVector<int>>(dst.begin(), dst.end());
+    coeff_copy = support::make_pooled<support::PoolVector<float>>(
+        coeff.begin(), coeff.end());
+  }
   auto node = make_op_node(
       {num_rows, static_cast<int>(d)}, {x.node()},
       [d, e, dst_copy, coeff_copy](Node& out) {
@@ -626,8 +639,10 @@ Tensor segment_mean(const Tensor& x, const std::vector<int>& segment,
   auto counts = support::make_pooled<support::PoolVector<float>>(
       static_cast<std::size_t>(num_segments), 0.0f);
   for (std::int64_t i = 0; i < n; ++i) (*counts)[segment[i]] += 1.0f;
-  auto seg = support::make_pooled<support::PoolVector<int>>(segment.begin(),
-                                                            segment.end());
+  std::shared_ptr<support::PoolVector<int>> seg;  // backward-only copy
+  if (!inference_mode() && x.requires_grad())
+    seg = support::make_pooled<support::PoolVector<int>>(segment.begin(),
+                                                         segment.end());
   auto node = make_op_node(
       {num_segments, static_cast<int>(d)}, {x.node()},
       [d, n, seg, counts](Node& out) {
@@ -677,8 +692,10 @@ Tensor nll_loss(const Tensor& log_probs, const std::vector<int>& targets) {
   assert(targets.size() == static_cast<std::size_t>(log_probs.rows()));
   const std::int64_t m = log_probs.rows();
   const std::int64_t n = log_probs.cols();
-  auto tgt = support::make_pooled<support::PoolVector<int>>(targets.begin(),
-                                                            targets.end());
+  std::shared_ptr<support::PoolVector<int>> tgt;  // backward-only copy
+  if (!inference_mode() && log_probs.requires_grad())
+    tgt = support::make_pooled<support::PoolVector<int>>(targets.begin(),
+                                                         targets.end());
   auto node = make_op_node({1, 1}, {log_probs.node()}, [m, n, tgt](Node& out) {
     Node& L = *out.parents[0];
     if (!L.requires_grad) return;
@@ -711,14 +728,18 @@ Tensor dropout(const Tensor& x, float p, Rng& rng, bool training) {
   return Tensor(node);
 }
 
+int argmax_row(const float* row, int n) {
+  int best = 0;
+  for (int j = 1; j < n; ++j)
+    if (row[j] > row[best]) best = j;
+  return best;
+}
+
 std::vector<int> argmax_rows(const Tensor& x) {
   std::vector<int> out(x.rows());
-  for (int i = 0; i < x.rows(); ++i) {
-    int best = 0;
-    for (int j = 1; j < x.cols(); ++j)
-      if (x.at(i, j) > x.at(i, best)) best = j;
-    out[i] = best;
-  }
+  for (int i = 0; i < x.rows(); ++i)
+    out[i] = argmax_row(x.data() + static_cast<std::int64_t>(i) * x.cols(),
+                        x.cols());
   return out;
 }
 

@@ -18,6 +18,12 @@
 // per-op auxiliary vectors and pack scratch all recycle through the buffer
 // arena (support/arena.h), and backward closures live inline in the node
 // (support/inline_function.h) instead of on the heap.
+//
+// The GEMM inner loops are register-blocked (tensor/gemm.h): 4x2 blocks of
+// dot-product accumulators held in registers over a packed B panel, with
+// every output element's reduction order unchanged from the single-dot
+// kernels. InferenceGuard provides a thread-local no-grad mode in which ops
+// record no tape at all — the inference fast path of gnn::StaticModel.
 #pragma once
 
 #include <array>
@@ -135,6 +141,30 @@ class Tensor {
 void set_kernel_parallelism(int max_threads);
 int kernel_parallelism();
 
+/// RAII no-grad scope for the inference fast path. While an InferenceGuard
+/// is alive on the current thread, ops record no tape: outputs carry
+/// requires_grad = false, reference no parents (so intermediate activations
+/// recycle through the arena as soon as their handle dies), store no
+/// backward closure, and backward-only scratch (index/coefficient/target
+/// copies) is never built. Forward values are bit-identical to recording
+/// mode — the guard changes what is *remembered*, never what is computed.
+/// backward() on anything produced inside the scope throws, since nothing
+/// requires grad. Guards nest; each thread (e.g. a pool worker running one
+/// inference shard) arms its own.
+class InferenceGuard {
+ public:
+  InferenceGuard();
+  ~InferenceGuard();
+  InferenceGuard(const InferenceGuard&) = delete;
+  InferenceGuard& operator=(const InferenceGuard&) = delete;
+
+ private:
+  bool prev_;
+};
+
+/// True while an InferenceGuard is alive on this thread.
+bool inference_mode();
+
 // --- Ops (forward builds the tape) ------------------------------------------
 
 /// C[m,n] = A[m,k] * B[k,n]. Blocked over row/column tiles with B packed
@@ -192,6 +222,11 @@ Tensor nll_loss(const Tensor& log_probs, const std::vector<int>& targets);
 
 /// Inverted dropout; identity when `training` is false.
 Tensor dropout(const Tensor& x, float p, Rng& rng, bool training);
+
+/// argmax of one contiguous row (strict >, first maximum wins) — the
+/// non-allocating primitive behind argmax_rows and the inference engine's
+/// prediction loops.
+int argmax_row(const float* row, int n);
 
 /// argmax per row.
 std::vector<int> argmax_rows(const Tensor& x);

@@ -179,6 +179,58 @@ TEST(ZeroAllocationTest, WarmTrainStepNeverTouchesHeap) {
   EXPECT_TRUE(std::isfinite(last));
 }
 
+TEST(ZeroAllocationTest, WarmBatchedPredictNeverTouchesHeap) {
+  // The inference fast path: once the model's persistent inference context
+  // and the arena are warm, a batched predict/evaluate into caller-reused
+  // storage must touch the heap exactly zero times — no tape nodes, no
+  // batch rebuilds, no output reallocation. 40 graph pointers across 12
+  // distinct graphs force multiple inference shards.
+  static const std::vector<graph::ProgramGraph> owned = [] {
+    std::vector<graph::ProgramGraph> graphs;
+    for (int r : {0, 2, 4, 8, 13, 17, 22, 28, 33, 39, 44, 50}) {
+      auto module =
+          workloads::build_region_module(workloads::benchmark_suite()[r]);
+      graphs.push_back(graph::build_graph(*module));
+    }
+    return graphs;
+  }();
+  std::vector<const graph::ProgramGraph*> graphs;
+  for (int i = 0; i < 40; ++i) graphs.push_back(&owned[i % owned.size()]);
+
+  gnn::ModelConfig cfg;
+  cfg.vocab_size = graph::vocabulary_size();
+  cfg.num_labels = 4;
+  cfg.hidden_dim = 16;
+  cfg.num_layers = 2;
+  cfg.seed = 0xFA57;
+  cfg.num_threads = 1;
+  tensor::set_kernel_parallelism(1);
+  gnn::StaticModel model(cfg);
+
+  std::vector<int> preds;
+  gnn::Evaluation eval;
+  model.predict_into(graphs, preds);  // warm the context and the arena
+  model.evaluate(graphs, eval, /*want_embeddings=*/true);
+  const std::vector<int> cold_preds = preds;
+
+  const std::uint64_t heap_before = g_heap_allocations.load();
+  const BufferPool::Stats pool_before = BufferPool::global().stats();
+  for (int rep = 0; rep < 10; ++rep) {
+    model.predict_into(graphs, preds);
+    model.evaluate(graphs, eval, /*want_embeddings=*/true);
+  }
+  const std::uint64_t heap_delta = g_heap_allocations.load() - heap_before;
+  const BufferPool::Stats pool_after = BufferPool::global().stats();
+  tensor::set_kernel_parallelism(0);
+
+  EXPECT_EQ(heap_delta, 0u) << "a warm batched predict allocated";
+  EXPECT_EQ(pool_after.malloc_calls, pool_before.malloc_calls);
+  EXPECT_GT(pool_after.pool_hits, pool_before.pool_hits);
+  // Recycling storage must never change the answer.
+  EXPECT_EQ(preds, cold_preds);
+  EXPECT_EQ(eval.predictions, cold_preds);
+}
+
 TEST(ZeroAllocationTest, RepeatedModelTrainingIsServedFromArena) {
   // Identical single-threaded training runs: the first warms the arena, the
   // second must draw every tape node, buffer and scratch from it — zero new

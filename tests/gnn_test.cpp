@@ -229,6 +229,79 @@ TEST(StaticModelTest, EmbeddingsHaveConfiguredWidth) {
   EXPECT_EQ(embedding[0].size(), 24u);
 }
 
+TEST(StaticModelTest, ShardedInferenceBitIdenticalToPerGraphQueries) {
+  // The inference engine shards graph sets in fixed 16-graph chunks; per
+  // graph results must be bit-identical to querying each graph alone (no
+  // leakage through shard composition) and to each other for every thread
+  // count.
+  std::vector<graph::ProgramGraph> owned;
+  for (int i = 0; i < 40; ++i) {
+    graph::ProgramGraph g = tiny_graph(i % 7);
+    if (i % 3 == 0)  // structural variety across shards
+      g.edges.push_back({1, 2, graph::EdgeKind::Data, 0});
+    owned.push_back(std::move(g));
+  }
+  std::vector<const graph::ProgramGraph*> graphs;
+  for (const auto& g : owned) graphs.push_back(&g);
+
+  ModelConfig cfg;
+  cfg.vocab_size = graph::vocabulary_size();
+  cfg.num_labels = 3;
+  cfg.hidden_dim = 16;
+  cfg.seed = 0xBEE;
+  cfg.num_threads = 1;
+  StaticModel serial(cfg);
+  cfg.num_threads = 8;
+  StaticModel parallel(cfg);
+
+  auto batched = serial.predict_log_probs(graphs);
+  auto batched_mt = parallel.predict_log_probs(graphs);
+  ASSERT_EQ(batched.size(), graphs.size());
+  for (std::size_t g = 0; g < graphs.size(); ++g) {
+    auto solo = serial.predict_log_probs({graphs[g]});
+    EXPECT_EQ(batched[g], solo[0]) << "graph " << g;
+    EXPECT_EQ(batched[g], batched_mt[g]) << "graph " << g;
+  }
+  EXPECT_EQ(serial.predict(graphs), parallel.predict(graphs));
+}
+
+TEST(StaticModelTest, EvaluateMatchesSeparateQueries) {
+  // evaluate() derives predictions, log-probs and embeddings from one batch
+  // build + forward per shard; each slice must equal the dedicated query.
+  std::vector<graph::ProgramGraph> owned;
+  for (int i = 0; i < 21; ++i) owned.push_back(tiny_graph(i % 5));
+  std::vector<const graph::ProgramGraph*> graphs;
+  for (const auto& g : owned) graphs.push_back(&g);
+
+  ModelConfig cfg;
+  cfg.vocab_size = graph::vocabulary_size();
+  cfg.num_labels = 4;
+  cfg.hidden_dim = 12;
+  cfg.seed = 0xE7A1;
+  StaticModel model(cfg);
+
+  Evaluation eval;
+  model.evaluate(graphs, eval, /*want_embeddings=*/true);
+  ASSERT_EQ(eval.predictions.size(), graphs.size());
+  ASSERT_EQ(eval.log_probs.size(), graphs.size() * 4);
+  ASSERT_EQ(eval.embeddings.size(), graphs.size() * 12);
+
+  EXPECT_EQ(eval.predictions, model.predict(graphs));
+  auto log_probs = model.predict_log_probs(graphs);
+  auto embeddings = model.embed(graphs);
+  for (std::size_t g = 0; g < graphs.size(); ++g) {
+    for (int j = 0; j < 4; ++j)
+      EXPECT_EQ(eval.log_probs[g * 4 + j], log_probs[g][j])
+          << "log_prob (" << g << "," << j << ")";
+    for (int j = 0; j < 12; ++j)
+      EXPECT_EQ(eval.embeddings[g * 12 + j], embeddings[g][j])
+          << "embedding (" << g << "," << j << ")";
+  }
+  // Without embeddings the buffer empties rather than keeping stale data.
+  model.evaluate(graphs, eval, /*want_embeddings=*/false);
+  EXPECT_TRUE(eval.embeddings.empty());
+}
+
 TEST(StaticModelTest, LearnsToSeparateSuiteFamilies) {
   // Distinguish CLOMP-style regions from NAS sweeps by structure: a proxy
   // for the real task that runs in seconds.

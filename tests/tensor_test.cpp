@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "support/simd.h"
+#include "tensor/gemm.h"
 #include "tensor/optimizer.h"
 #include "tensor/tensor.h"
 
@@ -374,7 +375,11 @@ TEST(SimdTest, MatmulForwardBitIdenticalToTreeReference) {
     int m, k, n;
   };
   for (const Case& c : {Case{1, 1, 1}, Case{3, 7, 2}, Case{5, 9, 13},
-                        Case{17, 33, 8}, Case{16, 64, 31}, Case{2, 200, 3}}) {
+                        Case{17, 33, 8}, Case{16, 64, 31}, Case{2, 200, 3},
+                        // block-shape edges for the register-blocked kernel:
+                        // exact 4x2 multiples, rows/cols below one block
+                        Case{4, 8, 2}, Case{8, 16, 4}, Case{3, 5, 1},
+                        Case{2, 9, 5}, Case{5, 24, 2}}) {
     Rng rng(7000 + c.m + c.k + c.n);
     Tensor a = Tensor::xavier({c.m, c.k}, rng);
     Tensor b = Tensor::xavier({c.k, c.n}, rng);
@@ -390,6 +395,79 @@ TEST(SimdTest, MatmulForwardBitIdenticalToTreeReference) {
                           bt.data() + static_cast<std::int64_t>(j) * c.k, c.k))
             << c.m << "x" << c.k << "x" << c.n << " at (" << i << "," << j
             << ")";
+  }
+}
+
+TEST(SimdTest, RegisterBlockedGemmBitIdenticalToRowwise) {
+  // The register-blocked micro-kernel against the PR 2 one-dot-per-element
+  // kernel, raw buffers, no tape. Shapes cover: empty m/n/k, tails smaller
+  // than the 4x2 block, exact block multiples, odd everything.
+  struct Case {
+    int m, n, k;
+  };
+  for (const Case& c :
+       {Case{0, 0, 0}, Case{0, 3, 5}, Case{3, 0, 5}, Case{2, 5, 0},
+        Case{1, 1, 1}, Case{3, 1, 7}, Case{2, 2, 9}, Case{4, 2, 8},
+        Case{5, 3, 19}, Case{7, 2, 16}, Case{8, 6, 24}, Case{17, 13, 33},
+        Case{12, 7, 65}, Case{33, 31, 64}}) {
+    std::vector<float> a =
+        random_vec(static_cast<std::size_t>(c.m) * c.k, 9000 + c.m);
+    std::vector<float> bt =
+        random_vec(static_cast<std::size_t>(c.n) * c.k, 9100 + c.n);
+    std::vector<float> c_row(static_cast<std::size_t>(c.m) * c.n, 0.0f);
+    std::vector<float> c_blk = c_row;
+    tensor::detail::gemm_dot_rowwise<false>(a.data(), c.k, bt.data(), c.k,
+                                            c.m, c.n, c.k, c_row.data(), c.n);
+    tensor::detail::gemm_dot_panels<false>(a.data(), c.k, bt.data(), c.k,
+                                           c.m, c.n, c.k, c_blk.data(), c.n);
+    EXPECT_EQ(c_row, c_blk) << "assign " << c.m << "x" << c.n << "x" << c.k;
+
+    // Accumulate variant (the dA backward form) onto a non-zero C.
+    std::vector<float> acc_row =
+        random_vec(static_cast<std::size_t>(c.m) * c.n, 9200 + c.k);
+    std::vector<float> acc_blk = acc_row;
+    tensor::detail::gemm_dot_rowwise<true>(a.data(), c.k, bt.data(), c.k,
+                                           c.m, c.n, c.k, acc_row.data(),
+                                           c.n);
+    tensor::detail::gemm_dot_panels<true>(a.data(), c.k, bt.data(), c.k, c.m,
+                                          c.n, c.k, acc_blk.data(), c.n);
+    EXPECT_EQ(acc_row, acc_blk)
+        << "accumulate " << c.m << "x" << c.n << "x" << c.k;
+  }
+}
+
+TEST(SimdTest, RegisterBlockedAxpyPanelsBitIdenticalToRowwiseAxpy) {
+  // gemm_axpy_panels (dB backward) against the PR 2 per-row axpy loop,
+  // including the A[i,l]==0 skip (zeros planted explicitly) and row/column
+  // tails smaller than the 4-row / 16-float blocks.
+  struct Case {
+    int rows, m, n;
+  };
+  for (const Case& c :
+       {Case{0, 3, 5}, Case{1, 1, 1}, Case{3, 4, 7}, Case{4, 5, 16},
+        Case{5, 9, 19}, Case{7, 3, 8}, Case{8, 6, 33}, Case{13, 11, 40},
+        Case{16, 2, 0}, Case{19, 7, 23}}) {
+    std::vector<float> at =
+        random_vec(static_cast<std::size_t>(c.rows) * c.m, 9300 + c.rows);
+    for (std::size_t i = 0; i < at.size(); i += 3) at[i] = 0.0f;  // skips
+    std::vector<float> g =
+        random_vec(static_cast<std::size_t>(c.m) * c.n, 9400 + c.n);
+    std::vector<float> d_ref =
+        random_vec(static_cast<std::size_t>(c.rows) * c.n, 9500 + c.m);
+    std::vector<float> d_blk = d_ref;
+    for (int l = 0; l < c.rows; ++l) {  // the PR 2 loop, verbatim
+      const float* trow = at.data() + static_cast<std::int64_t>(l) * c.m;
+      float* drow = d_ref.data() + static_cast<std::int64_t>(l) * c.n;
+      for (int i = 0; i < c.m; ++i) {
+        float ail = trow[i];
+        if (ail == 0.0f) continue;
+        simd::axpy(drow, ail, g.data() + static_cast<std::int64_t>(i) * c.n,
+                   c.n);
+      }
+    }
+    tensor::detail::gemm_axpy_panels(at.data(), c.m, g.data(), c.n, c.rows,
+                                     c.m, c.n, d_blk.data(), c.n);
+    EXPECT_EQ(d_ref, d_blk) << c.rows << "x" << c.m << "x" << c.n;
   }
 }
 
@@ -538,6 +616,79 @@ TEST(TensorTest, ConstGradAccessDoesNotAllocate) {
   EXPECT_TRUE(t.grad_allocated());
   EXPECT_EQ(ct.grad(), g);
   EXPECT_EQ(ct.grad()[0], 0.0f);
+}
+
+// --- Inference mode (tape-free forward) -------------------------------------
+
+TEST(TensorTest, InferenceModeBitIdenticalToTrainModeForward) {
+  // A forward chain exercising every op the GNN inference path uses:
+  // embedding gather, matmul, fused bias+act, scatter add, layer norm,
+  // segment pooling, log-softmax. The guard must change no bits.
+  Rng rng(9001);
+  Tensor table = Tensor::xavier({10, 16}, rng);
+  Tensor w = Tensor::xavier({16, 16}, rng);
+  Tensor b = Tensor::zeros({1, 16}, true);
+  Tensor gamma = Tensor::full({1, 16}, 1.0f, true);
+  Tensor beta = Tensor::zeros({1, 16}, true);
+  Tensor head = Tensor::xavier({16, 5}, rng);
+  Tensor head_b = Tensor::zeros({1, 5}, true);
+  std::vector<int> idx{0, 3, 7, 2, 9, 5};
+  std::vector<int> dst{0, 1, 2, 3, 4, 5};
+  std::vector<float> coeff{1.0f, 0.5f, 1.0f, 0.25f, 1.0f, 2.0f};
+  std::vector<int> seg{0, 0, 0, 1, 1, 1};
+
+  auto run = [&] {
+    Tensor h = embedding(table, idx);
+    h = add_bias_act(matmul(h, w), b, Act::Relu);
+    h = index_add_rows(h, dst, coeff, 6);
+    h = layer_norm(h, gamma, beta);
+    Tensor pooled = segment_mean(h, seg, 2);
+    return log_softmax(add_bias_act(matmul(pooled, head), head_b, Act::None));
+  };
+
+  Tensor train_mode = run();
+  EXPECT_TRUE(train_mode.requires_grad());
+  Tensor infer_mode;
+  {
+    EXPECT_FALSE(inference_mode());
+    InferenceGuard guard;
+    EXPECT_TRUE(inference_mode());
+    infer_mode = run();
+  }
+  EXPECT_FALSE(inference_mode());
+
+  ASSERT_EQ(train_mode.numel(), infer_mode.numel());
+  for (std::int64_t i = 0; i < train_mode.numel(); ++i)
+    ASSERT_EQ(train_mode.data()[i], infer_mode.data()[i]) << "entry " << i;
+
+  // Tape-free means exactly that: no parents, no closure, no grad state.
+  auto node = infer_mode.node();
+  EXPECT_FALSE(node->requires_grad);
+  EXPECT_EQ(node->num_parents, 0);
+  EXPECT_FALSE(static_cast<bool>(node->backward_fn));
+  EXPECT_FALSE(infer_mode.grad_allocated());
+  // And the parameters' gradient buffers were never materialized by it.
+  EXPECT_FALSE(w.grad_allocated());
+  EXPECT_FALSE(table.grad_allocated());
+}
+
+TEST(TensorTest, InferenceGuardNestsAndRestoresRecording) {
+  Tensor a = Tensor::full({1, 1}, 2.0f, true);
+  {
+    InferenceGuard outer;
+    {
+      InferenceGuard inner;
+      EXPECT_TRUE(inference_mode());
+    }
+    EXPECT_TRUE(inference_mode());  // inner exit restores outer, not "off"
+    Tensor y = mul(a, a);
+    EXPECT_FALSE(y.requires_grad());
+  }
+  // Recording resumes after the scope: backward works again.
+  Tensor y = mul(a, a);
+  ASSERT_TRUE(y.requires_grad());
+  y.backward();
+  EXPECT_NEAR(a.grad()[0], 4.0f, 1e-6f);
 }
 
 TEST(TensorTest, BackwardThroughSharedSubgraph) {
