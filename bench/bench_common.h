@@ -2,6 +2,7 @@
 // (scale knobs) and machine selection.
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 
@@ -12,6 +13,29 @@
 
 namespace irgnn::bench {
 
+/// Registers the runtime knobs every bench accepts with identical names and
+/// semantics: --threads and --csv. The fig benches get them via
+/// make_parser(); standalone benches (microbench_kernels, serve_throughput)
+/// call this directly instead of re-declaring the flags with drifting help
+/// text or defaults.
+inline ArgParser& add_runtime_flags(ArgParser& parser,
+                                    const std::string& default_threads = "0") {
+  parser
+      .add("threads", default_threads,
+           "max worker threads (0: all cores; results are identical "
+           "for every value)")
+      .add("csv", "", "optional path to also write the table as CSV");
+  return parser;
+}
+
+/// Reads --threads, applies it to the process-global tensor kernel
+/// parallelism cap, and returns it — the one place the flag is interpreted.
+inline int apply_threads(const ArgParser& parser) {
+  const int threads = static_cast<int>(parser.get_int("threads"));
+  tensor::set_kernel_parallelism(threads);
+  return threads;
+}
+
 inline ArgParser make_parser(const std::string& name,
                              const std::string& description) {
   ArgParser parser(name, description);
@@ -21,11 +45,8 @@ inline ArgParser make_parser(const std::string& name,
       .add("layers", "2", "RGCN layers")
       .add("folds", "10", "cross-validation folds")
       .add("labels", "13", "reduced label count")
-      .add("seed", "24069", "master random seed")
-      .add("threads", "0",
-           "max worker threads (0: all cores; results are identical "
-           "for every value)")
-      .add("csv", "", "optional path to also write the table as CSV");
+      .add("seed", "24069", "master random seed");
+  add_runtime_flags(parser);
   return parser;
 }
 
@@ -38,8 +59,7 @@ inline core::ExperimentOptions options_from(const ArgParser& parser) {
   options.folds = static_cast<int>(parser.get_int("folds"));
   options.num_labels = static_cast<int>(parser.get_int("labels"));
   options.seed = static_cast<std::uint64_t>(parser.get_int("seed"));
-  options.num_threads = static_cast<int>(parser.get_int("threads"));
-  tensor::set_kernel_parallelism(options.num_threads);
+  options.num_threads = apply_threads(parser);
   return options;
 }
 

@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_common.h"
 #include "gnn/model.h"
 #include "graph/graph_builder.h"
 #include "support/arena.h"
@@ -44,7 +45,7 @@ struct Timing {
 };
 
 template <typename Fn>
-Timing bench(int warmup, int reps, const Fn& fn) {
+Timing time_kernel(int warmup, int reps, const Fn& fn) {
   for (int i = 0; i < warmup; ++i) fn();
   support::BufferPool::Stats before = support::BufferPool::global().stats();
   std::vector<double> times;
@@ -72,19 +73,17 @@ int main(int argc, char** argv) {
                    "SIMD tensor-kernel microbenchmarks (median-of-N, "
                    "GFLOP/s, bytes pulled from malloc while warm)");
   parser.add("reps", "9", "timed repetitions per kernel (median reported)")
-      .add("warmup", "3", "untimed warmup repetitions (fills the arena)")
-      .add("threads", "1",
-           "kernel parallelism cap (1 isolates single-core throughput)")
-      .add("csv", "", "optional path to also write the table as CSV");
+      .add("warmup", "3", "untimed warmup repetitions (fills the arena)");
+  bench::add_runtime_flags(parser, /*default_threads=*/"1");
   if (!parser.parse(argc, argv)) return 1;
 
-  // At least one timed rep (bench() takes a median and divides by reps) and
+  // At least one timed rep (time_kernel() takes a median and divides by
+  // reps) and
   // one warmup rep (the malloc columns and their threads=1 gate below only
   // mean anything once the arena is warm).
   const int reps = std::max(1, static_cast<int>(parser.get_int("reps")));
   const int warmup = std::max(1, static_cast<int>(parser.get_int("warmup")));
-  const int threads = static_cast<int>(parser.get_int("threads"));
-  tensor::set_kernel_parallelism(threads);
+  const int threads = bench::apply_threads(parser);
 
   Table table({"kernel", "shape", "median [ms]", "GFLOP/s", "malloc B/rep"});
   Rng rng(0xBE7C4);
@@ -107,7 +106,7 @@ int main(int argc, char** argv) {
   for (const MmCase& c : gemm_shapes) {
     Tensor a = Tensor::xavier({c.m, c.k}, rng);
     Tensor b = Tensor::xavier({c.k, c.n}, rng);
-    Timing t = bench(warmup, reps, [&] { tensor::matmul(a, b); });
+    Timing t = time_kernel(warmup, reps, [&] { tensor::matmul(a, b); });
     add_result("matmul fwd",
                std::to_string(c.m) + "x" + std::to_string(c.k) + "x" +
                    std::to_string(c.n),
@@ -119,7 +118,7 @@ int main(int argc, char** argv) {
     const int m = 512, k = 128, n = 128;
     Tensor a = Tensor::xavier({m, k}, rng);
     Tensor b = Tensor::xavier({k, n}, rng);
-    Timing t = bench(warmup, reps, [&] {
+    Timing t = time_kernel(warmup, reps, [&] {
       Tensor c = tensor::matmul(a, b);
       auto node = c.node();
       node->ensure_grad();
@@ -137,7 +136,7 @@ int main(int argc, char** argv) {
     Tensor a = Tensor::xavier({m, n}, rng);
     Tensor b = Tensor::xavier({1, n}, rng);
     Timing t =
-        bench(warmup, reps, [&] { tensor::add_bias_act(a, b, Act::Relu); });
+        time_kernel(warmup, reps, [&] { tensor::add_bias_act(a, b, Act::Relu); });
     add_result("add_bias_act relu", "4096x256", 2.0 * m * n, t);
   }
 
@@ -148,7 +147,7 @@ int main(int argc, char** argv) {
     Tensor gamma = Tensor::full({1, n}, 1.0f);
     Tensor beta = Tensor::zeros({1, n});
     Timing t =
-        bench(warmup, reps, [&] { tensor::layer_norm(x, gamma, beta); });
+        time_kernel(warmup, reps, [&] { tensor::layer_norm(x, gamma, beta); });
     add_result("layer_norm", "4096x256", 7.0 * m * n, t);
   }
 
@@ -160,14 +159,14 @@ int main(int argc, char** argv) {
     std::vector<float> coeff(e, 0.5f);
     for (int i = 0; i < e; ++i)
       dst[i] = static_cast<int>(rng.uniform(0.0, 1.0) * (rows - 1));
-    Timing t = bench(warmup, reps,
+    Timing t = time_kernel(warmup, reps,
                      [&] { tensor::index_add_rows(x, dst, coeff, rows); });
     add_result("index_add_rows", "65536x128->8192", 2.0 * e * d, t);
 
     std::vector<int> seg(e);
     for (int i = 0; i < e; ++i) seg[i] = i * rows / e;
     Timing ts =
-        bench(warmup, reps, [&] { tensor::segment_mean(x, seg, rows); });
+        time_kernel(warmup, reps, [&] { tensor::segment_mean(x, seg, rows); });
     add_result("segment_mean", "65536x128->8192", 2.0 * e * d, ts);
   }
 
@@ -203,11 +202,11 @@ int main(int argc, char** argv) {
       for (float& v : bt) v = static_cast<float>(rng.uniform(-1.0, 1.0));
       std::vector<float> c_row(static_cast<std::size_t>(m * n), 0.0f);
       std::vector<float> c_blk = c_row;
-      Timing rowwise = bench(warmup, reps, [&] {
+      Timing rowwise = time_kernel(warmup, reps, [&] {
         tensor::detail::gemm_dot_rowwise<false>(a.data(), k, bt.data(), k, m,
                                                 n, k, c_row.data(), n);
       });
-      Timing blocked = bench(warmup, reps, [&] {
+      Timing blocked = time_kernel(warmup, reps, [&] {
         tensor::detail::gemm_dot_panels<false>(a.data(), k, bt.data(), k, m,
                                                n, k, c_blk.data(), n);
       });
@@ -253,8 +252,8 @@ int main(int argc, char** argv) {
     std::vector<int> preds;
     gnn::Evaluation eval;
     Timing predict_t =
-        bench(warmup, reps, [&] { model.predict_into(graphs, preds); });
-    Timing eval_t = bench(warmup, reps, [&] {
+        time_kernel(warmup, reps, [&] { model.predict_into(graphs, preds); });
+    Timing eval_t = time_kernel(warmup, reps, [&] {
       model.evaluate(graphs, eval, /*want_embeddings=*/true);
     });
 

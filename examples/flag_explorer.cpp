@@ -1,20 +1,67 @@
 // flag_explorer: how compiler flag sequences reshape a region's IR and its
 // graph — the paper's augmentation device (step A) made visible. For one
 // region, prints each sampled sequence, the instruction count before/after
-// and the resulting graph size; identical structural fingerprints collapse.
+// and the resulting graph size; identical structural fingerprints
+// (graph::fingerprint) collapse.
+//
+// With --predict (default) the example is also a serving client: it trains
+// a small static model on the benchmark suite's exploration labels,
+// publishes it to a ModelRegistry, and streams every variant's graph
+// through a serve::InferenceServer — variants that optimized to the same
+// IR hit the fingerprint-keyed prediction cache instead of running a
+// forward, which is exactly the traffic pattern of iterative flag
+// exploration.
 #include <cstdio>
 #include <map>
 
+#include "graph/fingerprint.h"
 #include "graph/graph_builder.h"
 #include "graph/region_extractor.h"
 #include "ir/printer.h"
 #include "passes/flag_sequence.h"
 #include "passes/pass.h"
+#include "serve/server.h"
+#include "sim/exploration.h"
 #include "support/argparse.h"
 #include "support/table.h"
 #include "workloads/suite.h"
 
 using namespace irgnn;
+
+namespace {
+
+/// Trains the suite-labeled static model the served predictions come from:
+/// one exploration of the whole suite labels every region with its best
+/// reduced configuration, and the model learns region graph -> label.
+std::shared_ptr<const gnn::StaticModel> train_suite_model(
+    const sim::MachineDesc& machine, std::vector<int>* labels_out) {
+  sim::ExplorationTable table =
+      sim::explore(machine, workloads::suite_traits());
+  std::vector<int> labels = sim::reduce_labels(table, 13);
+  std::vector<int> oracle = sim::best_labels(table, labels);
+
+  std::vector<graph::ProgramGraph> owned;
+  for (const auto& spec : workloads::benchmark_suite()) {
+    auto module = workloads::build_region_module(spec);
+    owned.push_back(graph::build_graph(*module));
+  }
+  std::vector<const graph::ProgramGraph*> graphs;
+  for (const auto& g : owned) graphs.push_back(&g);
+
+  gnn::ModelConfig cfg;
+  cfg.vocab_size = graph::vocabulary_size();
+  cfg.num_labels = static_cast<int>(labels.size());
+  cfg.hidden_dim = 32;
+  cfg.num_layers = 2;
+  cfg.epochs = 6;
+  cfg.seed = 0xF1A6;
+  auto model = std::make_shared<gnn::StaticModel>(cfg);
+  model->train(graphs, oracle);
+  if (labels_out) *labels_out = labels;
+  return model;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   ArgParser parser("flag_explorer",
@@ -22,6 +69,10 @@ int main(int argc, char** argv) {
   parser.add("region", "cg 551", "region name")
       .add("sequences", "12", "number of flag sequences to sample")
       .add("seed", "11", "sampling seed")
+      .add("machine", "SandyBridge",
+           "machine whose exploration labels the served model learns")
+      .add("predict", "true",
+           "serve per-variant config predictions through an inference server")
       .add("dump-ir", "false", "print the optimized IR of the last variant");
   if (!parser.parse(argc, argv)) return 1;
 
@@ -36,12 +87,30 @@ int main(int argc, char** argv) {
   std::printf("region '%s': base module has %zu instructions\n",
               spec->name.c_str(), base->instruction_count());
 
+  const bool predict = parser.get_bool("predict");
+  serve::ModelRegistry registry;
+  std::unique_ptr<serve::InferenceServer> server;
+  std::vector<int> labels;
+  sim::MachineDesc machine = parser.get_string("machine") == "Skylake"
+                                 ? sim::MachineDesc::skylake()
+                                 : sim::MachineDesc::sandy_bridge();
+  if (predict) {
+    std::printf("training the served model on %s exploration labels...\n",
+                machine.name.c_str());
+    registry.publish("flag-explorer", train_suite_model(machine, &labels));
+    server = std::make_unique<serve::InferenceServer>(
+        registry.slot("flag-explorer"));
+  }
+
   auto sequences = passes::sample_flag_sequences(
       static_cast<std::size_t>(parser.get_int("sequences")),
       static_cast<std::uint64_t>(parser.get_int("seed")));
 
-  Table table({"seq", "passes", "insts", "graph_nodes", "graph_edges"});
-  std::map<std::pair<std::size_t, std::size_t>, int> fingerprints;
+  std::vector<std::string> columns = {"seq", "passes", "insts", "graph_nodes",
+                                      "graph_edges", "fingerprint"};
+  if (predict) columns.push_back("served_config");
+  Table table(columns);
+  std::map<std::uint64_t, int> fingerprints;
   std::unique_ptr<ir::Module> last;
   for (std::size_t s = 0; s < sequences.size(); ++s) {
     auto variant = base->clone();
@@ -49,17 +118,45 @@ int main(int argc, char** argv) {
     pm.run(*variant);
     auto region = graph::extract_region(
         *variant, workloads::outlined_name(spec->kernel.name));
-    auto pg = graph::build_graph(*region);
-    table.add_row({std::to_string(s), std::to_string(sequences[s].passes.size()),
-                   std::to_string(variant->instruction_count()),
-                   std::to_string(pg.num_nodes()),
-                   std::to_string(pg.num_edges())});
-    ++fingerprints[{pg.num_nodes(), pg.num_edges()}];
+    // predict() is synchronous and the cache stores labels only, so the
+    // variant graph need not outlive its own loop iteration.
+    const graph::ProgramGraph pg = graph::build_graph(*region);
+    const std::uint64_t fp = graph::fingerprint(pg);
+    std::vector<std::string> row = {
+        std::to_string(s), std::to_string(sequences[s].passes.size()),
+        std::to_string(variant->instruction_count()),
+        std::to_string(pg.num_nodes()), std::to_string(pg.num_edges())};
+    char fp_hex[24];
+    std::snprintf(fp_hex, sizeof fp_hex, "%016llx",
+                  static_cast<unsigned long long>(fp));
+    row.push_back(fp_hex);
+    if (predict) {
+      // Structurally identical variants are served from the prediction
+      // cache: only the first of each fingerprint runs a forward.
+      const int label = server->predict(pg);
+      row.push_back(labels.empty()
+                        ? std::to_string(label)
+                        : std::to_string(labels[static_cast<std::size_t>(
+                              label)]));
+    }
+    table.add_row(row);
+    ++fingerprints[fp];
     last = std::move(variant);
   }
   table.print();
   std::printf("%zu distinct structural fingerprints across %zu sequences\n",
               fingerprints.size(), sequences.size());
+  if (predict) {
+    serve::ServerStats stats = server->stats();
+    std::printf("serve: %llu queries -> %llu forwards in %llu micro-batches, "
+                "%llu cache hits (%.0f%% of variant queries served without "
+                "a forward)\n",
+                static_cast<unsigned long long>(stats.queries),
+                static_cast<unsigned long long>(stats.forwards),
+                static_cast<unsigned long long>(stats.batches),
+                static_cast<unsigned long long>(stats.cache.hits),
+                100.0 * stats.cache.hit_rate());
+  }
   if (parser.get_bool("dump-ir") && last)
     std::printf("\n%s\n", ir::print_module(*last).c_str());
   return 0;

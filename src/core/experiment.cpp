@@ -8,6 +8,7 @@
 #include "ml/cross_validation.h"
 #include "ml/decision_tree.h"
 #include "ml/genetic_selector.h"
+#include "serve/server.h"
 #include "support/statistics.h"
 #include "support/thread_pool.h"
 #include "tensor/tensor.h"
@@ -116,6 +117,7 @@ ExperimentResult run_experiment(const sim::MachineDesc& machine,
   // pred_by_seq rows of its own (disjoint) validation regions, and every
   // model seeds from (seed, fold) — so fold order and thread count never
   // change a single bit of the result.
+  std::vector<serve::ServerStats> fold_serve_stats(folds.size());
   ml::for_each_fold(folds.size(), options.num_threads, [&](std::size_t f) {
     const ml::Fold& fold = folds[f];
     // Training set: every augmented variant of every training region.
@@ -131,6 +133,18 @@ ExperimentResult run_experiment(const sim::MachineDesc& machine,
         model_config(options, L, hash_combine64(options.seed, f)));
     model.train(train_graphs, train_labels);
 
+    // The fold's label queries stream through an inference server pinned to
+    // the freshly trained model: flag variants that optimized a region to
+    // the same IR share a structural fingerprint and are answered from the
+    // prediction cache instead of a second forward. background_loop stays
+    // off — the fold already runs inside the pool, so the querying thread
+    // drives the micro-batches itself; answers are bit-identical to the
+    // direct predict_into calls this replaces, for every batch composition.
+    serve::ServerConfig serve_config;
+    serve_config.background_loop = false;
+    serve_config.cache_capacity = 4096;
+    serve::InferenceServer server(serve::borrow_model(model), serve_config);
+
     // Step E (explored method): best average sequence on training regions.
     // The query loop reuses one graph-pointer batch and one prediction
     // buffer; the model's persistent inference context recycles the packed
@@ -142,7 +156,7 @@ ExperimentResult run_experiment(const sim::MachineDesc& machine,
     for (std::size_t s = 0; s < S; ++s) {
       batch.clear();
       for (int r : fold.train_indices) batch.push_back(&dataset.graph(r, s));
-      model.predict_into(batch, preds);
+      server.predict_batch(batch, preds);
       double total = 0;
       for (std::size_t i = 0; i < preds.size(); ++i) {
         int r = fold.train_indices[i];
@@ -161,10 +175,11 @@ ExperimentResult run_experiment(const sim::MachineDesc& machine,
       batch.clear();
       for (int r : fold.validation_indices)
         batch.push_back(&dataset.graph(r, s));
-      model.predict_into(batch, preds);
+      server.predict_batch(batch, preds);
       for (std::size_t i = 0; i < preds.size(); ++i)
         pred_by_seq[fold.validation_indices[i]][s] = preds[i];
     }
+    fold_serve_stats[f] = server.stats();
     // Out-of-fold embeddings (graph vectors) from the fixed sequence 0 —
     // the features of the hybrid and flag-prediction models. One evaluate()
     // call shares a single batch build between the log-probs and the
@@ -191,6 +206,14 @@ ExperimentResult run_experiment(const sim::MachineDesc& machine,
     }
     if (f == 0) result.explored_sequence = explored_seq;
   });
+  // Serve traffic folds in fold order (counters, not floats, but the same
+  // deterministic-reduction discipline as everything else).
+  for (const serve::ServerStats& st : fold_serve_stats) {
+    result.serve_queries += st.queries;
+    result.serve_forwards += st.forwards;
+    result.serve_batches += st.batches;
+    result.serve_cache_hits += st.cache.hits;
+  }
 
   // Static errors/speedups from the explored-sequence predictions.
   for (std::size_t r = 0; r < R; ++r) {

@@ -103,6 +103,16 @@ struct ExperimentResult {
   double dynamic_accuracy = 0;
   double hybrid_router_accuracy = 0;
   double hybrid_profiled_fraction = 0;
+
+  // Serving-layer traffic (summed over folds in fold order). The fold query
+  // loops stream their region queries through serve::InferenceServer, so
+  // flag variants that optimize to structurally identical graphs are
+  // answered from the fingerprint-keyed prediction cache instead of a
+  // forward; deterministic for every thread count like everything above.
+  std::uint64_t serve_queries = 0;
+  std::uint64_t serve_forwards = 0;
+  std::uint64_t serve_batches = 0;
+  std::uint64_t serve_cache_hits = 0;
 };
 
 ExperimentResult run_experiment(const sim::MachineDesc& machine,

@@ -122,6 +122,8 @@ class StaticModel {
       const std::vector<const graph::ProgramGraph*>& graphs) const;
 
   const ModelConfig& config() const { return config_; }
+  int num_labels() const { return config_.num_labels; }
+  int hidden_dim() const { return config_.hidden_dim; }
   std::vector<tensor::Tensor> parameters() const;
 
  private:

@@ -1,0 +1,43 @@
+#include "graph/fingerprint.h"
+
+#include "support/rng.h"
+
+namespace irgnn::graph {
+
+namespace {
+
+/// Domain-separation constants so that e.g. a graph with one extra node can
+/// never collide with the same graph plus one extra edge by construction of
+/// the fold order alone.
+constexpr std::uint64_t kFingerprintSeed = 0x17C3A95EED5E47EULL;
+constexpr std::uint64_t kNodeSection = 0x6E0DE5ULL;
+constexpr std::uint64_t kEdgeSection = 0x0ED6E5ULL;
+
+}  // namespace
+
+std::uint64_t fingerprint(const ProgramGraph& graph) {
+  std::uint64_t h = hash_combine64(kFingerprintSeed, graph.nodes.size());
+  h = hash_combine64(h, kNodeSection);
+  for (const Node& node : graph.nodes) {
+    const std::uint64_t packed =
+        (static_cast<std::uint64_t>(node.kind) << 32) ^
+        static_cast<std::uint64_t>(static_cast<std::uint32_t>(node.feature));
+    h = hash_combine64(h, packed);
+  }
+  h = hash_combine64(h, kEdgeSection);
+  h = hash_combine64(h, graph.edges.size());
+  for (const Edge& edge : graph.edges) {
+    const std::uint64_t endpoints =
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(edge.src))
+         << 32) |
+        static_cast<std::uint64_t>(static_cast<std::uint32_t>(edge.dst));
+    const std::uint64_t tags =
+        (static_cast<std::uint64_t>(edge.kind) << 32) ^
+        static_cast<std::uint64_t>(static_cast<std::uint32_t>(edge.position));
+    h = hash_combine64(h, endpoints);
+    h = hash_combine64(h, tags);
+  }
+  return h;
+}
+
+}  // namespace irgnn::graph

@@ -1,0 +1,31 @@
+// Canonical 64-bit structural fingerprint of a ProgramGraph.
+//
+// The fingerprint folds every node's (kind, feature) pair and every edge's
+// (src, dst, kind, position) tuple — in graph order, which the builder makes
+// canonical — through splitmix64 mixing. Two graphs that the GNN cannot
+// tell apart (same node features, same typed edges) fingerprint equal; any
+// structural perturbation (a node's kind or vocabulary feature, an edge
+// endpoint, relation or operand position, an added/removed node or edge)
+// changes the value. Debug-only fields (the graph's name, node text) do not
+// participate: they never reach the model, so they must not split cache
+// entries for identical queries.
+//
+// The serving layer keys its prediction cache on this value: iterative flag
+// exploration produces many structurally identical variants of a region
+// (different flag sequences frequently optimize to the same IR), and those
+// collapse to one cache entry. Collisions are possible in principle
+// (64 bits) but tests/graph_test.cpp smokes the workload suite and its flag
+// variants for distinctness.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/program_graph.h"
+
+namespace irgnn::graph {
+
+/// Structural hash over node kinds/features and typed edges. Deterministic
+/// across platforms and runs; performs no heap allocation.
+std::uint64_t fingerprint(const ProgramGraph& graph);
+
+}  // namespace irgnn::graph

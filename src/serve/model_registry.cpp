@@ -1,0 +1,58 @@
+#include "serve/model_registry.h"
+
+#include <atomic>
+
+namespace irgnn::serve {
+
+std::shared_ptr<const PublishedModel> ModelSlot::snapshot() const {
+  return std::atomic_load(&current_);
+}
+
+std::uint64_t ModelSlot::publish(ModelPtr model) {
+  std::lock_guard<std::mutex> lock(publish_mutex_);
+  auto next = std::make_shared<const PublishedModel>(
+      PublishedModel{std::move(model), ++next_version_});
+  std::atomic_store(&current_, std::shared_ptr<const PublishedModel>(next));
+  return next->version;
+}
+
+std::uint64_t ModelRegistry::publish(const std::string& name, ModelPtr model) {
+  return slot(name)->publish(std::move(model));
+}
+
+bool ModelRegistry::retire(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return slots_.erase(name) > 0;
+}
+
+std::shared_ptr<ModelSlot> ModelRegistry::slot(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::shared_ptr<ModelSlot>& slot = slots_[name];
+  if (!slot) slot = std::make_shared<ModelSlot>();
+  return slot;
+}
+
+ModelPtr ModelRegistry::resolve(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = slots_.find(name);
+  return it == slots_.end() ? nullptr : it->second->snapshot()->model;
+}
+
+std::uint64_t ModelRegistry::version(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = slots_.find(name);
+  return it == slots_.end() ? 0 : it->second->snapshot()->version;
+}
+
+std::vector<std::string> ModelRegistry::names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(slots_.size());
+  for (const auto& [name, slot] : slots_) {
+    (void)slot;
+    out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace irgnn::serve

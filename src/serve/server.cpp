@@ -1,0 +1,387 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+
+#include "graph/fingerprint.h"
+#include "support/rng.h"
+#include "support/thread_pool.h"
+
+namespace irgnn::serve {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+}
+
+InferenceServer::InferenceServer(ModelPtr model, const ServerConfig& config)
+    : InferenceServer(
+          [&] {
+            auto slot = std::make_shared<ModelSlot>();
+            slot->publish(std::move(model));
+            return slot;
+          }(),
+          config) {}
+
+InferenceServer::InferenceServer(std::shared_ptr<ModelSlot> slot,
+                                 const ServerConfig& config)
+    : config_(config),
+      slot_(std::move(slot)),
+      cache_(config.cache_capacity, config.cache_shards) {
+  assert(slot_ && slot_->snapshot()->model &&
+         "InferenceServer requires a published model");
+  config_.max_batch = std::max(1, config_.max_batch);
+  // A worker-less pool would run the loop inline and never return; fall
+  // back to client-driven pumping there.
+  if (config_.background_loop &&
+      support::ThreadPool::global().num_workers() > 0) {
+    loop_running_ = true;
+    loop_token_ = std::make_shared<LoopToken>();
+    support::ThreadPool::global().submit([this, token = loop_token_] {
+      {
+        std::lock_guard<std::mutex> token_lock(token->mutex);
+        if (token->cancelled) return;  // server already shut down
+        token->started = true;
+      }
+      background_loop();
+    });
+  } else {
+    config_.background_loop = false;
+  }
+}
+
+InferenceServer::~InferenceServer() { shutdown(); }
+
+void InferenceServer::shutdown() {
+  if (loop_token_) {
+    // Settle the race with the loop task's startup: if the pool has not
+    // scheduled it yet (all workers busy or parked), cancel it — it will
+    // eventually run, see the token, and return without touching this
+    // (possibly destroyed) server.
+    std::lock_guard<std::mutex> token_lock(loop_token_->mutex);
+    if (!loop_token_->started) {
+      loop_token_->cancelled = true;
+      std::lock_guard<std::mutex> lock(mutex_);
+      loop_running_ = false;
+    }
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (!stop_) {
+    stop_ = true;
+    cv_queue_.notify_all();
+    cv_done_.notify_all();
+  }
+  // Wait for a started loop task to unpark and exit so it can never touch
+  // a destroyed server. Clients still waiting on futures drain the queue
+  // themselves via the pump-while-waiting path.
+  while (loop_running_) cv_done_.wait(lock);
+}
+
+// --- Future -----------------------------------------------------------------
+
+InferenceServer::Future& InferenceServer::Future::operator=(
+    Future&& other) noexcept {
+  if (this != &other) {
+    abandon();
+    server_ = other.server_;
+    slot_ = other.slot_;
+    gen_ = other.gen_;
+    ready_ = other.ready_;
+    value_ = other.value_;
+    other.server_ = nullptr;
+    other.ready_ = false;
+  }
+  return *this;
+}
+
+int InferenceServer::Future::get() {
+  if (ready_) {
+    ready_ = false;
+    return value_;
+  }
+  assert(server_ && "get() on an invalid future");
+  InferenceServer* server = server_;
+  server_ = nullptr;
+  return server->wait(slot_, gen_);
+}
+
+void InferenceServer::Future::abandon() {
+  if (!server_) return;
+  std::lock_guard<std::mutex> lock(server_->mutex_);
+  QuerySlot& slot = server_->slots_[slot_];
+  if (slot.gen == gen_) {
+    if (slot.state == SlotState::Done)
+      server_->free_slot_locked(slot_);
+    else
+      slot.abandoned = true;  // the pump frees it after answering
+  }
+  server_ = nullptr;
+}
+
+// --- Admission --------------------------------------------------------------
+
+std::uint32_t InferenceServer::alloc_slot_locked() {
+  if (!free_slots_.empty()) {
+    std::uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    return slot;
+  }
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void InferenceServer::free_slot_locked(std::uint32_t slot) {
+  QuerySlot& s = slots_[slot];
+  ++s.gen;
+  s.state = SlotState::Free;
+  s.abandoned = false;
+  s.graph = nullptr;
+  free_slots_.push_back(slot);
+}
+
+InferenceServer::Future InferenceServer::submit(
+    const graph::ProgramGraph& graph) {
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t fp = graph::fingerprint(graph);
+  const std::uint64_t version = slot_->snapshot()->version;
+  int label = 0;
+  if (cache_.lookup(hash_combine64(version, fp), &label))
+    return Future(label);
+  std::lock_guard<std::mutex> lock(mutex_);
+  assert(!stop_ && "submit() after shutdown()");
+  const std::uint32_t slot = alloc_slot_locked();
+  QuerySlot& s = slots_[slot];
+  s.graph = &graph;
+  s.fp = fp;
+  s.result = 0;
+  s.state = SlotState::Queued;
+  s.abandoned = false;
+  queue_.push_back(slot);
+  cv_queue_.notify_all();
+  return Future(this, slot, s.gen);
+}
+
+int InferenceServer::predict(const graph::ProgramGraph& graph) {
+  // Inlined hit path (rather than submit().get()) so a warm cache hit
+  // provably performs zero heap allocations: fingerprint, snapshot and
+  // lookup all run off preallocated storage.
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t fp = graph::fingerprint(graph);
+  const std::uint64_t version = slot_->snapshot()->version;
+  int label = 0;
+  if (cache_.lookup(hash_combine64(version, fp), &label)) return label;
+  std::uint32_t slot;
+  std::uint64_t gen;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    assert(!stop_ && "predict() after shutdown()");
+    slot = alloc_slot_locked();
+    QuerySlot& s = slots_[slot];
+    s.graph = &graph;
+    s.fp = fp;
+    s.result = 0;
+    s.state = SlotState::Queued;
+    s.abandoned = false;
+    gen = s.gen;
+    queue_.push_back(slot);
+    cv_queue_.notify_all();
+  }
+  return wait(slot, gen);
+}
+
+void InferenceServer::predict_batch(
+    const std::vector<const graph::ProgramGraph*>& graphs,
+    std::vector<int>& out) {
+  out.resize(graphs.size());
+  // Admit every miss before waiting on any, so misses share micro-batches;
+  // the first get() then pumps a full batch. Scratch recycles via the
+  // arena, keeping the steady-state query loops of callers like
+  // core::run_experiment off malloc.
+  support::PoolVector<std::pair<std::size_t, Future>> pending;
+  pending.reserve(graphs.size());
+  for (std::size_t i = 0; i < graphs.size(); ++i) {
+    Future f = submit(*graphs[i]);
+    if (f.ready_)
+      out[i] = f.get();
+    else
+      pending.emplace_back(i, std::move(f));
+  }
+  for (auto& [index, future] : pending) out[index] = future.get();
+}
+
+std::uint64_t InferenceServer::publish(ModelPtr model) {
+  return slot_->publish(std::move(model));
+}
+
+// --- Serving loop -----------------------------------------------------------
+
+void InferenceServer::pump_one(std::unique_lock<std::mutex>& lock,
+                               bool wait_window) {
+  assert(!pumping_ && !queue_.empty());
+  pumping_ = true;
+  if (wait_window && config_.max_wait_us > 0) {
+    // Batch window: give concurrent clients max_wait_us to join before
+    // flushing a sub-max_batch batch. Early-out as soon as it fills.
+    const auto deadline =
+        Clock::now() + std::chrono::microseconds(config_.max_wait_us);
+    while (static_cast<int>(queue_.size()) < config_.max_batch && !stop_) {
+      if (cv_queue_.wait_until(lock, deadline) == std::cv_status::timeout)
+        break;
+    }
+  }
+  batch_slots_.clear();
+  batch_graphs_.clear();
+  batch_fps_.clear();
+  while (!queue_.empty() &&
+         static_cast<int>(batch_slots_.size()) < config_.max_batch) {
+    const std::uint32_t slot = queue_.front();
+    queue_.pop_front();
+    batch_slots_.push_back(slot);
+    // Copy graph/fingerprint into pump scratch now: outside the lock the
+    // slots_ vector may be reallocated by a concurrent admission.
+    batch_graphs_.push_back(slots_[slot].graph);
+    batch_fps_.push_back(slots_[slot].fp);
+  }
+  // One consistent (model, version) snapshot answers the whole batch; a
+  // concurrent publish only affects later batches. The snapshot's
+  // shared_ptr keeps the model alive even if it is retired mid-forward.
+  const std::shared_ptr<const PublishedModel> published = slot_->snapshot();
+  lock.unlock();
+  try {
+    published->model->predict_into(batch_graphs_, batch_preds_);
+    for (std::size_t i = 0; i < batch_slots_.size(); ++i)
+      cache_.insert(hash_combine64(published->version, batch_fps_[i]),
+                    batch_preds_[i]);
+  } catch (...) {
+    // Return the batch to the front of the queue in admission order so no
+    // query is lost, hand the pump role back, and wake everyone: another
+    // pumper retries while the error surfaces from whoever drove this one.
+    lock.lock();
+    for (auto it = batch_slots_.rbegin(); it != batch_slots_.rend(); ++it)
+      queue_.push_front(*it);
+    pumping_ = false;
+    cv_queue_.notify_all();
+    cv_done_.notify_all();
+    throw;
+  }
+  lock.lock();
+  for (std::size_t i = 0; i < batch_slots_.size(); ++i) {
+    QuerySlot& s = slots_[batch_slots_[i]];
+    s.result = batch_preds_[i];
+    s.state = SlotState::Done;
+    if (s.abandoned) free_slot_locked(batch_slots_[i]);
+  }
+  ++batches_;
+  forwards_ += batch_slots_.size();
+  max_batch_seen_ = std::max<std::uint64_t>(max_batch_seen_,
+                                            batch_slots_.size());
+  if (published->version != last_served_version_) {
+    if (last_served_version_ != 0) ++model_swaps_;
+    last_served_version_ = published->version;
+  }
+  pumping_ = false;
+  cv_done_.notify_all();
+}
+
+int InferenceServer::wait(std::uint32_t slot, std::uint64_t gen) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    QuerySlot& s = slots_[slot];
+    assert(s.gen == gen && "future outlived its slot");
+    (void)gen;
+    if (s.state == SlotState::Done) {
+      const int result = s.result;
+      free_slot_locked(slot);
+      return result;
+    }
+    if (!pumping_ && !queue_.empty()) {
+      // Caller participation: no active pumper, so drive a batch ourselves.
+      // Skip the batch window — a waiting client gains nothing by idling,
+      // and batch composition never changes any result.
+      try {
+        pump_one(lock, /*wait_window=*/false);
+      } catch (...) {
+        // Our own query went back into the queue with the rest of the
+        // batch; disown it so whichever pump answers it also frees the
+        // slot, then surface the error (pump_one re-locked before
+        // throwing, so the lock is held here).
+        QuerySlot& own = slots_[slot];
+        if (own.gen == gen) {
+          if (own.state == SlotState::Done)
+            free_slot_locked(slot);
+          else
+            own.abandoned = true;
+        }
+        throw;
+      }
+      continue;
+    }
+    cv_done_.wait(lock);
+  }
+}
+
+void InferenceServer::background_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  bool idle_trimmed = false;
+  auto idle_since = Clock::now();
+  while (!stop_) {
+    if (!queue_.empty() || pumping_) {
+      // Activity — whether this loop drives the batch or a waiting client
+      // beat it to the pump role — re-arms the idle-trim trigger, so the
+      // grace period always measures genuine quiet, not just time since
+      // the loop's own last pump.
+      idle_trimmed = false;
+      if (pumping_) {
+        cv_done_.wait(lock);
+      } else {
+        try {
+          pump_one(lock, /*wait_window=*/true);
+        } catch (...) {
+          // Nobody observes an exception thrown on the loop task, and the
+          // batch was re-queued by pump_one. Stay alive (waiting clients
+          // drive and surface their own failures; a later retry may
+          // succeed, e.g. after transient memory pressure) but back off so
+          // a persistent failure cannot hot-spin the worker.
+          cv_queue_.wait_for(lock, std::chrono::milliseconds(1));
+        }
+      }
+      idle_since = Clock::now();
+      continue;
+    }
+    if (config_.idle_trim_us > 0 && !idle_trimmed) {
+      const auto deadline =
+          idle_since + std::chrono::microseconds(config_.idle_trim_us);
+      if (Clock::now() >= deadline) {
+        // Grace period expired with the queue still empty: hand the
+        // arena's cached blocks back to the system. Once per idle
+        // episode — the next batch re-arms the trigger.
+        lock.unlock();
+        support::BufferPool::global().trim();
+        lock.lock();
+        idle_trimmed = true;
+        ++idle_trims_;
+        continue;
+      }
+      cv_queue_.wait_until(lock, deadline);
+    } else {
+      cv_queue_.wait(lock);
+    }
+  }
+  loop_running_ = false;
+  cv_done_.notify_all();
+}
+
+ServerStats InferenceServer::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ServerStats out;
+  out.queries = queries_.load(std::memory_order_relaxed);
+  out.forwards = forwards_;
+  out.batches = batches_;
+  out.max_batch = max_batch_seen_;
+  out.model_swaps = model_swaps_;
+  out.idle_trims = idle_trims_;
+  out.cache = cache_.stats();
+  return out;
+}
+
+}  // namespace irgnn::serve

@@ -1,0 +1,240 @@
+// Streaming inference server: the online, multi-client layer over the
+// tape-free StaticModel inference engine.
+//
+// Clients submit single ProgramGraph region queries through a lock-guarded
+// admission queue and receive lightweight futures. A serving loop drains
+// the queue into dynamic micro-batches — flushed when `max_batch` queries
+// are waiting or the oldest has waited `max_wait_us` — and answers a whole
+// batch with one StaticModel::predict_into call. Three properties define
+// the design:
+//
+//   Determinism. Per-graph predictions never depend on which other graphs
+//   share a forward (pinned by the PR 3 inference engine tests), and every
+//   result is keyed to its query's admission slot, not to its position in
+//   whatever batch happened to form. A client therefore receives bits
+//   identical to a serial StaticModel::predict of its graph, for every
+//   batch window, batch size and client interleaving.
+//
+//   No dedicated threads, no deadlocks. The serving loop is a task on the
+//   shared support::ThreadPool; in addition, any client waiting on a future
+//   pumps batches itself when no pumper is active (the same
+//   caller-participates rule the pool uses), so the server also works with
+//   `background_loop = false` — required when servers are created inside
+//   pool-parallel work like the per-fold loop of core::run_experiment,
+//   where a parked loop task could otherwise starve.
+//
+//   Hot answers skip the forward. Results are cached under
+//   hash_combine64(model version, graph::fingerprint(graph)): repeated
+//   region queries — the common case in iterative flag exploration, where
+//   many flag sequences optimize a region to the same IR — are answered
+//   from the sharded LRU without touching the model, and a warm hit through
+//   predict() performs zero heap allocations. Mixing the version into the
+//   key means a hot-swapped model can never be answered with the retired
+//   model's cached labels.
+//
+// Hot swap: the server reads its model through a ModelSlot (its own, or one
+// shared with a ModelRegistry name). publish() atomically replaces the
+// (model, version) pair; in-flight batches finish on the snapshot they
+// took, queued queries are answered by whichever publication the batch that
+// picks them up observes — queries are never dropped, and every answer is
+// exactly one publication's serial-predict bits.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "graph/program_graph.h"
+#include "serve/model_registry.h"
+#include "serve/prediction_cache.h"
+#include "support/arena.h"
+
+namespace irgnn::serve {
+
+struct ServerConfig {
+  /// Micro-batch flush thresholds: a batch launches as soon as `max_batch`
+  /// queries are admitted, or when the serving loop has waited `max_wait_us`
+  /// microseconds since it saw the queue non-empty. A client pumping its own
+  /// query never waits the window (it has nothing to gain from idling).
+  int max_batch = 64;
+  int max_wait_us = 200;
+
+  /// Prediction-cache entry budget (0 disables caching) and shard count.
+  std::size_t cache_capacity = 4096;
+  int cache_shards = 8;
+
+  /// Run the serving loop as a task on the shared ThreadPool. Turn off for
+  /// servers created inside pool-parallel sections (clients then drive the
+  /// batching themselves while waiting; behaviour is otherwise identical).
+  bool background_loop = true;
+
+  /// When > 0 and the admission queue has been empty for this many
+  /// microseconds, the serving loop releases the buffer arena's cached
+  /// blocks back to the system (support::BufferPool::trim) once per idle
+  /// episode. Requires background_loop.
+  std::int64_t idle_trim_us = 0;
+};
+
+struct ServerStats {
+  std::uint64_t queries = 0;     // everything admitted (hits + misses)
+  std::uint64_t forwards = 0;    // queries answered by the model
+  std::uint64_t batches = 0;     // micro-batches launched
+  std::uint64_t max_batch = 0;   // largest micro-batch observed
+  std::uint64_t model_swaps = 0; // version changes observed between batches
+  std::uint64_t idle_trims = 0;  // arena trims triggered by idleness
+  CacheStats cache;
+};
+
+class InferenceServer {
+ public:
+  /// A pending prediction. Lightweight handle (8+8 bytes, movable): a
+  /// cache hit returns an already-resolved future without touching the
+  /// admission queue. Must be resolved or destroyed before the server.
+  class Future {
+   public:
+    Future() = default;
+    Future(Future&& other) noexcept { *this = std::move(other); }
+    Future& operator=(Future&& other) noexcept;
+    ~Future() { abandon(); }
+
+    bool valid() const { return server_ != nullptr || ready_; }
+
+    /// Blocks until the result is available (helping to drive batches while
+    /// waiting) and returns the predicted label. One-shot: the future
+    /// becomes invalid.
+    int get();
+
+   private:
+    friend class InferenceServer;
+    Future(int value) : ready_(true), value_(value) {}
+    Future(InferenceServer* server, std::uint32_t slot, std::uint64_t gen)
+        : server_(server), slot_(slot), gen_(gen) {}
+    void abandon();
+
+    InferenceServer* server_ = nullptr;
+    std::uint32_t slot_ = 0;
+    std::uint64_t gen_ = 0;
+    bool ready_ = false;
+    int value_ = 0;
+  };
+
+  /// Serves `model` through a private slot (hot-swappable via publish()).
+  explicit InferenceServer(ModelPtr model, const ServerConfig& config = {});
+
+  /// Serves whatever `slot` currently publishes — attach a ModelRegistry
+  /// slot so registry publishes under that name reach this server. The slot
+  /// must already hold a model.
+  explicit InferenceServer(std::shared_ptr<ModelSlot> slot,
+                           const ServerConfig& config = {});
+
+  ~InferenceServer();
+
+  InferenceServer(const InferenceServer&) = delete;
+  InferenceServer& operator=(const InferenceServer&) = delete;
+
+  /// Admits one region query. Cache hits resolve immediately; misses join
+  /// the next micro-batch. The graph must stay alive until the future
+  /// resolves.
+  Future submit(const graph::ProgramGraph& graph);
+
+  /// Synchronous query: submit + get. On a warm cache hit this performs
+  /// zero heap allocations (tests/serve_test.cpp counts operator new).
+  int predict(const graph::ProgramGraph& graph);
+
+  /// Batched convenience: admits every graph (so misses share micro-
+  /// batches), waits for all, writes labels in graph order into `out`.
+  void predict_batch(const std::vector<const graph::ProgramGraph*>& graphs,
+                     std::vector<int>& out);
+
+  /// Hot-swaps the served model (publishes to the server's slot). Returns
+  /// the new version. In-flight batches finish on their snapshot.
+  std::uint64_t publish(ModelPtr model);
+
+  /// Version of the current publication (monotonic per slot).
+  std::uint64_t model_version() const { return slot_->snapshot()->version; }
+
+  const ServerConfig& config() const { return config_; }
+  ServerStats stats() const;
+
+  /// Stops the serving loop after all admitted queries drain. Called by the
+  /// destructor; idempotent. Clients still blocked in get() finish their
+  /// own queries (they pump), but no new queries are admitted.
+  void shutdown();
+
+ private:
+  enum class SlotState : std::uint8_t { Free, Queued, Done };
+
+  struct QuerySlot {
+    const graph::ProgramGraph* graph = nullptr;
+    std::uint64_t fp = 0;  // raw structural fingerprint (version-free)
+    std::uint64_t gen = 0;
+    int result = 0;
+    SlotState state = SlotState::Free;
+    bool abandoned = false;
+  };
+
+  std::uint32_t alloc_slot_locked();
+  void free_slot_locked(std::uint32_t slot);
+
+  /// Runs one micro-batch: optionally waits the batch window for the queue
+  /// to fill, pops up to max_batch queries in admission order, answers them
+  /// with one predict_into outside the lock, publishes results to their
+  /// slots. Pre: lock held, queue non-empty, pumping_ == false.
+  void pump_one(std::unique_lock<std::mutex>& lock, bool wait_window);
+
+  /// Blocks until `slot` is Done (driving batches when no pumper is
+  /// active), returns the result and frees the slot.
+  int wait(std::uint32_t slot, std::uint64_t gen);
+
+  void background_loop();
+
+  /// Handshake between the constructor's loop-task submission and
+  /// shutdown(): whichever runs first under the token's mutex decides. If
+  /// shutdown wins before the pool ever scheduled the task, it cancels the
+  /// loop outright — the destructor never waits on a task that may not get
+  /// a worker (e.g. when other servers' loops occupy them all), and a
+  /// cancelled task only touches the token, never the dead server.
+  struct LoopToken {
+    std::mutex mutex;
+    bool cancelled = false;
+    bool started = false;
+  };
+
+  ServerConfig config_;
+  std::shared_ptr<ModelSlot> slot_;
+  PredictionCache cache_;
+  std::shared_ptr<LoopToken> loop_token_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_queue_;  // signaled on admission / shutdown
+  std::condition_variable cv_done_;   // signaled when a batch publishes
+  std::deque<std::uint32_t, support::PoolAllocator<std::uint32_t>> queue_;
+  std::vector<QuerySlot> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  bool pumping_ = false;
+  bool stop_ = false;
+  bool loop_running_ = false;
+
+  // Pump scratch: written only by the active pumper (pumping_ excludes
+  // concurrent pumps), reused across batches so warm pumps stay off malloc.
+  std::vector<const graph::ProgramGraph*> batch_graphs_;
+  std::vector<std::uint32_t> batch_slots_;
+  std::vector<std::uint64_t> batch_fps_;
+  std::vector<int> batch_preds_;
+
+  // Stats. queries_ is atomic so the zero-allocation hit path never takes
+  // the server mutex; the rest mutate under mutex_ inside the pump.
+  std::atomic<std::uint64_t> queries_{0};
+  std::uint64_t forwards_ = 0;
+  std::uint64_t batches_ = 0;
+  std::uint64_t max_batch_seen_ = 0;
+  std::uint64_t model_swaps_ = 0;
+  std::uint64_t idle_trims_ = 0;
+  std::uint64_t last_served_version_ = 0;
+};
+
+}  // namespace irgnn::serve

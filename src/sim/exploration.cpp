@@ -9,6 +9,12 @@
 
 namespace irgnn::sim {
 
+std::size_t ExplorationTable::region_index(const std::string& name) const {
+  for (std::size_t r = 0; r < regions.size(); ++r)
+    if (regions[r] == name) return r;
+  return npos;
+}
+
 std::size_t ExplorationTable::best_config(std::size_t region) const {
   const auto& row = time[region];
   return static_cast<std::size_t>(

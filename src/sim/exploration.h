@@ -32,6 +32,11 @@ struct ExplorationTable {
     return time[region][default_index] / time[region][config];
   }
   std::size_t best_config(std::size_t region) const;
+  /// Row index of a region by name; npos if absent. The serve-driven
+  /// drivers explore the whole suite once and then score individual
+  /// regions' predicted labels against their row.
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  std::size_t region_index(const std::string& name) const;
   /// Arithmetic-average speedup of per-region best configurations.
   double full_exploration_speedup() const;
 };

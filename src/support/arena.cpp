@@ -22,11 +22,13 @@ void* BufferPool::allocate(std::size_t bytes) {
     std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.malloc_calls;
     stats_.malloc_bytes += bytes;
+    note_outstanding(bytes);
     return ::operator new(bytes);
   }
   const std::size_t rounded = bucket_bytes(bucket);
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    note_outstanding(rounded);
     std::vector<void*>& list = free_[bucket];
     if (!list.empty()) {
       void* ptr = list.back();
@@ -48,9 +50,12 @@ void BufferPool::deallocate(void* ptr, std::size_t bytes) {
   const int bucket = bucket_of(bytes);
   if (bucket < 0) {
     ::operator delete(ptr);
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_.outstanding_bytes -= bytes;
     return;
   }
   std::lock_guard<std::mutex> lock(mutex_);
+  stats_.outstanding_bytes -= bucket_bytes(bucket);
   free_[bucket].push_back(ptr);
 }
 
@@ -61,11 +66,14 @@ BufferPool::Stats BufferPool::stats() const {
 
 void BufferPool::trim() {
   std::lock_guard<std::mutex> lock(mutex_);
-  for (std::vector<void*>& list : free_) {
+  for (int bucket = 0; bucket < kNumBuckets; ++bucket) {
+    std::vector<void*>& list = free_[bucket];
+    stats_.trimmed_bytes += list.size() * bucket_bytes(bucket);
     for (void* ptr : list) ::operator delete(ptr);
     list.clear();
     list.shrink_to_fit();
   }
+  ++stats_.trims;
 }
 
 }  // namespace irgnn::support

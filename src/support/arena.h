@@ -38,6 +38,17 @@ class BufferPool {
     std::uint64_t malloc_bytes = 0;  // bytes obtained from operator new
     std::uint64_t pool_hits = 0;     // requests served from a free list
     std::uint64_t pool_hit_bytes = 0;
+    /// Bytes currently checked out of the pool (allocated, not yet
+    /// returned; oversize pass-through requests included) and the highest
+    /// that watermark has ever been. The serving benches surface the
+    /// high-water mark as the engine's true working-set footprint — trim()
+    /// releases idle blocks but can never lower outstanding_bytes.
+    std::uint64_t outstanding_bytes = 0;
+    std::uint64_t high_water_bytes = 0;
+    /// Bytes released back to the system by trim() calls, and how many
+    /// trims ran — the idle-trim satellite made observable.
+    std::uint64_t trimmed_bytes = 0;
+    std::uint64_t trims = 0;
   };
 
   /// Process-wide pool. Intentionally leaked (never destroyed) so buffers
@@ -69,6 +80,14 @@ class BufferPool {
   static int bucket_of(std::size_t bytes);
   static std::size_t bucket_bytes(int bucket) {
     return static_cast<std::size_t>(1) << (bucket + kMinBucketBits);
+  }
+
+  /// Bumps the outstanding-bytes watermark for a request of `bytes` (the
+  /// bucket-rounded size for pooled requests). Caller holds mutex_.
+  void note_outstanding(std::size_t bytes) {
+    stats_.outstanding_bytes += bytes;
+    if (stats_.outstanding_bytes > stats_.high_water_bytes)
+      stats_.high_water_bytes = stats_.outstanding_bytes;
   }
 
   mutable std::mutex mutex_;

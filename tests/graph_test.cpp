@@ -1,11 +1,20 @@
-// Unit tests for the ProGraML-style graph builder and the region extractor.
+// Unit tests for the ProGraML-style graph builder, the structural
+// fingerprint and the region extractor.
 #include <gtest/gtest.h>
 
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "graph/fingerprint.h"
 #include "graph/graph_builder.h"
 #include "graph/region_extractor.h"
 #include "ir/parser.h"
 #include "ir/verifier.h"
+#include "passes/flag_sequence.h"
+#include "passes/pass.h"
 #include "tests/test_helpers.h"
+#include "workloads/suite.h"
 
 namespace irgnn {
 namespace {
@@ -131,6 +140,127 @@ TEST(GraphDotTest, ProducesGraphvizOutput) {
   EXPECT_NE(dot.find("digraph"), std::string::npos);
   EXPECT_NE(dot.find("color=blue"), std::string::npos);   // control
   EXPECT_NE(dot.find("color=black"), std::string::npos);  // data
+}
+
+
+// --- graph::fingerprint -----------------------------------------------------
+
+TEST(FingerprintTest, EqualGraphsHashEqual) {
+  auto module_a = testing::make_sum_loop_module();
+  auto module_b = testing::make_sum_loop_module();
+  auto g_a = graph::build_graph(*module_a);
+  auto g_b = graph::build_graph(*module_b);
+  EXPECT_EQ(graph::fingerprint(g_a), graph::fingerprint(g_b));
+  graph::ProgramGraph copy = g_a;
+  EXPECT_EQ(graph::fingerprint(copy), graph::fingerprint(g_a));
+}
+
+TEST(FingerprintTest, DebugOnlyFieldsDoNotParticipate) {
+  // The graph name and node text never reach the model, so they must not
+  // split cache entries for identical queries.
+  auto module = testing::make_sum_loop_module();
+  auto g = graph::build_graph(*module);
+  graph::ProgramGraph renamed = g;
+  renamed.name = "something else";
+  renamed.nodes[0].text = "different debug text";
+  EXPECT_EQ(graph::fingerprint(renamed), graph::fingerprint(g));
+}
+
+TEST(FingerprintTest, StructuralPerturbationsChangeTheHash) {
+  auto module = testing::make_sum_loop_module();
+  const graph::ProgramGraph base = graph::build_graph(*module);
+  const std::uint64_t fp = graph::fingerprint(base);
+
+  {
+    graph::ProgramGraph g = base;  // node kind
+    g.nodes[0].kind = g.nodes[0].kind == graph::NodeKind::Variable
+                          ? graph::NodeKind::Constant
+                          : graph::NodeKind::Variable;
+    EXPECT_NE(graph::fingerprint(g), fp);
+  }
+  {
+    graph::ProgramGraph g = base;  // node feature
+    g.nodes[1].feature += 1;
+    EXPECT_NE(graph::fingerprint(g), fp);
+  }
+  {
+    graph::ProgramGraph g = base;  // edge endpoint
+    g.edges[0].dst = g.edges[0].dst == 0 ? 1 : 0;
+    EXPECT_NE(graph::fingerprint(g), fp);
+  }
+  {
+    graph::ProgramGraph g = base;  // edge relation
+    g.edges[0].kind = g.edges[0].kind == graph::EdgeKind::Data
+                          ? graph::EdgeKind::Control
+                          : graph::EdgeKind::Data;
+    EXPECT_NE(graph::fingerprint(g), fp);
+  }
+  {
+    graph::ProgramGraph g = base;  // operand position
+    g.edges[0].position += 1;
+    EXPECT_NE(graph::fingerprint(g), fp);
+  }
+  {
+    graph::ProgramGraph g = base;  // added node
+    g.nodes.push_back(g.nodes.back());
+    EXPECT_NE(graph::fingerprint(g), fp);
+  }
+  {
+    graph::ProgramGraph g = base;  // removed edge
+    g.edges.pop_back();
+    EXPECT_NE(graph::fingerprint(g), fp);
+  }
+}
+
+TEST(FingerprintTest, EmptyAndSingleNodeGraphs) {
+  graph::ProgramGraph empty;
+  graph::ProgramGraph single;
+  single.nodes.push_back({graph::NodeKind::Instruction, 3, "add"});
+  graph::ProgramGraph other_single;
+  other_single.nodes.push_back({graph::NodeKind::Instruction, 4, "sub"});
+  EXPECT_EQ(graph::fingerprint(empty), graph::fingerprint(empty));
+  EXPECT_NE(graph::fingerprint(empty), graph::fingerprint(single));
+  EXPECT_NE(graph::fingerprint(single), graph::fingerprint(other_single));
+}
+
+TEST(FingerprintTest, CollisionSmokeOverWorkloadSuiteAndFlagVariants) {
+  // Structurally distinct graphs must get distinct fingerprints across the
+  // whole suite plus a handful of flag variants per region. "Structurally
+  // distinct" is judged on exactly the fields the fingerprint covers, so a
+  // collision here is a real hash failure, not a text difference.
+  auto structural_key = [](const graph::ProgramGraph& g) {
+    std::ostringstream key;
+    for (const auto& n : g.nodes)
+      key << static_cast<int>(n.kind) << ':' << n.feature << ';';
+    key << '|';
+    for (const auto& e : g.edges)
+      key << e.src << ',' << e.dst << ',' << static_cast<int>(e.kind) << ','
+          << e.position << ';';
+    return key.str();
+  };
+
+  std::map<std::uint64_t, std::string> by_fingerprint;
+  auto check = [&](const graph::ProgramGraph& g) {
+    const std::uint64_t fp = graph::fingerprint(g);
+    const std::string key = structural_key(g);
+    auto [it, inserted] = by_fingerprint.emplace(fp, key);
+    if (!inserted)
+      EXPECT_EQ(it->second, key)
+          << "fingerprint collision between structurally distinct graphs";
+  };
+
+  auto sequences = passes::sample_flag_sequences(3, 0xF1);
+  for (const auto& spec : workloads::benchmark_suite()) {
+    auto module = workloads::build_region_module(spec);
+    check(graph::build_graph(*module));
+    for (const auto& seq : sequences) {
+      auto variant = module->clone();
+      passes::PassManager pm(seq.passes);
+      pm.run(*variant);
+      check(graph::build_graph(*variant));
+    }
+  }
+  EXPECT_GT(by_fingerprint.size(), workloads::benchmark_suite().size());
 }
 
 TEST(RegionExtractorTest, FindsOutlinedRegions) {

@@ -1,0 +1,355 @@
+// Inference-server tests: determinism of dynamically micro-batched
+// concurrent serving against serial StaticModel::predict, the
+// zero-allocation warm cache-hit contract (this binary counts global
+// operator new, like arena_test), hot-swap under load, the model registry,
+// and the sharded LRU prediction cache.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <thread>
+#include <vector>
+
+#include "graph/fingerprint.h"
+#include "graph/graph_builder.h"
+#include "serve/model_registry.h"
+#include "serve/prediction_cache.h"
+#include "serve/server.h"
+#include "support/rng.h"
+#include "workloads/suite.h"
+
+// --- Global allocation counter ---------------------------------------------
+
+static std::atomic<std::uint64_t> g_heap_allocations{0};
+
+static void* counted_alloc(std::size_t size) {
+  ++g_heap_allocations;
+  if (void* ptr = std::malloc(size ? size : 1)) return ptr;
+  throw std::bad_alloc();
+}
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  ++g_heap_allocations;
+  return std::malloc(size ? size : 1);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  ++g_heap_allocations;
+  return std::malloc(size ? size : 1);
+}
+void operator delete(void* ptr) noexcept { std::free(ptr); }
+void operator delete[](void* ptr) noexcept { std::free(ptr); }
+void operator delete(void* ptr, std::size_t) noexcept { std::free(ptr); }
+void operator delete[](void* ptr, std::size_t) noexcept { std::free(ptr); }
+void operator delete(void* ptr, const std::nothrow_t&) noexcept {
+  std::free(ptr);
+}
+void operator delete[](void* ptr, const std::nothrow_t&) noexcept {
+  std::free(ptr);
+}
+
+namespace irgnn {
+namespace {
+
+/// A dozen structurally distinct suite regions, built once.
+const std::vector<graph::ProgramGraph>& test_graphs() {
+  static const std::vector<graph::ProgramGraph> owned = [] {
+    std::vector<graph::ProgramGraph> graphs;
+    for (int r : {0, 3, 7, 12, 18, 23, 29, 34, 40, 45, 51, 55}) {
+      auto module =
+          workloads::build_region_module(workloads::benchmark_suite()[r]);
+      graphs.push_back(graph::build_graph(*module));
+    }
+    return graphs;
+  }();
+  return owned;
+}
+
+gnn::ModelConfig small_config(std::uint64_t seed) {
+  gnn::ModelConfig cfg;
+  cfg.vocab_size = graph::vocabulary_size();
+  cfg.num_labels = 5;
+  cfg.hidden_dim = 16;
+  cfg.num_layers = 2;
+  cfg.seed = seed;
+  cfg.num_threads = 1;
+  return cfg;
+}
+
+std::vector<int> serial_predict(const gnn::StaticModel& model) {
+  std::vector<const graph::ProgramGraph*> ptrs;
+  for (const auto& g : test_graphs()) ptrs.push_back(&g);
+  return model.predict(ptrs);
+}
+
+TEST(InferenceServerTest, ConcurrentSubmitBitIdenticalToSerialPredict) {
+  // N concurrent clients over a repeated-graph stream, for every
+  // combination of loop mode, batch size and batch window: each answer
+  // must equal the serial predict of that graph — batching composition,
+  // caching and client interleaving may never change a bit.
+  auto model = std::make_shared<const gnn::StaticModel>(small_config(0xA));
+  const std::vector<int> expected = serial_predict(*model);
+  const auto& graphs = test_graphs();
+
+  for (bool background : {false, true}) {
+    for (int max_batch : {1, 4, 64}) {
+      for (int wait_us : {0, 200}) {
+        serve::ServerConfig config;
+        config.background_loop = background;
+        config.max_batch = max_batch;
+        config.max_wait_us = wait_us;
+        config.cache_capacity = 64;
+        serve::InferenceServer server(model, config);
+
+        constexpr int kClients = 4;
+        constexpr int kQueriesPerClient = 48;
+        std::vector<std::vector<int>> got(kClients);
+        std::vector<std::vector<std::size_t>> streams(kClients);
+        std::vector<std::thread> clients;
+        for (int c = 0; c < kClients; ++c) {
+          clients.emplace_back([&, c] {
+            Rng rng(hash_combine64(0xC11E, static_cast<std::uint64_t>(c)));
+            for (int q = 0; q < kQueriesPerClient; ++q) {
+              const std::size_t g = rng.next_below(graphs.size());
+              streams[c].push_back(g);
+              got[c].push_back(server.predict(graphs[g]));
+            }
+          });
+        }
+        for (auto& t : clients) t.join();
+        for (int c = 0; c < kClients; ++c)
+          for (int q = 0; q < kQueriesPerClient; ++q)
+            EXPECT_EQ(got[c][q], expected[streams[c][q]])
+                << "background=" << background << " max_batch=" << max_batch
+                << " wait_us=" << wait_us << " client=" << c << " query=" << q;
+        const serve::ServerStats stats = server.stats();
+        EXPECT_EQ(stats.queries,
+                  static_cast<std::uint64_t>(kClients * kQueriesPerClient));
+        EXPECT_EQ(stats.forwards + stats.cache.hits, stats.queries);
+        EXPECT_LE(stats.max_batch, static_cast<std::uint64_t>(max_batch));
+        // 192 queries over 12 fingerprints: the cache must absorb most.
+        EXPECT_GE(stats.cache.hits, stats.queries / 2);
+      }
+    }
+  }
+}
+
+TEST(InferenceServerTest, FuturesResolveAndMixWithSyncClients) {
+  auto model = std::make_shared<const gnn::StaticModel>(small_config(0xB));
+  const std::vector<int> expected = serial_predict(*model);
+  const auto& graphs = test_graphs();
+  serve::ServerConfig config;
+  config.max_batch = 4;
+  config.cache_capacity = 0;  // every query must take the batched path
+  serve::InferenceServer server(model, config);
+
+  std::vector<serve::InferenceServer::Future> futures;
+  for (std::size_t g = 0; g < graphs.size(); ++g)
+    futures.push_back(server.submit(graphs[g]));
+  // A sync query while async work is queued: joins the same micro-batches.
+  EXPECT_EQ(server.predict(graphs[0]), expected[0]);
+  for (std::size_t g = 0; g < graphs.size(); ++g)
+    EXPECT_EQ(futures[g].get(), expected[g]);
+  const serve::ServerStats stats = server.stats();
+  EXPECT_EQ(stats.forwards, graphs.size() + 1);
+  EXPECT_LE(stats.max_batch, 4u);
+  EXPECT_GE(stats.batches, (graphs.size() + 1 + 3) / 4);
+}
+
+TEST(InferenceServerTest, AbandonedFutureDoesNotLoseOtherQueries) {
+  auto model = std::make_shared<const gnn::StaticModel>(small_config(0xC));
+  const std::vector<int> expected = serial_predict(*model);
+  const auto& graphs = test_graphs();
+  serve::ServerConfig config;
+  config.cache_capacity = 0;
+  serve::InferenceServer server(model, config);
+  {
+    serve::InferenceServer::Future dropped = server.submit(graphs[1]);
+    // destroyed unresolved
+  }
+  EXPECT_EQ(server.predict(graphs[2]), expected[2]);
+  EXPECT_EQ(server.predict(graphs[1]), expected[1]);
+}
+
+TEST(InferenceServerTest, WarmCacheHitPerformsZeroHeapAllocations) {
+  auto model = std::make_shared<const gnn::StaticModel>(small_config(0xD));
+  const std::vector<int> expected = serial_predict(*model);
+  const auto& graphs = test_graphs();
+  serve::ServerConfig config;
+  config.background_loop = false;  // nothing may run concurrently with the
+                                   // counter window below
+  serve::InferenceServer server(model, config);
+  std::vector<int> first;
+  for (const auto& g : graphs) first.push_back(server.predict(g));
+  const serve::ServerStats cold_stats = server.stats();
+
+  const std::uint64_t heap_before = g_heap_allocations.load();
+  for (int rep = 0; rep < 10; ++rep)
+    for (std::size_t g = 0; g < graphs.size(); ++g)
+      ASSERT_EQ(server.predict(graphs[g]), expected[g]);
+  const std::uint64_t heap_delta = g_heap_allocations.load() - heap_before;
+  EXPECT_EQ(heap_delta, 0u) << "a warm cache-hit query allocated";
+
+  // Every warm query hit (the cold pass may contribute extra hits when two
+  // suite regions happen to be structurally identical).
+  const serve::ServerStats stats = server.stats();
+  EXPECT_EQ(stats.cache.hits - cold_stats.cache.hits,
+            static_cast<std::uint64_t>(10 * graphs.size()));
+  EXPECT_EQ(stats.forwards, cold_stats.forwards);
+  EXPECT_EQ(first, expected);
+}
+
+TEST(InferenceServerTest, HotSwapUnderLoadNeverDropsOrMixesQueries) {
+  auto model_a = std::make_shared<const gnn::StaticModel>(small_config(0xAA));
+  auto model_b = std::make_shared<const gnn::StaticModel>(small_config(0xBB));
+  const std::vector<int> expected_a = serial_predict(*model_a);
+  const std::vector<int> expected_b = serial_predict(*model_b);
+  const auto& graphs = test_graphs();
+  // Differently seeded random models disagree somewhere; if this ever
+  // flakes the seeds just need a nudge.
+  ASSERT_NE(expected_a, expected_b);
+
+  serve::ModelRegistry registry;
+  registry.publish("static", model_a);
+  serve::ServerConfig config;
+  config.max_batch = 8;
+  config.cache_capacity = 256;
+  serve::InferenceServer server(registry.slot("static"), config);
+
+  constexpr int kClients = 4;
+  constexpr int kQueriesPerClient = 200;
+  std::atomic<int> wrong{0};
+  std::atomic<int> answered{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      Rng rng(hash_combine64(0x50AB, static_cast<std::uint64_t>(c)));
+      for (int q = 0; q < kQueriesPerClient; ++q) {
+        const std::size_t g = rng.next_below(graphs.size());
+        const int label = server.predict(graphs[g]);
+        // Every answer is exactly one publication's serial-predict bits —
+        // never dropped (predict always returns) and never a mix.
+        if (label != expected_a[g] && label != expected_b[g])
+          wrong.fetch_add(1);
+        answered.fetch_add(1);
+      }
+    });
+  }
+  // Swap mid-load.
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  const std::uint64_t v2 = registry.publish("static", model_b);
+  for (auto& t : clients) t.join();
+
+  EXPECT_EQ(wrong.load(), 0);
+  EXPECT_EQ(answered.load(), kClients * kQueriesPerClient);
+  EXPECT_EQ(server.model_version(), v2);
+
+  // Quiesced post-swap queries must be the new model's bits — the
+  // version-keyed cache can never serve the retired model's labels.
+  for (std::size_t g = 0; g < graphs.size(); ++g)
+    EXPECT_EQ(server.predict(graphs[g]), expected_b[g]);
+}
+
+TEST(InferenceServerTest, PredictBatchMatchesSerialAndHandlesEdgeCases) {
+  auto model = std::make_shared<const gnn::StaticModel>(small_config(0xE));
+  const std::vector<int> expected = serial_predict(*model);
+  const auto& graphs = test_graphs();
+  serve::InferenceServer server(model);
+
+  std::vector<const graph::ProgramGraph*> batch;
+  std::vector<int> out;
+  server.predict_batch(batch, out);  // empty
+  EXPECT_TRUE(out.empty());
+
+  batch.push_back(&graphs[4]);
+  server.predict_batch(batch, out);  // single
+  EXPECT_EQ(out, std::vector<int>{expected[4]});
+
+  batch.clear();
+  for (const auto& g : graphs) batch.push_back(&g);
+  for (const auto& g : graphs) batch.push_back(&g);  // duplicates
+  server.predict_batch(batch, out);
+  ASSERT_EQ(out.size(), 2 * graphs.size());
+  for (std::size_t i = 0; i < out.size(); ++i)
+    EXPECT_EQ(out[i], expected[i % graphs.size()]);
+}
+
+TEST(ModelRegistryTest, PublishResolveRetireAndVersions) {
+  auto model_a = std::make_shared<const gnn::StaticModel>(small_config(0x1));
+  auto model_b = std::make_shared<const gnn::StaticModel>(small_config(0x2));
+  serve::ModelRegistry registry;
+
+  EXPECT_EQ(registry.resolve("gnn"), nullptr);
+  EXPECT_EQ(registry.version("gnn"), 0u);
+
+  EXPECT_EQ(registry.publish("gnn", model_a), 1u);
+  EXPECT_EQ(registry.resolve("gnn").get(), model_a.get());
+  EXPECT_EQ(registry.publish("gnn", model_b), 2u);
+  EXPECT_EQ(registry.resolve("gnn").get(), model_b.get());
+  EXPECT_EQ(registry.version("gnn"), 2u);
+  EXPECT_EQ(registry.names(), std::vector<std::string>{"gnn"});
+
+  // A server stays attached to the slot across retire: the name is gone
+  // from the registry but the last publication keeps serving.
+  auto slot = registry.slot("gnn");
+  EXPECT_TRUE(registry.retire("gnn"));
+  EXPECT_FALSE(registry.retire("gnn"));
+  EXPECT_EQ(registry.resolve("gnn"), nullptr);
+  EXPECT_EQ(slot->snapshot()->model.get(), model_b.get());
+  EXPECT_EQ(slot->snapshot()->version, 2u);
+}
+
+TEST(PredictionCacheTest, LRUEvictionAndStats) {
+  serve::PredictionCache cache(4, /*num_shards=*/1);
+  int label = -1;
+  EXPECT_FALSE(cache.lookup(10, &label));
+  for (std::uint64_t k = 0; k < 4; ++k)
+    cache.insert(k, static_cast<int>(k) + 100);
+  for (std::uint64_t k = 0; k < 4; ++k) {
+    EXPECT_TRUE(cache.lookup(k, &label));
+    EXPECT_EQ(label, static_cast<int>(k) + 100);
+  }
+  // 0..3 were re-touched in order; inserting 4 must evict 0 (the LRU).
+  cache.insert(4, 104);
+  EXPECT_FALSE(cache.lookup(0, &label));
+  EXPECT_TRUE(cache.lookup(4, &label));
+  EXPECT_TRUE(cache.lookup(1, &label));
+  // Touch 2 then insert again: 3 is now least recent.
+  EXPECT_TRUE(cache.lookup(2, &label));
+  cache.insert(5, 105);
+  EXPECT_FALSE(cache.lookup(3, &label));
+
+  serve::CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.evictions, 2u);
+  EXPECT_EQ(stats.entries, 4u);
+  EXPECT_EQ(stats.insertions, 6u);
+  EXPECT_GT(stats.hits, 0u);
+  EXPECT_GT(stats.misses, 0u);
+
+  cache.clear();
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_FALSE(cache.lookup(4, &label));
+}
+
+TEST(PredictionCacheTest, ZeroCapacityDisables) {
+  serve::PredictionCache cache(0);
+  int label = -1;
+  cache.insert(7, 1);
+  EXPECT_FALSE(cache.lookup(7, &label));
+}
+
+TEST(PredictionCacheTest, ShardedCapacityHolds) {
+  serve::PredictionCache cache(64, 8);
+  EXPECT_EQ(cache.capacity(), 64u);
+  for (std::uint64_t k = 0; k < 10000; ++k)
+    cache.insert(hash_combine64(0x5EED, k), static_cast<int>(k % 7));
+  EXPECT_LE(cache.stats().entries, 64u);
+  EXPECT_EQ(cache.stats().insertions, 10000u);
+  EXPECT_EQ(cache.stats().evictions, 10000u - cache.stats().entries);
+}
+
+}  // namespace
+}  // namespace irgnn
