@@ -16,7 +16,8 @@ int main(int argc, char** argv) {
   Table table({"machine", "explored_flag_seq", "overall_flag_seq",
                "predicted_flag_seq", "oracle_flag_seq"});
   Table serve_table({"machine", "serve_queries", "forwards", "batches",
-                     "cache_hits", "hit_rate"});
+                     "cache_hits", "hit_rate", "shed", "rejected",
+                     "deadline_exceeded"});
   for (const auto& machine :
        {sim::MachineDesc::skylake(), sim::MachineDesc::sandy_bridge()}) {
     core::ExperimentResult res = core::run_experiment(machine, options);
@@ -32,14 +33,18 @@ int main(int argc, char** argv) {
                         ? static_cast<double>(res.serve_cache_hits) /
                               static_cast<double>(res.serve_queries)
                         : 0.0,
-                    3)});
+                    3),
+         std::to_string(res.serve_shed), std::to_string(res.serve_rejected),
+         std::to_string(res.serve_deadline_exceeded)});
   }
   std::printf("\n=== Fig. 11 flag-selection strategies (higher is better) "
               "===\n");
   bench::finish(table, parser);
   std::printf("\n=== Serving-layer traffic from the fold query loops "
               "(cache hits = flag variants that optimized to structurally "
-              "identical graphs) ===\n");
+              "identical graphs; the fold servers are unbounded, so the "
+              "shed/rejected/deadline columns pin that no experiment query "
+              "was ever dropped) ===\n");
   serve_table.print();
   const std::string csv = parser.get_string("csv");
   if (!csv.empty() && serve_table.write_csv(csv + ".serve.csv"))

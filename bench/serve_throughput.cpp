@@ -1,19 +1,25 @@
 // Load generator for serve::InferenceServer: closed-loop latency/throughput
 // at 1 and 4 client threads, an open-loop burst showing micro-batch
-// amortization, a cache hit-vs-miss section, and the buffer arena's
-// high-water mark + idle-trim behaviour.
+// amortization, a cache hit-vs-miss section, the buffer arena's high-water
+// mark + idle-trim behaviour, and (--overload) an admission-control section
+// that slams a bounded queue with a burst and gates the shedding contract.
 //
 // Like microbench_kernels, contract violations are a nonzero exit so the CI
-// smoke run (--quick) is a real gate:
+// smoke runs (--quick, --quick --overload) are real gates:
 //   - every served label must equal the pinned model's serial predict
-//     (determinism under batching/caching),
+//     (determinism under batching/caching/shedding),
 //   - a warm single-client pass must pull zero bytes from malloc through
 //     the pool,
 //   - a warm cache hit must be at least 10x faster than a miss,
-//   - the idle grace period must trigger an arena trim.
+//   - the idle grace period must trigger an arena trim,
+//   - under --overload: the bounded queue actually sheds (Overloaded within
+//     the bound, conservation of answered+shed+rejected), the admitted
+//     queue depth never exceeds max_queue, admitted answers stay
+//     bit-identical, and p99 latency of admitted requests stays bounded.
 //
 //   ./serve_throughput --threads 1 --queries 5000
-//   ./serve_throughput --quick          (CI smoke)
+//   ./serve_throughput --quick              (CI smoke)
+//   ./serve_throughput --quick --overload   (CI admission-control smoke)
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -70,18 +76,23 @@ int main(int argc, char** argv) {
   ArgParser parser("serve_throughput",
                    "open/closed-loop load generator for the inference "
                    "server (latency percentiles, qps, cache hit rate, "
-                   "malloc bytes per query)");
+                   "malloc bytes per query, admission control)");
   parser.add("queries", "5000", "closed-loop queries per client thread")
       .add("hidden", "64", "served model hidden dimension")
       .add("layers", "3", "served model RGCN layers")
       .add("max-batch", "64", "micro-batch flush size")
       .add("wait-us", "200", "micro-batch window in microseconds")
       .add("cache", "4096", "prediction cache entries (0 disables)")
+      .add("max-queue", "32", "admission bound for the --overload section")
+      .add("overload", "false",
+           "also slam a bounded queue with an async burst and gate the "
+           "load-shedding contract")
       .add("quick", "false", "CI smoke: fewer queries, same contract gates");
   bench::add_runtime_flags(parser, /*default_threads=*/"1");
   if (!parser.parse(argc, argv)) return 1;
 
   const bool quick = parser.get_bool("quick");
+  const bool overload = parser.get_bool("overload");
   const int threads = bench::apply_threads(parser);
   const int queries_per_client =
       quick ? 500 : static_cast<int>(parser.get_int("queries"));
@@ -145,9 +156,10 @@ int main(int argc, char** argv) {
     std::vector<double> miss_lat, hit_lat;
     for (std::size_t g : unique) {
       const auto t0 = Clock::now();
-      const int label = server.predict(*graphs[g]);
+      const serve::Response r = server.predict(*graphs[g]);
       miss_lat.push_back(to_us(Clock::now() - t0));
-      if (label != expected[g]) ++failures;
+      if (!r.ok() || r.label != expected[g]) ++failures;
+      if (r.source != serve::Source::Batch) ++failures;
     }
     const int hit_reps = quick ? 5 : 20;
     const support::BufferPool::Stats pool_before =
@@ -155,9 +167,12 @@ int main(int argc, char** argv) {
     for (int rep = 0; rep < hit_reps; ++rep) {
       for (std::size_t g : unique) {
         const auto t0 = Clock::now();
-        const int label = server.predict(*graphs[g]);
+        const serve::Response r = server.predict(*graphs[g]);
         hit_lat.push_back(to_us(Clock::now() - t0));
-        if (label != expected[g]) ++failures;
+        if (!r.ok() || r.label != expected[g]) ++failures;
+        if (server_config.cache_capacity != 0 &&
+            r.source != serve::Source::Cache)
+          ++failures;
       }
     }
     const support::BufferPool::Stats pool_after =
@@ -189,14 +204,15 @@ int main(int argc, char** argv) {
 
   // --- Closed loop: 1 and 4 client threads ---------------------------------
   Table closed({"clients", "queries", "p50 [us]", "p95 [us]", "p99 [us]",
-                "queries/sec", "hit rate", "malloc B/query"});
+                "queries/sec", "src cache", "src batch", "src shed",
+                "malloc B/query"});
   for (int clients : {1, 4}) {
     serve::InferenceServer server(model, server_config);
     // Warm pass: every fingerprint cached, arena filled.
-    std::vector<int> warm;
+    std::vector<serve::Response> warm;
     server.predict_batch(graphs, warm);
     for (std::size_t g = 0; g < graphs.size(); ++g)
-      if (warm[g] != expected[g]) ++failures;
+      if (!warm[g].ok() || warm[g].label != expected[g]) ++failures;
 
     std::vector<std::vector<double>> latencies(
         static_cast<std::size_t>(clients));
@@ -213,9 +229,9 @@ int main(int argc, char** argv) {
         for (int q = 0; q < queries_per_client; ++q) {
           const std::size_t g = rng.next_below(graphs.size());
           const auto s0 = Clock::now();
-          const int label = server.predict(*graphs[g]);
+          const serve::Response r = server.predict(*graphs[g]);
           lat.push_back(to_us(Clock::now() - s0));
-          if (label != expected[g]) wrong.fetch_add(1);
+          if (!r.ok() || r.label != expected[g]) wrong.fetch_add(1);
         }
       });
     }
@@ -236,14 +252,16 @@ int main(int argc, char** argv) {
         {std::to_string(clients), std::to_string(static_cast<int>(total_queries)),
          Table::fmt(p.p50, 2), Table::fmt(p.p95, 2), Table::fmt(p.p99, 2),
          Table::fmt(total_queries / wall_s, 0),
-         Table::fmt(stats.cache.hit_rate(), 3),
+         std::to_string(stats.source_cache),
+         std::to_string(stats.source_batch),
+         std::to_string(stats.source_shed),
          std::to_string(static_cast<std::uint64_t>(
              static_cast<double>(pool_after.malloc_bytes -
                                  pool_before.malloc_bytes) /
              total_queries))});
   }
   std::printf("\n=== Closed loop (every client waits for its answer; warm "
-              "cache) ===\n");
+              "cache; unbounded queue, so src shed must read 0) ===\n");
   closed.print();
 
   // --- Open loop: async burst, micro-batch amortization --------------------
@@ -260,12 +278,20 @@ int main(int argc, char** argv) {
     const auto t0 = Clock::now();
     for (int q = 0; q < burst; ++q) {
       stream.push_back(rng.next_below(graphs.size()));
-      futures.push_back(server.submit(*graphs[stream.back()]));
+      serve::StatusOr<serve::InferenceServer::Future> submitted =
+          server.submit(serve::Request(*graphs[stream.back()]));
+      if (!submitted.ok()) {
+        ++failures;  // unbounded queue: every submit must be admitted
+        std::printf("FAILED: unbounded submit returned %s\n",
+                    submitted.status().code_name());
+        break;
+      }
+      futures.push_back(std::move(submitted).value());
     }
-    for (int q = 0; q < burst; ++q)
-      if (futures[static_cast<std::size_t>(q)].get() !=
-          expected[stream[static_cast<std::size_t>(q)]])
-        ++failures;
+    for (std::size_t q = 0; q < futures.size(); ++q) {
+      const serve::Response r = futures[q].get();
+      if (!r.ok() || r.label != expected[stream[q]]) ++failures;
+    }
     const double wall_s =
         std::chrono::duration<double>(Clock::now() - t0).count();
     serve::ServerStats stats = server.stats();
@@ -280,13 +306,131 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(stats.max_batch));
   }
 
+  // --- Overload: bounded queue + load shedding ------------------------------
+  if (overload) {
+    const std::size_t max_queue =
+        static_cast<std::size_t>(std::max<std::int64_t>(
+            1, parser.get_int("max-queue")));
+    const int burst = quick ? 1500 : 5000;
+    for (serve::ShedPolicy policy :
+         {serve::ShedPolicy::Reject, serve::ShedPolicy::DropOldest}) {
+      serve::ServerConfig oc = server_config;
+      oc.cache_capacity = 0;  // every admitted query costs a forward
+      oc.max_queue = max_queue;
+      oc.shed_policy = policy;
+      serve::InferenceServer server(model, oc);
+      if (!server.config().background_loop) {
+        // A worker-less pool falls back to client-driven pumping; an async
+        // burst with nobody waiting would never drain. Not a contract
+        // violation — report and skip, like the idle-trim gate.
+        std::printf("\n(no background loop available: overload gate "
+                    "skipped)\n");
+        break;
+      }
+      std::atomic<int> resolved{0}, answered{0}, shed_after_admit{0},
+          wrong{0};
+      int rejected_at_submit = 0;
+      std::vector<double> admitted_lat(static_cast<std::size_t>(burst),
+                                       -1.0);
+      Rng rng(hash_combine64(seed, 0x10AD));
+      for (int q = 0; q < burst; ++q) {
+        const std::size_t g = rng.next_below(graphs.size());
+        const auto t0 = Clock::now();
+        serve::StatusOr<serve::InferenceServer::Future> submitted =
+            server.submit(serve::Request(*graphs[g]));
+        if (!submitted.ok()) {
+          if (submitted.status().code() != serve::StatusCode::kOverloaded)
+            ++failures;
+          ++rejected_at_submit;
+          continue;
+        }
+        // Async continuation instead of a blocking get(): the callback
+        // runs on whichever thread pumps (or sheds) the request.
+        submitted.value().then(
+            [&, t0, q, g](const serve::Response& r) {
+              if (r.ok()) {
+                admitted_lat[static_cast<std::size_t>(q)] =
+                    to_us(Clock::now() - t0);
+                if (r.label != expected[g]) wrong.fetch_add(1);
+                answered.fetch_add(1);
+              } else {
+                shed_after_admit.fetch_add(1);
+              }
+              resolved.fetch_add(1);
+            });
+      }
+      const int admitted = burst - rejected_at_submit;
+      while (resolved.load() < admitted)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+      std::vector<double> lat;
+      for (double l : admitted_lat)
+        if (l >= 0) lat.push_back(l);
+      const Percentiles p = percentiles(lat);
+      serve::ServerStats stats = server.stats();
+      const double p99_bound_us = 1e6;  // bounded queue => tens of ms; an
+                                        // unbounded regression queues the
+                                        // whole burst and blows well past 1s
+      std::printf("\n=== Overload (%s, burst %d, max_queue %zu, cache off) "
+                  "===\n"
+                  "answered %d, shed-after-admit %d, rejected %d | peak "
+                  "queue %llu | admitted p50 %.0f us, p99 %.0f us\n"
+                  "sources: cache %llu, batch %llu, shed %llu | counters: "
+                  "shed %llu, rejected %llu, deadline %llu\n",
+                  serve::shed_policy_name(policy), burst, max_queue,
+                  answered.load(), shed_after_admit.load(),
+                  rejected_at_submit,
+                  static_cast<unsigned long long>(stats.peak_queue), p.p50,
+                  p.p99,
+                  static_cast<unsigned long long>(stats.source_cache),
+                  static_cast<unsigned long long>(stats.source_batch),
+                  static_cast<unsigned long long>(stats.source_shed),
+                  static_cast<unsigned long long>(stats.shed),
+                  static_cast<unsigned long long>(stats.rejected),
+                  static_cast<unsigned long long>(stats.deadline_exceeded));
+      if (wrong.load() != 0) {
+        ++failures;
+        std::printf("FAILED: an admitted answer differed from serial "
+                    "predict under shedding\n");
+      }
+      if (answered.load() + shed_after_admit.load() + rejected_at_submit !=
+          burst) {
+        ++failures;
+        std::printf("FAILED: answered + shed + rejected != submitted "
+                    "(queries lost)\n");
+      }
+      if (stats.rejected + stats.shed == 0) {
+        ++failures;
+        std::printf("FAILED: the overload burst did not shed at all\n");
+      }
+      if (stats.peak_queue > max_queue) {
+        ++failures;
+        std::printf("FAILED: admitted queue depth %llu exceeded the bound "
+                    "%zu\n",
+                    static_cast<unsigned long long>(stats.peak_queue),
+                    max_queue);
+      }
+      if (!lat.empty() && p.p99 > p99_bound_us) {
+        ++failures;
+        std::printf("FAILED: p99 of admitted requests (%.0f us) not "
+                    "bounded by %.0f us\n",
+                    p.p99, p99_bound_us);
+      }
+      if (policy == serve::ShedPolicy::DropOldest &&
+          stats.shed == 0) {
+        ++failures;
+        std::printf("FAILED: DropOldest shed nothing after admission\n");
+      }
+    }
+  }
+
   // --- Idle trim + arena high-water mark -----------------------------------
   {
     serve::ServerConfig idle = server_config;
     idle.idle_trim_us = 20000;  // 20 ms grace
     serve::InferenceServer server(model, idle);
-    std::vector<int> preds;
-    server.predict_batch(graphs, preds);
+    std::vector<serve::Response> responses;
+    server.predict_batch(graphs, responses);
     // 10x the grace period: generous margin for a loaded CI worker.
     std::this_thread::sleep_for(std::chrono::milliseconds(200));
     serve::ServerStats stats = server.stats();
@@ -319,6 +463,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("\nall serving contracts held (determinism, zero-alloc warm "
-              "hits, 10x cache advantage, idle trim)\n");
+              "hits, 10x cache advantage%s, idle trim)\n",
+              overload ? ", bounded-queue shedding" : "");
   return 0;
 }

@@ -6,11 +6,11 @@
 //
 // With --predict (default) the example is also a serving client: it trains
 // a small static model on the benchmark suite's exploration labels,
-// publishes it to a ModelRegistry, and streams every variant's graph
-// through a serve::InferenceServer — variants that optimized to the same
-// IR hit the fingerprint-keyed prediction cache instead of running a
-// forward, which is exactly the traffic pattern of iterative flag
-// exploration.
+// publishes it into a serve::Router under the machine's name, and streams
+// every variant's graph through the router as typed Requests — variants
+// that optimized to the same IR hit the fingerprint-keyed prediction cache
+// (Response::source == Cache) instead of running a forward, which is
+// exactly the traffic pattern of iterative flag exploration.
 #include <cstdio>
 #include <map>
 
@@ -20,7 +20,7 @@
 #include "ir/printer.h"
 #include "passes/flag_sequence.h"
 #include "passes/pass.h"
-#include "serve/server.h"
+#include "serve/router.h"
 #include "sim/exploration.h"
 #include "support/argparse.h"
 #include "support/table.h"
@@ -88,8 +88,7 @@ int main(int argc, char** argv) {
               spec->name.c_str(), base->instruction_count());
 
   const bool predict = parser.get_bool("predict");
-  serve::ModelRegistry registry;
-  std::unique_ptr<serve::InferenceServer> server;
+  serve::Router router;  // typed front door; this client serves one model
   std::vector<int> labels;
   sim::MachineDesc machine = parser.get_string("machine") == "Skylake"
                                  ? sim::MachineDesc::skylake()
@@ -97,9 +96,7 @@ int main(int argc, char** argv) {
   if (predict) {
     std::printf("training the served model on %s exploration labels...\n",
                 machine.name.c_str());
-    registry.publish("flag-explorer", train_suite_model(machine, &labels));
-    server = std::make_unique<serve::InferenceServer>(
-        registry.slot("flag-explorer"));
+    router.publish(machine.name, train_suite_model(machine, &labels));
   }
 
   auto sequences = passes::sample_flag_sequences(
@@ -132,12 +129,19 @@ int main(int argc, char** argv) {
     row.push_back(fp_hex);
     if (predict) {
       // Structurally identical variants are served from the prediction
-      // cache: only the first of each fingerprint runs a forward.
-      const int label = server->predict(pg);
+      // cache: only the first of each fingerprint runs a forward. The
+      // routed query path never throws — a failure is a Status.
+      const serve::Response response =
+          router.predict(serve::Request(pg, machine.name));
+      if (!response.ok()) {
+        std::fprintf(stderr, "serve error: %s (%s)\n",
+                     response.status.code_name(), response.status.message());
+        return 1;
+      }
       row.push_back(labels.empty()
-                        ? std::to_string(label)
+                        ? std::to_string(response.label)
                         : std::to_string(labels[static_cast<std::size_t>(
-                              label)]));
+                              response.label)]));
     }
     table.add_row(row);
     ++fingerprints[fp];
@@ -147,15 +151,20 @@ int main(int argc, char** argv) {
   std::printf("%zu distinct structural fingerprints across %zu sequences\n",
               fingerprints.size(), sequences.size());
   if (predict) {
-    serve::ServerStats stats = server->stats();
-    std::printf("serve: %llu queries -> %llu forwards in %llu micro-batches, "
-                "%llu cache hits (%.0f%% of variant queries served without "
-                "a forward)\n",
-                static_cast<unsigned long long>(stats.queries),
+    serve::RouterStats stats = router.stats();
+    std::printf("serve [model '%s' v%llu]: %llu routed queries -> %llu "
+                "forwards in %llu micro-batches, %llu cache hits (%.0f%% of "
+                "variant queries answered without a forward), %llu shed\n",
+                machine.name.c_str(),
+                static_cast<unsigned long long>(router.version(machine.name)),
+                static_cast<unsigned long long>(stats.routed),
                 static_cast<unsigned long long>(stats.forwards),
                 static_cast<unsigned long long>(stats.batches),
-                static_cast<unsigned long long>(stats.cache.hits),
-                100.0 * stats.cache.hit_rate());
+                static_cast<unsigned long long>(stats.cache_hits),
+                stats.queries ? 100.0 * static_cast<double>(stats.cache_hits) /
+                                    static_cast<double>(stats.queries)
+                              : 0.0,
+                static_cast<unsigned long long>(stats.source_shed));
   }
   if (parser.get_bool("dump-ir") && last)
     std::printf("\n%s\n", ir::print_module(*last).c_str());

@@ -6,15 +6,16 @@
 // With --gnn (default) the example also answers the deployment question the
 // paper poses: what would the trained predictor have chosen *without*
 // exploring? It trains the static model leave-one-out (every suite region
-// except the target), publishes it to a ModelRegistry and queries the
-// target region's graph through a serve::InferenceServer — the same
-// serving path a production tuner would hit — then scores the served
-// prediction against the exhaustive exploration it just ran.
+// except the target), publishes it into a serve::Router under the
+// machine's name and queries the target region's graph through the typed
+// Request/Response front door — the same serving path a production tuner
+// would hit — then scores the served prediction against the exhaustive
+// exploration it just ran.
 #include <algorithm>
 #include <cstdio>
 
 #include "graph/graph_builder.h"
-#include "serve/server.h"
+#include "serve/router.h"
 #include "sim/exploration.h"
 #include "support/argparse.h"
 #include "support/table.h"
@@ -125,33 +126,61 @@ int main(int argc, char** argv) {
   auto model = std::make_shared<gnn::StaticModel>(cfg);
   model->train(train_graphs, train_labels);
 
-  serve::ModelRegistry registry;
-  registry.publish("numa-autotune", std::move(model));
-  serve::InferenceServer server(registry.slot("numa-autotune"));
-  const int predicted = server.predict(target_graph);
-  const int repeat = server.predict(target_graph);  // warm: cache hit
+  serve::Router router;
+  router.publish(machine.name, std::move(model));
+
+  // A misrouted request (unknown architecture) is a Status, not a throw —
+  // the front door a production tuner would see.
+  const serve::Response misrouted =
+      router.predict(serve::Request(target_graph, "NoSuchArch"));
+  if (misrouted.status.code() != serve::StatusCode::kModelNotFound) {
+    std::fprintf(stderr, "BUG: expected ModelNotFound for an unknown "
+                         "architecture, got %s\n",
+                 misrouted.status.code_name());
+    return 1;
+  }
+
+  const serve::Response first =
+      router.predict(serve::Request(target_graph, machine.name));
+  const serve::Response repeat =
+      router.predict(serve::Request(target_graph, machine.name));
+  if (!first.ok() || !repeat.ok()) {
+    std::fprintf(stderr, "serve error: %s\n", first.ok()
+                                                  ? repeat.status.code_name()
+                                                  : first.status.code_name());
+    return 1;
+  }
+  const int predicted = first.label;
   const std::size_t predicted_config =
       static_cast<std::size_t>(labels[static_cast<std::size_t>(predicted)]);
   const std::size_t oracle_config = static_cast<std::size_t>(
       labels[static_cast<std::size_t>(oracle[row])]);
 
-  serve::ServerStats stats = server.stats();
-  std::printf("\nserved prediction (model v%llu, %llu queries -> %llu "
-              "forwards, %llu cache hits):\n"
+  serve::RouterStats stats = router.stats();
+  std::printf("\nserved prediction (model '%s' v%llu, %llu routed + %llu "
+              "misrouted -> %llu forwards, %llu cache hits; first answer "
+              "from %s in %lld us queue + %lld us compute, repeat from "
+              "%s):\n"
               "  predicted   %s  speedup %.3f\n"
               "  label-set best %s  speedup %.3f\n"
               "  exhaustive best %s  speedup %.3f\n",
-              static_cast<unsigned long long>(server.model_version()),
-              static_cast<unsigned long long>(stats.queries),
+              machine.name.c_str(),
+              static_cast<unsigned long long>(first.model_version),
+              static_cast<unsigned long long>(stats.routed),
+              static_cast<unsigned long long>(stats.model_not_found),
               static_cast<unsigned long long>(stats.forwards),
-              static_cast<unsigned long long>(stats.cache.hits),
+              static_cast<unsigned long long>(stats.cache_hits),
+              serve::source_name(first.source),
+              static_cast<long long>(first.queue_us),
+              static_cast<long long>(first.compute_us),
+              serve::source_name(repeat.source),
               table.configurations[predicted_config].to_string().c_str(),
               table.speedup(row, predicted_config),
               table.configurations[oracle_config].to_string().c_str(),
               table.speedup(row, oracle_config),
               table.configurations[table.best_config(row)].to_string().c_str(),
               table.speedup(row, table.best_config(row)));
-  if (repeat != predicted) {
+  if (repeat.label != predicted || repeat.source != serve::Source::Cache) {
     std::fprintf(stderr,
                  "BUG: cached prediction differs from the served one\n");
     return 1;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
 #include <limits>
 #include <numeric>
 
@@ -22,6 +24,20 @@ double label_time(const sim::ExplorationTable& table,
                   const std::vector<int>& labels, std::size_t region,
                   int label) {
   return table.time[region][labels[label]];
+}
+
+/// The fold servers run unbounded, so every Response must come back Ok; a
+/// non-Ok response (a failed forward surfacing as Internal) means the
+/// experiment's numbers would be built on a label of -1 — fail loudly
+/// instead, in Release too (an assert would compile out under NDEBUG and
+/// let labels[-1] read out of bounds).
+void check_served(const serve::Response& response) {
+  if (response.ok()) return;
+  std::fprintf(stderr,
+               "run_experiment: fold server returned %s (%s); aborting "
+               "rather than folding a shed/failed query into the results\n",
+               response.status.code_name(), response.status.message());
+  std::abort();
 }
 
 gnn::ModelConfig model_config(const ExperimentOptions& options,
@@ -140,30 +156,36 @@ ExperimentResult run_experiment(const sim::MachineDesc& machine,
     // off — the fold already runs inside the pool, so the querying thread
     // drives the micro-batches itself; answers are bit-identical to the
     // direct predict_into calls this replaces, for every batch composition.
+    // max_queue stays 0 (unbounded): experiment traffic is cooperative and
+    // may never be shed — every Response must come back Ok, which the
+    // asserts below and the zeroed shed counters in fig11's table pin.
     serve::ServerConfig serve_config;
     serve_config.background_loop = false;
     serve_config.cache_capacity = 4096;
+    serve_config.max_queue = 0;
     serve::InferenceServer server(serve::borrow_model(model), serve_config);
 
     // Step E (explored method): best average sequence on training regions.
-    // The query loop reuses one graph-pointer batch and one prediction
+    // The query loop reuses one graph-pointer batch and one response
     // buffer; the model's persistent inference context recycles the packed
     // GraphBatch underneath, so the S*folds queries stop rebuilding state.
     double best_seq_speedup = -1;
     int explored_seq = 0;
     std::vector<const graph::ProgramGraph*> batch;
-    std::vector<int> preds;
+    std::vector<serve::Response> responses;
     for (std::size_t s = 0; s < S; ++s) {
       batch.clear();
       for (int r : fold.train_indices) batch.push_back(&dataset.graph(r, s));
-      server.predict_batch(batch, preds);
+      server.predict_batch(batch, responses);
       double total = 0;
-      for (std::size_t i = 0; i < preds.size(); ++i) {
+      for (std::size_t i = 0; i < responses.size(); ++i) {
+        check_served(responses[i]);
         int r = fold.train_indices[i];
         total += result.table.time[r][result.table.default_index] /
-                 label_time(result.table, result.labels, r, preds[i]);
+                 label_time(result.table, result.labels, r,
+                            responses[i].label);
       }
-      double avg = total / preds.size();
+      double avg = total / responses.size();
       if (avg > best_seq_speedup) {
         best_seq_speedup = avg;
         explored_seq = static_cast<int>(s);
@@ -175,9 +197,11 @@ ExperimentResult run_experiment(const sim::MachineDesc& machine,
       batch.clear();
       for (int r : fold.validation_indices)
         batch.push_back(&dataset.graph(r, s));
-      server.predict_batch(batch, preds);
-      for (std::size_t i = 0; i < preds.size(); ++i)
-        pred_by_seq[fold.validation_indices[i]][s] = preds[i];
+      server.predict_batch(batch, responses);
+      for (std::size_t i = 0; i < responses.size(); ++i) {
+        check_served(responses[i]);
+        pred_by_seq[fold.validation_indices[i]][s] = responses[i].label;
+      }
     }
     fold_serve_stats[f] = server.stats();
     // Out-of-fold embeddings (graph vectors) from the fixed sequence 0 —
@@ -213,6 +237,9 @@ ExperimentResult run_experiment(const sim::MachineDesc& machine,
     result.serve_forwards += st.forwards;
     result.serve_batches += st.batches;
     result.serve_cache_hits += st.cache.hits;
+    result.serve_shed += st.shed;
+    result.serve_rejected += st.rejected;
+    result.serve_deadline_exceeded += st.deadline_exceeded;
   }
 
   // Static errors/speedups from the explored-sequence predictions.

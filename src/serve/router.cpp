@@ -1,0 +1,198 @@
+#include "serve/router.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace irgnn::serve {
+
+Router::Router(const RouterConfig& config) : config_(config) {}
+
+Router::~Router() { shutdown(); }
+
+std::uint64_t Router::publish(const std::string& name, ModelPtr model) {
+  // The registry publish and the map update happen under one writer lock —
+  // and the registry publish comes first, so the slot holds a model before
+  // any server attaches to it (the server constructor requires a
+  // publication). A retire() of the same name serializes behind us (or we
+  // behind it), so we can never attach a server to a slot a racing retire
+  // just emptied.
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint64_t version = registry_.publish(name, std::move(model));
+  if (stopped_.load(std::memory_order_relaxed))
+    return version;  // name stays published but is never routed
+  const std::shared_ptr<const ServerMap> current =
+      std::atomic_load(&servers_);
+  if (current->find(name) == current->end()) {
+    ServerConfig server_config = config_.server;
+    server_config.max_queue = config_.max_queue;
+    server_config.shed_policy = config_.shed_policy;
+    auto next = std::make_shared<ServerMap>(*current);
+    next->emplace(name, std::make_shared<InferenceServer>(
+                            registry_.slot(name), server_config));
+    std::atomic_store(&servers_,
+                      std::shared_ptr<const ServerMap>(std::move(next)));
+  }
+  return version;
+}
+
+bool Router::retire(const std::string& name) {
+  std::shared_ptr<InferenceServer> server;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const std::shared_ptr<const ServerMap> current =
+        std::atomic_load(&servers_);
+    auto it = current->find(name);
+    if (it == current->end()) return false;
+    server = it->second;
+    auto next = std::make_shared<ServerMap>(*current);
+    next->erase(name);
+    std::atomic_store(&servers_,
+                      std::shared_ptr<const ServerMap>(std::move(next)));
+    // Inside the writer lock, like publish(): a concurrent publish of the
+    // same name must observe map and registry changing together.
+    registry_.retire(name);
+  }
+  // Drain outside the router lock: admitted queries are answered (their
+  // waiters pump), new submits race to ShuttingDown; in-flight routes that
+  // snapshotted the old map keep the server alive through their shared_ptr.
+  drain_and_fold(*server);
+  return true;
+}
+
+void Router::drain_and_fold(InferenceServer& server) {
+  server.shutdown();
+  const ServerStats last = server.stats();
+  std::lock_guard<std::mutex> lock(mutex_);
+  retired_.queries += last.queries;
+  retired_.forwards += last.forwards;
+  retired_.batches += last.batches;
+  retired_.shed += last.shed;
+  retired_.rejected += last.rejected;
+  retired_.deadline_exceeded += last.deadline_exceeded;
+  retired_.internal_errors += last.internal_errors;
+  retired_.source_cache += last.source_cache;
+  retired_.source_batch += last.source_batch;
+  retired_.source_shed += last.source_shed;
+  retired_.cache.hits += last.cache.hits;
+  retired_.cache.misses += last.cache.misses;
+}
+
+std::shared_ptr<InferenceServer> Router::route(std::string_view model,
+                                               Status* status) {
+  if (stopped_.load(std::memory_order_acquire)) {
+    // Shutdown rejections are not routing failures: model_not_found_ stays
+    // an honest count of unknown/ambiguous names.
+    *status = Status::ShuttingDown("router is shutting down");
+    return nullptr;
+  }
+  const std::shared_ptr<const ServerMap> servers =
+      std::atomic_load(&servers_);
+  if (model.empty()) {
+    // An unnamed request routes to the only model; with several published
+    // it is ambiguous, and guessing would silently cross architectures.
+    if (servers->size() == 1) {
+      routed_.fetch_add(1, std::memory_order_relaxed);
+      return servers->begin()->second;
+    }
+    *status = Status::ModelNotFound(
+        servers->empty() ? "no model published"
+                         : "request names no model and several are served");
+    model_not_found_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  auto it = servers->find(model);
+  if (it == servers->end()) {
+    *status = Status::ModelNotFound();
+    model_not_found_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  routed_.fetch_add(1, std::memory_order_relaxed);
+  return it->second;
+}
+
+StatusOr<InferenceServer::Future> Router::submit(const Request& request) {
+  Status status;
+  std::shared_ptr<InferenceServer> server = route(request.model, &status);
+  if (!server) return status;
+  return server->submit(request);
+}
+
+Response Router::predict(const Request& request) {
+  Status status;
+  std::shared_ptr<InferenceServer> server = route(request.model, &status);
+  if (!server) {
+    Response response;
+    response.status = status;
+    response.source = Source::Shed;
+    return response;
+  }
+  return server->predict(request);
+}
+
+std::vector<std::string> Router::models() const {
+  const std::shared_ptr<const ServerMap> servers =
+      std::atomic_load(&servers_);
+  std::vector<std::string> out;
+  out.reserve(servers->size());
+  for (const auto& [name, server] : *servers) {
+    (void)server;
+    out.push_back(name);
+  }
+  return out;
+}
+
+void Router::fold(const ServerStats& in, RouterStats& out) {
+  out.queries += in.queries;
+  out.forwards += in.forwards;
+  out.batches += in.batches;
+  out.cache_hits += in.cache.hits;
+  out.shed += in.shed;
+  out.rejected += in.rejected;
+  out.deadline_exceeded += in.deadline_exceeded;
+  out.internal_errors += in.internal_errors;
+  out.source_cache += in.source_cache;
+  out.source_batch += in.source_batch;
+  out.source_shed += in.source_shed;
+}
+
+RouterStats Router::stats() const {
+  RouterStats out;
+  out.routed = routed_.load(std::memory_order_relaxed);
+  out.model_not_found = model_not_found_.load(std::memory_order_relaxed);
+  // Snapshot-then-fold: a retire() completing between the snapshot and the
+  // retired_ read can transiently count that server's traffic twice. Stats
+  // are monitoring data, not invariants — the totals are exact whenever no
+  // retire is mid-flight.
+  const std::shared_ptr<const ServerMap> servers =
+      std::atomic_load(&servers_);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    fold(retired_, out);
+  }
+  out.models.reserve(servers->size());
+  for (const auto& [name, server] : *servers) {
+    RouterModelStats entry;
+    entry.model = name;
+    entry.version = registry_.version(name);
+    entry.stats = server->stats();
+    fold(entry.stats, out);
+    out.models.push_back(std::move(entry));
+  }
+  return out;
+}
+
+void Router::shutdown() {
+  std::shared_ptr<const ServerMap> live;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopped_.exchange(true, std::memory_order_acq_rel)) return;
+    live = std::atomic_load(&servers_);
+    std::atomic_store(&servers_, std::make_shared<const ServerMap>());
+  }
+  for (const auto& [name, server] : *live) {
+    (void)name;
+    drain_and_fold(*server);
+  }
+}
+
+}  // namespace irgnn::serve

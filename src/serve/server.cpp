@@ -11,8 +11,15 @@
 namespace irgnn::serve {
 
 namespace {
+
 using Clock = std::chrono::steady_clock;
+
+std::int64_t us_between(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(to - from)
+      .count();
 }
+
+}  // namespace
 
 InferenceServer::InferenceServer(ModelPtr model, const ServerConfig& config)
     : InferenceServer(
@@ -71,9 +78,18 @@ void InferenceServer::shutdown() {
     cv_queue_.notify_all();
     cv_done_.notify_all();
   }
+  // Drain: every admitted query is answered even when nobody waits on it —
+  // a then() continuation must fire exactly once, and the background loop
+  // exits on stop_ without pumping. Clients blocked in get() help; if a
+  // pump is mid-flight we wait for it and re-check.
+  while (!queue_.empty() || pumping_) {
+    if (!pumping_)
+      pump_one(lock, /*wait_window=*/false);
+    else
+      cv_done_.wait(lock);
+  }
   // Wait for a started loop task to unpark and exit so it can never touch
-  // a destroyed server. Clients still waiting on futures drain the queue
-  // themselves via the pump-while-waiting path.
+  // a destroyed server.
   while (loop_running_) cv_done_.wait(lock);
 }
 
@@ -87,22 +103,34 @@ InferenceServer::Future& InferenceServer::Future::operator=(
     slot_ = other.slot_;
     gen_ = other.gen_;
     ready_ = other.ready_;
-    value_ = other.value_;
+    response_ = other.response_;
     other.server_ = nullptr;
     other.ready_ = false;
   }
   return *this;
 }
 
-int InferenceServer::Future::get() {
+Response InferenceServer::Future::get() {
   if (ready_) {
     ready_ = false;
-    return value_;
+    return response_;
   }
   assert(server_ && "get() on an invalid future");
   InferenceServer* server = server_;
   server_ = nullptr;
   return server->wait(slot_, gen_);
+}
+
+void InferenceServer::Future::then(ResponseCallback callback) {
+  if (ready_) {
+    ready_ = false;
+    callback(response_);
+    return;
+  }
+  assert(server_ && "then() on an invalid future");
+  InferenceServer* server = server_;
+  server_ = nullptr;
+  server->attach_callback(slot_, gen_, std::move(callback));
 }
 
 void InferenceServer::Future::abandon() {
@@ -136,62 +164,169 @@ void InferenceServer::free_slot_locked(std::uint32_t slot) {
   s.state = SlotState::Free;
   s.abandoned = false;
   s.graph = nullptr;
+  s.callback.reset();
   free_slots_.push_back(slot);
 }
 
-InferenceServer::Future InferenceServer::submit(
-    const graph::ProgramGraph& graph) {
-  queries_.fetch_add(1, std::memory_order_relaxed);
-  const std::uint64_t fp = graph::fingerprint(graph);
-  const std::uint64_t version = slot_->snapshot()->version;
-  int label = 0;
-  if (cache_.lookup(hash_combine64(version, fp), &label))
-    return Future(label);
-  std::lock_guard<std::mutex> lock(mutex_);
-  assert(!stop_ && "submit() after shutdown()");
-  const std::uint32_t slot = alloc_slot_locked();
+void InferenceServer::resolve_slot_locked(std::uint32_t slot,
+                                          const Response& response,
+                                          FiredList& fired) {
   QuerySlot& s = slots_[slot];
-  s.graph = &graph;
-  s.fp = fp;
-  s.result = 0;
-  s.state = SlotState::Queued;
-  s.abandoned = false;
-  queue_.push_back(slot);
-  cv_queue_.notify_all();
-  return Future(this, slot, s.gen);
+  s.response = response;
+  s.state = SlotState::Done;
+  if (s.abandoned) {
+    free_slot_locked(slot);
+  } else if (s.callback) {
+    // A continuation consumes the result: detach it (to run outside the
+    // lock) and recycle the slot now — nobody will wait on it.
+    fired.push_back(FiredCallback{std::move(s.callback), response});
+    free_slot_locked(slot);
+  }
 }
 
-int InferenceServer::predict(const graph::ProgramGraph& graph) {
-  // Inlined hit path (rather than submit().get()) so a warm cache hit
-  // provably performs zero heap allocations: fingerprint, snapshot and
-  // lookup all run off preallocated storage.
+Status InferenceServer::admit_locked(std::unique_lock<std::mutex>& lock,
+                                     const Request& request, std::uint64_t fp,
+                                     std::uint32_t* slot_out,
+                                     std::uint64_t* gen_out,
+                                     FiredList& fired) {
+  if (stop_) return Status::ShuttingDown();
+  if (config_.max_queue > 0 && queue_.size() >= config_.max_queue) {
+    switch (config_.shed_policy) {
+      case ShedPolicy::Reject:
+        ++rejected_;
+        return Status::Overloaded();
+      case ShedPolicy::DropOldest: {
+        // Victim: the oldest queued request of the lowest priority class.
+        // The queue is FIFO, so the first scan hit of the minimum priority
+        // is the oldest of that class.
+        std::size_t victim_index = 0;
+        Priority victim_priority = slots_[queue_[0]].priority;
+        for (std::size_t i = 1; i < queue_.size(); ++i) {
+          const Priority p = slots_[queue_[i]].priority;
+          if (p < victim_priority) {
+            victim_priority = p;
+            victim_index = i;
+          }
+        }
+        if (victim_priority > request.priority) {
+          // Everything queued outranks the newcomer: shedding never
+          // promotes load over requests the queue already chose to carry.
+          ++rejected_;
+          return Status::Overloaded(
+              "admission queue full of higher-priority requests");
+        }
+        const std::uint32_t victim = queue_[victim_index];
+        queue_.erase(queue_.begin() +
+                     static_cast<std::ptrdiff_t>(victim_index));
+        ++shed_;
+        Response dropped;
+        dropped.status = Status::Overloaded("shed for a newer request");
+        dropped.source = Source::Shed;
+        dropped.queue_us = us_between(slots_[victim].admitted, Clock::now());
+        resolve_slot_locked(victim, dropped, fired);
+        cv_done_.notify_all();
+        break;  // room made; fall through to enqueue
+      }
+      case ShedPolicy::Block: {
+        // Wait for space, pumping batches ourselves when nobody else is —
+        // the same caller-participates rule as wait(), so a client-driven
+        // server (background_loop=false) cannot deadlock on its own bound.
+        while (!stop_ && queue_.size() >= config_.max_queue) {
+          if (!pumping_ && !queue_.empty())
+            pump_one(lock, /*wait_window=*/false);
+          else
+            cv_done_.wait(lock);
+        }
+        if (stop_) return Status::ShuttingDown();
+        break;
+      }
+    }
+  }
+  const std::uint32_t slot = alloc_slot_locked();
+  QuerySlot& s = slots_[slot];
+  s.graph = request.graph;
+  s.fp = fp;
+  s.admitted = Clock::now();
+  s.deadline_us = request.deadline_us;
+  s.priority = request.priority;
+  s.response = Response{};
+  s.state = SlotState::Queued;
+  s.abandoned = false;
+  *slot_out = slot;
+  *gen_out = s.gen;
+  queue_.push_back(slot);
+  peak_queue_ = std::max<std::uint64_t>(peak_queue_, queue_.size());
+  cv_queue_.notify_all();
+  return Status::Ok();
+}
+
+StatusOr<InferenceServer::Future> InferenceServer::submit(
+    const Request& request) {
+  assert(request.graph && "Request without a graph");
   queries_.fetch_add(1, std::memory_order_relaxed);
-  const std::uint64_t fp = graph::fingerprint(graph);
-  const std::uint64_t version = slot_->snapshot()->version;
+  const std::uint64_t fp = graph::fingerprint(*request.graph);
+  const std::shared_ptr<const PublishedModel> published = slot_->snapshot();
   int label = 0;
-  if (cache_.lookup(hash_combine64(version, fp), &label)) return label;
-  std::uint32_t slot;
-  std::uint64_t gen;
+  if (cache_.lookup(hash_combine64(published->version, fp), &label)) {
+    Response response;
+    response.label = label;
+    response.model_version = published->version;
+    response.source = Source::Cache;
+    return Future(response);
+  }
+  std::uint32_t slot = 0;
+  std::uint64_t gen = 0;
+  FiredList fired;
+  Status admitted;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
-    assert(!stop_ && "predict() after shutdown()");
-    slot = alloc_slot_locked();
-    QuerySlot& s = slots_[slot];
-    s.graph = &graph;
-    s.fp = fp;
-    s.result = 0;
-    s.state = SlotState::Queued;
-    s.abandoned = false;
-    gen = s.gen;
-    queue_.push_back(slot);
-    cv_queue_.notify_all();
+    std::unique_lock<std::mutex> lock(mutex_);
+    admitted = admit_locked(lock, request, fp, &slot, &gen, fired);
+  }
+  // A shed victim's continuation runs on the thread that shed it, outside
+  // the lock.
+  for (FiredCallback& f : fired) f.fn(f.response);
+  if (!admitted.ok()) return admitted;
+  return Future(this, slot, gen);
+}
+
+Response InferenceServer::predict(const Request& request) {
+  // Inlined hit path (rather than submit().get()) so a warm cache hit
+  // provably performs zero heap allocations: fingerprint, snapshot, lookup
+  // and the Response all run off preallocated storage.
+  assert(request.graph && "Request without a graph");
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t fp = graph::fingerprint(*request.graph);
+  const std::shared_ptr<const PublishedModel> published = slot_->snapshot();
+  int label = 0;
+  if (cache_.lookup(hash_combine64(published->version, fp), &label)) {
+    Response response;
+    response.label = label;
+    response.model_version = published->version;
+    response.source = Source::Cache;
+    return response;
+  }
+  std::uint32_t slot = 0;
+  std::uint64_t gen = 0;
+  FiredList fired;
+  Status admitted;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    admitted = admit_locked(lock, request, fp, &slot, &gen, fired);
+  }
+  for (FiredCallback& f : fired) f.fn(f.response);
+  if (!admitted.ok()) {
+    // Submit-side failures fold into the one result type sync callers see.
+    Response response;
+    response.status = admitted;
+    response.source = Source::Shed;
+    return response;
   }
   return wait(slot, gen);
 }
 
 void InferenceServer::predict_batch(
     const std::vector<const graph::ProgramGraph*>& graphs,
-    std::vector<int>& out) {
+    std::vector<Response>& out) {
   out.resize(graphs.size());
   // Admit every miss before waiting on any, so misses share micro-batches;
   // the first get() then pumps a full batch. Scratch recycles via the
@@ -200,7 +335,14 @@ void InferenceServer::predict_batch(
   support::PoolVector<std::pair<std::size_t, Future>> pending;
   pending.reserve(graphs.size());
   for (std::size_t i = 0; i < graphs.size(); ++i) {
-    Future f = submit(*graphs[i]);
+    StatusOr<Future> submitted = submit(Request(*graphs[i]));
+    if (!submitted.ok()) {
+      out[i] = Response{};
+      out[i].status = submitted.status();
+      out[i].source = Source::Shed;
+      continue;
+    }
+    Future f = std::move(submitted).value();
     if (f.ready_)
       out[i] = f.get();
     else
@@ -211,6 +353,26 @@ void InferenceServer::predict_batch(
 
 std::uint64_t InferenceServer::publish(ModelPtr model) {
   return slot_->publish(std::move(model));
+}
+
+void InferenceServer::attach_callback(std::uint32_t slot, std::uint64_t gen,
+                                      ResponseCallback callback) {
+  Response ready;
+  bool fire = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    QuerySlot& s = slots_[slot];
+    assert(s.gen == gen && "continuation outlived its slot");
+    (void)gen;
+    if (s.state == SlotState::Done) {
+      ready = s.response;
+      free_slot_locked(slot);
+      fire = true;
+    } else {
+      s.callback = std::move(callback);
+    }
+  }
+  if (fire) callback(ready);
 }
 
 // --- Serving loop -----------------------------------------------------------
@@ -232,88 +394,114 @@ void InferenceServer::pump_one(std::unique_lock<std::mutex>& lock,
   batch_slots_.clear();
   batch_graphs_.clear();
   batch_fps_.clear();
+  pump_fired_.clear();
+  const auto pickup = Clock::now();
   while (!queue_.empty() &&
          static_cast<int>(batch_slots_.size()) < config_.max_batch) {
     const std::uint32_t slot = queue_.front();
     queue_.pop_front();
+    QuerySlot& s = slots_[slot];
+    const std::int64_t waited = us_between(s.admitted, pickup);
+    if (s.deadline_us > 0 && waited >= s.deadline_us) {
+      // Expired while queued: answer DeadlineExceeded instead of spending a
+      // forward on a result nobody can use in time. Does not consume batch
+      // capacity.
+      ++deadline_exceeded_;
+      Response response;
+      response.status = Status::DeadlineExceeded();
+      response.source = Source::Shed;
+      response.queue_us = waited;
+      resolve_slot_locked(slot, response, pump_fired_);
+      continue;
+    }
+    s.response.queue_us = waited;
     batch_slots_.push_back(slot);
     // Copy graph/fingerprint into pump scratch now: outside the lock the
     // slots_ vector may be reallocated by a concurrent admission.
-    batch_graphs_.push_back(slots_[slot].graph);
-    batch_fps_.push_back(slots_[slot].fp);
+    batch_graphs_.push_back(s.graph);
+    batch_fps_.push_back(s.fp);
   }
   // One consistent (model, version) snapshot answers the whole batch; a
   // concurrent publish only affects later batches. The snapshot's
   // shared_ptr keeps the model alive even if it is retired mid-forward.
   const std::shared_ptr<const PublishedModel> published = slot_->snapshot();
-  lock.unlock();
-  try {
-    published->model->predict_into(batch_graphs_, batch_preds_);
-    for (std::size_t i = 0; i < batch_slots_.size(); ++i)
-      cache_.insert(hash_combine64(published->version, batch_fps_[i]),
-                    batch_preds_[i]);
-  } catch (...) {
-    // Return the batch to the front of the queue in admission order so no
-    // query is lost, hand the pump role back, and wake everyone: another
-    // pumper retries while the error surfaces from whoever drove this one.
+  if (!batch_slots_.empty()) {
+    Status forward_status;
+    std::int64_t compute_us = 0;
+    lock.unlock();
+    const auto t0 = Clock::now();
+    try {
+      published->model->predict_into(batch_graphs_, batch_preds_);
+      compute_us = us_between(t0, Clock::now());
+      for (std::size_t i = 0; i < batch_slots_.size(); ++i)
+        cache_.insert(hash_combine64(published->version, batch_fps_[i]),
+                      batch_preds_[i]);
+    } catch (...) {
+      // The query path is exception-free: a failed forward (realistically
+      // allocation pressure) resolves the whole batch Internal instead of
+      // unwinding into whichever client happened to be pumping.
+      forward_status = Status::Internal("model forward failed");
+    }
     lock.lock();
-    for (auto it = batch_slots_.rbegin(); it != batch_slots_.rend(); ++it)
-      queue_.push_front(*it);
-    pumping_ = false;
-    cv_queue_.notify_all();
-    cv_done_.notify_all();
-    throw;
+    if (!forward_status.ok()) internal_errors_ += batch_slots_.size();
+    for (std::size_t i = 0; i < batch_slots_.size(); ++i) {
+      Response response = slots_[batch_slots_[i]].response;  // queue_us
+      response.model_version = published->version;
+      response.compute_us = compute_us;
+      response.status = forward_status;
+      if (forward_status.ok()) {
+        response.label = batch_preds_[i];
+        response.source = Source::Batch;
+      } else {
+        // Not answered: shed-class, so the per-source buckets stay a
+        // partition of every resolved response.
+        response.source = Source::Shed;
+      }
+      resolve_slot_locked(batch_slots_[i], response, pump_fired_);
+    }
+    if (forward_status.ok()) {
+      ++batches_;
+      forwards_ += batch_slots_.size();
+      max_batch_seen_ =
+          std::max<std::uint64_t>(max_batch_seen_, batch_slots_.size());
+      if (published->version != last_served_version_) {
+        if (last_served_version_ != 0) ++model_swaps_;
+        last_served_version_ = published->version;
+      }
+    }
   }
-  lock.lock();
-  for (std::size_t i = 0; i < batch_slots_.size(); ++i) {
-    QuerySlot& s = slots_[batch_slots_[i]];
-    s.result = batch_preds_[i];
-    s.state = SlotState::Done;
-    if (s.abandoned) free_slot_locked(batch_slots_[i]);
-  }
-  ++batches_;
-  forwards_ += batch_slots_.size();
-  max_batch_seen_ = std::max<std::uint64_t>(max_batch_seen_,
-                                            batch_slots_.size());
-  if (published->version != last_served_version_) {
-    if (last_served_version_ != 0) ++model_swaps_;
-    last_served_version_ = published->version;
-  }
+  // Hand the pump role back before running continuations: another pumper
+  // may start (and reuse the scratch) as soon as pumping_ drops, so the
+  // fired list moves to the stack first.
+  FiredList fired = std::move(pump_fired_);
+  pump_fired_.clear();
   pumping_ = false;
   cv_done_.notify_all();
+  if (!fired.empty()) {
+    lock.unlock();
+    for (FiredCallback& f : fired) f.fn(f.response);
+    lock.lock();
+  }
 }
 
-int InferenceServer::wait(std::uint32_t slot, std::uint64_t gen) {
+Response InferenceServer::wait(std::uint32_t slot, std::uint64_t gen) {
   std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
     QuerySlot& s = slots_[slot];
     assert(s.gen == gen && "future outlived its slot");
     (void)gen;
     if (s.state == SlotState::Done) {
-      const int result = s.result;
+      const Response response = s.response;
       free_slot_locked(slot);
-      return result;
+      return response;
     }
     if (!pumping_ && !queue_.empty()) {
       // Caller participation: no active pumper, so drive a batch ourselves.
       // Skip the batch window — a waiting client gains nothing by idling,
-      // and batch composition never changes any result.
-      try {
-        pump_one(lock, /*wait_window=*/false);
-      } catch (...) {
-        // Our own query went back into the queue with the rest of the
-        // batch; disown it so whichever pump answers it also frees the
-        // slot, then surface the error (pump_one re-locked before
-        // throwing, so the lock is held here).
-        QuerySlot& own = slots_[slot];
-        if (own.gen == gen) {
-          if (own.state == SlotState::Done)
-            free_slot_locked(slot);
-          else
-            own.abandoned = true;
-        }
-        throw;
-      }
+      // and batch composition never changes any result. pump_one never
+      // throws (a failed forward resolves Internal), so the slot is always
+      // collected.
+      pump_one(lock, /*wait_window=*/false);
       continue;
     }
     cv_done_.wait(lock);
@@ -331,20 +519,10 @@ void InferenceServer::background_loop() {
       // grace period always measures genuine quiet, not just time since
       // the loop's own last pump.
       idle_trimmed = false;
-      if (pumping_) {
+      if (pumping_)
         cv_done_.wait(lock);
-      } else {
-        try {
-          pump_one(lock, /*wait_window=*/true);
-        } catch (...) {
-          // Nobody observes an exception thrown on the loop task, and the
-          // batch was re-queued by pump_one. Stay alive (waiting clients
-          // drive and surface their own failures; a later retry may
-          // succeed, e.g. after transient memory pressure) but back off so
-          // a persistent failure cannot hot-spin the worker.
-          cv_queue_.wait_for(lock, std::chrono::milliseconds(1));
-        }
-      }
+      else
+        pump_one(lock, /*wait_window=*/true);
       idle_since = Clock::now();
       continue;
     }
@@ -380,7 +558,19 @@ ServerStats InferenceServer::stats() const {
   out.max_batch = max_batch_seen_;
   out.model_swaps = model_swaps_;
   out.idle_trims = idle_trims_;
+  out.shed = shed_;
+  out.rejected = rejected_;
+  out.deadline_exceeded = deadline_exceeded_;
+  out.internal_errors = internal_errors_;
+  out.peak_queue = peak_queue_;
   out.cache = cache_.stats();
+  // Responses by source — a partition of every resolved query. Cache hits
+  // already count per-shard; forwards are exactly the Source::Batch
+  // responses; every shed-class outcome (dropped, rejected at submit,
+  // expired, failed forward) reported Source::Shed.
+  out.source_cache = out.cache.hits;
+  out.source_batch = forwards_;
+  out.source_shed = shed_ + rejected_ + deadline_exceeded_ + internal_errors_;
   return out;
 }
 

@@ -1,46 +1,58 @@
 // Streaming inference server: the online, multi-client layer over the
-// tape-free StaticModel inference engine.
+// tape-free StaticModel inference engine, behind a typed, exception-free
+// front door.
 //
-// Clients submit single ProgramGraph region queries through a lock-guarded
-// admission queue and receive lightweight futures. A serving loop drains
-// the queue into dynamic micro-batches — flushed when `max_batch` queries
-// are waiting or the oldest has waited `max_wait_us` — and answers a whole
-// batch with one StaticModel::predict_into call. Three properties define
-// the design:
+// Clients build a serve::Request (graph, deadline, priority), submit it
+// through a lock-guarded admission queue and receive lightweight futures
+// that resolve to a serve::Response (label, answering model version,
+// Source::{Cache,Batch,Shed}, queue/compute micro-timings). A serving loop
+// drains the queue into dynamic micro-batches — flushed when `max_batch`
+// queries are waiting or the oldest has waited `max_wait_us` — and answers
+// a whole batch with one StaticModel::predict_into call. Four properties
+// define the design:
+//
+//   Exception-free query path. submit() returns StatusOr<Future>; every
+//   failure a client can observe — queue full (Overloaded), deadline missed
+//   (DeadlineExceeded), submit after shutdown (ShuttingDown), a failed
+//   forward (Internal) — is a Status or an error Response, never a throw.
+//
+//   Bounded admission. `max_queue` caps how many admitted queries may wait;
+//   a full queue sheds per `shed_policy` (Reject the newcomer, DropOldest
+//   victim of the lowest priority class, or Block the submitter while it
+//   helps pump). Overload therefore answers Overloaded within the bound
+//   instead of stretching every queue latency without limit.
 //
 //   Determinism. Per-graph predictions never depend on which other graphs
 //   share a forward (pinned by the PR 3 inference engine tests), and every
 //   result is keyed to its query's admission slot, not to its position in
-//   whatever batch happened to form. A client therefore receives bits
-//   identical to a serial StaticModel::predict of its graph, for every
-//   batch window, batch size and client interleaving.
+//   whatever batch happened to form. Every *admitted and answered* response
+//   therefore carries bits identical to a serial StaticModel::predict of
+//   its graph, for every batch window, batch size, queue bound, shed policy
+//   and client interleaving — shedding only removes requests, it can never
+//   perturb the answers of the requests that stayed.
 //
 //   No dedicated threads, no deadlocks. The serving loop is a task on the
 //   shared support::ThreadPool; in addition, any client waiting on a future
-//   pumps batches itself when no pumper is active (the same
-//   caller-participates rule the pool uses), so the server also works with
-//   `background_loop = false` — required when servers are created inside
-//   pool-parallel work like the per-fold loop of core::run_experiment,
-//   where a parked loop task could otherwise starve.
+//   (or blocked by ShedPolicy::Block) pumps batches itself when no pumper
+//   is active, so the server also works with `background_loop = false` —
+//   required when servers are created inside pool-parallel work like the
+//   per-fold loop of core::run_experiment, where a parked loop task could
+//   otherwise starve.
 //
-//   Hot answers skip the forward. Results are cached under
-//   hash_combine64(model version, graph::fingerprint(graph)): repeated
-//   region queries — the common case in iterative flag exploration, where
-//   many flag sequences optimize a region to the same IR — are answered
-//   from the sharded LRU without touching the model, and a warm hit through
-//   predict() performs zero heap allocations. Mixing the version into the
-//   key means a hot-swapped model can never be answered with the retired
-//   model's cached labels.
+// Hot answers skip the forward: results are cached under
+// hash_combine64(model version, graph::fingerprint(graph)), and a warm hit
+// through predict() performs zero heap allocations. Hot swap: the server
+// reads its model through a ModelSlot (its own, or one shared with a
+// ModelRegistry name); in-flight batches finish on the snapshot they took,
+// and version-keyed caching means a retired model can never answer.
 //
-// Hot swap: the server reads its model through a ModelSlot (its own, or one
-// shared with a ModelRegistry name). publish() atomically replaces the
-// (model, version) pair; in-flight batches finish on the snapshot they
-// took, queued queries are answered by whichever publication the batch that
-// picks them up observes — queries are never dropped, and every answer is
-// exactly one publication's serial-predict bits.
+// Multi-model routing lives one layer up in serve::Router (router.h), which
+// owns one InferenceServer per published model name and dispatches
+// Request::model.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -51,7 +63,9 @@
 #include "graph/program_graph.h"
 #include "serve/model_registry.h"
 #include "serve/prediction_cache.h"
+#include "serve/request.h"
 #include "support/arena.h"
+#include "support/inline_function.h"
 
 namespace irgnn::serve {
 
@@ -62,6 +76,14 @@ struct ServerConfig {
   /// query never waits the window (it has nothing to gain from idling).
   int max_batch = 64;
   int max_wait_us = 200;
+
+  /// Admission bound: at most this many admitted queries may be waiting for
+  /// a batch (in-flight batches do not count). 0 means unbounded — the
+  /// right setting for cooperative in-process clients like the
+  /// core::run_experiment fold loops, where nothing may be shed. When the
+  /// bound is hit, `shed_policy` decides who pays (see request.h).
+  std::size_t max_queue = 0;
+  ShedPolicy shed_policy = ShedPolicy::Reject;
 
   /// Prediction-cache entry budget (0 disables caching) and shard count.
   std::size_t cache_capacity = 4096;
@@ -80,20 +102,40 @@ struct ServerConfig {
 };
 
 struct ServerStats {
-  std::uint64_t queries = 0;     // everything admitted (hits + misses)
+  std::uint64_t queries = 0;     // everything submitted (hits+misses+shed)
   std::uint64_t forwards = 0;    // queries answered by the model
   std::uint64_t batches = 0;     // micro-batches launched
   std::uint64_t max_batch = 0;   // largest micro-batch observed
   std::uint64_t model_swaps = 0; // version changes observed between batches
   std::uint64_t idle_trims = 0;  // arena trims triggered by idleness
+
+  // Admission control.
+  std::uint64_t shed = 0;        // admitted, then dropped by DropOldest
+  std::uint64_t rejected = 0;    // refused at submit (queue full, Reject)
+  std::uint64_t deadline_exceeded = 0;  // expired while queued
+  std::uint64_t internal_errors = 0;    // resolved Internal (failed forward)
+  std::uint64_t peak_queue = 0;  // high-water admitted-queue depth
+
+  // Responses by Source — a partition of every resolved query (cache =
+  // hits, batch = forwards, shed = all four shed-class outcomes above).
+  std::uint64_t source_cache = 0;
+  std::uint64_t source_batch = 0;
+  std::uint64_t source_shed = 0;
+
   CacheStats cache;
 };
 
 class InferenceServer {
  public:
-  /// A pending prediction. Lightweight handle (8+8 bytes, movable): a
-  /// cache hit returns an already-resolved future without touching the
-  /// admission queue. Must be resolved or destroyed before the server.
+  /// A then() continuation. Heap-free by construction (support::
+  /// InlineFunction): the capture lives in 96 inline bytes — enough for a
+  /// handful of references/values — and over-large captures fail to
+  /// compile instead of silently putting a malloc on the resolve path.
+  using ResponseCallback =
+      support::InlineFunction<void(const Response&), 96>;
+  /// A pending Response. Lightweight movable handle: a cache hit returns an
+  /// already-resolved future without touching the admission queue. Must be
+  /// resolved, continued (then) or destroyed before the server.
   class Future {
    public:
     Future() = default;
@@ -103,14 +145,25 @@ class InferenceServer {
 
     bool valid() const { return server_ != nullptr || ready_; }
 
-    /// Blocks until the result is available (helping to drive batches while
-    /// waiting) and returns the predicted label. One-shot: the future
-    /// becomes invalid.
-    int get();
+    /// Blocks until the response is available (helping to drive batches
+    /// while waiting) and returns it. One-shot: the future becomes invalid.
+    /// Never throws; a failed forward surfaces as an Internal Response.
+    Response get();
+
+    /// Async continuation: runs `callback` with the Response exactly once —
+    /// inline if it is already available, otherwise on whichever thread
+    /// pumps the resolving batch (or sheds the request), and at the latest
+    /// during the server's shutdown drain (every admitted query is
+    /// answered before the server dies). One-shot: the future becomes
+    /// invalid immediately; the callback must not submit back into the
+    /// same server from the pump (it runs outside the server lock, so
+    /// anything else is fair game).
+    void then(ResponseCallback callback);
 
    private:
     friend class InferenceServer;
-    Future(int value) : ready_(true), value_(value) {}
+    explicit Future(const Response& response)
+        : ready_(true), response_(response) {}
     Future(InferenceServer* server, std::uint32_t slot, std::uint64_t gen)
         : server_(server), slot_(slot), gen_(gen) {}
     void abandon();
@@ -119,7 +172,7 @@ class InferenceServer {
     std::uint32_t slot_ = 0;
     std::uint64_t gen_ = 0;
     bool ready_ = false;
-    int value_ = 0;
+    Response response_;
   };
 
   /// Serves `model` through a private slot (hot-swappable via publish()).
@@ -136,19 +189,29 @@ class InferenceServer {
   InferenceServer(const InferenceServer&) = delete;
   InferenceServer& operator=(const InferenceServer&) = delete;
 
-  /// Admits one region query. Cache hits resolve immediately; misses join
-  /// the next micro-batch. The graph must stay alive until the future
-  /// resolves.
-  Future submit(const graph::ProgramGraph& graph);
+  /// Admits one query. Cache hits resolve immediately; misses join the next
+  /// micro-batch. Fails (without admitting) with Overloaded when the
+  /// bounded queue is full under Reject — or under DropOldest when every
+  /// queued request outranks this one — and with ShuttingDown after
+  /// shutdown() began. The graph must stay alive until the future resolves.
+  /// Request::model is routing information for serve::Router; a bare server
+  /// ignores it.
+  StatusOr<Future> submit(const Request& request);
 
-  /// Synchronous query: submit + get. On a warm cache hit this performs
-  /// zero heap allocations (tests/serve_test.cpp counts operator new).
-  int predict(const graph::ProgramGraph& graph);
+  /// Synchronous query: submit + get, with submit-side failures folded into
+  /// the Response (status Overloaded/ShuttingDown, Source::Shed) so callers
+  /// have one result type. On a warm cache hit this performs zero heap
+  /// allocations (tests/serve_test.cpp counts operator new).
+  Response predict(const Request& request);
+  Response predict(const graph::ProgramGraph& graph) {
+    return predict(Request(graph));
+  }
 
   /// Batched convenience: admits every graph (so misses share micro-
-  /// batches), waits for all, writes labels in graph order into `out`.
+  /// batches), waits for all, writes responses in graph order into `out`.
+  /// Per-request failures land in the matching Response's status.
   void predict_batch(const std::vector<const graph::ProgramGraph*>& graphs,
-                     std::vector<int>& out);
+                     std::vector<Response>& out);
 
   /// Hot-swaps the served model (publishes to the server's slot). Returns
   /// the new version. In-flight batches finish on their snapshot.
@@ -162,33 +225,70 @@ class InferenceServer {
 
   /// Stops the serving loop after all admitted queries drain. Called by the
   /// destructor; idempotent. Clients still blocked in get() finish their
-  /// own queries (they pump), but no new queries are admitted.
+  /// own queries (they pump); submits from then on return ShuttingDown —
+  /// with one deliberate exception: a query whose fingerprint is already
+  /// cached is still answered Ok from the cache (the hit path takes no
+  /// lock and the answer is a completed publication's bits, so serving it
+  /// during drain is both safe and cheaper than refusing it).
   void shutdown();
 
  private:
+  using Clock = std::chrono::steady_clock;
   enum class SlotState : std::uint8_t { Free, Queued, Done };
 
   struct QuerySlot {
     const graph::ProgramGraph* graph = nullptr;
     std::uint64_t fp = 0;  // raw structural fingerprint (version-free)
     std::uint64_t gen = 0;
-    int result = 0;
+    Clock::time_point admitted{};
+    std::int64_t deadline_us = 0;
+    Priority priority = Priority::Normal;
+    Response response;
     SlotState state = SlotState::Free;
     bool abandoned = false;
+    ResponseCallback callback;  // then() continuation
   };
+
+  /// A continuation detached from its slot, to run outside the lock.
+  struct FiredCallback {
+    ResponseCallback fn;
+    Response response;
+  };
+  using FiredList = std::vector<FiredCallback>;
 
   std::uint32_t alloc_slot_locked();
   void free_slot_locked(std::uint32_t slot);
 
+  /// Resolves `slot` with `response` under the lock: marks it Done, frees
+  /// it if abandoned, detaches its continuation into `fired` if it has one.
+  /// The caller must notify cv_done_ and run `fired` after unlocking.
+  void resolve_slot_locked(std::uint32_t slot, const Response& response,
+                           FiredList& fired);
+
+  /// Admission control. Pre: lock held, not a cache hit. Applies stop_ and
+  /// the bounded-queue policy (shedding a victim into `fired`, or blocking
+  /// while helping pump), then enqueues. On Ok, *slot/*gen identify the
+  /// admitted query.
+  Status admit_locked(std::unique_lock<std::mutex>& lock,
+                      const Request& request, std::uint64_t fp,
+                      std::uint32_t* slot, std::uint64_t* gen,
+                      FiredList& fired);
+
   /// Runs one micro-batch: optionally waits the batch window for the queue
-  /// to fill, pops up to max_batch queries in admission order, answers them
-  /// with one predict_into outside the lock, publishes results to their
-  /// slots. Pre: lock held, queue non-empty, pumping_ == false.
+  /// to fill, pops up to max_batch queries in admission order (expired
+  /// deadlines resolve as shed instead of joining), answers them with one
+  /// predict_into outside the lock, publishes results to their slots. A
+  /// failed forward resolves the whole batch Internal — never throws.
+  /// Pre: lock held, queue non-empty, pumping_ == false. Post: lock held.
   void pump_one(std::unique_lock<std::mutex>& lock, bool wait_window);
 
   /// Blocks until `slot` is Done (driving batches when no pumper is
-  /// active), returns the result and frees the slot.
-  int wait(std::uint32_t slot, std::uint64_t gen);
+  /// active), returns the response and frees the slot.
+  Response wait(std::uint32_t slot, std::uint64_t gen);
+
+  /// Stores or fires a then() continuation for an in-flight slot.
+  void attach_callback(std::uint32_t slot, std::uint64_t gen,
+                       ResponseCallback callback);
 
   void background_loop();
 
@@ -211,7 +311,7 @@ class InferenceServer {
 
   mutable std::mutex mutex_;
   std::condition_variable cv_queue_;  // signaled on admission / shutdown
-  std::condition_variable cv_done_;   // signaled when a batch publishes
+  std::condition_variable cv_done_;   // signaled when results/space appear
   std::deque<std::uint32_t, support::PoolAllocator<std::uint32_t>> queue_;
   std::vector<QuerySlot> slots_;
   std::vector<std::uint32_t> free_slots_;
@@ -225,15 +325,21 @@ class InferenceServer {
   std::vector<std::uint32_t> batch_slots_;
   std::vector<std::uint64_t> batch_fps_;
   std::vector<int> batch_preds_;
+  FiredList pump_fired_;
 
   // Stats. queries_ is atomic so the zero-allocation hit path never takes
-  // the server mutex; the rest mutate under mutex_ inside the pump.
+  // the server mutex; the rest mutate under mutex_.
   std::atomic<std::uint64_t> queries_{0};
   std::uint64_t forwards_ = 0;
   std::uint64_t batches_ = 0;
   std::uint64_t max_batch_seen_ = 0;
   std::uint64_t model_swaps_ = 0;
   std::uint64_t idle_trims_ = 0;
+  std::uint64_t shed_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::uint64_t deadline_exceeded_ = 0;
+  std::uint64_t internal_errors_ = 0;
+  std::uint64_t peak_queue_ = 0;
   std::uint64_t last_served_version_ = 0;
 };
 

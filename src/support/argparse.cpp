@@ -1,11 +1,41 @@
 #include "support/argparse.h"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
 #include <stdexcept>
 
 namespace irgnn {
+
+namespace {
+
+// A flag's registered default value decides its shape: integer, real,
+// boolean or free-form string. Values are validated against that shape at
+// parse time, so "--threads abc" (which strtoll would silently read as 0)
+// is an error instead of a quietly rescaled experiment.
+bool parses_as_int(const std::string& s) {
+  if (s.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  (void)std::strtoll(s.c_str(), &end, 10);
+  return errno == 0 && end == s.c_str() + s.size();
+}
+
+bool parses_as_double(const std::string& s) {
+  if (s.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  (void)std::strtod(s.c_str(), &end);
+  return errno == 0 && end == s.c_str() + s.size();
+}
+
+bool parses_as_bool(const std::string& s) {
+  return s == "true" || s == "false" || s == "1" || s == "0" || s == "yes" ||
+         s == "no";
+}
+
+}  // namespace
 
 ArgParser::ArgParser(std::string program, std::string description)
     : program_(std::move(program)), description_(std::move(description)) {}
@@ -45,20 +75,41 @@ bool ArgParser::parse(int argc, const char* const* argv) {
                    usage().c_str());
       return false;
     }
+    const std::string& default_value = it->second.default_value;
+    const bool is_bool =
+        default_value == "true" || default_value == "false";
     if (!has_value) {
-      // Boolean flags may omit the value; everything else takes the next arg.
-      bool is_bool = it->second.default_value == "true" ||
-                     it->second.default_value == "false";
-      if (is_bool && (i + 1 >= argc ||
-                      std::string(argv[i + 1]).rfind("--", 0) == 0)) {
+      // Boolean flags may omit the value; everything else takes the next
+      // arg — but never another flag, so "--threads --csv out" is the typo
+      // it looks like rather than threads silently becoming 0.
+      const bool next_is_flag =
+          i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) == 0;
+      if (is_bool && (i + 1 >= argc || next_is_flag)) {
         value = "true";
-      } else if (i + 1 < argc) {
+      } else if (i + 1 < argc && !next_is_flag) {
         value = argv[++i];
       } else {
         std::fprintf(stderr, "error: flag '--%s' expects a value\n%s",
                      name.c_str(), usage().c_str());
         return false;
       }
+    }
+    // Shape check against the default: malformed values are errors, not
+    // silent zeros.
+    const char* expected = nullptr;
+    if (is_bool && !parses_as_bool(value))
+      expected = "a boolean (true/false/1/0/yes/no)";
+    else if (!is_bool && parses_as_int(default_value) &&
+             !parses_as_int(value))
+      expected = "an integer";
+    else if (!is_bool && !parses_as_int(default_value) &&
+             parses_as_double(default_value) && !parses_as_double(value))
+      expected = "a number";
+    if (expected != nullptr) {
+      std::fprintf(stderr,
+                   "error: flag '--%s' expects %s, got '%s'\n%s",
+                   name.c_str(), expected, value.c_str(), usage().c_str());
+      return false;
     }
     values_[name] = value;
   }

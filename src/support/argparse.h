@@ -1,8 +1,11 @@
 // Minimal command-line flag parser used by the bench and example binaries.
 //
-// Supports `--name value`, `--name=value` and boolean `--name`. Unknown flags
-// are reported as errors so that harness typos do not silently change an
-// experiment's scale.
+// Supports `--name value`, `--name=value` and boolean `--name`. Unknown
+// flags, malformed values (judged against the shape of the registered
+// default: integer, real or boolean) and a value flag followed by another
+// flag are all reported as errors — parse() returns false and the binary
+// exits nonzero — so that harness typos like `--thread 4` or
+// `--threads abc` do not silently change an experiment's scale.
 #pragma once
 
 #include <cstdint>

@@ -7,6 +7,7 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <future>
 #include <memory>
 #include <new>
 #include <thread>
@@ -18,6 +19,7 @@
 #include "serve/prediction_cache.h"
 #include "serve/server.h"
 #include "support/rng.h"
+#include "support/thread_pool.h"
 #include "workloads/suite.h"
 
 // --- Global allocation counter ---------------------------------------------
@@ -68,6 +70,27 @@ const std::vector<graph::ProgramGraph>& test_graphs() {
   return owned;
 }
 
+/// Settles the global pool before a heap-counting window: earlier tests'
+/// cancelled background-loop tasks linger in the queue and would otherwise
+/// run (touching the promise machinery, and so the allocator) mid-window.
+/// The barrier occupies every worker at once, so when it releases, every
+/// previously queued task has run AND been destroyed (workers destroy the
+/// old task before popping the next).
+void quiesce_pool() {
+  auto& pool = irgnn::support::ThreadPool::global();
+  const int n = pool.num_workers();
+  if (n <= 0) return;
+  std::atomic<int> arrived{0};
+  std::vector<std::future<void>> sentinels;
+  sentinels.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    sentinels.push_back(pool.submit([&arrived, n] {
+      arrived.fetch_add(1);
+      while (arrived.load() < n) std::this_thread::yield();
+    }));
+  for (auto& s : sentinels) s.wait();
+}
+
 gnn::ModelConfig small_config(std::uint64_t seed) {
   gnn::ModelConfig cfg;
   cfg.vocab_size = graph::vocabulary_size();
@@ -115,7 +138,9 @@ TEST(InferenceServerTest, ConcurrentSubmitBitIdenticalToSerialPredict) {
             for (int q = 0; q < kQueriesPerClient; ++q) {
               const std::size_t g = rng.next_below(graphs.size());
               streams[c].push_back(g);
-              got[c].push_back(server.predict(graphs[g]));
+              const serve::Response r = server.predict(graphs[g]);
+              // An unbounded queue may never shed: every response is Ok.
+              got[c].push_back(r.ok() ? r.label : -1);
             }
           });
         }
@@ -147,16 +172,102 @@ TEST(InferenceServerTest, FuturesResolveAndMixWithSyncClients) {
   serve::InferenceServer server(model, config);
 
   std::vector<serve::InferenceServer::Future> futures;
-  for (std::size_t g = 0; g < graphs.size(); ++g)
-    futures.push_back(server.submit(graphs[g]));
+  for (std::size_t g = 0; g < graphs.size(); ++g) {
+    serve::StatusOr<serve::InferenceServer::Future> submitted =
+        server.submit(serve::Request(graphs[g]));
+    ASSERT_TRUE(submitted.ok()) << submitted.status().code_name();
+    futures.push_back(std::move(submitted).value());
+  }
   // A sync query while async work is queued: joins the same micro-batches.
-  EXPECT_EQ(server.predict(graphs[0]), expected[0]);
-  for (std::size_t g = 0; g < graphs.size(); ++g)
-    EXPECT_EQ(futures[g].get(), expected[g]);
+  EXPECT_EQ(server.predict(graphs[0]).label, expected[0]);
+  for (std::size_t g = 0; g < graphs.size(); ++g) {
+    const serve::Response r = futures[g].get();
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(r.label, expected[g]);
+    EXPECT_EQ(r.source, serve::Source::Batch);
+    EXPECT_EQ(r.model_version, server.model_version());
+    EXPECT_GE(r.queue_us, 0);
+    EXPECT_GE(r.compute_us, 0);
+  }
   const serve::ServerStats stats = server.stats();
   EXPECT_EQ(stats.forwards, graphs.size() + 1);
   EXPECT_LE(stats.max_batch, 4u);
   EXPECT_GE(stats.batches, (graphs.size() + 1 + 3) / 4);
+}
+
+TEST(InferenceServerTest, ThenContinuationRunsExactlyOnce) {
+  auto model = std::make_shared<const gnn::StaticModel>(small_config(0xF));
+  const std::vector<int> expected = serial_predict(*model);
+  const auto& graphs = test_graphs();
+  serve::ServerConfig config;
+  config.cache_capacity = 64;
+  serve::InferenceServer server(model, config);
+
+  // Async continuations on a cold stream: each runs once with the serial-
+  // predict bits, on whichever thread pumps the resolving batch.
+  std::atomic<int> fired{0};
+  std::atomic<int> wrong{0};
+  for (std::size_t g = 0; g < graphs.size(); ++g) {
+    serve::StatusOr<serve::InferenceServer::Future> submitted =
+        server.submit(serve::Request(graphs[g]));
+    ASSERT_TRUE(submitted.ok());
+    submitted.value().then([&, g](const serve::Response& r) {
+      if (!r.ok() || r.label != expected[g]) wrong.fetch_add(1);
+      fired.fetch_add(1);
+    });
+  }
+  // Drive the queue dry from this thread (predict pumps), then wait for
+  // continuations attached to already-resolved slots to have fired inline.
+  for (std::size_t g = 0; g < graphs.size(); ++g)
+    EXPECT_EQ(server.predict(graphs[g]).label, expected[g]);
+  while (fired.load() < static_cast<int>(graphs.size()))
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_EQ(fired.load(), static_cast<int>(graphs.size()));
+  EXPECT_EQ(wrong.load(), 0);
+
+  // A continuation on an already-resolved (cache-hit) future runs inline.
+  bool inline_fired = false;
+  serve::StatusOr<serve::InferenceServer::Future> hit =
+      server.submit(serve::Request(graphs[0]));
+  ASSERT_TRUE(hit.ok());
+  hit.value().then([&](const serve::Response& r) {
+    inline_fired = true;
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(r.label, expected[0]);
+    EXPECT_EQ(r.source, serve::Source::Cache);
+  });
+  EXPECT_TRUE(inline_fired);
+}
+
+TEST(InferenceServerTest, ShutdownDrainsPendingContinuations) {
+  // Continuations with no get()-waiter and no background loop: nothing
+  // pumps until the server shuts down, whose drain must answer every
+  // admitted query and fire each callback exactly once — a then() result
+  // can never be silently dropped.
+  auto model = std::make_shared<const gnn::StaticModel>(small_config(0x13));
+  const std::vector<int> expected = serial_predict(*model);
+  const auto& graphs = test_graphs();
+  std::atomic<int> fired{0};
+  std::atomic<int> wrong{0};
+  {
+    serve::ServerConfig config;
+    config.background_loop = false;
+    config.cache_capacity = 0;
+    serve::InferenceServer server(model, config);
+    for (std::size_t g = 0; g < graphs.size(); ++g) {
+      serve::StatusOr<serve::InferenceServer::Future> submitted =
+          server.submit(serve::Request(graphs[g]));
+      ASSERT_TRUE(submitted.ok());
+      submitted.value().then([&fired, &wrong, &expected,
+                              g](const serve::Response& r) {
+        if (!r.ok() || r.label != expected[g]) wrong.fetch_add(1);
+        fired.fetch_add(1);
+      });
+    }
+    EXPECT_EQ(fired.load(), 0);  // nobody has pumped yet
+  }  // ~InferenceServer -> shutdown drain
+  EXPECT_EQ(fired.load(), static_cast<int>(graphs.size()));
+  EXPECT_EQ(wrong.load(), 0);
 }
 
 TEST(InferenceServerTest, AbandonedFutureDoesNotLoseOtherQueries) {
@@ -167,11 +278,12 @@ TEST(InferenceServerTest, AbandonedFutureDoesNotLoseOtherQueries) {
   config.cache_capacity = 0;
   serve::InferenceServer server(model, config);
   {
-    serve::InferenceServer::Future dropped = server.submit(graphs[1]);
+    serve::InferenceServer::Future dropped =
+        std::move(server.submit(serve::Request(graphs[1]))).value();
     // destroyed unresolved
   }
-  EXPECT_EQ(server.predict(graphs[2]), expected[2]);
-  EXPECT_EQ(server.predict(graphs[1]), expected[1]);
+  EXPECT_EQ(server.predict(graphs[2]).label, expected[2]);
+  EXPECT_EQ(server.predict(graphs[1]).label, expected[1]);
 }
 
 TEST(InferenceServerTest, WarmCacheHitPerformsZeroHeapAllocations) {
@@ -183,13 +295,14 @@ TEST(InferenceServerTest, WarmCacheHitPerformsZeroHeapAllocations) {
                                    // counter window below
   serve::InferenceServer server(model, config);
   std::vector<int> first;
-  for (const auto& g : graphs) first.push_back(server.predict(g));
+  for (const auto& g : graphs) first.push_back(server.predict(g).label);
   const serve::ServerStats cold_stats = server.stats();
 
+  quiesce_pool();
   const std::uint64_t heap_before = g_heap_allocations.load();
   for (int rep = 0; rep < 10; ++rep)
     for (std::size_t g = 0; g < graphs.size(); ++g)
-      ASSERT_EQ(server.predict(graphs[g]), expected[g]);
+      ASSERT_EQ(server.predict(graphs[g]).label, expected[g]);
   const std::uint64_t heap_delta = g_heap_allocations.load() - heap_before;
   EXPECT_EQ(heap_delta, 0u) << "a warm cache-hit query allocated";
 
@@ -229,10 +342,11 @@ TEST(InferenceServerTest, HotSwapUnderLoadNeverDropsOrMixesQueries) {
       Rng rng(hash_combine64(0x50AB, static_cast<std::uint64_t>(c)));
       for (int q = 0; q < kQueriesPerClient; ++q) {
         const std::size_t g = rng.next_below(graphs.size());
-        const int label = server.predict(graphs[g]);
+        const serve::Response r = server.predict(graphs[g]);
         // Every answer is exactly one publication's serial-predict bits —
-        // never dropped (predict always returns) and never a mix.
-        if (label != expected_a[g] && label != expected_b[g])
+        // never dropped (the queue is unbounded, so r is always Ok) and
+        // never a mix.
+        if (!r.ok() || (r.label != expected_a[g] && r.label != expected_b[g]))
           wrong.fetch_add(1);
         answered.fetch_add(1);
       }
@@ -249,8 +363,11 @@ TEST(InferenceServerTest, HotSwapUnderLoadNeverDropsOrMixesQueries) {
 
   // Quiesced post-swap queries must be the new model's bits — the
   // version-keyed cache can never serve the retired model's labels.
-  for (std::size_t g = 0; g < graphs.size(); ++g)
-    EXPECT_EQ(server.predict(graphs[g]), expected_b[g]);
+  for (std::size_t g = 0; g < graphs.size(); ++g) {
+    const serve::Response r = server.predict(graphs[g]);
+    EXPECT_EQ(r.label, expected_b[g]);
+    EXPECT_EQ(r.model_version, v2);
+  }
 }
 
 TEST(InferenceServerTest, PredictBatchMatchesSerialAndHandlesEdgeCases) {
@@ -260,21 +377,86 @@ TEST(InferenceServerTest, PredictBatchMatchesSerialAndHandlesEdgeCases) {
   serve::InferenceServer server(model);
 
   std::vector<const graph::ProgramGraph*> batch;
-  std::vector<int> out;
+  std::vector<serve::Response> out;
   server.predict_batch(batch, out);  // empty
   EXPECT_TRUE(out.empty());
 
   batch.push_back(&graphs[4]);
   server.predict_batch(batch, out);  // single
-  EXPECT_EQ(out, std::vector<int>{expected[4]});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_TRUE(out[0].ok());
+  EXPECT_EQ(out[0].label, expected[4]);
 
   batch.clear();
   for (const auto& g : graphs) batch.push_back(&g);
   for (const auto& g : graphs) batch.push_back(&g);  // duplicates
   server.predict_batch(batch, out);
   ASSERT_EQ(out.size(), 2 * graphs.size());
-  for (std::size_t i = 0; i < out.size(); ++i)
-    EXPECT_EQ(out[i], expected[i % graphs.size()]);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_TRUE(out[i].ok());
+    EXPECT_EQ(out[i].label, expected[i % graphs.size()]);
+  }
+}
+
+TEST(InferenceServerTest, PredictBatchDuplicatePointersShareOneForwardEach) {
+  // The same graph pointer many times over: a submit-everything-then-wait
+  // batch must stay correct when most entries alias a few fingerprints —
+  // duplicates submitted before the first answer lands share the micro-
+  // batch instead of hitting the cache, and every copy must still get the
+  // serial-predict bits.
+  auto model = std::make_shared<const gnn::StaticModel>(small_config(0x11));
+  const std::vector<int> expected = serial_predict(*model);
+  const auto& graphs = test_graphs();
+  serve::ServerConfig config;
+  config.background_loop = false;  // deterministic pump ownership
+  serve::InferenceServer server(model, config);
+
+  std::vector<const graph::ProgramGraph*> batch;
+  std::vector<serve::Response> out;
+  for (int rep = 0; rep < 8; ++rep) batch.push_back(&graphs[3]);
+  for (int rep = 0; rep < 8; ++rep) batch.push_back(&graphs[5]);
+  server.predict_batch(batch, out);
+  ASSERT_EQ(out.size(), 16u);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_TRUE(out[i].ok());
+    EXPECT_EQ(out[i].label, expected[i < 8 ? 3 : 5]);
+  }
+}
+
+TEST(InferenceServerTest, PredictBatchAllCacheHitRunsNoForwardAndNoAlloc) {
+  auto model = std::make_shared<const gnn::StaticModel>(small_config(0x12));
+  const std::vector<int> expected = serial_predict(*model);
+  const auto& graphs = test_graphs();
+  serve::ServerConfig config;
+  config.background_loop = false;  // nothing may run concurrently with the
+                                   // counter window below
+  serve::InferenceServer server(model, config);
+
+  std::vector<const graph::ProgramGraph*> batch;
+  for (const auto& g : graphs) batch.push_back(&g);
+  std::vector<serve::Response> out;
+  server.predict_batch(batch, out);  // cold: populates the cache
+  const serve::ServerStats cold = server.stats();
+
+  // Warm batch: every entry resolves from the cache — no forward, no
+  // micro-batch, no heap allocation, Source::Cache on every response.
+  quiesce_pool();
+  const std::uint64_t heap_before = g_heap_allocations.load();
+  server.predict_batch(batch, out);
+  const std::uint64_t heap_delta = g_heap_allocations.load() - heap_before;
+  EXPECT_EQ(heap_delta, 0u) << "an all-cache-hit predict_batch allocated";
+  const serve::ServerStats warm = server.stats();
+  EXPECT_EQ(warm.forwards, cold.forwards);
+  EXPECT_EQ(warm.batches, cold.batches);
+  EXPECT_EQ(warm.cache.hits - cold.cache.hits, graphs.size());
+  ASSERT_EQ(out.size(), graphs.size());
+  for (std::size_t g = 0; g < out.size(); ++g) {
+    EXPECT_TRUE(out[g].ok());
+    EXPECT_EQ(out[g].label, expected[g]);
+    EXPECT_EQ(out[g].source, serve::Source::Cache);
+    EXPECT_EQ(out[g].queue_us, 0);
+    EXPECT_EQ(out[g].compute_us, 0);
+  }
 }
 
 TEST(ModelRegistryTest, PublishResolveRetireAndVersions) {

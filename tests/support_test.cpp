@@ -1,14 +1,21 @@
-// Thread-pool unit tests: task completion, exception propagation, exact
-// index coverage of parallel_for, nested submission/parallelism safety, and
-// the determinism of the seeded per-index random streams.
+// Support-layer unit tests: the thread pool (task completion, exception
+// propagation, exact index coverage of parallel_for, nested
+// submission/parallelism safety, determinism of the seeded per-index
+// random streams), the exception-free Status/StatusOr error model of the
+// serving query path, and the strict flag parser.
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <memory>
 #include <numeric>
 #include <stdexcept>
+#include <string>
+#include <utility>
 #include <vector>
 
+#include "support/argparse.h"
 #include "support/rng.h"
+#include "support/status.h"
 #include "support/thread_pool.h"
 
 namespace irgnn::support {
@@ -121,6 +128,102 @@ TEST(SplitMix64Test, MatchesReferenceVector) {
   std::uint64_t state = 0;
   EXPECT_EQ(splitmix64(state), 0xE220A8397B1DCDAFULL);
   EXPECT_EQ(splitmix64(state), 0x6E789E6AA1B965F4ULL);
+}
+
+TEST(StatusTest, CodesNamesAndEquality) {
+  const Status ok;
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.code(), StatusCode::kOk);
+  EXPECT_EQ(ok, Status::Ok());
+  EXPECT_STREQ(ok.code_name(), "Ok");
+
+  const Status overloaded = Status::Overloaded();
+  EXPECT_FALSE(overloaded.ok());
+  EXPECT_EQ(overloaded.code(), StatusCode::kOverloaded);
+  EXPECT_STREQ(overloaded.code_name(), "Overloaded");
+  EXPECT_NE(overloaded, ok);
+  // Messages are detail; identity is the code.
+  EXPECT_EQ(overloaded, Status::Overloaded("another message"));
+  EXPECT_STREQ(Status::Overloaded("queue full at 32").message(),
+               "queue full at 32");
+
+  EXPECT_STREQ(Status::DeadlineExceeded().code_name(), "DeadlineExceeded");
+  EXPECT_STREQ(Status::ModelNotFound().code_name(), "ModelNotFound");
+  EXPECT_STREQ(Status::ShuttingDown().code_name(), "ShuttingDown");
+  EXPECT_STREQ(Status::Internal().code_name(), "Internal");
+}
+
+TEST(StatusTest, StatusOrHoldsValueOrError) {
+  StatusOr<int> value(42);
+  EXPECT_TRUE(value.ok());
+  EXPECT_EQ(*value, 42);
+  EXPECT_EQ(value.value(), 42);
+
+  StatusOr<int> error(Status::ModelNotFound());
+  EXPECT_FALSE(error.ok());
+  EXPECT_EQ(error.status().code(), StatusCode::kModelNotFound);
+
+  // Move semantics carry the engaged state, including move-only payloads.
+  StatusOr<int> moved = std::move(value);
+  EXPECT_TRUE(moved.ok());
+  EXPECT_EQ(*moved, 42);
+  moved = std::move(error);
+  EXPECT_FALSE(moved.ok());
+  EXPECT_EQ(moved.status().code(), StatusCode::kModelNotFound);
+
+  StatusOr<std::unique_ptr<int>> owner(std::make_unique<int>(7));
+  ASSERT_TRUE(owner.ok());
+  std::unique_ptr<int> taken = std::move(owner).value();
+  EXPECT_EQ(*taken, 7);
+}
+
+TEST(ArgParserTest, RejectsUnknownFlagsAndMalformedValues) {
+  auto make = [] {
+    ArgParser parser("test", "strictness");
+    parser.add("threads", "0", "int flag")
+        .add("scale", "1.5", "double flag")
+        .add("quick", "false", "bool flag")
+        .add("csv", "", "string flag");
+    return parser;
+  };
+  auto parse = [&](std::vector<const char*> args) {
+    args.insert(args.begin(), "test");
+    ArgParser parser = make();
+    return parser.parse(static_cast<int>(args.size()), args.data());
+  };
+
+  // The happy paths.
+  EXPECT_TRUE(parse({"--threads", "4", "--scale", "2.25", "--quick",
+                     "--csv", "out.csv"}));
+  EXPECT_TRUE(parse({"--threads=8", "--quick=true"}));
+  EXPECT_TRUE(parse({"--threads", "-1"}));  // negatives are values
+
+  // Typos in the flag name are errors, not silently ignored knobs.
+  EXPECT_FALSE(parse({"--thread", "4"}));
+  EXPECT_FALSE(parse({"positional"}));
+
+  // Malformed values are errors, not silent zeros.
+  EXPECT_FALSE(parse({"--threads", "abc"}));
+  EXPECT_FALSE(parse({"--threads", "4x"}));
+  EXPECT_FALSE(parse({"--scale", "fast"}));
+  EXPECT_FALSE(parse({"--quick", "maybe"}));
+
+  // A value flag never swallows the next flag.
+  EXPECT_FALSE(parse({"--threads", "--csv", "out.csv"}));
+  EXPECT_FALSE(parse({"--threads"}));
+
+  // Values that merely look exotic still parse by shape.
+  EXPECT_TRUE(parse({"--scale", "3"}));       // int is a fine double
+  EXPECT_TRUE(parse({"--quick", "1"}));
+  EXPECT_FALSE(parse({"--csv", "--looks-like-a-flag"}));
+  EXPECT_TRUE(parse({"--csv=--weird-but-explicit"}));
+
+  ArgParser parser = make();
+  const char* argv[] = {"test", "--threads", "6", "--scale", "0.5"};
+  ASSERT_TRUE(parser.parse(5, argv));
+  EXPECT_EQ(parser.get_int("threads"), 6);
+  EXPECT_DOUBLE_EQ(parser.get_double("scale"), 0.5);
+  EXPECT_FALSE(parser.get_bool("quick"));
 }
 
 }  // namespace
