@@ -1,16 +1,26 @@
 // Load generator for serve::InferenceServer: closed-loop latency/throughput
 // at 1 and 4 client threads, an open-loop burst showing micro-batch
-// amortization, a cache hit-vs-miss section, the buffer arena's high-water
+// amortization, a cache hit-vs-miss section, a flash-crowd section gating
+// in-flight coalescing, a Zipf-distributed fingerprint workload, a
+// predictive-warming before/after comparison, the buffer arena's high-water
 // mark + idle-trim behaviour, and (--overload) an admission-control section
 // that slams a bounded queue with a burst and gates the shedding contract.
+// Results also land in a machine-readable JSON file (--json, uploaded as a
+// CI artifact) with qps, p99 and hit-rate per section.
 //
 // Like microbench_kernels, contract violations are a nonzero exit so the CI
 // smoke runs (--quick, --quick --overload) are real gates:
 //   - every served label must equal the pinned model's serial predict
-//     (determinism under batching/caching/shedding),
+//     (determinism under batching/caching/coalescing/warming/shedding),
 //   - a warm single-client pass must pull zero bytes from malloc through
 //     the pool,
 //   - a warm cache hit must be at least 10x faster than a miss,
+//   - a flash crowd of N clients on one cold fingerprint performs exactly
+//     one model forward (everyone else coalesces or hits),
+//   - coalescing conservation: cache hits + misses + coalesced == queries,
+//     on the flash-crowd and Zipf sections,
+//   - predictive warming must beat the no-warming baseline's hit+coalesced
+//     rate on the same sibling-group sweep,
 //   - the idle grace period must trigger an arena trim,
 //   - under --overload: the bounded queue actually sheds (Overloaded within
 //     the bound, conservation of answered+shed+rejected), the admitted
@@ -87,6 +97,8 @@ int main(int argc, char** argv) {
       .add("overload", "false",
            "also slam a bounded queue with an async burst and gate the "
            "load-shedding contract")
+      .add("json", "BENCH_serve.json",
+           "write machine-readable results here (empty disables)")
       .add("quick", "false", "CI smoke: fewer queries, same contract gates");
   bench::add_runtime_flags(parser, /*default_threads=*/"1");
   if (!parser.parse(argc, argv)) return 1;
@@ -143,6 +155,12 @@ int main(int argc, char** argv) {
   }
 
   int failures = 0;
+  // Per-section results for the machine-readable JSON artifact.
+  double closed_qps = 0, closed_p99 = 0, closed_hit_rate = 0;
+  double zipf_qps = 0, zipf_p99 = 0, zipf_hit_rate = 0;
+  std::uint64_t zipf_coalesced = 0;
+  std::uint64_t flash_forwards = 0, flash_coalesced = 0, flash_hits = 0;
+  double warm_baseline_rate = 0, warm_warmed_rate = 0;
   std::printf("=== serve_throughput (hidden=%d, layers=%d, threads=%d, "
               "max_batch=%d, wait=%dus, cache=%zu) ===\n",
               cfg.hidden_dim, cfg.num_layers, threads,
@@ -259,6 +277,11 @@ int main(int argc, char** argv) {
              static_cast<double>(pool_after.malloc_bytes -
                                  pool_before.malloc_bytes) /
              total_queries))});
+    if (clients == 4) {
+      closed_qps = total_queries / wall_s;
+      closed_p99 = p.p99;
+      closed_hit_rate = stats.cache.hit_rate();
+    }
   }
   std::printf("\n=== Closed loop (every client waits for its answer; warm "
               "cache; unbounded queue, so src shed must read 0) ===\n");
@@ -304,6 +327,195 @@ int main(int argc, char** argv) {
                                     static_cast<double>(stats.batches)
                               : 0.0,
                 static_cast<unsigned long long>(stats.max_batch));
+  }
+
+  // --- Flash crowd: N clients, one cold fingerprint -------------------------
+  {
+    serve::InferenceServer server(model, server_config);
+    constexpr int kCrowd = 8;
+    std::atomic<int> wrong{0};
+    std::atomic<int> ready{0};
+    std::atomic<bool> go{false};
+    const std::size_t target = unique[0];
+    std::vector<std::thread> crowd;
+    for (int c = 0; c < kCrowd; ++c) {
+      crowd.emplace_back([&] {
+        ready.fetch_add(1);
+        while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+        const serve::Response r = server.predict(*graphs[target]);
+        if (!r.ok() || r.label != expected[target]) wrong.fetch_add(1);
+      });
+    }
+    while (ready.load() < kCrowd) std::this_thread::yield();
+    go.store(true, std::memory_order_release);
+    for (auto& t : crowd) t.join();
+    failures += wrong.load();
+    const serve::ServerStats stats = server.stats();
+    flash_forwards = stats.forwards;
+    flash_coalesced = stats.coalesced;
+    flash_hits = stats.cache.hits;
+    std::printf("\n=== Flash crowd (%d clients, one cold fingerprint) ===\n"
+                "forwards %llu, coalesced %llu, cache hits %llu, misses "
+                "%llu\n",
+                kCrowd, static_cast<unsigned long long>(stats.forwards),
+                static_cast<unsigned long long>(stats.coalesced),
+                static_cast<unsigned long long>(stats.cache.hits),
+                static_cast<unsigned long long>(stats.cache.misses));
+    if (stats.forwards != 1) {
+      ++failures;
+      std::printf("FAILED: a flash crowd on one cold fingerprint ran %llu "
+                  "forwards (want exactly 1)\n",
+                  static_cast<unsigned long long>(stats.forwards));
+    }
+    if (stats.cache.hits + stats.cache.misses + stats.coalesced !=
+        stats.queries) {
+      ++failures;
+      std::printf("FAILED: coalescing conservation (hits %llu + misses %llu "
+                  "+ coalesced %llu != queries %llu)\n",
+                  static_cast<unsigned long long>(stats.cache.hits),
+                  static_cast<unsigned long long>(stats.cache.misses),
+                  static_cast<unsigned long long>(stats.coalesced),
+                  static_cast<unsigned long long>(stats.queries));
+    }
+  }
+
+  // --- Zipf fingerprint workload --------------------------------------------
+  {
+    // Skewed popularity (Zipf s=1 over the unique fingerprints, rank by
+    // index): the realistic serving regime where a hot head coalesces and
+    // caches while a long tail keeps missing.
+    std::vector<double> cdf(unique.size());
+    double mass = 0;
+    for (std::size_t i = 0; i < unique.size(); ++i) {
+      mass += 1.0 / static_cast<double>(i + 1);
+      cdf[i] = mass;
+    }
+    for (double& c : cdf) c /= mass;
+    serve::InferenceServer server(model, server_config);
+    const int zipf_queries = quick ? 1000 : 10000;
+    constexpr int kZipfClients = 4;
+    std::atomic<int> wrong{0};
+    std::vector<std::vector<double>> latencies(kZipfClients);
+    const auto t0 = Clock::now();
+    std::vector<std::thread> workers;
+    for (int c = 0; c < kZipfClients; ++c) {
+      workers.emplace_back([&, c] {
+        Rng rng(hash_combine64(seed, 0x21FF + static_cast<std::uint64_t>(c)));
+        auto& lat = latencies[static_cast<std::size_t>(c)];
+        lat.reserve(static_cast<std::size_t>(zipf_queries));
+        for (int q = 0; q < zipf_queries; ++q) {
+          const double u = rng.uniform();
+          const std::size_t rank = static_cast<std::size_t>(
+              std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin());
+          const std::size_t g = unique[std::min(rank, unique.size() - 1)];
+          const auto s0 = Clock::now();
+          const serve::Response r = server.predict(*graphs[g]);
+          lat.push_back(to_us(Clock::now() - s0));
+          if (!r.ok() || r.label != expected[g]) wrong.fetch_add(1);
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+    const double wall_s =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    failures += wrong.load();
+    std::vector<double> all;
+    for (auto& lat : latencies) all.insert(all.end(), lat.begin(), lat.end());
+    const Percentiles p = percentiles(all);
+    const serve::ServerStats stats = server.stats();
+    zipf_qps = static_cast<double>(kZipfClients * zipf_queries) / wall_s;
+    zipf_p99 = p.p99;
+    zipf_hit_rate = stats.cache.hit_rate();
+    zipf_coalesced = stats.coalesced;
+    std::printf("\n=== Zipf workload (s=1, %zu fingerprints, %d clients x %d "
+                "queries) ===\n"
+                "%.0f queries/sec, p50 %.1f us, p99 %.1f us | hit rate %.3f, "
+                "coalesced %llu\n",
+                unique.size(), kZipfClients, zipf_queries, zipf_qps, p.p50,
+                p.p99, zipf_hit_rate,
+                static_cast<unsigned long long>(stats.coalesced));
+    if (stats.cache.hits + stats.cache.misses + stats.coalesced !=
+        stats.queries) {
+      ++failures;
+      std::printf("FAILED: coalescing conservation on the Zipf workload "
+                  "(hits %llu + misses %llu + coalesced %llu != queries "
+                  "%llu)\n",
+                  static_cast<unsigned long long>(stats.cache.hits),
+                  static_cast<unsigned long long>(stats.cache.misses),
+                  static_cast<unsigned long long>(stats.coalesced),
+                  static_cast<unsigned long long>(stats.queries));
+    }
+    if (p.p99 > 1e6) {
+      ++failures;
+      std::printf("FAILED: Zipf closed-loop p99 (%.0f us) blew past 1s\n",
+                  p.p99);
+    }
+  }
+
+  // --- Predictive warming: before/after -------------------------------------
+  {
+    // Sibling groups of 4 consecutive unique fingerprints — the shape of
+    // "regions of one function" — swept cold in group order. The baseline
+    // server misses on every member; the warming server misses on the
+    // first member only and prefetches the rest, so its hit+coalesced rate
+    // must beat the baseline's on the identical sweep.
+    auto sweep = [&](serve::InferenceServer& server) {
+      for (std::size_t i = 0; i < unique.size(); ++i) {
+        const std::size_t g = unique[i];
+        const serve::Response r = server.predict(*graphs[g]);
+        if (!r.ok() || r.label != expected[g]) ++failures;
+      }
+    };
+    auto warmth = [](const serve::ServerStats& stats) {
+      return stats.queries == 0
+                 ? 0.0
+                 : static_cast<double>(stats.cache.hits + stats.coalesced) /
+                       static_cast<double>(stats.queries);
+    };
+    serve::InferenceServer baseline(model, server_config);
+    sweep(baseline);
+    const serve::ServerStats base_stats = baseline.stats();
+    warm_baseline_rate = warmth(base_stats);
+
+    serve::InferenceServer warmed(model, server_config);
+    std::vector<const graph::ProgramGraph*> group;
+    for (std::size_t i = 0; i < unique.size(); ++i) {
+      group.push_back(graphs[unique[i]]);
+      if (group.size() == 4 || i + 1 == unique.size()) {
+        warmed.register_warm_group(group);
+        group.clear();
+      }
+    }
+    sweep(warmed);
+    const serve::ServerStats warm_stats = warmed.stats();
+    warm_warmed_rate = warmth(warm_stats);
+    std::printf("\n=== Predictive warming (groups of 4, cold sweep of %zu "
+                "fingerprints) ===\n"
+                "baseline: hits %llu, coalesced %llu (warmth %.3f) | warmed: "
+                "hits %llu, coalesced %llu, prefetches %llu (warmth %.3f)\n",
+                unique.size(),
+                static_cast<unsigned long long>(base_stats.cache.hits),
+                static_cast<unsigned long long>(base_stats.coalesced),
+                warm_baseline_rate,
+                static_cast<unsigned long long>(warm_stats.cache.hits),
+                static_cast<unsigned long long>(warm_stats.coalesced),
+                static_cast<unsigned long long>(warm_stats.warm_enqueued),
+                warm_warmed_rate);
+    if (server_config.cache_capacity != 0 &&
+        warm_warmed_rate <= warm_baseline_rate) {
+      ++failures;
+      std::printf("FAILED: warming (%.3f) did not beat the no-warming "
+                  "baseline (%.3f) on the sibling-group sweep\n",
+                  warm_warmed_rate, warm_baseline_rate);
+    }
+    for (const serve::ServerStats& stats : {base_stats, warm_stats}) {
+      if (stats.cache.hits + stats.cache.misses + stats.coalesced !=
+          stats.queries) {
+        ++failures;
+        std::printf("FAILED: coalescing conservation on the warming "
+                    "sweep\n");
+      }
+    }
   }
 
   // --- Overload: bounded queue + load shedding ------------------------------
@@ -457,13 +669,54 @@ int main(int argc, char** argv) {
     }
   }
 
+  // --- Machine-readable results (CI artifact) -------------------------------
+  const std::string json_path = parser.get_string("json");
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (!f) {
+      std::printf("\nWARNING: could not open %s for writing\n",
+                  json_path.c_str());
+    } else {
+      std::fprintf(
+          f,
+          "{\n"
+          "  \"bench\": \"serve_throughput\",\n"
+          "  \"config\": {\"hidden\": %d, \"layers\": %d, \"threads\": %d,\n"
+          "             \"max_batch\": %d, \"cache\": %zu, \"quick\": %s},\n"
+          "  \"closed_loop_4_clients\": {\"qps\": %.1f, \"p99_us\": %.1f, "
+          "\"hit_rate\": %.4f},\n"
+          "  \"zipf\": {\"qps\": %.1f, \"p99_us\": %.1f, \"hit_rate\": "
+          "%.4f, \"coalesced\": %llu},\n"
+          "  \"flash_crowd\": {\"clients\": 8, \"forwards\": %llu, "
+          "\"coalesced\": %llu, \"cache_hits\": %llu},\n"
+          "  \"warming\": {\"baseline_warmth\": %.4f, \"warmed_warmth\": "
+          "%.4f},\n"
+          "  \"hit_vs_miss\": {\"miss_p50_us\": %.2f, \"hit_p50_us\": "
+          "%.2f},\n"
+          "  \"failures\": %d\n"
+          "}\n",
+          cfg.hidden_dim, cfg.num_layers, threads, server_config.max_batch,
+          server_config.cache_capacity, quick ? "true" : "false", closed_qps,
+          closed_p99, closed_hit_rate, zipf_qps, zipf_p99, zipf_hit_rate,
+          static_cast<unsigned long long>(zipf_coalesced),
+          static_cast<unsigned long long>(flash_forwards),
+          static_cast<unsigned long long>(flash_coalesced),
+          static_cast<unsigned long long>(flash_hits), warm_baseline_rate,
+          warm_warmed_rate, miss_p50, hit_p50, failures);
+      std::fclose(f);
+      std::printf("\nwrote %s\n", json_path.c_str());
+    }
+  }
+
   if (failures != 0) {
     std::printf("\nFAILED: %d serving contract violation(s) (see above)\n",
                 failures);
     return 1;
   }
   std::printf("\nall serving contracts held (determinism, zero-alloc warm "
-              "hits, 10x cache advantage%s, idle trim)\n",
+              "hits, 10x cache advantage, one-forward flash crowds, "
+              "coalescing conservation, warming beats baseline%s, idle "
+              "trim)\n",
               overload ? ", bounded-queue shedding" : "");
   return 0;
 }

@@ -47,13 +47,13 @@ void PredictionCache::Shard::push_front(int slot) {
   if (lru_tail < 0) lru_tail = slot;
 }
 
-bool PredictionCache::lookup(std::uint64_t key, int* label) {
+bool PredictionCache::lookup(std::uint64_t key, int* label, bool count_miss) {
   if (per_shard_capacity_ == 0) return false;
   Shard& shard = shard_of(key);
   std::lock_guard<std::mutex> lock(shard.mutex);
   auto it = shard.index.find(key);
   if (it == shard.index.end()) {
-    ++shard.stats.misses;
+    if (count_miss) ++shard.stats.misses;
     return false;
   }
   ++shard.stats.hits;
@@ -66,6 +66,20 @@ bool PredictionCache::lookup(std::uint64_t key, int* label) {
   return true;
 }
 
+void PredictionCache::note_miss(std::uint64_t key) {
+  if (per_shard_capacity_ == 0) return;
+  Shard& shard = shard_of(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  ++shard.stats.misses;
+}
+
+bool PredictionCache::contains(std::uint64_t key) const {
+  if (per_shard_capacity_ == 0) return false;
+  const Shard& shard = shard_of(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  return shard.index.find(key) != shard.index.end();
+}
+
 void PredictionCache::insert(std::uint64_t key, int label) {
   if (per_shard_capacity_ == 0) return;
   Shard& shard = shard_of(key);
@@ -73,7 +87,10 @@ void PredictionCache::insert(std::uint64_t key, int label) {
   auto it = shard.index.find(key);
   if (it != shard.index.end()) {
     // Racing inserts of the same fingerprint (two clients missing at once)
-    // are benign: the model is pure, both wrote the same label.
+    // are benign: the model is pure, both wrote the same label. Counted as
+    // a refresh — not an insertion — so insertions - evictions == entries
+    // stays a checkable invariant.
+    ++shard.stats.refreshes;
     const int slot = it->second;
     shard.slots[static_cast<std::size_t>(slot)].label = label;
     if (shard.lru_head != slot) {
@@ -107,6 +124,9 @@ void PredictionCache::clear() {
     shard.index.clear();
     shard.lru_head = shard.lru_tail = -1;
     shard.next_free = 0;
+    // New epoch, fresh counters: hit-rate gates measured after a hot-swap
+    // + clear must not blend the previous epoch's hits and misses.
+    shard.stats = CacheStats{};
   }
 }
 
@@ -118,6 +138,7 @@ CacheStats PredictionCache::stats() const {
     total.hits += shard.stats.hits;
     total.misses += shard.stats.misses;
     total.insertions += shard.stats.insertions;
+    total.refreshes += shard.stats.refreshes;
     total.evictions += shard.stats.evictions;
     total.entries += shard.index.size();
   }

@@ -30,7 +30,9 @@ namespace irgnn::serve {
 struct CacheStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
-  std::uint64_t insertions = 0;
+  std::uint64_t insertions = 0;  // fresh keys only (refreshes excluded), so
+                                 // insertions - evictions == entries holds
+  std::uint64_t refreshes = 0;   // inserts that found the key resident
   std::uint64_t evictions = 0;
   std::uint64_t entries = 0;  // currently resident
   double hit_rate() const {
@@ -51,18 +53,52 @@ class PredictionCache {
   PredictionCache& operator=(const PredictionCache&) = delete;
 
   /// True on hit, with the cached label in *label and the entry bumped to
-  /// most-recently-used. Never allocates.
-  bool lookup(std::uint64_t key, int* label);
+  /// most-recently-used. Never allocates. `count_miss = false` defers the
+  /// miss accounting to the caller (see note_miss): the serving layer uses
+  /// it so a query that goes on to coalesce onto an in-flight leader is
+  /// counted coalesced, not missed, keeping hits + misses + coalesced an
+  /// exact partition of its queries.
+  bool lookup(std::uint64_t key, int* label, bool count_miss = true);
+
+  /// Records one miss for `key`'s shard — the deferred half of
+  /// lookup(count_miss = false).
+  void note_miss(std::uint64_t key);
+
+  /// True if `key` is resident. Pure probe: counts neither a hit nor a miss
+  /// and does not touch recency — the warming scan uses it to skip siblings
+  /// that are already cached without polluting the hit-rate counters.
+  bool contains(std::uint64_t key) const;
 
   /// Inserts (or refreshes) key -> label, evicting the least recently used
   /// entry of the shard when it is full.
   void insert(std::uint64_t key, int label);
 
-  /// Drops every entry (capacity and slot storage are kept).
+  /// Drops every entry (capacity and slot storage are kept) AND resets the
+  /// per-shard stats: a clear starts a new cache epoch (hot-swap, test
+  /// reset), and hit-rate gates over the new epoch must not blend the old
+  /// epoch's counters.
   void clear();
 
   std::size_t capacity() const { return capacity_; }
   CacheStats stats() const;
+
+  /// Shard choice for `key` among `num_shards`. Finalizer-style multiply-
+  /// shift mix of the FULL key: every input bit reaches every output bit
+  /// before the modulo, so non-power-of-two shard counts stay unbiased and
+  /// shard counts above 256 keep every shard reachable (the old top-8-bits
+  /// scheme, `(key >> 56) % num_shards`, could reach at most 256 shards and
+  /// collapsed entirely for keys whose high byte is constant). Public and
+  /// static so the distribution test can pin it directly.
+  static std::size_t shard_index(std::uint64_t key,
+                                 std::size_t num_shards) noexcept {
+    std::uint64_t h = key;
+    h ^= h >> 33;
+    h *= 0xFF51AFD7ED558CCDULL;
+    h ^= h >> 33;
+    h *= 0xC4CEB9FE1A85EC53ULL;
+    h ^= h >> 33;
+    return static_cast<std::size_t>(h % num_shards);
+  }
 
  private:
   struct Entry {
@@ -96,9 +132,10 @@ class PredictionCache {
   };
 
   Shard& shard_of(std::uint64_t key) {
-    // The top bits of a splitmix-mixed key are well distributed; shift so
-    // that shard choice and the map's bucket choice use different bits.
-    return shards_[(key >> 56) % num_shards_];
+    return shards_[shard_index(key, num_shards_)];
+  }
+  const Shard& shard_of(std::uint64_t key) const {
+    return shards_[shard_index(key, num_shards_)];
   }
 
   std::size_t capacity_ = 0;

@@ -33,16 +33,19 @@ enum class Priority : std::uint8_t { Low = 0, Normal = 1, High = 2 };
 
 /// What produced a Response.
 enum class Source : std::uint8_t {
-  Cache,  // fingerprint-keyed prediction cache, no forward
-  Batch,  // a micro-batched model forward
-  Shed,   // not answered: dropped, rejected, past deadline, or the
-          // forward failed (status Internal)
+  Cache,      // fingerprint-keyed prediction cache, no forward
+  Batch,      // a micro-batched model forward
+  Coalesced,  // attached to an identical in-flight query and answered
+              // with its leader's forward (no extra model work)
+  Shed,       // not answered: dropped, rejected, past deadline, or the
+              // forward failed (status Internal)
 };
 
 inline const char* source_name(Source source) {
   switch (source) {
     case Source::Cache: return "cache";
     case Source::Batch: return "batch";
+    case Source::Coalesced: return "coalesced";
     case Source::Shed: return "shed";
   }
   return "unknown";

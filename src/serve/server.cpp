@@ -88,6 +88,9 @@ void InferenceServer::shutdown() {
     else
       cv_done_.wait(lock);
   }
+  // The drain resolved every leader (client or warming), and resolution
+  // erases in-flight entries — waiters never outlive their leader.
+  assert(in_flight_.empty() && "shutdown drain left an in-flight leader");
   // Wait for a started loop task to unpark and exit so it can never touch
   // a destroyed server.
   while (loop_running_) cv_done_.wait(lock);
@@ -104,8 +107,16 @@ InferenceServer::Future& InferenceServer::Future::operator=(
     gen_ = other.gen_;
     ready_ = other.ready_;
     response_ = other.response_;
+    // Fully disarm the source. Leaving slot_/gen_ populated used to be
+    // benign (server_ == nullptr gated every use) but is a use-after-free
+    // trap now that coalescing shares slots across resolution paths: a
+    // half-cleared handle that ever re-acquired a server pointer would
+    // address another query's slot.
     other.server_ = nullptr;
+    other.slot_ = 0;
+    other.gen_ = 0;
     other.ready_ = false;
+    other.response_ = Response{};
   }
   return *this;
 }
@@ -117,8 +128,12 @@ Response InferenceServer::Future::get() {
   }
   assert(server_ && "get() on an invalid future");
   InferenceServer* server = server_;
+  const std::uint32_t slot = slot_;
+  const std::uint64_t gen = gen_;
   server_ = nullptr;
-  return server->wait(slot_, gen_);
+  slot_ = 0;
+  gen_ = 0;
+  return server->wait(slot, gen);
 }
 
 void InferenceServer::Future::then(ResponseCallback callback) {
@@ -129,21 +144,30 @@ void InferenceServer::Future::then(ResponseCallback callback) {
   }
   assert(server_ && "then() on an invalid future");
   InferenceServer* server = server_;
+  const std::uint32_t slot = slot_;
+  const std::uint64_t gen = gen_;
   server_ = nullptr;
-  server->attach_callback(slot_, gen_, std::move(callback));
+  slot_ = 0;
+  gen_ = 0;
+  server->attach_callback(slot, gen, std::move(callback));
 }
 
 void InferenceServer::Future::abandon() {
   if (!server_) return;
-  std::lock_guard<std::mutex> lock(server_->mutex_);
-  QuerySlot& slot = server_->slots_[slot_];
-  if (slot.gen == gen_) {
-    if (slot.state == SlotState::Done)
-      server_->free_slot_locked(slot_);
-    else
-      slot.abandoned = true;  // the pump frees it after answering
+  {
+    std::lock_guard<std::mutex> lock(server_->mutex_);
+    QuerySlot& slot = server_->slots_[slot_];
+    if (slot.gen == gen_) {
+      if (slot.state == SlotState::Done)
+        server_->free_slot_locked(slot_);
+      else
+        slot.abandoned = true;  // the pump frees it after answering — and
+                                // still answers its coalesced waiters
+    }
   }
   server_ = nullptr;
+  slot_ = 0;
+  gen_ = 0;
 }
 
 // --- Admission --------------------------------------------------------------
@@ -164,14 +188,51 @@ void InferenceServer::free_slot_locked(std::uint32_t slot) {
   s.state = SlotState::Free;
   s.abandoned = false;
   s.graph = nullptr;
+  s.next_waiter = -1;
+  s.leading = false;
+  s.inflight_key = 0;
+  s.warming = false;
   s.callback.reset();
   free_slots_.push_back(slot);
 }
 
-void InferenceServer::resolve_slot_locked(std::uint32_t slot,
-                                          const Response& response,
-                                          FiredList& fired) {
+void InferenceServer::resolve_one_locked(std::uint32_t slot,
+                                         const Response& response,
+                                         FiredList& fired) {
   QuerySlot& s = slots_[slot];
+  // Centralized outcome accounting: client queries fill the source buckets
+  // (a partition of every resolved client query), warming prefetches fill
+  // the warm_* counters only — so warming can never inflate a client-facing
+  // hit-rate or shed gate.
+  if (s.warming) {
+    if (response.status.ok()) {
+      ++warm_completed_;
+    } else {
+      ++warm_shed_;
+      if (config_.warm_negative_ttl_us > 0)
+        warm_negative_[s.fp] =
+            Clock::now() +
+            std::chrono::microseconds(config_.warm_negative_ttl_us);
+    }
+  } else {
+    switch (response.status.code()) {
+      case support::StatusCode::kOk:
+        if (response.source == Source::Coalesced)
+          ++source_coalesced_;
+        else
+          ++source_batch_;
+        break;
+      case support::StatusCode::kOverloaded:
+        ++shed_;
+        break;
+      case support::StatusCode::kDeadlineExceeded:
+        ++deadline_exceeded_;
+        break;
+      default:  // kInternal: a failed forward. Nothing else resolves a slot.
+        ++internal_errors_;
+        break;
+    }
+  }
   s.response = response;
   s.state = SlotState::Done;
   if (s.abandoned) {
@@ -182,6 +243,41 @@ void InferenceServer::resolve_slot_locked(std::uint32_t slot,
     fired.push_back(FiredCallback{std::move(s.callback), response});
     free_slot_locked(slot);
   }
+}
+
+void InferenceServer::resolve_slot_locked(std::uint32_t slot,
+                                          const Response& response,
+                                          FiredList& fired) {
+  std::int32_t waiter;
+  {
+    QuerySlot& s = slots_[slot];
+    if (s.leading) {
+      // Precise erase: a Block-policy admission that slept through this
+      // leader's lifetime may have registered a newer leader under the
+      // same key — never remove someone else's entry.
+      auto it = in_flight_.find(s.inflight_key);
+      if (it != in_flight_.end() && it->second == slot) in_flight_.erase(it);
+      s.leading = false;
+    }
+    waiter = s.next_waiter;
+    s.next_waiter = -1;
+  }
+  // Answer the coalesced waiters FIRST, with the leader's outcome — before
+  // the leader slot is recycled, so an abandoned leader still answers them
+  // and a shed leader sheds them (counted in the shed-class buckets).
+  const auto now = Clock::now();
+  while (waiter >= 0) {
+    QuerySlot& w = slots_[static_cast<std::size_t>(waiter)];
+    const std::int32_t next = w.next_waiter;
+    w.next_waiter = -1;
+    Response derived = response;
+    derived.queue_us = us_between(w.admitted, now);
+    derived.source =
+        response.status.ok() ? Source::Coalesced : Source::Shed;
+    resolve_one_locked(static_cast<std::uint32_t>(waiter), derived, fired);
+    waiter = next;
+  }
+  resolve_one_locked(slot, response, fired);
 }
 
 Status InferenceServer::admit_locked(std::unique_lock<std::mutex>& lock,
@@ -218,7 +314,9 @@ Status InferenceServer::admit_locked(std::unique_lock<std::mutex>& lock,
         const std::uint32_t victim = queue_[victim_index];
         queue_.erase(queue_.begin() +
                      static_cast<std::ptrdiff_t>(victim_index));
-        ++shed_;
+        // Warming prefetches enqueue at Priority::Low, so they are always
+        // the first victims here; resolve_slot_locked routes a shed
+        // prefetch into warm_shed (+ negative TTL) instead of shed.
         Response dropped;
         dropped.status = Status::Overloaded("shed for a newer request");
         dropped.source = Source::Shed;
@@ -260,6 +358,150 @@ Status InferenceServer::admit_locked(std::unique_lock<std::mutex>& lock,
   return Status::Ok();
 }
 
+bool InferenceServer::try_coalesce_locked(const Request& request,
+                                          std::uint64_t fp, std::uint64_t key,
+                                          std::uint32_t* slot_out,
+                                          std::uint64_t* gen_out) {
+  auto it = in_flight_.find(key);
+  if (it == in_flight_.end()) return false;
+  const std::uint32_t leader = it->second;
+  const std::uint32_t waiter = alloc_slot_locked();  // may grow slots_ —
+                                                     // take refs after
+  QuerySlot& w = slots_[waiter];
+  w.graph = request.graph;
+  w.fp = fp;
+  w.admitted = Clock::now();
+  w.deadline_us = request.deadline_us;  // informational: a waiter rides the
+                                        // leader's schedule (see header)
+  w.priority = request.priority;
+  w.response = Response{};
+  w.state = SlotState::Queued;
+  w.abandoned = false;
+  QuerySlot& l = slots_[leader];
+  assert(l.state == SlotState::Queued && l.leading && l.inflight_key == key &&
+         "in-flight map points at a live leader until resolution erases it");
+  w.next_waiter = l.next_waiter;
+  l.next_waiter = static_cast<std::int32_t>(waiter);
+  // Priority inheritance: a leader carrying real waiters must not be shed
+  // as if it still had only its own (possibly Low / warming) priority.
+  if (request.priority > l.priority) l.priority = request.priority;
+  ++coalesced_;
+  *slot_out = waiter;
+  *gen_out = w.gen;
+  return true;
+}
+
+StatusOr<InferenceServer::Future> InferenceServer::admit_or_coalesce(
+    const Request& request, std::uint64_t fp, std::uint64_t version) {
+  const std::uint64_t key = hash_combine64(version, fp);
+  std::uint32_t slot = 0;
+  std::uint64_t gen = 0;
+  FiredList fired;
+  Status admitted;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    // Coalescing first — even during the shutdown drain: an in-flight
+    // leader is guaranteed to resolve (the drain pumps the queue dry), so
+    // attaching is as safe as the cache-hit-during-drain exception and
+    // cheaper than refusing.
+    if (config_.coalesce &&
+        try_coalesce_locked(request, fp, key, &slot, &gen))
+      return Future(this, slot, gen);
+    // A genuine miss (neither cached nor in flight): count it against the
+    // cache before admission, so hits + misses + coalesced partitions the
+    // queries even when admission then rejects.
+    cache_.note_miss(key);
+    admitted = admit_locked(lock, request, fp, &slot, &gen, fired);
+    if (admitted.ok()) {
+      if (config_.coalesce) {
+        QuerySlot& s = slots_[slot];
+        s.leading = true;
+        s.inflight_key = key;
+        in_flight_[key] = slot;
+      }
+      maybe_warm_locked(fp, version, slots_[slot].admitted);
+    }
+  }
+  // A shed victim's continuation runs on the thread that shed it, outside
+  // the lock.
+  for (FiredCallback& f : fired) f.fn(f.response);
+  if (!admitted.ok()) return admitted;
+  return Future(this, slot, gen);
+}
+
+// --- Predictive warming -----------------------------------------------------
+
+void InferenceServer::register_warm_group(
+    const std::vector<const graph::ProgramGraph*>& siblings) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<WarmSibling> group;
+  group.reserve(siblings.size());
+  for (const graph::ProgramGraph* g : siblings) {
+    if (!g) continue;
+    group.push_back(WarmSibling{g, graph::fingerprint(*g)});
+  }
+  if (group.size() < 2) return;  // a singleton has nothing to prefetch
+  const std::uint32_t index = static_cast<std::uint32_t>(warm_groups_.size());
+  // Latest registration wins per fingerprint (see the header contract).
+  for (const WarmSibling& sib : group) warm_group_of_[sib.fp] = index;
+  warm_groups_.push_back(std::move(group));
+}
+
+void InferenceServer::maybe_warm_locked(std::uint64_t fp,
+                                        std::uint64_t version,
+                                        Clock::time_point now) {
+  if (warm_groups_.empty() || config_.max_warm_per_miss <= 0 || stop_) return;
+  auto group_it = warm_group_of_.find(fp);
+  if (group_it == warm_group_of_.end()) return;
+  const std::vector<WarmSibling>& group = warm_groups_[group_it->second];
+  int budget = config_.max_warm_per_miss;
+  bool enqueued_any = false;
+  for (const WarmSibling& sib : group) {
+    if (budget == 0) break;
+    if (sib.fp == fp) continue;  // the triggering miss is already admitted
+    const std::uint64_t key = hash_combine64(version, sib.fp);
+    // Skip siblings that already have an answer in flight or in the cache
+    // (contains() is a pure probe: no hit/miss accounting, no recency
+    // bump — warming must not pollute the client-facing hit rate).
+    if (in_flight_.find(key) != in_flight_.end()) continue;
+    if (cache_.contains(key)) continue;
+    auto neg = warm_negative_.find(sib.fp);
+    if (neg != warm_negative_.end()) {
+      if (now < neg->second) continue;  // shed recently: don't retry hot
+      warm_negative_.erase(neg);
+    }
+    // Never displace admitted traffic: a full queue suppresses the prefetch
+    // outright instead of invoking the shed policy against real queries.
+    if (config_.max_queue > 0 && queue_.size() >= config_.max_queue) {
+      ++warm_suppressed_;
+      continue;
+    }
+    const std::uint32_t slot = alloc_slot_locked();
+    QuerySlot& s = slots_[slot];
+    s.graph = sib.graph;
+    s.fp = sib.fp;
+    s.admitted = now;
+    s.deadline_us = 0;
+    s.priority = Priority::Low;  // first DropOldest victim, by construction
+    s.response = Response{};
+    s.state = SlotState::Queued;
+    s.abandoned = true;  // nobody holds a prefetch's future
+    s.warming = true;
+    // A prefetch is an in-flight leader: a real query racing the warm-up
+    // coalesces onto it (and promotes its priority) instead of forwarding
+    // twice.
+    s.leading = true;
+    s.inflight_key = key;
+    in_flight_[key] = slot;
+    queue_.push_back(slot);
+    peak_queue_ = std::max<std::uint64_t>(peak_queue_, queue_.size());
+    ++warm_enqueued_;
+    --budget;
+    enqueued_any = true;
+  }
+  if (enqueued_any) cv_queue_.notify_all();
+}
+
 StatusOr<InferenceServer::Future> InferenceServer::submit(
     const Request& request) {
   assert(request.graph && "Request without a graph");
@@ -267,26 +509,15 @@ StatusOr<InferenceServer::Future> InferenceServer::submit(
   const std::uint64_t fp = graph::fingerprint(*request.graph);
   const std::shared_ptr<const PublishedModel> published = slot_->snapshot();
   int label = 0;
-  if (cache_.lookup(hash_combine64(published->version, fp), &label)) {
+  if (cache_.lookup(hash_combine64(published->version, fp), &label,
+                    /*count_miss=*/false)) {
     Response response;
     response.label = label;
     response.model_version = published->version;
     response.source = Source::Cache;
     return Future(response);
   }
-  std::uint32_t slot = 0;
-  std::uint64_t gen = 0;
-  FiredList fired;
-  Status admitted;
-  {
-    std::unique_lock<std::mutex> lock(mutex_);
-    admitted = admit_locked(lock, request, fp, &slot, &gen, fired);
-  }
-  // A shed victim's continuation runs on the thread that shed it, outside
-  // the lock.
-  for (FiredCallback& f : fired) f.fn(f.response);
-  if (!admitted.ok()) return admitted;
-  return Future(this, slot, gen);
+  return admit_or_coalesce(request, fp, published->version);
 }
 
 Response InferenceServer::predict(const Request& request) {
@@ -298,30 +529,24 @@ Response InferenceServer::predict(const Request& request) {
   const std::uint64_t fp = graph::fingerprint(*request.graph);
   const std::shared_ptr<const PublishedModel> published = slot_->snapshot();
   int label = 0;
-  if (cache_.lookup(hash_combine64(published->version, fp), &label)) {
+  if (cache_.lookup(hash_combine64(published->version, fp), &label,
+                    /*count_miss=*/false)) {
     Response response;
     response.label = label;
     response.model_version = published->version;
     response.source = Source::Cache;
     return response;
   }
-  std::uint32_t slot = 0;
-  std::uint64_t gen = 0;
-  FiredList fired;
-  Status admitted;
-  {
-    std::unique_lock<std::mutex> lock(mutex_);
-    admitted = admit_locked(lock, request, fp, &slot, &gen, fired);
-  }
-  for (FiredCallback& f : fired) f.fn(f.response);
-  if (!admitted.ok()) {
+  StatusOr<Future> submitted =
+      admit_or_coalesce(request, fp, published->version);
+  if (!submitted.ok()) {
     // Submit-side failures fold into the one result type sync callers see.
     Response response;
-    response.status = admitted;
+    response.status = submitted.status();
     response.source = Source::Shed;
     return response;
   }
-  return wait(slot, gen);
+  return std::move(submitted).value().get();
 }
 
 void InferenceServer::predict_batch(
@@ -405,8 +630,7 @@ void InferenceServer::pump_one(std::unique_lock<std::mutex>& lock,
     if (s.deadline_us > 0 && waited >= s.deadline_us) {
       // Expired while queued: answer DeadlineExceeded instead of spending a
       // forward on a result nobody can use in time. Does not consume batch
-      // capacity.
-      ++deadline_exceeded_;
+      // capacity. (resolve_one_locked does the counting.)
       Response response;
       response.status = Status::DeadlineExceeded();
       response.source = Source::Shed;
@@ -443,7 +667,6 @@ void InferenceServer::pump_one(std::unique_lock<std::mutex>& lock,
       forward_status = Status::Internal("model forward failed");
     }
     lock.lock();
-    if (!forward_status.ok()) internal_errors_ += batch_slots_.size();
     for (std::size_t i = 0; i < batch_slots_.size(); ++i) {
       Response response = slots_[batch_slots_[i]].response;  // queue_us
       response.model_version = published->version;
@@ -558,18 +781,26 @@ ServerStats InferenceServer::stats() const {
   out.max_batch = max_batch_seen_;
   out.model_swaps = model_swaps_;
   out.idle_trims = idle_trims_;
+  out.coalesced = coalesced_;
+  out.warm_enqueued = warm_enqueued_;
+  out.warm_completed = warm_completed_;
+  out.warm_shed = warm_shed_;
+  out.warm_suppressed = warm_suppressed_;
   out.shed = shed_;
   out.rejected = rejected_;
   out.deadline_exceeded = deadline_exceeded_;
   out.internal_errors = internal_errors_;
   out.peak_queue = peak_queue_;
   out.cache = cache_.stats();
-  // Responses by source — a partition of every resolved query. Cache hits
-  // already count per-shard; forwards are exactly the Source::Batch
-  // responses; every shed-class outcome (dropped, rejected at submit,
-  // expired, failed forward) reported Source::Shed.
+  // Responses by source — a partition of every resolved client query. Cache
+  // hits already count per-shard; source_batch/source_coalesced come from
+  // the centralized resolution accounting (warming excluded there, so
+  // source_batch <= forwards); every shed-class outcome (dropped, rejected
+  // at submit, expired, failed forward — waiters of shed leaders included)
+  // reported Source::Shed.
   out.source_cache = out.cache.hits;
-  out.source_batch = forwards_;
+  out.source_batch = source_batch_;
+  out.source_coalesced = source_coalesced_;
   out.source_shed = shed_ + rejected_ + deadline_exceeded_ + internal_errors_;
   return out;
 }

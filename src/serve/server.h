@@ -46,6 +46,35 @@
 // ModelRegistry name); in-flight batches finish on the snapshot they took,
 // and version-keyed caching means a retired model can never answer.
 //
+// The cache also anticipates instead of only reacting, in two layers:
+//
+//   In-flight coalescing. A cache miss consults an in-flight map keyed by
+//   (version, fingerprint): if an identical query is already queued or mid-
+//   forward, the newcomer attaches as a waiter on that leader's slot
+//   instead of enqueuing — N duplicate queries cost one batch slot and one
+//   forward (a flash crowd on one cold hot region performs exactly one),
+//   and each waiter resolves with the leader's outcome, Source::Coalesced.
+//   Waiters survive an abandoned leader (resolution walks the waiter chain
+//   before recycling the slot), ride hot-swaps (they report the version
+//   that actually answered), and are drained by shutdown() like every
+//   admitted query. Coalescing changes WHEN a forward runs, never its
+//   bits; a waiter's label is bit-identical to a serial predict by the
+//   reported version. Accounting partitions exactly:
+//   cache hits + cache misses + coalesced == queries.
+//
+//   Predictive warming. Clients that know which fingerprints travel
+//   together — the regions of one function, the flag-variant neighborhood
+//   of one region — register them via register_warm_group(). A client miss
+//   on one member enqueues Priority::Low prefetches for the siblings that
+//   are neither cached nor in flight, through the ordinary admission queue:
+//   under pressure, warming is suppressed at enqueue (it never displaces
+//   admitted traffic) and is the first DropOldest victim (lowest priority;
+//   a shed prefetch is negative-TTL'd so shed-heavy keys are not retried
+//   hot). A prefetch is an in-flight leader, so a real query racing the
+//   warm-up coalesces onto it — and promotes its priority — rather than
+//   duplicating the forward. Warming traffic is invisible to the client-
+//   facing counters (its own warm_* stats), so hit-rate gates stay honest.
+//
 // Multi-model routing lives one layer up in serve::Router (router.h), which
 // owns one InferenceServer per published model name and dispatches
 // Request::model.
@@ -58,6 +87,7 @@
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <unordered_map>
 #include <vector>
 
 #include "graph/program_graph.h"
@@ -89,6 +119,19 @@ struct ServerConfig {
   std::size_t cache_capacity = 4096;
   int cache_shards = 8;
 
+  /// Attach duplicate in-flight queries to one leader slot instead of
+  /// enqueuing them (see the header comment). Independent of the cache:
+  /// coalescing works with cache_capacity == 0. Off is only useful as a
+  /// measurement baseline.
+  bool coalesce = true;
+
+  /// Predictive-warming knobs; active only for fingerprints registered via
+  /// register_warm_group(). At most `max_warm_per_miss` prefetches enqueue
+  /// per triggering miss; a shed prefetch's fingerprint is not re-warmed
+  /// for `warm_negative_ttl_us` microseconds (<= 0 disables the back-off).
+  int max_warm_per_miss = 16;
+  std::int64_t warm_negative_ttl_us = 100000;
+
   /// Run the serving loop as a task on the shared ThreadPool. Turn off for
   /// servers created inside pool-parallel sections (clients then drive the
   /// batching themselves while waiting; behaviour is otherwise identical).
@@ -102,24 +145,43 @@ struct ServerConfig {
 };
 
 struct ServerStats {
-  std::uint64_t queries = 0;     // everything submitted (hits+misses+shed)
-  std::uint64_t forwards = 0;    // queries answered by the model
+  std::uint64_t queries = 0;     // client submissions (warming excluded)
+  std::uint64_t forwards = 0;    // slots answered by the model, warming
+                                 // included (honest model work)
   std::uint64_t batches = 0;     // micro-batches launched
   std::uint64_t max_batch = 0;   // largest micro-batch observed
   std::uint64_t model_swaps = 0; // version changes observed between batches
   std::uint64_t idle_trims = 0;  // arena trims triggered by idleness
 
-  // Admission control.
+  // In-flight coalescing. `coalesced` counts every query that attached to
+  // a leader — the conservation invariant is
+  //   cache.hits + cache.misses + coalesced == queries
+  // (a coalesced query counts neither a hit nor a miss). source_coalesced
+  // below counts the subset whose leader resolved Ok.
+  std::uint64_t coalesced = 0;
+
+  // Predictive warming (self-issued prefetches; never counted in queries,
+  // sources or the client shed counters).
+  std::uint64_t warm_enqueued = 0;    // prefetches admitted to the queue
+  std::uint64_t warm_completed = 0;   // prefetches the model answered
+  std::uint64_t warm_shed = 0;        // prefetches shed/expired/failed
+                                      // (fingerprint negative-TTL'd)
+  std::uint64_t warm_suppressed = 0;  // skipped: queue full at enqueue time
+
+  // Admission control (client queries only).
   std::uint64_t shed = 0;        // admitted, then dropped by DropOldest
   std::uint64_t rejected = 0;    // refused at submit (queue full, Reject)
   std::uint64_t deadline_exceeded = 0;  // expired while queued
   std::uint64_t internal_errors = 0;    // resolved Internal (failed forward)
   std::uint64_t peak_queue = 0;  // high-water admitted-queue depth
 
-  // Responses by Source — a partition of every resolved query (cache =
-  // hits, batch = forwards, shed = all four shed-class outcomes above).
+  // Responses by Source — a partition of every resolved client query
+  // (cache = hits, batch = client forwards, coalesced = waiters answered
+  // Ok, shed = all four shed-class outcomes above, waiters of shed leaders
+  // included).
   std::uint64_t source_cache = 0;
   std::uint64_t source_batch = 0;
+  std::uint64_t source_coalesced = 0;
   std::uint64_t source_shed = 0;
 
   CacheStats cache;
@@ -213,6 +275,17 @@ class InferenceServer {
   void predict_batch(const std::vector<const graph::ProgramGraph*>& graphs,
                      std::vector<Response>& out);
 
+  /// Registers a sibling group for predictive warming: graphs expected to
+  /// be queried together (the regions of one function, the flag-variant
+  /// neighborhood of one region). A client miss on any member enqueues
+  /// Priority::Low prefetches for the members that are neither cached nor
+  /// in flight (see the header comment). Every graph must outlive the
+  /// server; a fingerprint registered twice triggers its latest group.
+  /// Groups are consulted per miss under the server lock, so register
+  /// before serving traffic, not per query.
+  void register_warm_group(
+      const std::vector<const graph::ProgramGraph*>& siblings);
+
   /// Hot-swaps the served model (publishes to the server's slot). Returns
   /// the new version. In-flight batches finish on their snapshot.
   std::uint64_t publish(ModelPtr model);
@@ -246,6 +319,17 @@ class InferenceServer {
     Response response;
     SlotState state = SlotState::Free;
     bool abandoned = false;
+    // Coalescing: a queued leader heads an intrusive chain of waiter slots
+    // (waiters are never in queue_; they resolve with the leader, before
+    // the leader's own slot is recycled — an abandoned leader still
+    // answers them). `leading` marks an in_flight_ entry under
+    // `inflight_key` that resolution must erase.
+    std::int32_t next_waiter = -1;
+    bool leading = false;
+    std::uint64_t inflight_key = 0;
+    // Self-issued prefetch: always abandoned (nobody holds its future) and
+    // accounted in the warm_* counters instead of the client buckets.
+    bool warming = false;
     ResponseCallback callback;  // then() continuation
   };
 
@@ -259,11 +343,28 @@ class InferenceServer {
   std::uint32_t alloc_slot_locked();
   void free_slot_locked(std::uint32_t slot);
 
-  /// Resolves `slot` with `response` under the lock: marks it Done, frees
-  /// it if abandoned, detaches its continuation into `fired` if it has one.
-  /// The caller must notify cv_done_ and run `fired` after unlocking.
+  /// Resolves `slot` with `response` under the lock: erases its in-flight
+  /// entry if it leads one, resolves its coalesced waiters with the derived
+  /// outcome (Source::Coalesced when Ok), then marks the slot Done, counts
+  /// the outcome (client source buckets, or the warm_* counters for a
+  /// prefetch), frees it if abandoned, and detaches its continuation into
+  /// `fired` if it has one. The caller must notify cv_done_ and run `fired`
+  /// after unlocking.
   void resolve_slot_locked(std::uint32_t slot, const Response& response,
                            FiredList& fired);
+
+  /// resolve_slot_locked for one slot only (no waiter-chain walk): outcome
+  /// accounting + Done/free/continuation handling.
+  void resolve_one_locked(std::uint32_t slot, const Response& response,
+                          FiredList& fired);
+
+  /// Attaches the request as a waiter on an in-flight leader for `key`
+  /// (version-mixed fingerprint), if one exists. On true, *slot/*gen
+  /// identify the waiter and the leader's priority was raised to at least
+  /// the request's. Pre: lock held.
+  bool try_coalesce_locked(const Request& request, std::uint64_t fp,
+                           std::uint64_t key, std::uint32_t* slot,
+                           std::uint64_t* gen);
 
   /// Admission control. Pre: lock held, not a cache hit. Applies stop_ and
   /// the bounded-queue policy (shedding a victim into `fired`, or blocking
@@ -273,6 +374,20 @@ class InferenceServer {
                       const Request& request, std::uint64_t fp,
                       std::uint32_t* slot, std::uint64_t* gen,
                       FiredList& fired);
+
+  /// The shared miss path of submit()/predict(): coalesce onto an in-
+  /// flight leader, or count the miss, admit, register the new leader in
+  /// the in-flight map and trigger predictive warming for its siblings.
+  /// Runs any shed-victim continuations before returning.
+  StatusOr<Future> admit_or_coalesce(const Request& request, std::uint64_t fp,
+                                     std::uint64_t version);
+
+  /// Enqueues Priority::Low prefetches for `fp`'s registered siblings that
+  /// are neither cached, in flight, nor negative-TTL'd — skipping (never
+  /// shedding for) a full queue. Pre: lock held, a client miss on `fp` was
+  /// just admitted.
+  void maybe_warm_locked(std::uint64_t fp, std::uint64_t version,
+                         Clock::time_point now);
 
   /// Runs one micro-batch: optionally waits the batch window for the queue
   /// to fill, pops up to max_batch queries in admission order (expired
@@ -319,6 +434,32 @@ class InferenceServer {
   bool stop_ = false;
   bool loop_running_ = false;
 
+  /// Keys are hash_combine64(version, fingerprint) — already well mixed,
+  /// so identity hashing suffices (same reasoning as the cache shards).
+  struct IdentityHash {
+    std::size_t operator()(std::uint64_t k) const noexcept {
+      return static_cast<std::size_t>(k);
+    }
+  };
+  template <typename V>
+  using KeyMap = std::unordered_map<
+      std::uint64_t, V, IdentityHash, std::equal_to<std::uint64_t>,
+      support::PoolAllocator<std::pair<const std::uint64_t, V>>>;
+
+  /// (version, fingerprint) -> leader slot of every queued or mid-forward
+  /// query; entries erased at resolution (guarded by mutex_).
+  KeyMap<std::uint32_t> in_flight_;
+
+  // Predictive warming (guarded by mutex_): fingerprint -> sibling group,
+  // and the negative-TTL set of recently shed prefetch fingerprints.
+  struct WarmSibling {
+    const graph::ProgramGraph* graph = nullptr;
+    std::uint64_t fp = 0;
+  };
+  std::vector<std::vector<WarmSibling>> warm_groups_;
+  KeyMap<std::uint32_t> warm_group_of_;
+  KeyMap<Clock::time_point> warm_negative_;
+
   // Pump scratch: written only by the active pumper (pumping_ excludes
   // concurrent pumps), reused across batches so warm pumps stay off malloc.
   std::vector<const graph::ProgramGraph*> batch_graphs_;
@@ -335,6 +476,13 @@ class InferenceServer {
   std::uint64_t max_batch_seen_ = 0;
   std::uint64_t model_swaps_ = 0;
   std::uint64_t idle_trims_ = 0;
+  std::uint64_t coalesced_ = 0;
+  std::uint64_t source_batch_ = 0;
+  std::uint64_t source_coalesced_ = 0;
+  std::uint64_t warm_enqueued_ = 0;
+  std::uint64_t warm_completed_ = 0;
+  std::uint64_t warm_shed_ = 0;
+  std::uint64_t warm_suppressed_ = 0;
   std::uint64_t shed_ = 0;
   std::uint64_t rejected_ = 0;
   std::uint64_t deadline_exceeded_ = 0;

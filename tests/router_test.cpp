@@ -404,7 +404,70 @@ TEST(RouterTest, BlockPolicyBoundsQueueAndAnswersEverything) {
   const serve::RouterStats stats = router.stats();
   EXPECT_EQ(stats.shed + stats.rejected, 0u);
   EXPECT_LE(stats.models[0].stats.peak_queue, config.max_queue);
-  EXPECT_EQ(stats.forwards, 40u);
+  // A few suite regions share a fingerprint, so a submit whose twin is
+  // still queued coalesces instead of forwarding (the cache is off);
+  // either way every query is answered by exactly one of the two.
+  EXPECT_EQ(stats.forwards + stats.coalesced, 40u);
+}
+
+TEST(RouterTest, CoalescingAndWarmingFoldIntoRouterStats) {
+  auto model = make_model(0x7A);
+  const std::vector<int> expected = serial_predict(*model);
+  const auto& graphs = test_graphs();
+
+  serve::RouterConfig config;
+  config.max_queue = 0;  // nothing may shed in this test
+  config.server.background_loop = false;
+  config.server.cache_capacity = 64;
+  serve::Router router(config);
+  router.publish("m", model);
+
+  // Warm-group registration resolves names like routing does, but is
+  // configuration: it must not count as routed traffic.
+  EXPECT_EQ(router
+                .register_warm_group("haswell", {&graphs[0], &graphs[1]})
+                .code(),
+            serve::StatusCode::kModelNotFound);
+  ASSERT_TRUE(router.register_warm_group("m", {&graphs[0], &graphs[1]}).ok());
+  EXPECT_EQ(router.stats().routed, 0u);
+
+  // Duplicate in-flight submits through the router coalesce on the routed
+  // server: one forward answers both.
+  auto leader = router.submit(serve::Request(graphs[2], "m"));
+  auto waiter = router.submit(serve::Request(graphs[2], "m"));
+  ASSERT_TRUE(leader.ok() && waiter.ok());
+  const serve::Response rw = waiter.value().get();
+  EXPECT_EQ(rw.label, expected[2]);
+  EXPECT_EQ(rw.source, serve::Source::Coalesced);
+  EXPECT_EQ(leader.value().get().label, expected[2]);
+
+  // A miss on a group member prefetches its sibling; the sibling then hits
+  // without ever forwarding on the client's behalf.
+  EXPECT_EQ(router.predict(serve::Request(graphs[0], "m")).label,
+            expected[0]);
+  const serve::Response warmed =
+      router.predict(serve::Request(graphs[1], "m"));
+  EXPECT_EQ(warmed.label, expected[1]);
+  EXPECT_EQ(warmed.source, serve::Source::Cache);
+
+  const serve::RouterStats live = router.stats();
+  EXPECT_EQ(live.queries, 4u);
+  EXPECT_EQ(live.coalesced, 1u);
+  EXPECT_EQ(live.source_coalesced, 1u);
+  EXPECT_EQ(live.warm_enqueued, 1u);
+  EXPECT_EQ(live.warm_completed, 1u);
+  EXPECT_EQ(live.cache_hits, 1u);
+
+  // Retiring the model folds its coalescing/warming traffic into the
+  // retained totals — router stats survive the server they came from.
+  ASSERT_TRUE(router.retire("m"));
+  const serve::RouterStats folded = router.stats();
+  EXPECT_TRUE(folded.models.empty());
+  EXPECT_EQ(folded.coalesced, 1u);
+  EXPECT_EQ(folded.source_coalesced, 1u);
+  EXPECT_EQ(folded.warm_enqueued, 1u);
+  EXPECT_EQ(folded.warm_completed, 1u);
+  EXPECT_EQ(folded.queries, 4u);
 }
 
 TEST(RouterTest, QueueTimeDeadlineExpiresToDeadlineExceeded) {

@@ -5,11 +5,13 @@
 // and the sharded LRU prediction cache.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdlib>
 #include <future>
 #include <memory>
 #include <new>
+#include <set>
 #include <thread>
 #include <vector>
 
@@ -153,10 +155,17 @@ TEST(InferenceServerTest, ConcurrentSubmitBitIdenticalToSerialPredict) {
         const serve::ServerStats stats = server.stats();
         EXPECT_EQ(stats.queries,
                   static_cast<std::uint64_t>(kClients * kQueriesPerClient));
-        EXPECT_EQ(stats.forwards + stats.cache.hits, stats.queries);
+        // Conservation: every query is exactly one of hit / miss /
+        // coalesced, and every miss is answered by a forward.
+        EXPECT_EQ(stats.cache.hits + stats.cache.misses + stats.coalesced,
+                  stats.queries);
+        EXPECT_EQ(stats.forwards + stats.cache.hits + stats.coalesced,
+                  stats.queries);
         EXPECT_LE(stats.max_batch, static_cast<std::uint64_t>(max_batch));
-        // 192 queries over 12 fingerprints: the cache must absorb most.
-        EXPECT_GE(stats.cache.hits, stats.queries / 2);
+        // 192 queries over 12 fingerprints: hits and coalesced waiters
+        // together must absorb most (which of the two answers a duplicate
+        // depends on whether the leader already resolved).
+        EXPECT_GE(stats.cache.hits + stats.coalesced, stats.queries / 2);
       }
     }
   }
@@ -180,19 +189,39 @@ TEST(InferenceServerTest, FuturesResolveAndMixWithSyncClients) {
   }
   // A sync query while async work is queued: joins the same micro-batches.
   EXPECT_EQ(server.predict(graphs[0]).label, expected[0]);
+  // A couple of suite regions are structurally identical (same
+  // fingerprint), so with the cache off a later submit may coalesce onto
+  // an earlier one still in flight — first submits always forward.
+  std::vector<std::uint64_t> seen_fps;
   for (std::size_t g = 0; g < graphs.size(); ++g) {
+    const std::uint64_t fp = graph::fingerprint(graphs[g]);
+    const bool duplicate =
+        std::find(seen_fps.begin(), seen_fps.end(), fp) != seen_fps.end();
+    seen_fps.push_back(fp);
     const serve::Response r = futures[g].get();
     EXPECT_TRUE(r.ok());
     EXPECT_EQ(r.label, expected[g]);
-    EXPECT_EQ(r.source, serve::Source::Batch);
+    if (duplicate)
+      EXPECT_TRUE(r.source == serve::Source::Batch ||
+                  r.source == serve::Source::Coalesced);
+    else
+      EXPECT_EQ(r.source, serve::Source::Batch);
     EXPECT_EQ(r.model_version, server.model_version());
     EXPECT_GE(r.queue_us, 0);
     EXPECT_GE(r.compute_us, 0);
   }
+  const std::size_t distinct =
+      std::set<std::uint64_t>(seen_fps.begin(), seen_fps.end()).size();
   const serve::ServerStats stats = server.stats();
-  EXPECT_EQ(stats.forwards, graphs.size() + 1);
+  // Duplicates (including the sync predict of graphs[0]) either coalesced
+  // onto a still-queued leader (one shared forward) or arrived after it
+  // resolved and forwarded themselves (the cache is off) — both are
+  // correct; the invariant is that forwards + coalesced covers all 13
+  // queries and every distinct fingerprint forwarded at least once.
+  EXPECT_EQ(stats.forwards + stats.coalesced, graphs.size() + 1);
+  EXPECT_GE(stats.forwards, distinct);
   EXPECT_LE(stats.max_batch, 4u);
-  EXPECT_GE(stats.batches, (graphs.size() + 1 + 3) / 4);
+  EXPECT_GE(stats.batches, (distinct + 3) / 4);
 }
 
 TEST(InferenceServerTest, ThenContinuationRunsExactlyOnce) {
@@ -459,6 +488,386 @@ TEST(InferenceServerTest, PredictBatchAllCacheHitRunsNoForwardAndNoAlloc) {
   }
 }
 
+// --- In-flight coalescing ---------------------------------------------------
+
+TEST(InferenceServerTest, DuplicateInFlightQueriesCoalesceOntoOneForward) {
+  // A flash crowd on one cold fingerprint: with no background loop nothing
+  // pumps until the first get(), so every duplicate submit must attach to
+  // the leader — one forward answers all six.
+  auto model = std::make_shared<const gnn::StaticModel>(small_config(0x21));
+  const std::vector<int> expected = serial_predict(*model);
+  const auto& graphs = test_graphs();
+  serve::ServerConfig config;
+  config.background_loop = false;
+  config.cache_capacity = 64;
+  serve::InferenceServer server(model, config);
+
+  std::vector<serve::InferenceServer::Future> futures;
+  for (int i = 0; i < 6; ++i) {
+    auto submitted = server.submit(serve::Request(graphs[2]));
+    ASSERT_TRUE(submitted.ok());
+    futures.push_back(std::move(submitted).value());
+  }
+  bool saw_batch = false;
+  for (auto& f : futures) {
+    const serve::Response r = f.get();
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.label, expected[2]);  // bit-identical to serial predict
+    EXPECT_EQ(r.model_version, server.model_version());
+    EXPECT_GE(r.queue_us, 0);
+    if (r.source == serve::Source::Batch)
+      saw_batch = true;  // exactly the leader
+    else
+      EXPECT_EQ(r.source, serve::Source::Coalesced);
+  }
+  EXPECT_TRUE(saw_batch);
+
+  const serve::ServerStats stats = server.stats();
+  EXPECT_EQ(stats.queries, 6u);
+  EXPECT_EQ(stats.forwards, 1u);
+  EXPECT_EQ(stats.coalesced, 5u);
+  EXPECT_EQ(stats.source_batch, 1u);
+  EXPECT_EQ(stats.source_coalesced, 5u);
+  EXPECT_EQ(stats.cache.misses, 1u);  // only the leader missed
+  EXPECT_EQ(stats.cache.hits, 0u);
+  EXPECT_EQ(stats.cache.hits + stats.cache.misses + stats.coalesced,
+            stats.queries);
+}
+
+TEST(InferenceServerTest, AbandonedLeaderStillAnswersItsWaiters) {
+  auto model = std::make_shared<const gnn::StaticModel>(small_config(0x22));
+  const std::vector<int> expected = serial_predict(*model);
+  const auto& graphs = test_graphs();
+  serve::ServerConfig config;
+  config.background_loop = false;
+  config.cache_capacity = 64;
+  serve::InferenceServer server(model, config);
+
+  auto leader = server.submit(serve::Request(graphs[0]));
+  ASSERT_TRUE(leader.ok());
+  auto w1 = server.submit(serve::Request(graphs[0]));
+  auto w2 = server.submit(serve::Request(graphs[0]));
+  ASSERT_TRUE(w1.ok() && w2.ok());
+  {
+    serve::InferenceServer::Future dropped = std::move(leader).value();
+    // destroyed unresolved: the leader is abandoned while its waiters live
+  }
+  serve::Response r1 = w1.value().get();  // this get() drives the pump
+  serve::Response r2 = w2.value().get();
+  EXPECT_TRUE(r1.ok() && r2.ok());
+  EXPECT_EQ(r1.label, expected[0]);
+  EXPECT_EQ(r2.label, expected[0]);
+  EXPECT_EQ(r1.source, serve::Source::Coalesced);
+  EXPECT_EQ(r2.source, serve::Source::Coalesced);
+
+  const serve::ServerStats stats = server.stats();
+  EXPECT_EQ(stats.forwards, 1u);
+  EXPECT_EQ(stats.coalesced, 2u);
+}
+
+TEST(InferenceServerTest, WaitersAcrossHotSwapReportTheAnsweringVersion) {
+  // Leader and waiter admitted under v1, model swapped to v2 before
+  // anything pumps: the batch snapshots v2, so both must carry v2's
+  // serial-predict bits and report model_version == v2 — never a mix.
+  auto model_a = std::make_shared<const gnn::StaticModel>(small_config(0x23));
+  auto model_b = std::make_shared<const gnn::StaticModel>(small_config(0x24));
+  const std::vector<int> expected_b = serial_predict(*model_b);
+  const auto& graphs = test_graphs();
+  serve::ModelRegistry registry;
+  registry.publish("m", model_a);
+  serve::ServerConfig config;
+  config.background_loop = false;
+  config.cache_capacity = 64;
+  serve::InferenceServer server(registry.slot("m"), config);
+
+  auto leader = server.submit(serve::Request(graphs[1]));
+  auto waiter = server.submit(serve::Request(graphs[1]));
+  ASSERT_TRUE(leader.ok() && waiter.ok());
+  const std::uint64_t v2 = registry.publish("m", model_b);
+
+  serve::Response rw = waiter.value().get();
+  serve::Response rl = leader.value().get();
+  EXPECT_TRUE(rw.ok() && rl.ok());
+  EXPECT_EQ(rl.label, expected_b[1]);
+  EXPECT_EQ(rw.label, expected_b[1]);
+  EXPECT_EQ(rl.model_version, v2);
+  EXPECT_EQ(rw.model_version, v2);
+  EXPECT_EQ(rl.source, serve::Source::Batch);
+  EXPECT_EQ(rw.source, serve::Source::Coalesced);
+  EXPECT_EQ(server.stats().forwards, 1u);
+}
+
+TEST(InferenceServerTest, ShutdownDrainAnswersPendingWaiters) {
+  // then() continuations on a leader and two waiters, nothing pumping:
+  // the destructor's drain must answer all three exactly once.
+  auto model = std::make_shared<const gnn::StaticModel>(small_config(0x25));
+  const std::vector<int> expected = serial_predict(*model);
+  const auto& graphs = test_graphs();
+  std::atomic<int> fired{0};
+  std::atomic<int> wrong{0};
+  {
+    serve::ServerConfig config;
+    config.background_loop = false;
+    config.cache_capacity = 64;
+    serve::InferenceServer server(model, config);
+    for (int i = 0; i < 3; ++i) {
+      auto submitted = server.submit(serve::Request(graphs[4]));
+      ASSERT_TRUE(submitted.ok());
+      submitted.value().then([&fired, &wrong,
+                              &expected](const serve::Response& r) {
+        if (!r.ok() || r.label != expected[4]) wrong.fetch_add(1);
+        fired.fetch_add(1);
+      });
+    }
+    EXPECT_EQ(fired.load(), 0);  // nobody has pumped yet
+    const serve::ServerStats stats = server.stats();
+    EXPECT_EQ(stats.coalesced, 2u);
+  }  // ~InferenceServer -> shutdown drain
+  EXPECT_EQ(fired.load(), 3);
+  EXPECT_EQ(wrong.load(), 0);
+}
+
+TEST(InferenceServerTest, CoalescedWaiterPromotesItsLeaderPriority) {
+  // A Low leader with a High waiter attached must be shed-protected as
+  // High: a Normal newcomer into the full queue is rejected instead of
+  // displacing it.
+  auto model = std::make_shared<const gnn::StaticModel>(small_config(0x26));
+  const std::vector<int> expected = serial_predict(*model);
+  const auto& graphs = test_graphs();
+  serve::ServerConfig config;
+  config.background_loop = false;
+  config.cache_capacity = 64;
+  config.max_queue = 1;
+  config.shed_policy = serve::ShedPolicy::DropOldest;
+  serve::InferenceServer server(model, config);
+
+  serve::Request low(graphs[0]);
+  low.priority = serve::Priority::Low;
+  auto leader = server.submit(low);
+  ASSERT_TRUE(leader.ok());
+  serve::Request high(graphs[0]);
+  high.priority = serve::Priority::High;
+  auto waiter = server.submit(high);  // coalesces: bypasses the full queue
+  ASSERT_TRUE(waiter.ok());
+
+  auto newcomer = server.submit(serve::Request(graphs[1]));  // Normal
+  EXPECT_FALSE(newcomer.ok());
+  EXPECT_EQ(newcomer.status().code(), serve::StatusCode::kOverloaded);
+
+  EXPECT_EQ(waiter.value().get().label, expected[0]);
+  EXPECT_EQ(leader.value().get().label, expected[0]);
+  const serve::ServerStats stats = server.stats();
+  EXPECT_EQ(stats.forwards, 1u);
+  EXPECT_EQ(stats.coalesced, 1u);
+  EXPECT_EQ(stats.shed, 0u);  // the promoted leader was never displaced
+  EXPECT_EQ(stats.rejected, 1u);
+}
+
+// --- Predictive warming -----------------------------------------------------
+
+TEST(InferenceServerTest, MissOnGroupMemberPrefetchesItsSiblings) {
+  auto model = std::make_shared<const gnn::StaticModel>(small_config(0x27));
+  const std::vector<int> expected = serial_predict(*model);
+  const auto& graphs = test_graphs();
+  serve::ServerConfig config;
+  config.background_loop = false;
+  config.cache_capacity = 64;
+  serve::InferenceServer server(model, config);
+  server.register_warm_group(
+      {&graphs[0], &graphs[1], &graphs[2], &graphs[3]});
+
+  // One client miss on a group member: the sibling prefetches join the
+  // same micro-batch, so one predict warms the whole group.
+  EXPECT_EQ(server.predict(graphs[0]).label, expected[0]);
+  {
+    const serve::ServerStats stats = server.stats();
+    EXPECT_EQ(stats.queries, 1u);  // warming is not client traffic
+    EXPECT_EQ(stats.warm_enqueued, 3u);
+    EXPECT_EQ(stats.warm_completed, 3u);
+    EXPECT_EQ(stats.warm_shed, 0u);
+    EXPECT_EQ(stats.forwards, 4u);       // honest model work
+    EXPECT_EQ(stats.source_batch, 1u);   // client partition excludes warming
+    EXPECT_EQ(stats.cache.misses, 1u);
+  }
+  // The siblings now hit without ever having been queried.
+  for (int g : {1, 2, 3}) {
+    const serve::Response r = server.predict(graphs[static_cast<size_t>(g)]);
+    EXPECT_EQ(r.label, expected[static_cast<std::size_t>(g)]);
+    EXPECT_EQ(r.source, serve::Source::Cache);
+  }
+  const serve::ServerStats stats = server.stats();
+  EXPECT_EQ(stats.queries, 4u);
+  EXPECT_EQ(stats.cache.hits, 3u);
+  EXPECT_EQ(stats.cache.hits + stats.cache.misses + stats.coalesced,
+            stats.queries);
+  // A warmed group does not re-warm: everything is cached or in flight.
+  EXPECT_EQ(stats.warm_enqueued, 3u);
+}
+
+TEST(InferenceServerTest, WarmingIsFirstDropOldestVictimAndBacksOff) {
+  auto model = std::make_shared<const gnn::StaticModel>(small_config(0x28));
+  const std::vector<int> expected = serial_predict(*model);
+  const auto& graphs = test_graphs();
+  serve::ServerConfig config;
+  config.background_loop = false;
+  config.cache_capacity = 64;
+  config.max_queue = 3;
+  config.shed_policy = serve::ShedPolicy::DropOldest;
+  serve::InferenceServer server(model, config);
+  server.register_warm_group(
+      {&graphs[0], &graphs[1], &graphs[2], &graphs[3]});
+
+  // submit(g0) admits the leader (queue 1/3) and warms g1, g2 (3/3); the
+  // prefetch for g3 finds the queue full and is suppressed, never shed.
+  auto f0 = server.submit(serve::Request(graphs[0]));
+  ASSERT_TRUE(f0.ok());
+  {
+    const serve::ServerStats stats = server.stats();
+    EXPECT_EQ(stats.warm_enqueued, 2u);
+    EXPECT_EQ(stats.warm_suppressed, 1u);
+  }
+  // Two real queries into the full queue: each displaces the oldest Low
+  // prefetch — warming is the first victim, client traffic is never shed.
+  auto f4 = server.submit(serve::Request(graphs[4]));
+  auto f5 = server.submit(serve::Request(graphs[5]));
+  ASSERT_TRUE(f4.ok() && f5.ok());
+  {
+    const serve::ServerStats stats = server.stats();
+    EXPECT_EQ(stats.warm_shed, 2u);
+    EXPECT_EQ(stats.shed, 0u);
+    EXPECT_EQ(stats.rejected, 0u);
+  }
+  EXPECT_EQ(f0.value().get().label, expected[0]);
+  EXPECT_EQ(f4.value().get().label, expected[4]);
+  EXPECT_EQ(f5.value().get().label, expected[5]);
+
+  // g3 misses and would warm its siblings, but g0 is cached and the shed
+  // prefetches (g1, g2) are inside their negative TTL: nothing enqueues —
+  // shed-heavy keys are not retried hot.
+  EXPECT_EQ(server.predict(graphs[3]).label, expected[3]);
+  const serve::ServerStats stats = server.stats();
+  EXPECT_EQ(stats.warm_enqueued, 2u);
+  EXPECT_EQ(stats.cache.hits + stats.cache.misses + stats.coalesced,
+            stats.queries);
+}
+
+TEST(InferenceServerTest, NegativeTtlZeroRetriesShedPrefetchesImmediately) {
+  auto model = std::make_shared<const gnn::StaticModel>(small_config(0x29));
+  const std::vector<int> expected = serial_predict(*model);
+  const auto& graphs = test_graphs();
+  serve::ServerConfig config;
+  config.background_loop = false;
+  config.cache_capacity = 64;
+  config.max_queue = 3;
+  config.shed_policy = serve::ShedPolicy::DropOldest;
+  config.warm_negative_ttl_us = 0;  // back-off disabled
+  serve::InferenceServer server(model, config);
+  server.register_warm_group(
+      {&graphs[0], &graphs[1], &graphs[2], &graphs[3]});
+
+  auto f0 = server.submit(serve::Request(graphs[0]));  // warms g1, g2
+  auto f4 = server.submit(serve::Request(graphs[4]));  // sheds warm g1
+  auto f5 = server.submit(serve::Request(graphs[5]));  // sheds warm g2
+  ASSERT_TRUE(f0.ok() && f4.ok() && f5.ok());
+  EXPECT_EQ(f0.value().get().label, expected[0]);
+  EXPECT_EQ(f4.value().get().label, expected[4]);
+  EXPECT_EQ(f5.value().get().label, expected[5]);
+  EXPECT_EQ(server.stats().warm_shed, 2u);
+
+  // With no TTL the next group miss re-warms the shed siblings right away.
+  EXPECT_EQ(server.predict(graphs[3]).label, expected[3]);
+  const serve::ServerStats stats = server.stats();
+  EXPECT_EQ(stats.warm_enqueued, 4u);  // g1, g2 warmed again
+  EXPECT_EQ(stats.warm_completed, 2u);
+}
+
+TEST(InferenceServerTest, ClientQueryCoalescesOntoItsOwnPrefetch) {
+  // A real query racing the warm-up of its fingerprint must attach to the
+  // prefetch (one forward), not duplicate it.
+  auto model = std::make_shared<const gnn::StaticModel>(small_config(0x2A));
+  const std::vector<int> expected = serial_predict(*model);
+  const auto& graphs = test_graphs();
+  serve::ServerConfig config;
+  config.background_loop = false;
+  config.cache_capacity = 64;
+  serve::InferenceServer server(model, config);
+  server.register_warm_group({&graphs[6], &graphs[7]});
+
+  auto f6 = server.submit(serve::Request(graphs[6]));  // warms g7
+  ASSERT_TRUE(f6.ok());
+  auto f7 = server.submit(serve::Request(graphs[7]));  // coalesces onto it
+  ASSERT_TRUE(f7.ok());
+  const serve::Response r7 = f7.value().get();
+  EXPECT_EQ(r7.label, expected[7]);
+  EXPECT_EQ(r7.source, serve::Source::Coalesced);
+  EXPECT_EQ(f6.value().get().label, expected[6]);
+
+  const serve::ServerStats stats = server.stats();
+  EXPECT_EQ(stats.warm_enqueued, 1u);
+  EXPECT_EQ(stats.coalesced, 1u);
+  EXPECT_EQ(stats.forwards, 2u);  // g6's leader + the shared g7 prefetch
+  EXPECT_EQ(stats.cache.hits + stats.cache.misses + stats.coalesced,
+            stats.queries);
+}
+
+// --- Future move semantics --------------------------------------------------
+
+TEST(InferenceServerFutureTest, MoveFullyDisarmsTheSource) {
+  auto model = std::make_shared<const gnn::StaticModel>(small_config(0x2B));
+  const std::vector<int> expected = serial_predict(*model);
+  const auto& graphs = test_graphs();
+  serve::ServerConfig config;
+  config.background_loop = false;
+  config.cache_capacity = 64;
+  serve::InferenceServer server(model, config);
+
+  // Pending future: construct + assign moves leave the source invalid.
+  auto submitted = server.submit(serve::Request(graphs[0]));
+  ASSERT_TRUE(submitted.ok());
+  serve::InferenceServer::Future a = std::move(submitted).value();
+  EXPECT_TRUE(a.valid());
+  serve::InferenceServer::Future b = std::move(a);
+  EXPECT_FALSE(a.valid());
+  EXPECT_TRUE(b.valid());
+  a = std::move(b);  // assign back into the moved-from handle
+  EXPECT_FALSE(b.valid());
+  ASSERT_TRUE(a.valid());
+  EXPECT_EQ(a.get().label, expected[0]);
+
+  // Ready (cache-hit) future: moving transfers the stored response once.
+  auto hit = server.submit(serve::Request(graphs[0]));
+  ASSERT_TRUE(hit.ok());
+  serve::InferenceServer::Future c = std::move(hit).value();
+  serve::InferenceServer::Future d = std::move(c);
+  EXPECT_FALSE(c.valid());
+  ASSERT_TRUE(d.valid());
+  const serve::Response r = d.get();
+  EXPECT_EQ(r.label, expected[0]);
+  EXPECT_EQ(r.source, serve::Source::Cache);
+}
+
+TEST(InferenceServerFutureTest, AbandonAfterMoveReleasesTheRightSlot) {
+  auto model = std::make_shared<const gnn::StaticModel>(small_config(0x2C));
+  const std::vector<int> expected = serial_predict(*model);
+  const auto& graphs = test_graphs();
+  serve::ServerConfig config;
+  config.background_loop = false;
+  config.cache_capacity = 0;
+  serve::InferenceServer server(model, config);
+
+  auto submitted = server.submit(serve::Request(graphs[1]));
+  ASSERT_TRUE(submitted.ok());
+  {
+    serve::InferenceServer::Future moved_from = std::move(submitted).value();
+    serve::InferenceServer::Future owner = std::move(moved_from);
+    // moved_from's destructor must be a no-op; owner's abandons the slot.
+  }
+  // The abandoned query is still answered by the next pump and its slot
+  // recycles; later queries are unaffected.
+  EXPECT_EQ(server.predict(graphs[2]).label, expected[2]);
+  EXPECT_EQ(server.predict(graphs[1]).label, expected[1]);
+}
+
 TEST(ModelRegistryTest, PublishResolveRetireAndVersions) {
   auto model_a = std::make_shared<const gnn::StaticModel>(small_config(0x1));
   auto model_b = std::make_shared<const gnn::StaticModel>(small_config(0x2));
@@ -531,6 +940,90 @@ TEST(PredictionCacheTest, ShardedCapacityHolds) {
   EXPECT_LE(cache.stats().entries, 64u);
   EXPECT_EQ(cache.stats().insertions, 10000u);
   EXPECT_EQ(cache.stats().evictions, 10000u - cache.stats().entries);
+}
+
+TEST(PredictionCacheTest, ClearResetsStatsForANewEpoch) {
+  serve::PredictionCache cache(4, /*num_shards=*/1);
+  int label = -1;
+  for (std::uint64_t k = 0; k < 6; ++k)
+    cache.insert(k, static_cast<int>(k));
+  cache.insert(5, 50);  // refresh
+  EXPECT_TRUE(cache.lookup(5, &label));
+  EXPECT_FALSE(cache.lookup(99, &label));
+  const serve::CacheStats before = cache.stats();
+  EXPECT_GT(before.hits, 0u);
+  EXPECT_GT(before.misses, 0u);
+  EXPECT_GT(before.insertions, 0u);
+  EXPECT_GT(before.refreshes, 0u);
+  EXPECT_GT(before.evictions, 0u);
+
+  // clear() starts a new epoch: entries AND every counter go to zero, so a
+  // hit-rate measured after the clear never blends the old epoch's traffic.
+  cache.clear();
+  const serve::CacheStats after = cache.stats();
+  EXPECT_EQ(after.hits, 0u);
+  EXPECT_EQ(after.misses, 0u);
+  EXPECT_EQ(after.insertions, 0u);
+  EXPECT_EQ(after.refreshes, 0u);
+  EXPECT_EQ(after.evictions, 0u);
+  EXPECT_EQ(after.entries, 0u);
+  EXPECT_EQ(after.hit_rate(), 0.0);
+
+  // The cleared cache is fully usable: capacity and slots were kept.
+  cache.insert(1, 10);
+  EXPECT_TRUE(cache.lookup(1, &label));
+  EXPECT_EQ(label, 10);
+  EXPECT_EQ(cache.stats().insertions, 1u);
+}
+
+TEST(PredictionCacheTest, DuplicateInsertCountsARefreshNotAnInsertion) {
+  serve::PredictionCache cache(4, /*num_shards=*/1);
+  cache.insert(7, 1);
+  cache.insert(7, 1);  // racing double-insert of the same fingerprint
+  cache.insert(7, 2);  // refresh may also change the label (new epoch key)
+  serve::CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.insertions, 1u);
+  EXPECT_EQ(stats.refreshes, 2u);
+  EXPECT_EQ(stats.entries, 1u);
+  int label = -1;
+  EXPECT_TRUE(cache.lookup(7, &label));
+  EXPECT_EQ(label, 2);
+
+  // The accounting identity the refresh counter exists to protect:
+  // insertions - evictions == entries, under any insert/evict/refresh mix.
+  for (std::uint64_t k = 0; k < 100; ++k) cache.insert(k % 10, 0);
+  stats = cache.stats();
+  EXPECT_EQ(stats.insertions - stats.evictions, stats.entries);
+}
+
+TEST(PredictionCacheTest, ShardIndexMixesTheFullKey) {
+  // The old shard choice used only the top 8 bits ((key >> 56) % shards):
+  // sequential keys — and any key population with a constant high byte,
+  // like small counters or version-mixed fingerprints with few versions —
+  // all collapsed into one shard, shrinking the effective capacity to a
+  // single shard's and serializing every lookup on one mutex. The fixed
+  // mix must reach every shard from low-entropy keys.
+  constexpr std::size_t kShards = 300;  // > 256: unreachable in the old scheme
+  std::vector<bool> seen(kShards, false);
+  std::size_t distinct = 0;
+  for (std::uint64_t k = 0; k < 20000 && distinct < kShards; ++k) {
+    const std::size_t s = serve::PredictionCache::shard_index(k, kShards);
+    ASSERT_LT(s, kShards);
+    if (!seen[s]) {
+      seen[s] = true;
+      ++distinct;
+    }
+  }
+  EXPECT_EQ(distinct, kShards);
+
+  // End to end: sequential keys must fill the whole sharded capacity, not
+  // one shard's slice (3000/300 = 10 entries under the old scheme).
+  serve::PredictionCache cache(3000, 300);
+  for (std::uint64_t k = 0; k < 20000; ++k)
+    cache.insert(k, static_cast<int>(k & 3));
+  EXPECT_EQ(cache.stats().entries, cache.capacity());
+  EXPECT_EQ(cache.stats().insertions - cache.stats().evictions,
+            cache.stats().entries);
 }
 
 }  // namespace
