@@ -26,10 +26,19 @@
 //     the bound, conservation of answered+shed+rejected), the admitted
 //     queue depth never exceeds max_queue, admitted answers stay
 //     bit-identical, and p99 latency of admitted requests stays bounded.
+//   - under --faults (needs a library built with -DIRGNN_FAILPOINTS=ON;
+//     skipped, not failed, otherwise): a scripted outage — healthy window,
+//     100% forward-failure window, recovery window — must trip the circuit
+//     breaker exactly once, short-circuit misses without spending a single
+//     forward on the failing model, keep answering whatever the cache
+//     holds, close the breaker on the first half-open probe after the
+//     fault clears, and return to a zero-error healthy state; p99 and
+//     error rate per window land in the JSON artifact.
 //
 //   ./serve_throughput --threads 1 --queries 5000
 //   ./serve_throughput --quick              (CI smoke)
 //   ./serve_throughput --quick --overload   (CI admission-control smoke)
+//   ./serve_throughput --quick --faults     (CI failure-containment smoke)
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -44,6 +53,7 @@
 #include "serve/server.h"
 #include "support/arena.h"
 #include "support/argparse.h"
+#include "support/failpoint.h"
 #include "support/rng.h"
 #include "support/table.h"
 #include "workloads/suite.h"
@@ -97,6 +107,10 @@ int main(int argc, char** argv) {
       .add("overload", "false",
            "also slam a bounded queue with an async burst and gate the "
            "load-shedding contract")
+      .add("faults", "false",
+           "also run a scripted fault window (healthy -> total forward "
+           "failure -> recovery) and gate the circuit-breaker contract; "
+           "needs a build with -DIRGNN_FAILPOINTS=ON, skipped otherwise")
       .add("json", "BENCH_serve.json",
            "write machine-readable results here (empty disables)")
       .add("quick", "false", "CI smoke: fewer queries, same contract gates");
@@ -105,6 +119,7 @@ int main(int argc, char** argv) {
 
   const bool quick = parser.get_bool("quick");
   const bool overload = parser.get_bool("overload");
+  const bool faults = parser.get_bool("faults");
   const int threads = bench::apply_threads(parser);
   const int queries_per_client =
       quick ? 500 : static_cast<int>(parser.get_int("queries"));
@@ -636,6 +651,122 @@ int main(int argc, char** argv) {
     }
   }
 
+  // --- Scripted fault window (--faults) ------------------------------------
+  double fault_p99_healthy = 0, fault_p99_degraded = 0, fault_p99_recovered = 0;
+  int fault_err_healthy = 0, fault_err_degraded = 0, fault_err_recovered = 0;
+  std::uint64_t fault_trips = 0, fault_short_circuits = 0;
+  bool faults_ran = false;
+  if (faults && !support::failpoints::enabled()) {
+    std::printf("\n=== Fault window ===\n(library built without "
+                "IRGNN_FAILPOINTS: fault section skipped)\n");
+  } else if (faults) {
+    faults_ran = true;
+    support::failpoints::set_seed(seed);
+    serve::ServerConfig fc = server_config;
+    // A small cache keeps both traffic classes alive through the outage:
+    // some queries stay warm (degraded mode must keep answering them),
+    // the long tail keeps missing (degraded mode must refuse them fast).
+    fc.cache_capacity = 8;
+    fc.breaker_trip_threshold = 3;
+    fc.breaker_probe_interval_us = 2000;
+    serve::InferenceServer server(model, fc);
+    const std::size_t hot = std::min<std::size_t>(4, unique.size());
+    Rng rng(hash_combine64(seed, 0xFA17));
+    auto window = [&](int queries, std::vector<double>& lat, int& errors) {
+      for (int q = 0; q < queries; ++q) {
+        // Even queries cycle a fixed hot set, odd queries draw from the
+        // whole fingerprint population.
+        const std::size_t g =
+            (q % 2 == 0) ? unique[static_cast<std::size_t>(q) / 2 % hot]
+                         : unique[rng.next_below(unique.size())];
+        const auto t0 = Clock::now();
+        const serve::Response r = server.predict(*graphs[g]);
+        lat.push_back(to_us(Clock::now() - t0));
+        if (!r.ok())
+          ++errors;
+        else if (r.label != expected[g])
+          ++failures;
+      }
+    };
+    const int per_window = quick ? 200 : 800;
+    std::vector<double> lat_healthy, lat_degraded, lat_recovered;
+
+    window(per_window, lat_healthy, fault_err_healthy);
+    const serve::ServerStats pre_fault = server.stats();
+
+    support::failpoints::FailpointSpec dead;
+    dead.every_nth = 1;  // 100% forward failure
+    support::failpoints::configure("serve.forward", dead);
+    window(per_window, lat_degraded, fault_err_degraded);
+    const serve::ServerStats during = server.stats();
+    support::failpoints::disable("serve.forward");
+
+    // Let the half-open probe timer expire, then drive the recovery
+    // window: its first miss is admitted as the probe, succeeds, and
+    // restores full service.
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(3 * fc.breaker_probe_interval_us));
+    window(per_window, lat_recovered, fault_err_recovered);
+    const serve::ServerStats after = server.stats();
+    support::failpoints::disable_all();
+
+    fault_p99_healthy = percentiles(lat_healthy).p99;
+    fault_p99_degraded = percentiles(lat_degraded).p99;
+    fault_p99_recovered = percentiles(lat_recovered).p99;
+    fault_trips = after.breaker_trips;
+    fault_short_circuits = after.breaker_short_circuits;
+    std::printf(
+        "\n=== Fault window (%d queries/window, breaker threshold %d, probe "
+        "every %lld us) ===\n"
+        "healthy:   p99 %8.1f us, errors %4d\n"
+        "degraded:  p99 %8.1f us, errors %4d (internal %llu, "
+        "short-circuited %llu, trips %llu)\n"
+        "recovered: p99 %8.1f us, errors %4d (probes %llu, breaker %s)\n",
+        per_window, fc.breaker_trip_threshold,
+        static_cast<long long>(fc.breaker_probe_interval_us),
+        fault_p99_healthy, fault_err_healthy, fault_p99_degraded,
+        fault_err_degraded,
+        static_cast<unsigned long long>(after.internal_errors),
+        static_cast<unsigned long long>(fault_short_circuits),
+        static_cast<unsigned long long>(fault_trips), fault_p99_recovered,
+        fault_err_recovered,
+        static_cast<unsigned long long>(after.breaker_probes),
+        after.breaker_open ? "OPEN" : "closed");
+    if (fault_err_healthy != 0) {
+      ++failures;
+      std::printf("FAILED: errors before any fault was armed\n");
+    }
+    if (fault_trips != 1) {
+      ++failures;
+      std::printf("FAILED: breaker tripped %llu times (the script trips it "
+                  "exactly once)\n",
+                  static_cast<unsigned long long>(fault_trips));
+    }
+    if (fault_short_circuits == 0) {
+      ++failures;
+      std::printf("FAILED: no miss was short-circuited during the outage\n");
+    }
+    if (during.forwards != pre_fault.forwards) {
+      ++failures;
+      std::printf("FAILED: the outage window completed %llu forwards on a "
+                  "100%%-failing model (short-circuits must cost zero)\n",
+                  static_cast<unsigned long long>(during.forwards -
+                                                  pre_fault.forwards));
+    }
+    if (fault_err_recovered != 0 || after.breaker_open) {
+      ++failures;
+      std::printf("FAILED: service did not fully recover after the fault "
+                  "cleared (%d errors, breaker %s)\n",
+                  fault_err_recovered, after.breaker_open ? "OPEN" : "closed");
+    }
+    if (after.cache.hits + after.cache.misses + after.coalesced !=
+        after.queries) {
+      ++failures;
+      std::printf("FAILED: coalescing conservation broke under the fault "
+                  "window\n");
+    }
+  }
+
   // --- Idle trim + arena high-water mark -----------------------------------
   {
     serve::ServerConfig idle = server_config;
@@ -693,6 +824,11 @@ int main(int argc, char** argv) {
           "%.4f},\n"
           "  \"hit_vs_miss\": {\"miss_p50_us\": %.2f, \"hit_p50_us\": "
           "%.2f},\n"
+          "  \"faults\": {\"ran\": %s, \"p99_healthy_us\": %.1f, "
+          "\"p99_degraded_us\": %.1f, \"p99_recovered_us\": %.1f,\n"
+          "            \"errors_healthy\": %d, \"errors_degraded\": %d, "
+          "\"errors_recovered\": %d,\n"
+          "            \"breaker_trips\": %llu, \"short_circuits\": %llu},\n"
           "  \"failures\": %d\n"
           "}\n",
           cfg.hidden_dim, cfg.num_layers, threads, server_config.max_batch,
@@ -702,7 +838,11 @@ int main(int argc, char** argv) {
           static_cast<unsigned long long>(flash_forwards),
           static_cast<unsigned long long>(flash_coalesced),
           static_cast<unsigned long long>(flash_hits), warm_baseline_rate,
-          warm_warmed_rate, miss_p50, hit_p50, failures);
+          warm_warmed_rate, miss_p50, hit_p50, faults_ran ? "true" : "false",
+          fault_p99_healthy, fault_p99_degraded, fault_p99_recovered,
+          fault_err_healthy, fault_err_degraded, fault_err_recovered,
+          static_cast<unsigned long long>(fault_trips),
+          static_cast<unsigned long long>(fault_short_circuits), failures);
       std::fclose(f);
       std::printf("\nwrote %s\n", json_path.c_str());
     }
@@ -715,8 +855,9 @@ int main(int argc, char** argv) {
   }
   std::printf("\nall serving contracts held (determinism, zero-alloc warm "
               "hits, 10x cache advantage, one-forward flash crowds, "
-              "coalescing conservation, warming beats baseline%s, idle "
+              "coalescing conservation, warming beats baseline%s%s, idle "
               "trim)\n",
-              overload ? ", bounded-queue shedding" : "");
+              overload ? ", bounded-queue shedding" : "",
+              faults_ran ? ", breaker containment" : "");
   return 0;
 }

@@ -1,7 +1,13 @@
 #include "serve/router.h"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 #include <utility>
+
+#include "graph/fingerprint.h"
+#include "support/failpoint.h"
+#include "support/rng.h"
 
 namespace irgnn::serve {
 
@@ -10,6 +16,10 @@ Router::Router(const RouterConfig& config) : config_(config) {}
 Router::~Router() { shutdown(); }
 
 std::uint64_t Router::publish(const std::string& name, ModelPtr model) {
+  // Fault injection: a slow publish (model load, weight transfer). Before
+  // the writer lock so injected latency stalls only writers that would
+  // serialize behind this publish anyway — readers stay lock-free.
+  IRGNN_FAILPOINT("router.publish", (void)0);
   // The registry publish and the map update happen under one writer lock —
   // and the registry publish comes first, so the slot holds a model before
   // any server attaches to it (the server constructor requires a
@@ -36,6 +46,10 @@ std::uint64_t Router::publish(const std::string& name, ModelPtr model) {
 }
 
 bool Router::retire(const std::string& name) {
+  // Fault injection: a slow retire — widens the window in which prefetch
+  // leaders and client queries race the drain (tests/router_test.cpp and
+  // the chaos harness lean on this).
+  IRGNN_FAILPOINT("router.retire", (void)0);
   std::shared_ptr<InferenceServer> server;
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -75,6 +89,10 @@ void Router::drain_and_fold(InferenceServer& server) {
   retired_.rejected += last.rejected;
   retired_.deadline_exceeded += last.deadline_exceeded;
   retired_.internal_errors += last.internal_errors;
+  retired_.invalid_arguments += last.invalid_arguments;
+  retired_.breaker_trips += last.breaker_trips;
+  retired_.breaker_probes += last.breaker_probes;
+  retired_.breaker_short_circuits += last.breaker_short_circuits;
   retired_.source_cache += last.source_cache;
   retired_.source_batch += last.source_batch;
   retired_.source_coalesced += last.source_coalesced;
@@ -161,6 +179,69 @@ Response Router::predict(const Request& request) {
   return server->predict(request);
 }
 
+namespace {
+
+bool retryable(support::StatusCode code) {
+  // Internal: a transient forward failure. Unavailable: the breaker may
+  // close (a probe may restore service) before the next attempt. Nothing
+  // else — in particular never Overloaded: a shed is backpressure, and
+  // retrying it would convert the overload signal into more overload.
+  return code == support::StatusCode::kInternal ||
+         code == support::StatusCode::kUnavailable;
+}
+
+}  // namespace
+
+Response Router::predict(const Request& request, const RetryPolicy& policy) {
+  retry_requests_.fetch_add(1, std::memory_order_relaxed);
+  Response response = predict(request);
+  if (policy.max_attempts <= 1) return response;
+  std::uint64_t fp = 0;  // computed lazily: the happy path never needs it
+  std::int64_t backoff = std::max<std::int64_t>(policy.base_backoff_us, 0);
+  for (int attempt = 1; attempt < policy.max_attempts; ++attempt) {
+    if (!retryable(response.status.code())) return response;
+    // Claim a retry from the shared budget: optimistically take one, give
+    // it back if that overdraws. Approximate under concurrency (two
+    // atomics, not a transaction) but never grows the overdraft beyond the
+    // momentary race — the amplification bound stays 1 + budget_ratio.
+    const std::uint64_t denom =
+        retry_requests_.load(std::memory_order_relaxed);
+    const std::uint64_t claimed =
+        retries_.fetch_add(1, std::memory_order_relaxed) + 1;
+    const double allowance =
+        std::max(static_cast<double>(policy.budget_floor),
+                 policy.budget_ratio * static_cast<double>(denom));
+    if (static_cast<double>(claimed) > allowance) {
+      retries_.fetch_sub(1, std::memory_order_relaxed);
+      retry_budget_exhausted_.fetch_add(1, std::memory_order_relaxed);
+      return response;
+    }
+    if (backoff > 0) {
+      // Deterministic jitter in [backoff/2, backoff]: a pure function of
+      // (seed, graph, attempt), so runs reproduce, while concurrent
+      // clients (different graphs) spread instead of stampeding.
+      if (fp == 0) fp = graph::fingerprint(*request.graph);
+      const std::uint64_t draw = hash_combine64(
+          policy.jitter_seed,
+          hash_combine64(fp, static_cast<std::uint64_t>(attempt)));
+      const std::int64_t half = backoff / 2;
+      const std::int64_t sleep_us =
+          half + static_cast<std::int64_t>(
+                     draw % static_cast<std::uint64_t>(backoff - half + 1));
+      std::this_thread::sleep_for(std::chrono::microseconds(sleep_us));
+      backoff = std::min(backoff * 2, policy.max_backoff_us > 0
+                                          ? policy.max_backoff_us
+                                          : backoff * 2);
+    }
+    response = predict(request);
+    if (response.status.ok()) {
+      retry_successes_.fetch_add(1, std::memory_order_relaxed);
+      return response;
+    }
+  }
+  return response;
+}
+
 std::vector<std::string> Router::models() const {
   const std::shared_ptr<const ServerMap> servers =
       std::atomic_load(&servers_);
@@ -178,6 +259,7 @@ void Router::fold(const ServerStats& in, RouterStats& out) {
   out.forwards += in.forwards;
   out.batches += in.batches;
   out.cache_hits += in.cache.hits;
+  out.cache_misses += in.cache.misses;
   out.coalesced += in.coalesced;
   out.warm_enqueued += in.warm_enqueued;
   out.warm_completed += in.warm_completed;
@@ -187,6 +269,10 @@ void Router::fold(const ServerStats& in, RouterStats& out) {
   out.rejected += in.rejected;
   out.deadline_exceeded += in.deadline_exceeded;
   out.internal_errors += in.internal_errors;
+  out.invalid_arguments += in.invalid_arguments;
+  out.breaker_trips += in.breaker_trips;
+  out.breaker_probes += in.breaker_probes;
+  out.breaker_short_circuits += in.breaker_short_circuits;
   out.source_cache += in.source_cache;
   out.source_batch += in.source_batch;
   out.source_coalesced += in.source_coalesced;
@@ -197,6 +283,11 @@ RouterStats Router::stats() const {
   RouterStats out;
   out.routed = routed_.load(std::memory_order_relaxed);
   out.model_not_found = model_not_found_.load(std::memory_order_relaxed);
+  out.retry_requests = retry_requests_.load(std::memory_order_relaxed);
+  out.retries = retries_.load(std::memory_order_relaxed);
+  out.retry_successes = retry_successes_.load(std::memory_order_relaxed);
+  out.retry_budget_exhausted =
+      retry_budget_exhausted_.load(std::memory_order_relaxed);
   // Snapshot-then-fold: a retire() completing between the snapshot and the
   // retired_ read can transiently count that server's traffic twice. Stats
   // are monitoring data, not invariants — the totals are exact whenever no

@@ -55,6 +55,39 @@ struct RouterConfig {
   ServerConfig server;
 };
 
+/// Client-side retry schedule for Router::predict(request, policy).
+///
+/// Containment rules, in order of importance:
+///
+///   Only failures that retrying can fix are retried: Internal (the forward
+///   failed — transient by nature) and Unavailable (the breaker is open —
+///   the next attempt may land on a probe-restored server). Overloaded is
+///   NEVER retried: a shed is the server saying "less load, please", and a
+///   retry storm converts exactly the signal meant to prevent overload into
+///   more of it. ModelNotFound / ShuttingDown / InvalidArgument are
+///   deterministic; retrying cannot change them.
+///
+///   Retries are budgeted across the router: at most
+///   max(budget_floor, budget_ratio * first attempts) extra attempts,
+///   counted over all policy'd predicts. When every request fails, retries
+///   amplify sustained traffic by at most 1+ratio — not by max_attempts;
+///   the floor only keeps low-traffic clients from being starved of
+///   retries by their own small denominator.
+///
+///   Backoff doubles per attempt from `base_backoff_us` (clamped at
+///   `max_backoff_us`) with deterministic jitter in [backoff/2, backoff],
+///   derived from (jitter_seed, graph fingerprint, attempt) — reproducible
+///   runs, but concurrent clients retrying the same outage still spread out
+///   instead of stampeding in lockstep.
+struct RetryPolicy {
+  int max_attempts = 3;  // total tries, first included; <= 1 disables
+  std::int64_t base_backoff_us = 200;
+  std::int64_t max_backoff_us = 5000;
+  double budget_ratio = 0.2;
+  std::uint64_t budget_floor = 10;
+  std::uint64_t jitter_seed = 0;
+};
+
 struct RouterModelStats {
   std::string model;
   std::uint64_t version = 0;
@@ -72,6 +105,7 @@ struct RouterStats {
   std::uint64_t forwards = 0;
   std::uint64_t batches = 0;
   std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
   std::uint64_t coalesced = 0;
   std::uint64_t warm_enqueued = 0;
   std::uint64_t warm_completed = 0;
@@ -81,10 +115,21 @@ struct RouterStats {
   std::uint64_t rejected = 0;
   std::uint64_t deadline_exceeded = 0;
   std::uint64_t internal_errors = 0;
+  std::uint64_t invalid_arguments = 0;
+  std::uint64_t breaker_trips = 0;
+  std::uint64_t breaker_probes = 0;
+  std::uint64_t breaker_short_circuits = 0;
   std::uint64_t source_cache = 0;
   std::uint64_t source_batch = 0;
   std::uint64_t source_coalesced = 0;
   std::uint64_t source_shed = 0;
+
+  /// Client-side retries (predict with a RetryPolicy only; router-level,
+  /// not folded from servers). retry_requests is the budget denominator.
+  std::uint64_t retry_requests = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t retry_successes = 0;
+  std::uint64_t retry_budget_exhausted = 0;
 
   /// Live per-model breakdown, in name order.
   std::vector<RouterModelStats> models;
@@ -129,6 +174,12 @@ class Router {
   Response predict(const graph::ProgramGraph& graph) {
     return predict(Request(graph));
   }
+
+  /// Synchronous routed query with client-side retries (see RetryPolicy).
+  /// Returns the first Ok response, or the last attempt's failure. The
+  /// plain predict() overload stays retry-free — the zero-alloc warm hit
+  /// path pays nothing for this feature.
+  Response predict(const Request& request, const RetryPolicy& policy);
 
   /// Names currently being served, sorted.
   std::vector<std::string> models() const;
@@ -179,6 +230,13 @@ class Router {
   ServerStats retired_;
   std::atomic<std::uint64_t> routed_{0};
   std::atomic<std::uint64_t> model_not_found_{0};
+  /// Retry budget across every policy'd predict: retries_ may not exceed
+  /// budget_ratio * retry_requests_ (approximately under concurrency — the
+  /// check-and-claim is two atomics, not a transaction).
+  std::atomic<std::uint64_t> retry_requests_{0};
+  std::atomic<std::uint64_t> retries_{0};
+  std::atomic<std::uint64_t> retry_successes_{0};
+  std::atomic<std::uint64_t> retry_budget_exhausted_{0};
   std::atomic<bool> stopped_{false};
 };
 

@@ -5,6 +5,7 @@
 #include <chrono>
 
 #include "graph/fingerprint.h"
+#include "support/failpoint.h"
 #include "support/rng.h"
 #include "support/thread_pool.h"
 
@@ -192,6 +193,7 @@ void InferenceServer::free_slot_locked(std::uint32_t slot) {
   s.leading = false;
   s.inflight_key = 0;
   s.warming = false;
+  s.probe = false;
   s.callback.reset();
   free_slots_.push_back(slot);
 }
@@ -200,6 +202,23 @@ void InferenceServer::resolve_one_locked(std::uint32_t slot,
                                          const Response& response,
                                          FiredList& fired) {
   QuerySlot& s = slots_[slot];
+  // Half-open probe bookkeeping rides resolution so EVERY probe outcome is
+  // covered — answered by the forward (Ok closes the breaker, Internal
+  // re-arms the probe timer) but also shed or expired before reaching one
+  // (re-arm; the probe franchise must never leak with probe_in_flight
+  // stuck true).
+  if (s.probe) {
+    s.probe = false;
+    breaker_probe_in_flight_ = false;
+    if (response.status.ok()) {
+      breaker_open_ = false;
+      breaker_failures_ = 0;
+    } else {
+      breaker_next_probe_ =
+          Clock::now() +
+          std::chrono::microseconds(config_.breaker_probe_interval_us);
+    }
+  }
   // Centralized outcome accounting: client queries fill the source buckets
   // (a partition of every resolved client query), warming prefetches fill
   // the warm_* counters only — so warming can never inflate a client-facing
@@ -286,6 +305,14 @@ Status InferenceServer::admit_locked(std::unique_lock<std::mutex>& lock,
                                      std::uint64_t* gen_out,
                                      FiredList& fired) {
   if (stop_) return Status::ShuttingDown();
+  // Fault injection: simulated queue exhaustion. Counted as a rejection so
+  // the answered/shed/rejected conservation holds under injection. (Error
+  // injection only — this site runs under the server lock, so latency specs
+  // here would serialize the whole server; use serve.forward for delays.)
+  IRGNN_FAILPOINT("serve.admit", {
+    ++rejected_;
+    return Status::Overloaded("injected admission fault");
+  });
   if (config_.max_queue > 0 && queue_.size() >= config_.max_queue) {
     switch (config_.shed_policy) {
       case ShedPolicy::Reject:
@@ -409,9 +436,39 @@ StatusOr<InferenceServer::Future> InferenceServer::admit_or_coalesce(
       return Future(this, slot, gen);
     // A genuine miss (neither cached nor in flight): count it against the
     // cache before admission, so hits + misses + coalesced partitions the
-    // queries even when admission then rejects.
+    // queries even when admission then rejects — short-circuited misses
+    // included.
     cache_.note_miss(key);
-    admitted = admit_locked(lock, request, fp, &slot, &gen, fired);
+    // Degraded mode: an open breaker answers the miss Unavailable right
+    // here, without a queue slot or a forward. Exceptions: shutdown still
+    // wins (admit_locked answers ShuttingDown below), and once per probe
+    // interval one miss is admitted as the half-open probe. Hits and
+    // coalesced waiters never reach this point — degraded mode only refuses
+    // work that would need the failing model.
+    bool as_probe = false;
+    if (config_.breaker_trip_threshold > 0 && breaker_open_ && !stop_) {
+      if (!breaker_probe_in_flight_ && Clock::now() >= breaker_next_probe_) {
+        as_probe = true;
+        // Claim the probe franchise before admit_locked, which may drop the
+        // lock (ShedPolicy::Block): a second miss sneaking in meanwhile
+        // must short-circuit, not launch a second probe.
+        breaker_probe_in_flight_ = true;
+      } else {
+        ++breaker_short_circuits_;
+        admitted = Status::Unavailable();
+      }
+    }
+    if (admitted.ok()) {
+      admitted = admit_locked(lock, request, fp, &slot, &gen, fired);
+      if (as_probe) {
+        if (admitted.ok()) {
+          slots_[slot].probe = true;
+          ++breaker_probes_;
+        } else {
+          breaker_probe_in_flight_ = false;  // return the franchise
+        }
+      }
+    }
     if (admitted.ok()) {
       if (config_.coalesce) {
         QuerySlot& s = slots_[slot];
@@ -451,6 +508,10 @@ void InferenceServer::maybe_warm_locked(std::uint64_t fp,
                                         std::uint64_t version,
                                         Clock::time_point now) {
   if (warm_groups_.empty() || config_.max_warm_per_miss <= 0 || stop_) return;
+  // An open breaker suppresses warming outright: prefetches exist to spend
+  // idle forwards on likely-next queries, and a failing model has no useful
+  // forwards to spend.
+  if (breaker_open_) return;
   auto group_it = warm_group_of_.find(fp);
   if (group_it == warm_group_of_.end()) return;
   const std::vector<WarmSibling>& group = warm_groups_[group_it->second];
@@ -505,6 +566,14 @@ void InferenceServer::maybe_warm_locked(std::uint64_t fp,
 StatusOr<InferenceServer::Future> InferenceServer::submit(
     const Request& request) {
   assert(request.graph && "Request without a graph");
+  // Validate before counting: an empty graph has no region to predict for,
+  // and admitting it would spend a queue slot and a forward lane on a
+  // meaningless fingerprint. Rejected ahead of queries_, so invalid
+  // requests appear in no conservation law.
+  if (request.graph->num_nodes() == 0) {
+    invalid_arguments_.fetch_add(1, std::memory_order_relaxed);
+    return Status::InvalidArgument("empty graph: nothing to predict for");
+  }
   queries_.fetch_add(1, std::memory_order_relaxed);
   const std::uint64_t fp = graph::fingerprint(*request.graph);
   const std::shared_ptr<const PublishedModel> published = slot_->snapshot();
@@ -525,6 +594,14 @@ Response InferenceServer::predict(const Request& request) {
   // provably performs zero heap allocations: fingerprint, snapshot, lookup
   // and the Response all run off preallocated storage.
   assert(request.graph && "Request without a graph");
+  if (request.graph->num_nodes() == 0) {
+    invalid_arguments_.fetch_add(1, std::memory_order_relaxed);
+    Response response;
+    response.status =
+        Status::InvalidArgument("empty graph: nothing to predict for");
+    response.source = Source::Shed;
+    return response;
+  }
   queries_.fetch_add(1, std::memory_order_relaxed);
   const std::uint64_t fp = graph::fingerprint(*request.graph);
   const std::shared_ptr<const PublishedModel> published = slot_->snapshot();
@@ -654,19 +731,56 @@ void InferenceServer::pump_one(std::unique_lock<std::mutex>& lock,
     std::int64_t compute_us = 0;
     lock.unlock();
     const auto t0 = Clock::now();
-    try {
-      published->model->predict_into(batch_graphs_, batch_preds_);
-      compute_us = us_between(t0, Clock::now());
-      for (std::size_t i = 0; i < batch_slots_.size(); ++i)
-        cache_.insert(hash_combine64(published->version, batch_fps_[i]),
-                      batch_preds_[i]);
-    } catch (...) {
-      // The query path is exception-free: a failed forward (realistically
-      // allocation pressure) resolves the whole batch Internal instead of
-      // unwinding into whichever client happened to be pumping.
-      forward_status = Status::Internal("model forward failed");
+    // Fault injection, outside the lock: an error spec fails this batch
+    // without running the model (exactly what a crashed backend looks like
+    // to the slots); a latency spec stalls the forward (batch-delay
+    // injection) and can do so with inject_error = false.
+    IRGNN_FAILPOINT(
+        "serve.forward",
+        forward_status = Status::Internal("injected forward fault"));
+    if (forward_status.ok()) {
+      try {
+        published->model->predict_into(batch_graphs_, batch_preds_);
+        compute_us = us_between(t0, Clock::now());
+        // Fault injection: a fired serve.cache_insert drops the batch's
+        // inserts (cache unavailability) — answers still flow, later
+        // identical queries just miss again. (A flag, not `continue`:
+        // break/continue inside IRGNN_FAILPOINT bind to the macro's own
+        // do-while.)
+        bool drop_inserts = false;
+        IRGNN_FAILPOINT("serve.cache_insert", drop_inserts = true);
+        if (!drop_inserts) {
+          for (std::size_t i = 0; i < batch_slots_.size(); ++i)
+            cache_.insert(hash_combine64(published->version, batch_fps_[i]),
+                          batch_preds_[i]);
+        }
+      } catch (...) {
+        // The query path is exception-free: a failed forward (realistically
+        // allocation pressure) resolves the whole batch Internal instead of
+        // unwinding into whichever client happened to be pumping.
+        forward_status = Status::Internal("model forward failed");
+      }
     }
     lock.lock();
+    // Breaker accounting per forward attempt, before the batch resolves
+    // (resolution handles the probe slot: Ok closes the breaker, failure
+    // re-arms the probe timer).
+    if (config_.breaker_trip_threshold > 0) {
+      if (forward_status.ok()) {
+        breaker_failures_ = 0;
+        breaker_open_ = false;  // any success restores full service
+      } else {
+        ++breaker_failures_;
+        if (!breaker_open_ &&
+            breaker_failures_ >= config_.breaker_trip_threshold) {
+          breaker_open_ = true;
+          ++breaker_trips_;
+          breaker_next_probe_ =
+              Clock::now() +
+              std::chrono::microseconds(config_.breaker_probe_interval_us);
+        }
+      }
+    }
     for (std::size_t i = 0; i < batch_slots_.size(); ++i) {
       Response response = slots_[batch_slots_[i]].response;  // queue_us
       response.model_version = published->version;
@@ -791,6 +905,11 @@ ServerStats InferenceServer::stats() const {
   out.deadline_exceeded = deadline_exceeded_;
   out.internal_errors = internal_errors_;
   out.peak_queue = peak_queue_;
+  out.invalid_arguments = invalid_arguments_.load(std::memory_order_relaxed);
+  out.breaker_trips = breaker_trips_;
+  out.breaker_probes = breaker_probes_;
+  out.breaker_short_circuits = breaker_short_circuits_;
+  out.breaker_open = breaker_open_;
   out.cache = cache_.stats();
   // Responses by source — a partition of every resolved client query. Cache
   // hits already count per-shard; source_batch/source_coalesced come from
@@ -801,7 +920,11 @@ ServerStats InferenceServer::stats() const {
   out.source_cache = out.cache.hits;
   out.source_batch = source_batch_;
   out.source_coalesced = source_coalesced_;
-  out.source_shed = shed_ + rejected_ + deadline_exceeded_ + internal_errors_;
+  // Short-circuited misses are shed-class: refused without a forward, like
+  // rejections — part of the source partition (invalid_arguments is NOT:
+  // those were never counted as queries).
+  out.source_shed = shed_ + rejected_ + deadline_exceeded_ +
+                    internal_errors_ + breaker_short_circuits_;
   return out;
 }
 

@@ -75,6 +75,15 @@
 //   duplicating the forward. Warming traffic is invisible to the client-
 //   facing counters (its own warm_* stats), so hit-rate gates stay honest.
 //
+// Failure containment: a per-server circuit breaker (ServerConfig::
+// breaker_trip_threshold) trips after N consecutive failed forwards into a
+// cache-only degraded mode — hits and coalesced waiters keep answering
+// bit-identically, new misses get Status::Unavailable without spending a
+// forward — and a periodic half-open probe restores full service on the
+// first success. Fault paths are exercised deterministically through the
+// IRGNN_FAILPOINT sites (support/failpoint.h; compiled out by default) and
+// tests/chaos_test.cpp.
+//
 // Multi-model routing lives one layer up in serve::Router (router.h), which
 // owns one InferenceServer per published model name and dispatches
 // Request::model.
@@ -132,6 +141,19 @@ struct ServerConfig {
   int max_warm_per_miss = 16;
   std::int64_t warm_negative_ttl_us = 100000;
 
+  /// Circuit breaker: after this many CONSECUTIVE failed forwards (each
+  /// micro-batch is one forward) the server trips to degraded mode — cache
+  /// hits and coalesced waiters still answer, but a new miss gets
+  /// Status::Unavailable immediately instead of burning a forward on a
+  /// model that is failing. 0 (default) disables the breaker. While open,
+  /// every `breaker_probe_interval_us` one real miss is admitted as a
+  /// half-open probe; if its forward succeeds the breaker closes and full
+  /// service resumes, if it fails the probe timer re-arms. Predictive
+  /// warming is suppressed while open (prefetches would burn forwards on
+  /// the failing model for nobody).
+  int breaker_trip_threshold = 0;
+  std::int64_t breaker_probe_interval_us = 10000;
+
   /// Run the serving loop as a task on the shared ThreadPool. Turn off for
   /// servers created inside pool-parallel sections (clients then drive the
   /// batching themselves while waiting; behaviour is otherwise identical).
@@ -174,6 +196,18 @@ struct ServerStats {
   std::uint64_t deadline_exceeded = 0;  // expired while queued
   std::uint64_t internal_errors = 0;    // resolved Internal (failed forward)
   std::uint64_t peak_queue = 0;  // high-water admitted-queue depth
+
+  // Request validation. Rejected before admission AND before the query
+  // counter, so invalid requests appear in no conservation law (they are
+  // neither hits, misses nor coalesced).
+  std::uint64_t invalid_arguments = 0;
+
+  // Circuit breaker (see ServerConfig::breaker_trip_threshold).
+  std::uint64_t breaker_trips = 0;           // closed/half-open -> open
+  std::uint64_t breaker_probes = 0;          // half-open probes admitted
+  std::uint64_t breaker_short_circuits = 0;  // misses answered Unavailable
+                                             // without a forward (shed-class)
+  bool breaker_open = false;                 // state at snapshot time
 
   // Responses by Source — a partition of every resolved client query
   // (cache = hits, batch = client forwards, coalesced = waiters answered
@@ -330,6 +364,10 @@ class InferenceServer {
     // Self-issued prefetch: always abandoned (nobody holds its future) and
     // accounted in the warm_* counters instead of the client buckets.
     bool warming = false;
+    // Half-open breaker probe: the one real miss allowed through an open
+    // breaker; its resolution closes the breaker (Ok) or re-arms the probe
+    // timer (anything else).
+    bool probe = false;
     ResponseCallback callback;  // then() continuation
   };
 
@@ -468,8 +506,22 @@ class InferenceServer {
   std::vector<int> batch_preds_;
   FiredList pump_fired_;
 
+  // Circuit breaker (guarded by mutex_). Closed: failures_ counts the
+  // consecutive-failed-forward run. Open: misses short-circuit Unavailable;
+  // next_probe_ gates the single half-open probe (probe_in_flight_ keeps a
+  // second probe from slipping in while one is queued or mid-forward).
+  int breaker_failures_ = 0;
+  bool breaker_open_ = false;
+  bool breaker_probe_in_flight_ = false;
+  Clock::time_point breaker_next_probe_{};
+  std::uint64_t breaker_trips_ = 0;
+  std::uint64_t breaker_probes_ = 0;
+  std::uint64_t breaker_short_circuits_ = 0;
+
   // Stats. queries_ is atomic so the zero-allocation hit path never takes
-  // the server mutex; the rest mutate under mutex_.
+  // the server mutex; the rest mutate under mutex_. invalid_arguments_ is
+  // atomic for the same reason: validation happens before the lock.
+  std::atomic<std::uint64_t> invalid_arguments_{0};
   std::atomic<std::uint64_t> queries_{0};
   std::uint64_t forwards_ = 0;
   std::uint64_t batches_ = 0;

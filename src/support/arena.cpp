@@ -1,6 +1,9 @@
 #include "support/arena.h"
 
 #include <cstdlib>
+#include <new>
+
+#include "support/failpoint.h"
 
 namespace irgnn::support {
 
@@ -17,6 +20,11 @@ int BufferPool::bucket_of(std::size_t bytes) {
 }
 
 void* BufferPool::allocate(std::size_t bytes) {
+  // Fault injection: allocation pressure, the realistic way a forward dies.
+  // Thrown here it takes the exact path a real bad_alloc would — the
+  // serving layer's pump catches it and resolves the batch Internal; this
+  // site proves that containment, it does not invent a new failure mode.
+  IRGNN_FAILPOINT("arena.allocate", throw std::bad_alloc());
   const int bucket = bucket_of(bytes);
   if (bucket < 0) {  // oversize: bypass the pool
     std::lock_guard<std::mutex> lock(mutex_);

@@ -34,6 +34,8 @@ enum class StatusCode : std::uint8_t {
   kModelNotFound,      // router has no model under the requested name
   kShuttingDown,       // submitted after shutdown() began
   kInternal,           // the answering forward failed (e.g. bad_alloc)
+  kUnavailable,        // circuit breaker open: miss short-circuited, retry later
+  kInvalidArgument,    // malformed request (e.g. empty graph), never admitted
 };
 
 inline const char* status_code_name(StatusCode code) {
@@ -44,6 +46,8 @@ inline const char* status_code_name(StatusCode code) {
     case StatusCode::kModelNotFound: return "ModelNotFound";
     case StatusCode::kShuttingDown: return "ShuttingDown";
     case StatusCode::kInternal: return "Internal";
+    case StatusCode::kUnavailable: return "Unavailable";
+    case StatusCode::kInvalidArgument: return "InvalidArgument";
   }
   return "Unknown";
 }
@@ -77,6 +81,14 @@ class Status {
   }
   static constexpr Status Internal(const char* message = "internal error") {
     return Status(StatusCode::kInternal, message);
+  }
+  static constexpr Status Unavailable(
+      const char* message = "model circuit breaker open") {
+    return Status(StatusCode::kUnavailable, message);
+  }
+  static constexpr Status InvalidArgument(
+      const char* message = "malformed request") {
+    return Status(StatusCode::kInvalidArgument, message);
   }
 
   friend constexpr bool operator==(const Status& a, const Status& b) {

@@ -505,5 +505,99 @@ TEST(RouterTest, QueueTimeDeadlineExpiresToDeadlineExceeded) {
   EXPECT_EQ(stats.forwards, 1u);
 }
 
+TEST(RouterTest, RetireDuringWarmingNeverResurrectsTheOldModel) {
+  // Predictive warming keeps self-issued prefetch leaders in flight; a
+  // retire() racing those leaders must drain them with the dying server —
+  // and a fresh publish under the SAME name must answer with the new
+  // model's bits and version, never a warmed-up leftover of the old one.
+  auto old_model = make_model(0x01D);
+  auto new_model = make_model(0x2E11);
+  const std::vector<int> expected_old = serial_predict(*old_model);
+  const std::vector<int> expected_new = serial_predict(*new_model);
+  ASSERT_NE(expected_old, expected_new);  // nudge the seeds if this flakes
+  const auto& graphs = test_graphs();
+
+  for (int round = 0; round < 8; ++round) {
+    serve::RouterConfig config;
+    config.server.max_wait_us = 0;
+    config.server.cache_capacity = 64;
+    serve::Router router(config);
+    router.publish("m", old_model);
+    // Every graph warms every other: one miss fans out eleven prefetches.
+    std::vector<const graph::ProgramGraph*> siblings;
+    for (const auto& g : graphs) siblings.push_back(&g);
+    ASSERT_TRUE(router.register_warm_group("m", siblings).ok());
+
+    std::thread client([&] {
+      // Touch a few graphs: each miss triggers a storm of warm leaders on
+      // the background loop, in flight while the main thread retires.
+      for (int q = 0; q < 4; ++q)
+        (void)router.predict(
+            serve::Request(graphs[static_cast<std::size_t>(q) * 3]));
+    });
+    router.retire("m");  // races the client AND its warming storm
+    client.join();
+
+    const std::uint64_t v = router.publish("m", new_model);
+    for (std::size_t g = 0; g < graphs.size(); ++g) {
+      const serve::Response r = router.predict(serve::Request(graphs[g]));
+      ASSERT_TRUE(r.ok());
+      EXPECT_EQ(r.label, expected_new[g]) << "stale answer, round " << round;
+      EXPECT_EQ(r.model_version, v);
+    }
+    router.shutdown();
+  }
+}
+
+TEST(RouterTest, RetryPolicyNeverRetriesDeterministicFailures) {
+  // The retry layer in the default build (no fault injection): failures
+  // that retrying cannot fix must come back immediately, with zero retries
+  // spent — Overloaded above all (retrying a shed amplifies the overload
+  // the shed was shedding), and ModelNotFound (deterministic).
+  auto model = make_model(0x0F);
+  const auto& graphs = test_graphs();
+
+  serve::RouterConfig config;
+  config.max_queue = 1;
+  config.shed_policy = serve::ShedPolicy::Reject;
+  config.server.background_loop = false;
+  config.server.max_wait_us = 0;
+  config.server.cache_capacity = 0;
+  config.server.coalesce = false;
+  serve::Router router(config);
+  router.publish("m", model);
+
+  serve::RetryPolicy policy;
+  policy.max_attempts = 4;
+  policy.base_backoff_us = 0;  // a retry would be instant — and visible
+
+  // Unknown model: one attempt, ModelNotFound, no retries.
+  const serve::Response missing =
+      router.predict(serve::Request(graphs[0], "nope"), policy);
+  EXPECT_EQ(missing.status.code(), serve::StatusCode::kModelNotFound);
+  EXPECT_EQ(router.stats().retries, 0u);
+
+  // Fill the 1-deep queue with an unpumped future (background_loop off:
+  // nothing drains until we collect it), then predict with retries armed:
+  // the Overloaded shed must NOT be retried.
+  serve::StatusOr<serve::InferenceServer::Future> parked =
+      router.submit(serve::Request(graphs[1]));
+  ASSERT_TRUE(parked.ok());
+  const serve::Response shed =
+      router.predict(serve::Request(graphs[2]), policy);
+  EXPECT_EQ(shed.status.code(), serve::StatusCode::kOverloaded);
+  EXPECT_EQ(shed.source, serve::Source::Shed);
+
+  const serve::Response parked_answer = parked.value().get();
+  EXPECT_TRUE(parked_answer.ok());
+
+  const serve::RouterStats stats = router.stats();
+  EXPECT_EQ(stats.retry_requests, 2u);
+  EXPECT_EQ(stats.retries, 0u)
+      << "a deterministic failure was retried — wasted forwards";
+  EXPECT_EQ(stats.retry_successes, 0u);
+  EXPECT_EQ(stats.rejected, 1u) << "exactly one admission attempt was made";
+}
+
 }  // namespace
 }  // namespace irgnn

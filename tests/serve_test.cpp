@@ -996,6 +996,37 @@ TEST(PredictionCacheTest, DuplicateInsertCountsARefreshNotAnInsertion) {
   EXPECT_EQ(stats.insertions - stats.evictions, stats.entries);
 }
 
+TEST(InferenceServerTest, EmptyGraphIsRejectedBeforeAdmission) {
+  // A zero-node graph has nothing to predict for: it must be refused as
+  // InvalidArgument BEFORE costing a queue slot, a cache probe or even the
+  // query counter — validation failures appear in no conservation law.
+  auto model = std::make_shared<const gnn::StaticModel>(small_config(0xE0));
+  serve::ServerConfig config;
+  config.background_loop = false;
+  serve::InferenceServer server(model, config);
+
+  const graph::ProgramGraph empty;
+  ASSERT_EQ(empty.num_nodes(), 0);
+
+  serve::StatusOr<serve::InferenceServer::Future> submitted =
+      server.submit(serve::Request(empty));
+  ASSERT_FALSE(submitted.ok());
+  EXPECT_EQ(submitted.status().code(), serve::StatusCode::kInvalidArgument);
+
+  const serve::Response r = server.predict(empty);
+  EXPECT_EQ(r.status.code(), serve::StatusCode::kInvalidArgument);
+  EXPECT_EQ(r.source, serve::Source::Shed);
+
+  const serve::ServerStats stats = server.stats();
+  EXPECT_EQ(stats.invalid_arguments, 2u);
+  EXPECT_EQ(stats.queries, 0u) << "invalid requests are not queries";
+  EXPECT_EQ(stats.forwards, 0u);
+  EXPECT_EQ(stats.cache.hits + stats.cache.misses, 0u)
+      << "rejected before the cache probe";
+  // A valid query afterwards is entirely unaffected.
+  EXPECT_TRUE(server.predict(test_graphs()[0]).ok());
+}
+
 TEST(PredictionCacheTest, ShardIndexMixesTheFullKey) {
   // The old shard choice used only the top 8 bits ((key >> 56) % shards):
   // sequential keys — and any key population with a constant high byte,

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "support/argparse.h"
+#include "support/failpoint.h"
 #include "support/rng.h"
 #include "support/status.h"
 #include "support/thread_pool.h"
@@ -97,6 +98,59 @@ TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
   EXPECT_EQ(total.load(), 16 * 64);
 }
 
+TEST(ThreadPoolTest, PoolSurvivesThrowingParallelForBodies) {
+  // One chunk throwing must not wedge the pool or leak the failure into
+  // sibling chunks' bookkeeping: the same pool runs clean work before,
+  // between and after repeated failures, with exact index coverage.
+  ThreadPool pool(4);
+  for (int round = 0; round < 8; ++round) {
+    EXPECT_THROW(pool.parallel_for(0, 512, 0,
+                                   [round](std::int64_t i) {
+                                     if (i % 97 == static_cast<std::int64_t>(
+                                                       round % 7))
+                                       throw std::runtime_error("chunk died");
+                                   }),
+                 std::runtime_error);
+    const std::int64_t n = 301;
+    std::vector<std::atomic<int>> hits(n);
+    for (auto& h : hits) h.store(0);
+    pool.parallel_for(0, n, 0, [&](std::int64_t i) { hits[i].fetch_add(1); });
+    for (std::int64_t i = 0; i < n; ++i)
+      ASSERT_EQ(hits[i].load(), 1) << "round " << round << " index " << i;
+  }
+  // submit() still works too: the queue machinery was not poisoned.
+  EXPECT_EQ(pool.submit([] { return 13; }).get(), 13);
+}
+
+TEST(ThreadPoolTest, ConcurrentThrowingParallelForsDoNotDeadlock) {
+  // Two caller threads each drive a throwing parallel_for on the same
+  // 2-worker pool: every caller must get its own exception back; no chunk
+  // may be dropped un-run on the clean follow-up pass.
+  ThreadPool pool(2);
+  std::atomic<int> exceptions{0};
+  std::atomic<long> clean_work{0};
+  std::vector<std::thread> callers;
+  for (int c = 0; c < 3; ++c) {
+    callers.emplace_back([&, c] {
+      for (int round = 0; round < 16; ++round) {
+        try {
+          pool.parallel_for(0, 256, 0, [&](std::int64_t i) {
+            if (i == 128 + c) throw std::runtime_error("boom");
+          });
+        } catch (const std::runtime_error&) {
+          exceptions.fetch_add(1);
+        }
+        pool.parallel_for(0, 64, 0,
+                          [&](std::int64_t) { clean_work.fetch_add(1); });
+      }
+    });
+  }
+  for (auto& t : callers) t.join();
+  EXPECT_EQ(exceptions.load(), 3 * 16)
+      << "a thrown body failed to reach its own caller";
+  EXPECT_EQ(clean_work.load(), 3 * 16 * 64);
+}
+
 TEST(ThreadPoolTest, SeededStreamsIndependentOfParallelism) {
   ThreadPool pool(4);
   const std::int64_t n = 257;
@@ -130,6 +184,30 @@ TEST(SplitMix64Test, MatchesReferenceVector) {
   EXPECT_EQ(splitmix64(state), 0x6E789E6AA1B965F4ULL);
 }
 
+TEST(FailpointTest, MacroBehavesInWhicheverBuildThisIs) {
+  // This test compiles and passes in BOTH library configurations — that is
+  // the point: configuration calls are always legal (no-ops when compiled
+  // out), and the macro either follows its spec or expands to nothing.
+  failpoints::set_seed(99);
+  failpoints::FailpointSpec spec;
+  spec.every_nth = 1;
+  failpoints::configure("support.unit", spec);
+  int fired = 0;
+  for (int i = 0; i < 5; ++i)
+    IRGNN_FAILPOINT("support.unit", ++fired);
+  if (failpoints::enabled()) {
+    EXPECT_EQ(fired, 5);
+    EXPECT_EQ(failpoints::hits("support.unit"), 5u);
+    EXPECT_EQ(failpoints::fires("support.unit"), 5u);
+  } else {
+    // Compiled out: the site does not exist, nothing counts, nothing fires.
+    EXPECT_EQ(fired, 0);
+    EXPECT_EQ(failpoints::hits("support.unit"), 0u);
+    EXPECT_EQ(failpoints::fires("support.unit"), 0u);
+  }
+  failpoints::disable_all();
+}
+
 TEST(StatusTest, CodesNamesAndEquality) {
   const Status ok;
   EXPECT_TRUE(ok.ok());
@@ -151,6 +229,8 @@ TEST(StatusTest, CodesNamesAndEquality) {
   EXPECT_STREQ(Status::ModelNotFound().code_name(), "ModelNotFound");
   EXPECT_STREQ(Status::ShuttingDown().code_name(), "ShuttingDown");
   EXPECT_STREQ(Status::Internal().code_name(), "Internal");
+  EXPECT_STREQ(Status::Unavailable().code_name(), "Unavailable");
+  EXPECT_STREQ(Status::InvalidArgument().code_name(), "InvalidArgument");
 }
 
 TEST(StatusTest, StatusOrHoldsValueOrError) {
