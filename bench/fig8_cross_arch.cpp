@@ -15,6 +15,7 @@
 #include <memory>
 
 #include "bench/bench_common.h"
+#include "gnn/model.h"
 #include "graph/graph_builder.h"
 #include "serve/router.h"
 #include "support/rng.h"

@@ -20,16 +20,19 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "bench/bench_common.h"
 #include "gnn/model.h"
+#include "gnn/quantize.h"
 #include "graph/graph_builder.h"
 #include "support/arena.h"
 #include "support/argparse.h"
 #include "support/table.h"
 #include "tensor/gemm.h"
+#include "tensor/gemm_int8.h"
 #include "tensor/tensor.h"
 #include "workloads/suite.h"
 
@@ -73,7 +76,10 @@ int main(int argc, char** argv) {
                    "SIMD tensor-kernel microbenchmarks (median-of-N, "
                    "GFLOP/s, bytes pulled from malloc while warm)");
   parser.add("reps", "9", "timed repetitions per kernel (median reported)")
-      .add("warmup", "3", "untimed warmup repetitions (fills the arena)");
+      .add("warmup", "3", "untimed warmup repetitions (fills the arena)")
+      .add("json", "",
+           "write machine-readable results (float + int8 GEMM sections, "
+           "inference) to this path, e.g. BENCH_kernels.json");
   bench::add_runtime_flags(parser, /*default_threads=*/"1");
   if (!parser.parse(argc, argv)) return 1;
 
@@ -186,6 +192,18 @@ int main(int argc, char** argv) {
   // gate, not just a log line.
   int failures = 0;
 
+  // Per-shape records kept for the --json artifact.
+  struct GemmRecord {
+    std::string shape;
+    double before_ms = 0, after_ms = 0;
+    bool identical = false;
+  };
+  std::vector<GemmRecord> float_gemm_records;
+  std::vector<GemmRecord> int8_gemm_records;
+  double int8_median_speedup = 0.0;
+  double infer_float_predict_ms = 0.0, infer_int8_predict_ms = 0.0;
+  std::uint64_t infer_float_malloc = 0, infer_int8_malloc = 0;
+
   // --- GEMM micro-kernel before/after --------------------------------------
   // The PR 2 kernel (one simd::dot per output element) against the PR 3
   // register-blocked 4x2 micro-kernel, on identical pre-packed panels and
@@ -214,16 +232,96 @@ int main(int argc, char** argv) {
                                          c_row.size() * sizeof(float)) == 0;
       if (!identical) ++failures;
       const double flops = 2.0 * c.m * c.k * c.n;
+      const std::string shape = std::to_string(c.m) + "x" +
+                                std::to_string(c.k) + "x" + std::to_string(c.n);
+      float_gemm_records.push_back(
+          {shape, rowwise.median_ms, blocked.median_ms, identical});
       gemm_table.add_row(
-          {std::to_string(c.m) + "x" + std::to_string(c.k) + "x" +
-               std::to_string(c.n),
-           Table::fmt(rowwise.median_ms, 3), Table::fmt(blocked.median_ms, 3),
+          {shape, Table::fmt(rowwise.median_ms, 3),
+           Table::fmt(blocked.median_ms, 3),
            Table::fmt(rowwise.median_ms / blocked.median_ms, 2),
            gflops(flops, blocked.median_ms), identical ? "yes" : "NO"});
     }
     std::printf("\n=== GEMM kernel: PR 2 row-wise dots vs register-blocked "
                 "4x2 (1 thread, packed panels) ===\n");
     gemm_table.print();
+  }
+
+  // --- Int8 GEMM vs float GEMM ----------------------------------------------
+  // The register-blocked int8 micro-kernel (tensor/gemm_int8.h) against the
+  // float register-blocked kernel on the same shapes and identical packed
+  // layouts — the quantized inference path's raw kernel speedup. Inputs span
+  // the quantizer's contract domain (activations [0,127], weights
+  // [-127,127]); the int8 output is verified exactly against a naive
+  // always-scalar dot_s8_ref reference, and the timed region must pull no
+  // bytes from malloc (all buffers pre-sized).
+  {
+    Table int8_table({"GEMM shape", "float [ms]", "int8 [ms]", "speedup",
+                      "GOP/s int8", "exact", "malloc B/rep"});
+    std::vector<double> speedups;
+    for (const MmCase& c : gemm_shapes) {
+      const std::int64_t m = c.m, k = c.k, n = c.n;
+      std::vector<float> a(static_cast<std::size_t>(m * k));
+      std::vector<float> bt(static_cast<std::size_t>(n * k));
+      for (float& v : a) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+      for (float& v : bt) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+      std::vector<std::uint8_t> aq(a.size());
+      std::vector<std::int8_t> btq(bt.size());
+      for (std::size_t i = 0; i < a.size(); ++i)
+        aq[i] = static_cast<std::uint8_t>(rng.uniform(0.0, 127.999));
+      for (std::size_t i = 0; i < bt.size(); ++i)
+        btq[i] = static_cast<std::int8_t>(rng.uniform(-127.0, 127.999));
+      std::vector<float> c_f(static_cast<std::size_t>(m * n), 0.0f);
+      std::vector<std::int32_t> c_q(static_cast<std::size_t>(m * n), 0);
+
+      Timing float_t = time_kernel(warmup, reps, [&] {
+        tensor::detail::gemm_dot_panels<false>(a.data(), k, bt.data(), k, m,
+                                               n, k, c_f.data(), n);
+      });
+      Timing int8_t_ = time_kernel(warmup, reps, [&] {
+        tensor::detail::gemm_s8_panels<false>(aq.data(), k, btq.data(), k, m,
+                                              n, k, c_q.data(), n);
+      });
+
+      // Exactness gate: the vectorized kernel against one naive scalar dot
+      // per element. Integer accumulation, so equality is exact or broken.
+      bool exact = true;
+      for (std::int64_t i = 0; i < m && exact; ++i)
+        for (std::int64_t j = 0; j < n; ++j)
+          if (c_q[static_cast<std::size_t>(i * n + j)] !=
+              tensor::detail::dot_s8_ref(aq.data() + i * k, btq.data() + j * k,
+                                         k)) {
+            exact = false;
+            break;
+          }
+      if (!exact) ++failures;
+      if (float_t.malloc_bytes != 0 || int8_t_.malloc_bytes != 0) {
+        ++failures;
+        std::printf("FAILED: int8 GEMM timed region pulled bytes from "
+                    "malloc\n");
+      }
+
+      const double speedup = float_t.median_ms / int8_t_.median_ms;
+      speedups.push_back(speedup);
+      const std::string shape = std::to_string(c.m) + "x" +
+                                std::to_string(c.k) + "x" + std::to_string(c.n);
+      int8_gemm_records.push_back(
+          {shape, float_t.median_ms, int8_t_.median_ms, exact});
+      int8_table.add_row(
+          {shape, Table::fmt(float_t.median_ms, 3),
+           Table::fmt(int8_t_.median_ms, 3), Table::fmt(speedup, 2),
+           gflops(2.0 * c.m * c.k * c.n, int8_t_.median_ms),
+           exact ? "yes" : "NO",
+           std::to_string((float_t.malloc_bytes + int8_t_.malloc_bytes) /
+                          reps)});
+    }
+    std::sort(speedups.begin(), speedups.end());
+    int8_median_speedup = speedups[speedups.size() / 2];
+    std::printf("\n=== Int8 GEMM: register-blocked int8 vs register-blocked "
+                "float (1 thread, packed panels) ===\n");
+    int8_table.print();
+    std::printf("median int8 speedup over float: %.2fx\n",
+                int8_median_speedup);
   }
 
   // --- Inference engine -----------------------------------------------------
@@ -257,6 +355,23 @@ int main(int argc, char** argv) {
       model.evaluate(graphs, eval, /*want_embeddings=*/true);
     });
 
+    // The int8 twin: calibrate on the same graphs, then time the quantized
+    // model over the identical query. Same warm-path contract (0 malloc
+    // bytes at threads=1).
+    auto quantized_or = model.quantize(graphs);
+    if (!quantized_or.ok()) {
+      ++failures;
+      std::printf("FAILED: quantization: %s\n",
+                  std::string(quantized_or.status().message()).c_str());
+    }
+    std::shared_ptr<const gnn::QuantizedModel> quantized =
+        quantized_or.ok() ? std::move(quantized_or).value() : nullptr;
+    std::vector<int> qpreds;
+    Timing qpredict_t;
+    if (quantized)
+      qpredict_t = time_kernel(
+          warmup, reps, [&] { quantized->predict_into(graphs, qpreds); });
+
     const double G = static_cast<double>(graphs.size());
     Table infer_table({"query", "graphs", "ms/call", "ms/graph", "graphs/sec",
                        "malloc B/call"});
@@ -269,15 +384,24 @@ int main(int argc, char** argv) {
     };
     add_infer("predict", predict_t);
     add_infer("evaluate (+log-probs, +embeddings)", eval_t);
+    if (quantized) add_infer("predict int8", qpredict_t);
     std::printf("\n=== Inference engine (tape-free batched predict, "
                 "hidden=64, layers=3, threads=%d) ===\n",
                 threads);
     infer_table.print();
+    if (quantized)
+      std::printf("int8 end-to-end predict speedup over float: %.2fx\n",
+                  predict_t.median_ms / qpredict_t.median_ms);
+    infer_float_predict_ms = predict_t.median_ms;
+    infer_int8_predict_ms = qpredict_t.median_ms;
+    infer_float_malloc = predict_t.malloc_bytes / reps;
+    infer_int8_malloc = qpredict_t.malloc_bytes / reps;
     // Single-threaded warm inference is deterministic and must be
     // allocation-free; concurrent shards may legitimately grow the pool
     // while ramping, so the gate applies only at threads=1.
     if (threads == 1 &&
-        (predict_t.malloc_bytes != 0 || eval_t.malloc_bytes != 0)) {
+        (predict_t.malloc_bytes != 0 || eval_t.malloc_bytes != 0 ||
+         (quantized && qpredict_t.malloc_bytes != 0))) {
       ++failures;
       std::printf("FAILED: warm single-threaded inference pulled bytes from "
                   "malloc\n");
@@ -287,6 +411,65 @@ int main(int argc, char** argv) {
   std::string csv = parser.get_string("csv");
   if (!csv.empty() && table.write_csv(csv))
     std::printf("(csv written to %s)\n", csv.c_str());
+
+  // --- Machine-readable results (CI artifact) -------------------------------
+  // Same hand-written fprintf style as serve_throughput --json: flat
+  // sections, one line per record, no serializer dependency.
+  const std::string json_path = parser.get_string("json");
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (!f) {
+      std::printf("\nWARNING: could not open %s for writing\n",
+                  json_path.c_str());
+    } else {
+      std::fprintf(f,
+                   "{\n"
+                   "  \"bench\": \"microbench_kernels\",\n"
+                   "  \"config\": {\"threads\": %d, \"reps\": %d, "
+                   "\"warmup\": %d},\n"
+                   "  \"float_gemm\": [\n",
+                   threads, reps, warmup);
+      for (std::size_t i = 0; i < float_gemm_records.size(); ++i) {
+        const GemmRecord& r = float_gemm_records[i];
+        std::fprintf(f,
+                     "    {\"shape\": \"%s\", \"rowwise_ms\": %.4f, "
+                     "\"blocked_ms\": %.4f, \"speedup\": %.3f, "
+                     "\"bit_identical\": %s}%s\n",
+                     r.shape.c_str(), r.before_ms, r.after_ms,
+                     r.before_ms / r.after_ms, r.identical ? "true" : "false",
+                     i + 1 < float_gemm_records.size() ? "," : "");
+      }
+      std::fprintf(f, "  ],\n  \"int8_gemm\": [\n");
+      for (std::size_t i = 0; i < int8_gemm_records.size(); ++i) {
+        const GemmRecord& r = int8_gemm_records[i];
+        std::fprintf(f,
+                     "    {\"shape\": \"%s\", \"float_ms\": %.4f, "
+                     "\"int8_ms\": %.4f, \"speedup\": %.3f, "
+                     "\"exact\": %s}%s\n",
+                     r.shape.c_str(), r.before_ms, r.after_ms,
+                     r.before_ms / r.after_ms, r.identical ? "true" : "false",
+                     i + 1 < int8_gemm_records.size() ? "," : "");
+      }
+      std::fprintf(
+          f,
+          "  ],\n"
+          "  \"int8_gemm_median_speedup\": %.3f,\n"
+          "  \"inference\": {\"float_predict_ms\": %.4f, "
+          "\"int8_predict_ms\": %.4f, \"speedup\": %.3f,\n"
+          "               \"float_malloc_b\": %llu, \"int8_malloc_b\": "
+          "%llu},\n"
+          "  \"failures\": %d\n"
+          "}\n",
+          int8_median_speedup, infer_float_predict_ms, infer_int8_predict_ms,
+          infer_int8_predict_ms > 0.0
+              ? infer_float_predict_ms / infer_int8_predict_ms
+              : 0.0,
+          static_cast<unsigned long long>(infer_float_malloc),
+          static_cast<unsigned long long>(infer_int8_malloc), failures);
+      std::fclose(f);
+      std::printf("wrote %s\n", json_path.c_str());
+    }
+  }
   if (failures != 0) {
     std::printf("FAILED: %d engine contract violation(s) (see tables "
                 "above)\n",

@@ -48,8 +48,11 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "gnn/model.h"
+#include "gnn/quantize.h"
 #include "graph/fingerprint.h"
 #include "graph/graph_builder.h"
+#include "serve/router.h"
 #include "serve/server.h"
 #include "support/arena.h"
 #include "support/argparse.h"
@@ -111,6 +114,11 @@ int main(int argc, char** argv) {
            "also run a scripted fault window (healthy -> total forward "
            "failure -> recovery) and gate the circuit-breaker contract; "
            "needs a build with -DIRGNN_FAILPOINTS=ON, skipped otherwise")
+      .add("shadow", "false",
+           "also quantize the served model to int8 on the bench graphs, "
+           "publish float and int8 side by side behind a Router, mirror "
+           "the same traffic to both versions and gate speedup/agreement/"
+           "per-model conservation")
       .add("json", "BENCH_serve.json",
            "write machine-readable results here (empty disables)")
       .add("quick", "false", "CI smoke: fewer queries, same contract gates");
@@ -120,6 +128,7 @@ int main(int argc, char** argv) {
   const bool quick = parser.get_bool("quick");
   const bool overload = parser.get_bool("overload");
   const bool faults = parser.get_bool("faults");
+  const bool shadow = parser.get_bool("shadow");
   const int threads = bench::apply_threads(parser);
   const int queries_per_client =
       quick ? 500 : static_cast<int>(parser.get_int("queries"));
@@ -767,6 +776,136 @@ int main(int argc, char** argv) {
     }
   }
 
+  // --- Shadow serving: float vs int8 side by side (--shadow) ----------------
+  // Quantizes the served model on the bench graphs (they double as the
+  // calibration fold), publishes both versions behind one Router and
+  // mirrors identical traffic to each. Gates: every answer bit-equal to the
+  // named version's own serial predict, per-model conservation
+  // (hits + misses + coalesced == queries), and agreement between versions
+  // above a floor. The timing slice runs with the cache off so the speedup
+  // is compute, not cache topology. The (version, fingerprint) cache key
+  // keeps mixed serving stale-proof — a cross-version hit would surface
+  // here as a wrong-label failure.
+  bool shadow_ran = false;
+  double shadow_speedup = 0, shadow_agreement = 0, shadow_accuracy_delta = 0;
+  double shadow_float_us = 0, shadow_int8_us = 0;
+  if (shadow) {
+    auto quantized_or = model->quantize(graphs);
+    if (!quantized_or.ok()) {
+      ++failures;
+      std::printf("\n=== Shadow serving ===\nFAILED: quantization: %s\n",
+                  std::string(quantized_or.status().message()).c_str());
+    } else {
+      shadow_ran = true;
+      const std::shared_ptr<const gnn::QuantizedModel> quantized =
+          std::move(quantized_or).value();
+      // Each version's own serial predictions are its ground truth; the
+      // float model's double as the reference labels for the delta.
+      const std::vector<int> qexpected = quantized->predict(graphs);
+      std::size_t agree = 0;
+      for (std::size_t g = 0; g < graphs.size(); ++g)
+        if (qexpected[g] == expected[g]) ++agree;
+      shadow_agreement = static_cast<double>(agree) /
+                         static_cast<double>(graphs.size());
+      // Fold-accuracy delta with the float predictions as reference
+      // labels: float scores 1 by construction, so the delta is the
+      // disagreement rate.
+      shadow_accuracy_delta = 1.0 - shadow_agreement;
+
+      // Phase 1 — mirrored serving with the cache ON: two passes over both
+      // versions; the second pass must be answered from each model's own
+      // cache, and per-model accounting must conserve (a capacity-0 cache
+      // counts nothing, so this gate needs the cache live).
+      {
+        serve::RouterConfig mc;
+        mc.server = server_config;
+        mc.server.background_loop = false;
+        serve::Router mirror(mc);
+        mirror.publish("static", model);
+        mirror.publish("static.int8", quantized);
+        for (int pass = 0; pass < 2; ++pass)
+          for (std::size_t g = 0; g < graphs.size(); ++g) {
+            if (mirror.predict(serve::Request(*graphs[g], "static")).label !=
+                expected[g])
+              ++failures;
+            if (mirror.predict(serve::Request(*graphs[g], "static.int8"))
+                    .label != qexpected[g])
+              ++failures;
+          }
+        for (const serve::RouterModelStats& m : mirror.stats().models) {
+          const serve::ServerStats& s = m.stats;
+          if (s.cache.hits + s.cache.misses + s.coalesced != s.queries) {
+            ++failures;
+            std::printf("FAILED: conservation broke for shadow model %s\n",
+                        m.model.c_str());
+          }
+          if (s.queries != 2 * graphs.size() || s.cache.hits < unique.size()) {
+            ++failures;
+            std::printf("FAILED: shadow model %s: %llu queries, %llu hits\n",
+                        m.model.c_str(),
+                        static_cast<unsigned long long>(s.queries),
+                        static_cast<unsigned long long>(s.cache.hits));
+          }
+        }
+      }
+
+      // Phase 2 — timing with the cache OFF, so the speedup is compute.
+      serve::RouterConfig rc;
+      rc.server = server_config;
+      rc.server.background_loop = false;
+      rc.server.cache_capacity = 0;
+      serve::Router router(rc);
+      router.publish("static", model);
+      router.publish("static.int8", quantized);
+
+      const int passes = quick ? 3 : 10;
+      auto drive = [&](const char* name,
+                       const std::vector<int>& truth) -> double {
+        const auto t0 = Clock::now();
+        for (int p = 0; p < passes; ++p)
+          for (std::size_t g = 0; g < graphs.size(); ++g) {
+            const serve::Response r =
+                router.predict(serve::Request(*graphs[g], name));
+            if (!r.ok() || r.label != truth[g]) ++failures;
+          }
+        return to_us(Clock::now() - t0) /
+               (passes * static_cast<double>(graphs.size()));
+      };
+      // One untimed warm pass each, so both versions' shard scratch and
+      // the router's steady-state containers are warm before the clock.
+      for (std::size_t g = 0; g < graphs.size(); ++g) {
+        if (router.predict(serve::Request(*graphs[g], "static")).label !=
+            expected[g])
+          ++failures;
+        if (router.predict(serve::Request(*graphs[g], "static.int8")).label !=
+            qexpected[g])
+          ++failures;
+      }
+      shadow_float_us = drive("static", expected);
+      shadow_int8_us = drive("static.int8", qexpected);
+      shadow_speedup = shadow_float_us / shadow_int8_us;
+
+      if (shadow_agreement < 0.85) {
+        ++failures;
+        std::printf("FAILED: float/int8 agreement %.3f below 0.85\n",
+                    shadow_agreement);
+      }
+
+      std::printf("\n=== Shadow serving: float vs int8 (%d passes x %zu "
+                  "graphs each, cache off) ===\n",
+                  passes, graphs.size());
+      Table shadow_table({"version", "us/query", "speedup", "agreement",
+                          "accuracy delta"});
+      shadow_table.add_row({"static (float)", Table::fmt(shadow_float_us, 1),
+                            "1.00", "-", "-"});
+      shadow_table.add_row(
+          {"static.int8", Table::fmt(shadow_int8_us, 1),
+           Table::fmt(shadow_speedup, 2), Table::fmt(shadow_agreement, 3),
+           Table::fmt(shadow_accuracy_delta, 3)});
+      shadow_table.print();
+    }
+  }
+
   // --- Idle trim + arena high-water mark -----------------------------------
   {
     serve::ServerConfig idle = server_config;
@@ -829,6 +968,10 @@ int main(int argc, char** argv) {
           "            \"errors_healthy\": %d, \"errors_degraded\": %d, "
           "\"errors_recovered\": %d,\n"
           "            \"breaker_trips\": %llu, \"short_circuits\": %llu},\n"
+          "  \"shadow\": {\"ran\": %s, \"speedup\": %.3f, \"agreement\": "
+          "%.4f, \"accuracy_delta\": %.4f,\n"
+          "            \"float_us_per_query\": %.2f, "
+          "\"int8_us_per_query\": %.2f},\n"
           "  \"failures\": %d\n"
           "}\n",
           cfg.hidden_dim, cfg.num_layers, threads, server_config.max_batch,
@@ -842,7 +985,9 @@ int main(int argc, char** argv) {
           fault_p99_healthy, fault_p99_degraded, fault_p99_recovered,
           fault_err_healthy, fault_err_degraded, fault_err_recovered,
           static_cast<unsigned long long>(fault_trips),
-          static_cast<unsigned long long>(fault_short_circuits), failures);
+          static_cast<unsigned long long>(fault_short_circuits),
+          shadow_ran ? "true" : "false", shadow_speedup, shadow_agreement,
+          shadow_accuracy_delta, shadow_float_us, shadow_int8_us, failures);
       std::fclose(f);
       std::printf("\nwrote %s\n", json_path.c_str());
     }

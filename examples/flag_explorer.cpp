@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <map>
 
+#include "gnn/model.h"
 #include "graph/fingerprint.h"
 #include "graph/graph_builder.h"
 #include "graph/region_extractor.h"

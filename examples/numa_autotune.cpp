@@ -14,6 +14,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "gnn/model.h"
 #include "graph/graph_builder.h"
 #include "serve/router.h"
 #include "sim/exploration.h"

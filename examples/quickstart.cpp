@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "core/experiment.h"
+#include "gnn/model.h"
 #include "graph/graph_builder.h"
 #include "graph/region_extractor.h"
 #include "ir/parser.h"

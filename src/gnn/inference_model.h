@@ -1,0 +1,64 @@
+// The servable-model interface: what the serving layer (serve::ModelRegistry,
+// serve::InferenceServer, serve::Router) requires of anything it publishes.
+//
+// Two implementations exist: the float gnn::StaticModel (gnn/model.h) and the
+// post-training int8 gnn::QuantizedModel (gnn/quantize.h) it produces. The
+// serving layer holds models as shared_ptr<const InferenceModel> and only
+// ever calls the virtual surface below — one virtual dispatch per batched
+// forward, noise against the forward itself — so float and quantized
+// versions publish, hot-swap and mix behind the same Router with no
+// serve-side type knowledge.
+//
+// Every implementation owes the serving layer the same contract the float
+// model established: predict_into / evaluate are const and thread-compatible
+// (internally serialized per model), results are bit-identical to a serial
+// full-batch forward for every thread count and batch composition, and a
+// warm call into caller-reused output storage performs zero heap
+// allocations.
+#pragma once
+
+#include <vector>
+
+#include "graph/program_graph.h"
+
+namespace irgnn::gnn {
+
+/// Everything one inference pass can report, in flat caller-owned storage so
+/// a warm evaluate() performs no heap allocations. All three members come
+/// from the same batch build + forward per shard — logits, log-probs and
+/// embeddings are never computed from separately re-packed batches.
+struct Evaluation {
+  std::vector<int> predictions;  // [G] argmax label per graph
+  std::vector<float> log_probs;  // [G * num_labels], row-major
+  std::vector<float> embeddings; // [G * hidden_dim] when requested, else empty
+};
+
+class InferenceModel {
+ public:
+  virtual ~InferenceModel() = default;
+
+  /// Predicted label per graph into caller-owned storage (resized to the
+  /// graph count). The allocation-free form for hot query loops.
+  virtual void predict_into(
+      const std::vector<const graph::ProgramGraph*>& graphs,
+      std::vector<int>& out) const = 0;
+
+  /// Predictions + log-probabilities (+ graph embeddings when requested)
+  /// from one batch build and one forward per shard.
+  virtual void evaluate(const std::vector<const graph::ProgramGraph*>& graphs,
+                        Evaluation& out,
+                        bool want_embeddings = false) const = 0;
+
+  virtual int num_labels() const = 0;
+  virtual int hidden_dim() const = 0;
+
+  /// Convenience allocating form of predict_into.
+  std::vector<int> predict(
+      const std::vector<const graph::ProgramGraph*>& graphs) const {
+    std::vector<int> out;
+    predict_into(graphs, out);
+    return out;
+  }
+};
+
+}  // namespace irgnn::gnn

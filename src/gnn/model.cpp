@@ -264,13 +264,6 @@ void StaticModel::forward_shards(
         run_shard);
 }
 
-std::vector<int> StaticModel::predict(
-    const std::vector<const graph::ProgramGraph*>& graphs) const {
-  std::vector<int> out;
-  predict_into(graphs, out);
-  return out;
-}
-
 void StaticModel::predict_into(
     const std::vector<const graph::ProgramGraph*>& graphs,
     std::vector<int>& out) const {

@@ -1,0 +1,330 @@
+// Register-blocked int8 GEMM micro-kernels for the quantized inference path,
+// in the mold of tensor/gemm.h.
+//
+// Operand contract (established by gnn/quantize.cpp, asserted by its tests):
+//
+//   a  - quantized activations, uint8 restricted to [0, 127] (7-bit): the
+//        activation quantizer clamps to that range by construction.
+//   bt - quantized weights packed transposed, int8 in [-127, 127]: row j of
+//        bt is output channel j of B, length k, leading dimension ldb.
+//   c  - widened int32 accumulators: c[i,j] = sum_k a[i,k] * bt[j,k].
+//
+// The 7-bit activation range is what makes the AVX2 `maddubs` path exact
+// rather than merely fast: _mm256_maddubs_epi16 computes pairs
+// sat_i16(a0*b0 + a1*b1), and with |a| <= 127 and |b| <= 127 a pair sum is
+// at most 2*127*127 = 32258 < 32767 — the saturation is provably
+// unreachable. Every backend (AVX2 maddubs+madd, SSE2 widening unpack+madd,
+// scalar) therefore computes the same exact integer products, and because
+// int32 addition is associative and never overflows here (k*127*127 stays
+// far below 2^31 for every shape this library produces), any fold order
+// yields identical bits. The int8 path thus carries a *stronger* bit-identity
+// contract than the float kernels: results are identical across ISAs, thread
+// counts, batch compositions and register-blocking shapes by integer
+// arithmetic alone. The kernels still fix one canonical order (k ascending
+// in 32/16-lane blocks, tail in order) so the structure mirrors gemm.h and
+// the reference kernel below stays a meaningful pin.
+//
+// The register-blocked kernel computes a 4x2 block of C per call with all 8
+// vector accumulators in registers, so each 32-byte activation chunk is
+// loaded once per two output channels and each packed weight chunk once per
+// four rows — the same load-sharing the float dot_panel_4x2 does, with 4x
+// the elements per register.
+#pragma once
+
+#include <cstdint>
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#define IRGNN_GEMM_INT8_AVX2 1
+#elif defined(__SSE2__) || defined(_M_X64) || \
+    (defined(_M_IX86_FP) && _M_IX86_FP >= 2)
+#include <emmintrin.h>
+#define IRGNN_GEMM_INT8_SSE 1
+#endif
+
+namespace irgnn::tensor::detail {
+
+/// Always-scalar reference: the pin every vectorized backend is tested
+/// against. sum_k a[k] * b[k] with exact int32 arithmetic.
+inline std::int32_t dot_s8_ref(const std::uint8_t* a, const std::int8_t* b,
+                               std::int64_t k) {
+  std::int32_t s = 0;
+  for (std::int64_t i = 0; i < k; ++i)
+    s += static_cast<std::int32_t>(a[i]) * static_cast<std::int32_t>(b[i]);
+  return s;
+}
+
+#if defined(IRGNN_GEMM_INT8_AVX2)
+
+inline constexpr std::int64_t kInt8Lanes = 32;
+
+namespace int8_impl {
+/// Exact (never-overflowing) reduction of 8 int32 lanes; order immaterial.
+inline std::int32_t hsum_epi32(__m256i v) {
+  __m128i s = _mm_add_epi32(_mm256_castsi256_si128(v),
+                            _mm256_extracti128_si256(v, 1));
+  s = _mm_add_epi32(s, _mm_unpackhi_epi64(s, s));
+  s = _mm_add_epi32(s, _mm_shuffle_epi32(s, 0x1));
+  return _mm_cvtsi128_si32(s);
+}
+
+/// 32 products of one u8/s8 chunk folded to 8 int32 lanes. maddubs pairs
+/// cannot saturate under the [0,127] activation contract (see file header).
+inline __m256i mul32_to_epi32(__m256i a_u8, __m256i b_s8) {
+  return _mm256_madd_epi16(_mm256_maddubs_epi16(a_u8, b_s8),
+                           _mm256_set1_epi16(1));
+}
+}  // namespace int8_impl
+
+/// sum_k a[k]*b[k], 32 lanes per step, scalar tail in order.
+inline std::int32_t dot_s8(const std::uint8_t* a, const std::int8_t* b,
+                           std::int64_t k) {
+  __m256i acc = _mm256_setzero_si256();
+  std::int64_t i = 0;
+  for (; i + kInt8Lanes <= k; i += kInt8Lanes) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    acc = _mm256_add_epi32(acc, int8_impl::mul32_to_epi32(va, vb));
+  }
+  std::int32_t s = int8_impl::hsum_epi32(acc);
+  for (; i < k; ++i)
+    s += static_cast<std::int32_t>(a[i]) * static_cast<std::int32_t>(b[i]);
+  return s;
+}
+
+/// out[r][c] = dot_s8(a + r*lda, b + c*ldb, k) for r < 4, c < 2. The 8
+/// 256-bit accumulators (64 int8 MACs in flight per step) stay in registers;
+/// each activation chunk is loaded once per two output channels.
+inline void dot_panel_s8_4x2(const std::uint8_t* a, std::int64_t lda,
+                             const std::int8_t* b, std::int64_t ldb,
+                             std::int64_t k, std::int32_t out[4][2]) {
+  const std::uint8_t* a0 = a;
+  const std::uint8_t* a1 = a + lda;
+  const std::uint8_t* a2 = a + 2 * lda;
+  const std::uint8_t* a3 = a + 3 * lda;
+  const std::int8_t* b0 = b;
+  const std::int8_t* b1 = b + ldb;
+  __m256i c00 = _mm256_setzero_si256(), c01 = _mm256_setzero_si256();
+  __m256i c10 = _mm256_setzero_si256(), c11 = _mm256_setzero_si256();
+  __m256i c20 = _mm256_setzero_si256(), c21 = _mm256_setzero_si256();
+  __m256i c30 = _mm256_setzero_si256(), c31 = _mm256_setzero_si256();
+  std::int64_t i = 0;
+  for (; i + kInt8Lanes <= k; i += kInt8Lanes) {
+    const __m256i vb0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b0 + i));
+    const __m256i vb1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b1 + i));
+    __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a0 + i));
+    c00 = _mm256_add_epi32(c00, int8_impl::mul32_to_epi32(va, vb0));
+    c01 = _mm256_add_epi32(c01, int8_impl::mul32_to_epi32(va, vb1));
+    va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a1 + i));
+    c10 = _mm256_add_epi32(c10, int8_impl::mul32_to_epi32(va, vb0));
+    c11 = _mm256_add_epi32(c11, int8_impl::mul32_to_epi32(va, vb1));
+    va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a2 + i));
+    c20 = _mm256_add_epi32(c20, int8_impl::mul32_to_epi32(va, vb0));
+    c21 = _mm256_add_epi32(c21, int8_impl::mul32_to_epi32(va, vb1));
+    va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a3 + i));
+    c30 = _mm256_add_epi32(c30, int8_impl::mul32_to_epi32(va, vb0));
+    c31 = _mm256_add_epi32(c31, int8_impl::mul32_to_epi32(va, vb1));
+  }
+  out[0][0] = int8_impl::hsum_epi32(c00);
+  out[0][1] = int8_impl::hsum_epi32(c01);
+  out[1][0] = int8_impl::hsum_epi32(c10);
+  out[1][1] = int8_impl::hsum_epi32(c11);
+  out[2][0] = int8_impl::hsum_epi32(c20);
+  out[2][1] = int8_impl::hsum_epi32(c21);
+  out[3][0] = int8_impl::hsum_epi32(c30);
+  out[3][1] = int8_impl::hsum_epi32(c31);
+  for (; i < k; ++i) {
+    const std::int32_t fb0 = b0[i];
+    const std::int32_t fb1 = b1[i];
+    out[0][0] += a0[i] * fb0;
+    out[0][1] += a0[i] * fb1;
+    out[1][0] += a1[i] * fb0;
+    out[1][1] += a1[i] * fb1;
+    out[2][0] += a2[i] * fb0;
+    out[2][1] += a2[i] * fb1;
+    out[3][0] += a3[i] * fb0;
+    out[3][1] += a3[i] * fb1;
+  }
+}
+
+#elif defined(IRGNN_GEMM_INT8_SSE)
+
+inline constexpr std::int64_t kInt8Lanes = 16;
+
+namespace int8_impl {
+inline std::int32_t hsum_epi32(__m128i s) {
+  s = _mm_add_epi32(s, _mm_unpackhi_epi64(s, s));
+  s = _mm_add_epi32(s, _mm_shuffle_epi32(s, 0x1));
+  return _mm_cvtsi128_si32(s);
+}
+
+/// 16 products of one u8/s8 chunk folded to 4 int32 lanes via widening
+/// unpack (u8 zero-extends, s8 sign-extends through a compare mask) and
+/// _mm_madd_epi16 — exact on SSE2, no SSSE3 maddubs required.
+inline __m128i mul16_to_epi32(__m128i a_u8, __m128i b_s8) {
+  const __m128i zero = _mm_setzero_si128();
+  const __m128i bsign = _mm_cmpgt_epi8(zero, b_s8);
+  const __m128i alo = _mm_unpacklo_epi8(a_u8, zero);
+  const __m128i ahi = _mm_unpackhi_epi8(a_u8, zero);
+  const __m128i blo = _mm_unpacklo_epi8(b_s8, bsign);
+  const __m128i bhi = _mm_unpackhi_epi8(b_s8, bsign);
+  return _mm_add_epi32(_mm_madd_epi16(alo, blo), _mm_madd_epi16(ahi, bhi));
+}
+}  // namespace int8_impl
+
+inline std::int32_t dot_s8(const std::uint8_t* a, const std::int8_t* b,
+                           std::int64_t k) {
+  __m128i acc = _mm_setzero_si128();
+  std::int64_t i = 0;
+  for (; i + kInt8Lanes <= k; i += kInt8Lanes) {
+    const __m128i va =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+    const __m128i vb =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i));
+    acc = _mm_add_epi32(acc, int8_impl::mul16_to_epi32(va, vb));
+  }
+  std::int32_t s = int8_impl::hsum_epi32(acc);
+  for (; i < k; ++i)
+    s += static_cast<std::int32_t>(a[i]) * static_cast<std::int32_t>(b[i]);
+  return s;
+}
+
+inline void dot_panel_s8_4x2(const std::uint8_t* a, std::int64_t lda,
+                             const std::int8_t* b, std::int64_t ldb,
+                             std::int64_t k, std::int32_t out[4][2]) {
+  const std::uint8_t* a0 = a;
+  const std::uint8_t* a1 = a + lda;
+  const std::uint8_t* a2 = a + 2 * lda;
+  const std::uint8_t* a3 = a + 3 * lda;
+  const std::int8_t* b0 = b;
+  const std::int8_t* b1 = b + ldb;
+  __m128i c00 = _mm_setzero_si128(), c01 = _mm_setzero_si128();
+  __m128i c10 = _mm_setzero_si128(), c11 = _mm_setzero_si128();
+  __m128i c20 = _mm_setzero_si128(), c21 = _mm_setzero_si128();
+  __m128i c30 = _mm_setzero_si128(), c31 = _mm_setzero_si128();
+  std::int64_t i = 0;
+  for (; i + kInt8Lanes <= k; i += kInt8Lanes) {
+    const __m128i vb0 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b0 + i));
+    const __m128i vb1 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b1 + i));
+    __m128i va = _mm_loadu_si128(reinterpret_cast<const __m128i*>(a0 + i));
+    c00 = _mm_add_epi32(c00, int8_impl::mul16_to_epi32(va, vb0));
+    c01 = _mm_add_epi32(c01, int8_impl::mul16_to_epi32(va, vb1));
+    va = _mm_loadu_si128(reinterpret_cast<const __m128i*>(a1 + i));
+    c10 = _mm_add_epi32(c10, int8_impl::mul16_to_epi32(va, vb0));
+    c11 = _mm_add_epi32(c11, int8_impl::mul16_to_epi32(va, vb1));
+    va = _mm_loadu_si128(reinterpret_cast<const __m128i*>(a2 + i));
+    c20 = _mm_add_epi32(c20, int8_impl::mul16_to_epi32(va, vb0));
+    c21 = _mm_add_epi32(c21, int8_impl::mul16_to_epi32(va, vb1));
+    va = _mm_loadu_si128(reinterpret_cast<const __m128i*>(a3 + i));
+    c30 = _mm_add_epi32(c30, int8_impl::mul16_to_epi32(va, vb0));
+    c31 = _mm_add_epi32(c31, int8_impl::mul16_to_epi32(va, vb1));
+  }
+  out[0][0] = int8_impl::hsum_epi32(c00);
+  out[0][1] = int8_impl::hsum_epi32(c01);
+  out[1][0] = int8_impl::hsum_epi32(c10);
+  out[1][1] = int8_impl::hsum_epi32(c11);
+  out[2][0] = int8_impl::hsum_epi32(c20);
+  out[2][1] = int8_impl::hsum_epi32(c21);
+  out[3][0] = int8_impl::hsum_epi32(c30);
+  out[3][1] = int8_impl::hsum_epi32(c31);
+  for (; i < k; ++i) {
+    const std::int32_t fb0 = b0[i];
+    const std::int32_t fb1 = b1[i];
+    out[0][0] += a0[i] * fb0;
+    out[0][1] += a0[i] * fb1;
+    out[1][0] += a1[i] * fb0;
+    out[1][1] += a1[i] * fb1;
+    out[2][0] += a2[i] * fb0;
+    out[2][1] += a2[i] * fb1;
+    out[3][0] += a3[i] * fb0;
+    out[3][1] += a3[i] * fb1;
+  }
+}
+
+#else  // scalar fallback
+
+inline constexpr std::int64_t kInt8Lanes = 1;
+
+inline std::int32_t dot_s8(const std::uint8_t* a, const std::int8_t* b,
+                           std::int64_t k) {
+  return dot_s8_ref(a, b, k);
+}
+
+inline void dot_panel_s8_4x2(const std::uint8_t* a, std::int64_t lda,
+                             const std::int8_t* b, std::int64_t ldb,
+                             std::int64_t k, std::int32_t out[4][2]) {
+  for (int r = 0; r < 4; ++r)
+    for (int c = 0; c < 2; ++c) out[r][c] = dot_s8(a + r * lda, b + c * ldb, k);
+}
+
+#endif
+
+/// The unblocked int8 GEMM: one dot_s8 per output element. The bench's
+/// "before" shape and the rowwise fallback of the blocked kernel's row tail.
+/// C[i,j] op= dot_s8(a row i, bt row j, k); op is += when Accumulate.
+template <bool Accumulate>
+inline void gemm_s8_rowwise(const std::uint8_t* a, std::int64_t lda,
+                            const std::int8_t* bt, std::int64_t ldb,
+                            std::int64_t m, std::int64_t n, std::int64_t k,
+                            std::int32_t* c, std::int64_t ldc) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    const std::uint8_t* arow = a + i * lda;
+    std::int32_t* crow = c + i * ldc;
+    for (std::int64_t j = 0; j < n; ++j) {
+      const std::int32_t v = dot_s8(arow, bt + j * ldb, k);
+      if (Accumulate)
+        crow[j] += v;
+      else
+        crow[j] = v;
+    }
+  }
+}
+
+/// Register-blocked int8 GEMM over packed transposed weights: C[i,j] op=
+/// dot_s8(a row i, bt row j, k) in 4x2 blocks via dot_panel_s8_4x2, row and
+/// column remainders falling back to single dots. Bit-identical to
+/// gemm_s8_rowwise — and to the scalar dot_s8_ref — for every shape,
+/// including empty m/n/k (exact integer arithmetic; see file header).
+template <bool Accumulate>
+inline void gemm_s8_panels(const std::uint8_t* a, std::int64_t lda,
+                           const std::int8_t* bt, std::int64_t ldb,
+                           std::int64_t m, std::int64_t n, std::int64_t k,
+                           std::int32_t* c, std::int64_t ldc) {
+  std::int64_t i = 0;
+  for (; i + 4 <= m; i += 4) {
+    const std::uint8_t* arow = a + i * lda;
+    std::int32_t* crow = c + i * ldc;
+    std::int64_t j = 0;
+    for (; j + 2 <= n; j += 2) {
+      std::int32_t out[4][2];
+      dot_panel_s8_4x2(arow, lda, bt + j * ldb, ldb, k, out);
+      for (std::int64_t r = 0; r < 4; ++r)
+        for (std::int64_t cc = 0; cc < 2; ++cc) {
+          if (Accumulate)
+            crow[r * ldc + j + cc] += out[r][cc];
+          else
+            crow[r * ldc + j + cc] = out[r][cc];
+        }
+    }
+    for (; j < n; ++j) {  // odd trailing output channel of this 4-row band
+      for (std::int64_t r = 0; r < 4; ++r) {
+        const std::int32_t v = dot_s8(arow + r * lda, bt + j * ldb, k);
+        if (Accumulate)
+          crow[r * ldc + j] += v;
+        else
+          crow[r * ldc + j] = v;
+      }
+    }
+  }
+  if (i < m)  // remaining 1-3 rows
+    gemm_s8_rowwise<Accumulate>(a + i * lda, lda, bt, ldb, m - i, n, k,
+                                c + i * ldc, ldc);
+}
+
+}  // namespace irgnn::tensor::detail

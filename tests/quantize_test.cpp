@@ -1,0 +1,288 @@
+// Int8 quantization pipeline tests — the CI accuracy-delta gate plus the
+// serving-layer contracts of ISSUE 8:
+//
+//   * StaticModel::quantize rejects an empty calibration fold with
+//     InvalidArgument and produces nothing servable.
+//   * The quantized model's fold accuracy stays within a fixed epsilon of
+//     the float model's, and the two agree on the vast majority of graphs
+//     (this test IS the CI gate: the `quantize` job runs it under Release
+//     and ASan/UBSan and fails the build on regression).
+//   * A warm quantized predict_into performs zero heap allocations — same
+//     counting-operator-new harness as tests/arena_test.cpp.
+//   * A Router serves the float and int8 versions side by side: answers
+//     are bitwise the named model's own serial predictions, per-model
+//     cache accounting conserves (hits + misses + coalesced == queries),
+//     and no cache entry ever crosses versions.
+#include <atomic>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gnn/model.h"
+#include "gnn/quantize.h"
+#include "graph/graph_builder.h"
+#include "graph/program_graph.h"
+#include "serve/router.h"
+#include "support/arena.h"
+#include "tensor/tensor.h"
+#include "workloads/suite.h"
+
+// --- Counting allocator hooks (same pattern as arena_test.cpp) --------------
+
+namespace {
+std::atomic<std::uint64_t> g_heap_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_heap_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  g_heap_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace irgnn {
+namespace {
+
+/// Structurally distinct suite regions, built once.
+const std::vector<graph::ProgramGraph>& test_graphs() {
+  static const std::vector<graph::ProgramGraph> owned = [] {
+    std::vector<graph::ProgramGraph> graphs;
+    for (int r : {0, 2, 4, 8, 13, 17, 22, 28, 33, 39, 44, 50, 3, 7, 12, 18,
+                  23, 29}) {
+      auto module =
+          workloads::build_region_module(workloads::benchmark_suite()[r]);
+      graphs.push_back(graph::build_graph(*module));
+    }
+    return graphs;
+  }();
+  return owned;
+}
+
+std::vector<const graph::ProgramGraph*> graph_ptrs() {
+  std::vector<const graph::ProgramGraph*> ptrs;
+  for (const auto& g : test_graphs()) ptrs.push_back(&g);
+  return ptrs;
+}
+
+gnn::ModelConfig small_config(std::uint64_t seed) {
+  gnn::ModelConfig cfg;
+  cfg.vocab_size = graph::vocabulary_size();
+  cfg.num_labels = 3;
+  cfg.hidden_dim = 16;
+  cfg.num_layers = 2;
+  cfg.epochs = 12;
+  cfg.batch_size = 8;
+  cfg.dropout = 0.1f;
+  cfg.seed = seed;
+  cfg.num_threads = 1;
+  return cfg;
+}
+
+std::vector<int> synthetic_labels(std::size_t n, int num_labels) {
+  std::vector<int> labels(n);
+  for (std::size_t i = 0; i < n; ++i) labels[i] = static_cast<int>(i) % num_labels;
+  return labels;
+}
+
+double accuracy(const std::vector<int>& pred, const std::vector<int>& truth) {
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < pred.size(); ++i)
+    if (pred[i] == truth[i]) ++correct;
+  return pred.empty() ? 0.0 : static_cast<double>(correct) / pred.size();
+}
+
+/// A trained float model plus its quantized snapshot, built once: training
+/// is the expensive part and every test below reads the same pair.
+struct TrainedPair {
+  std::unique_ptr<gnn::StaticModel> model;
+  std::shared_ptr<const gnn::QuantizedModel> quantized;
+  std::vector<int> labels;
+};
+
+const TrainedPair& trained_pair() {
+  static const TrainedPair pair = [] {
+    tensor::set_kernel_parallelism(1);
+    TrainedPair p;
+    p.model = std::make_unique<gnn::StaticModel>(small_config(0x1A78));
+    const auto ptrs = graph_ptrs();
+    p.labels = synthetic_labels(ptrs.size(), p.model->config().num_labels);
+    p.model->train(ptrs, p.labels);
+    auto quantized = p.model->quantize(ptrs);
+    EXPECT_TRUE(quantized.ok()) << quantized.status().message();
+    p.quantized = std::move(quantized).value();
+    return p;
+  }();
+  return pair;
+}
+
+// --- Failure containment ----------------------------------------------------
+
+TEST(QuantizeTest, EmptyCalibrationFoldIsInvalidArgument) {
+  gnn::StaticModel model(small_config(0xE33));
+  auto result = model.quantize({});
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), support::StatusCode::kInvalidArgument);
+}
+
+// --- The CI accuracy-delta gate ---------------------------------------------
+
+/// Quantized fold accuracy must stay within this fixed epsilon of float
+/// accuracy. The `quantize` CI job fails the build when this regresses.
+constexpr double kAccuracyEpsilon = 0.12;
+
+/// Minimum per-query agreement rate between the float and int8 models on
+/// the calibration fold.
+constexpr double kMinAgreement = 0.85;
+
+TEST(QuantizeTest, QuantizedFoldAccuracyWithinEpsilonOfFloat) {
+  const TrainedPair& p = trained_pair();
+  const auto ptrs = graph_ptrs();
+
+  const std::vector<int> float_pred = p.model->predict(ptrs);
+  const std::vector<int> quant_pred = p.quantized->predict(ptrs);
+  ASSERT_EQ(float_pred.size(), ptrs.size());
+  ASSERT_EQ(quant_pred.size(), ptrs.size());
+
+  const double float_acc = accuracy(float_pred, p.labels);
+  const double quant_acc = accuracy(quant_pred, p.labels);
+  EXPECT_GE(quant_acc, float_acc - kAccuracyEpsilon)
+      << "int8 accuracy " << quant_acc << " fell more than "
+      << kAccuracyEpsilon << " below float accuracy " << float_acc;
+
+  std::size_t agree = 0;
+  for (std::size_t i = 0; i < ptrs.size(); ++i)
+    if (float_pred[i] == quant_pred[i]) ++agree;
+  const double agreement = static_cast<double>(agree) / ptrs.size();
+  EXPECT_GE(agreement, kMinAgreement)
+      << "float/int8 per-query agreement " << agreement << " below floor";
+}
+
+TEST(QuantizeTest, EvaluateMatchesPredictIntoAndEmitsFiniteEmbeddings) {
+  const TrainedPair& p = trained_pair();
+  const auto ptrs = graph_ptrs();
+
+  std::vector<int> direct;
+  p.quantized->predict_into(ptrs, direct);
+
+  gnn::Evaluation eval;
+  p.quantized->evaluate(ptrs, eval, /*want_embeddings=*/true);
+  ASSERT_EQ(eval.predictions, direct);
+  ASSERT_EQ(eval.embeddings.size(),
+            ptrs.size() * static_cast<std::size_t>(p.quantized->hidden_dim()));
+  for (float v : eval.embeddings) ASSERT_TRUE(std::isfinite(v));
+  ASSERT_EQ(eval.log_probs.size(),
+            ptrs.size() * static_cast<std::size_t>(p.quantized->num_labels()));
+  for (float v : eval.log_probs) ASSERT_LE(v, 0.0f);
+}
+
+// --- Zero allocations on the warm quantized path ----------------------------
+
+TEST(QuantizeTest, WarmQuantizedPredictNeverTouchesHeap) {
+  tensor::set_kernel_parallelism(1);
+  const TrainedPair& p = trained_pair();
+  const auto base = graph_ptrs();
+
+  // 40 pointers cycling over the owned graphs: several 16-graph shards,
+  // exactly like arena_test's float twin of this test.
+  std::vector<const graph::ProgramGraph*> ptrs;
+  for (std::size_t i = 0; i < 40; ++i) ptrs.push_back(base[i % base.size()]);
+
+  std::vector<int> preds;
+  gnn::Evaluation eval;
+  // Warm-up: first call sizes every per-shard scratch buffer.
+  p.quantized->predict_into(ptrs, preds);
+  p.quantized->evaluate(ptrs, eval, /*want_embeddings=*/false);
+  const std::vector<int> expected = preds;
+
+  const auto pool_before = support::BufferPool::global().stats();
+  const std::uint64_t heap_before =
+      g_heap_allocations.load(std::memory_order_relaxed);
+
+  for (int rep = 0; rep < 10; ++rep) {
+    p.quantized->predict_into(ptrs, preds);
+    ASSERT_EQ(preds, expected);
+  }
+
+  const std::uint64_t heap_delta =
+      g_heap_allocations.load(std::memory_order_relaxed) - heap_before;
+  const auto pool_after = support::BufferPool::global().stats();
+  EXPECT_EQ(heap_delta, 0u)
+      << "warm quantized predict_into touched the heap " << heap_delta
+      << " times";
+  EXPECT_EQ(pool_after.malloc_calls, pool_before.malloc_calls)
+      << "warm quantized predict grew the buffer pool";
+  EXPECT_GT(pool_after.pool_hits, pool_before.pool_hits)
+      << "warm quantized predict should recycle pooled buffers";
+}
+
+// --- Side-by-side float/int8 serving ----------------------------------------
+
+TEST(QuantizeTest, RouterServesFloatAndInt8SideBySide) {
+  const TrainedPair& p = trained_pair();
+  const auto ptrs = graph_ptrs();
+
+  // Each model's own serial answers are the ground truth per version.
+  const std::vector<int> float_pred = p.model->predict(ptrs);
+  const std::vector<int> quant_pred = p.quantized->predict(ptrs);
+
+  serve::RouterConfig config;
+  config.server.background_loop = false;
+  serve::Router router(config);
+  const std::uint64_t float_version =
+      router.publish("static", serve::borrow_model(*p.model));
+  const std::uint64_t int8_version = router.publish("static.int8", p.quantized);
+  EXPECT_NE(float_version, 0u);
+  EXPECT_NE(int8_version, 0u);
+  ASSERT_EQ(router.models(),
+            (std::vector<std::string>{"static", "static.int8"}));
+
+  // Two passes: the second must be answered from each model's own cache —
+  // the (version, fingerprint) key means a hit can never cross versions,
+  // which the bitwise-equality assertions below would catch instantly.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (std::size_t i = 0; i < ptrs.size(); ++i) {
+      serve::Response rf = router.predict(serve::Request(*ptrs[i], "static"));
+      ASSERT_TRUE(rf.ok()) << rf.status.message();
+      EXPECT_EQ(rf.label, float_pred[i]);
+      EXPECT_EQ(rf.model_version, float_version);
+
+      serve::Response rq =
+          router.predict(serve::Request(*ptrs[i], "static.int8"));
+      ASSERT_TRUE(rq.ok()) << rq.status.message();
+      EXPECT_EQ(rq.label, quant_pred[i]);
+      EXPECT_EQ(rq.model_version, int8_version);
+    }
+  }
+
+  const serve::RouterStats stats = router.stats();
+  EXPECT_EQ(stats.routed, 4 * ptrs.size());
+  EXPECT_EQ(stats.model_not_found, 0u);
+  ASSERT_EQ(stats.models.size(), 2u);
+  for (const serve::RouterModelStats& m : stats.models) {
+    const serve::ServerStats& s = m.stats;
+    EXPECT_EQ(s.cache.hits + s.cache.misses + s.coalesced, s.queries)
+        << "conservation law broken for model " << m.model;
+    EXPECT_EQ(s.queries, 2 * ptrs.size()) << m.model;
+    // Pass two repeats every graph: each model's cache must answer it.
+    EXPECT_GE(s.cache.hits, ptrs.size()) << m.model;
+  }
+}
+
+}  // namespace
+}  // namespace irgnn

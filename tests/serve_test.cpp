@@ -15,6 +15,7 @@
 #include <thread>
 #include <vector>
 
+#include "gnn/model.h"
 #include "graph/fingerprint.h"
 #include "graph/graph_builder.h"
 #include "serve/model_registry.h"
