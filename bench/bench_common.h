@@ -28,6 +28,26 @@ inline ArgParser& add_runtime_flags(ArgParser& parser,
   return parser;
 }
 
+/// Registers the TCP endpoint knobs shared by irgnn_served and net_loadgen
+/// with identical names, defaults and help text: --host, --port,
+/// --connections. Numeric defaults give the two integer flags the parser's
+/// malformed-value rejection for free (--port=banana fails parse, it does
+/// not silently become 0).
+inline ArgParser& add_net_flags(ArgParser& parser,
+                                const std::string& default_port,
+                                const std::string& default_connections) {
+  parser
+      .add("host", "127.0.0.1",
+           "IPv4 address to bind (irgnn_served) or connect to (net_loadgen)")
+      .add("port", default_port,
+           "TCP port; 0 means an ephemeral port for a server and "
+           "\"in-process sections only\" for net_loadgen")
+      .add("connections", default_connections,
+           "client connections to open (net_loadgen) / accepted-connection "
+           "cap (irgnn_served)");
+  return parser;
+}
+
 /// Reads --threads, applies it to the process-global tensor kernel
 /// parallelism cap, and returns it — the one place the flag is interpreted.
 inline int apply_threads(const ArgParser& parser) {

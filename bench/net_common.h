@@ -1,0 +1,74 @@
+// Shared model and workload construction for the wire-protocol binaries.
+//
+// irgnn_served and net_loadgen run in separate processes but must agree on
+// the served model bit for bit — the loadgen's bit-identity gate compares
+// TCP answers against an in-process model built on the client side. There
+// is no weight shipping: both sides build a gnn::StaticModel from the SAME
+// flags (--hidden/--layers/--labels/--model-seed) through these helpers,
+// and StaticModel's deterministic seeded construction guarantees the two
+// processes hold identical weights. Drift between the binaries' flag
+// handling would silently break that, which is why the flags live here
+// once.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gnn/model.h"
+#include "graph/graph_builder.h"
+#include "graph/program_graph.h"
+#include "serve/request.h"
+#include "support/argparse.h"
+#include "workloads/suite.h"
+
+namespace irgnn::bench {
+
+/// The served-model knobs, identical in both binaries.
+inline ArgParser& add_model_flags(ArgParser& parser) {
+  parser.add("hidden", "64", "served model hidden dimension")
+      .add("layers", "3", "served model RGCN layers")
+      .add("labels", "13", "served model label count")
+      .add("model-seed", "24237",
+           "weight seed; server and loadgen must agree (deterministic "
+           "construction is what replaces weight shipping)");
+  return parser;
+}
+
+inline gnn::ModelConfig model_config_from(const ArgParser& parser,
+                                          int threads) {
+  gnn::ModelConfig cfg;
+  cfg.vocab_size = graph::vocabulary_size();
+  cfg.num_labels = static_cast<int>(parser.get_int("labels"));
+  cfg.hidden_dim = static_cast<int>(parser.get_int("hidden"));
+  cfg.num_layers = static_cast<int>(parser.get_int("layers"));
+  cfg.seed = static_cast<std::uint64_t>(parser.get_int("model-seed"));
+  cfg.num_threads = threads;
+  return cfg;
+}
+
+/// The benchmark-suite region graphs — the traffic both binaries speak.
+inline std::vector<graph::ProgramGraph> suite_graphs() {
+  std::vector<graph::ProgramGraph> owned;
+  for (const auto& spec : workloads::benchmark_suite()) {
+    auto module = workloads::build_region_module(spec);
+    owned.push_back(graph::build_graph(*module));
+  }
+  return owned;
+}
+
+inline bool parse_shed_policy(const std::string& name,
+                              serve::ShedPolicy* out) {
+  if (name == "Reject") {
+    *out = serve::ShedPolicy::Reject;
+  } else if (name == "DropOldest") {
+    *out = serve::ShedPolicy::DropOldest;
+  } else if (name == "Block") {
+    *out = serve::ShedPolicy::Block;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace irgnn::bench

@@ -1,0 +1,157 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <thread>
+
+namespace irgnn::net {
+
+Status NetClient::connect(const std::string& host, std::uint16_t port,
+                          std::int64_t timeout_ms) {
+  close();
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
+    return Status::InvalidArgument("host must be an IPv4 dotted quad");
+
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd_ < 0) return Status::Internal("socket() failed");
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) ==
+        0) {
+      int one = 1;
+      ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return Status::Ok();
+    }
+    int err = errno;
+    ::close(fd_);
+    fd_ = -1;
+    // Refused just means the server has not called listen() yet — the
+    // normal CI race of launching both sides at once. Retry until deadline.
+    if ((err == ECONNREFUSED || err == EINTR || err == EAGAIN) &&
+        std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      continue;
+    }
+    return Status::Unavailable("connect failed");
+  }
+}
+
+void NetClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status NetClient::send_all(const FrameBytes& bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    ssize_t n =
+        ::send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      close();
+      return Status::Unavailable("send failed (connection lost)");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Status NetClient::read_exact(std::uint8_t* dst, std::size_t size) {
+  std::size_t got = 0;
+  while (got < size) {
+    ssize_t n = ::recv(fd_, dst + got, size - got, 0);
+    if (n == 0) {
+      close();
+      return Status::Unavailable("connection closed by server");
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      close();
+      return Status::Unavailable("recv failed (connection lost)");
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Status NetClient::read_frame(FrameHeader* header) {
+  std::uint8_t raw[kHeaderBytes];
+  Status status = read_exact(raw, kHeaderBytes);
+  if (!status.ok()) return status;
+  status = decode_header(raw, kHeaderBytes, header);
+  if (!status.ok()) {
+    close();  // framing lost; the stream cannot be trusted further
+    return status;
+  }
+  recv_buf_.resize(header->payload_bytes);
+  if (header->payload_bytes == 0) return Status::Ok();
+  return read_exact(recv_buf_.data(), header->payload_bytes);
+}
+
+Status NetClient::send(const serve::Request& request, std::uint64_t tag) {
+  if (fd_ < 0) return Status::Unavailable("not connected");
+  send_buf_.clear();
+  encode_request_into(tag, request, send_buf_);
+  return send_all(send_buf_);
+}
+
+StatusOr<DecodedResponse> NetClient::recv() {
+  if (fd_ < 0) return Status::Unavailable("not connected");
+  FrameHeader header;
+  Status status = read_frame(&header);
+  if (!status.ok()) return status;
+  if (header.type != FrameType::kResponse) {
+    close();
+    return Status::InvalidArgument("expected a kResponse frame");
+  }
+  DecodedResponse decoded;
+  status = decode_response(recv_buf_.data(), recv_buf_.size(), &decoded);
+  if (!status.ok()) {
+    close();
+    return status;
+  }
+  return decoded;
+}
+
+StatusOr<serve::Response> NetClient::predict(const serve::Request& request) {
+  std::uint64_t tag = next_tag_++;
+  Status status = send(request, tag);
+  if (!status.ok()) return status;
+  for (;;) {
+    auto decoded = recv();
+    if (!decoded.ok()) return decoded.status();
+    if (decoded->tag == tag) return decoded->response;
+    // A foreign tag here means predict() was interleaved with pipelined
+    // sends, which the header forbids; drop it and keep looking.
+  }
+}
+
+Status NetClient::get_stats(WireStats* out) {
+  if (fd_ < 0) return Status::Unavailable("not connected");
+  send_buf_.clear();
+  encode_stats_request_into(send_buf_);
+  Status status = send_all(send_buf_);
+  if (!status.ok()) return status;
+  FrameHeader header;
+  status = read_frame(&header);
+  if (!status.ok()) return status;
+  if (header.type != FrameType::kStatsReply) {
+    close();
+    return Status::InvalidArgument("expected a kStatsReply frame");
+  }
+  return decode_stats_reply(recv_buf_.data(), recv_buf_.size(), out);
+}
+
+}  // namespace irgnn::net

@@ -27,16 +27,36 @@
 
 namespace irgnn::support {
 
+// The numeric values are the wire protocol: net/codec.h transmits a
+// Response's code as this exact byte (wire format version 1), so a client
+// built from one revision must decode a server built from another. New codes
+// append at the end with the next value; existing values NEVER change or
+// reorder. The static_asserts below pin every assignment so an accidental
+// insertion fails the build instead of silently renumbering the wire enum.
 enum class StatusCode : std::uint8_t {
   kOk = 0,
-  kOverloaded,         // bounded admission queue full (Reject) or shed
-  kDeadlineExceeded,   // request out-waited its deadline_us in the queue
-  kModelNotFound,      // router has no model under the requested name
-  kShuttingDown,       // submitted after shutdown() began
-  kInternal,           // the answering forward failed (e.g. bad_alloc)
-  kUnavailable,        // circuit breaker open: miss short-circuited, retry later
-  kInvalidArgument,    // malformed request (e.g. empty graph), never admitted
+  kOverloaded = 1,        // bounded admission queue full (Reject) or shed
+  kDeadlineExceeded = 2,  // request out-waited its deadline_us in the queue
+  kModelNotFound = 3,     // router has no model under the requested name
+  kShuttingDown = 4,      // submitted after shutdown() began
+  kInternal = 5,          // the answering forward failed (e.g. bad_alloc)
+  kUnavailable = 6,   // circuit breaker open: miss short-circuited, retry later
+  kInvalidArgument = 7,  // malformed request (e.g. empty graph), never admitted
 };
+
+inline constexpr std::uint8_t kNumStatusCodes = 8;
+
+static_assert(static_cast<std::uint8_t>(StatusCode::kOk) == 0 &&
+                  static_cast<std::uint8_t>(StatusCode::kOverloaded) == 1 &&
+                  static_cast<std::uint8_t>(StatusCode::kDeadlineExceeded) ==
+                      2 &&
+                  static_cast<std::uint8_t>(StatusCode::kModelNotFound) == 3 &&
+                  static_cast<std::uint8_t>(StatusCode::kShuttingDown) == 4 &&
+                  static_cast<std::uint8_t>(StatusCode::kInternal) == 5 &&
+                  static_cast<std::uint8_t>(StatusCode::kUnavailable) == 6 &&
+                  static_cast<std::uint8_t>(StatusCode::kInvalidArgument) == 7,
+              "StatusCode values are wire format v1 (net/codec.h): append new "
+              "codes, never renumber existing ones");
 
 inline const char* status_code_name(StatusCode code) {
   switch (code) {

@@ -20,9 +20,15 @@
 // healthy-mode harness still runs every structural invariant.
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <thread>
 #include <tuple>
@@ -31,6 +37,8 @@
 #include "gnn/model.h"
 #include "gnn/quantize.h"
 #include "graph/graph_builder.h"
+#include "net/client.h"
+#include "net/server.h"
 #include "serve/router.h"
 #include "serve/server.h"
 #include "support/failpoint.h"
@@ -705,6 +713,189 @@ TEST_F(ChaosTest, RetryNeverRetriesAnOverloadedShed) {
   EXPECT_EQ(stats.retries, 0u)
       << "a shed retried is an overload amplified — never";
   EXPECT_EQ(stats.rejected, 1u) << "exactly one admission attempt";
+}
+
+// --- Wire-layer chaos (src/net/) --------------------------------------------
+//
+// Same philosophy as the router chaos above, one layer further out: a TCP
+// connection dying mid-frame, a read fault, a dribbling write path or an
+// injected decode failure must never crash the server, leak a connection
+// slot, or corrupt ANOTHER connection's stream. Mid-frame disconnect needs
+// no failpoints and runs in every build; the injected-fault legs are gated
+// on IRGNN_FAILPOINTS like the rest of this file.
+
+/// Shared scaffolding: a small router + net server on an ephemeral port.
+struct NetChaosRig {
+  NetChaosRig() : router() {
+    router.publish("static",
+                   std::make_shared<const gnn::StaticModel>(small_config(42)));
+    server.emplace(router, net::NetServerConfig{});
+    start_ok = server->start().ok();
+  }
+  /// Shuts down and asserts the one invariant every leg shares: no leaked
+  /// slots, loop finished.
+  void finish() {
+    server->shutdown();
+    const net::NetServerStats stats = server->stats();
+    EXPECT_TRUE(stats.finished);
+    EXPECT_EQ(stats.open_slots, 0u) << "a chaos leg leaked a connection slot";
+    router.shutdown();
+  }
+  serve::Router router;
+  std::optional<net::NetServer> server;
+  bool start_ok = false;
+};
+
+TEST_F(ChaosTest, MidFrameDisconnectNeverLeaksOrCorrupts) {
+  NetChaosRig rig;
+  ASSERT_TRUE(rig.start_ok);
+  const auto& graphs = test_graphs();
+  const int expected = rig.router.predict(graphs[0]).label;
+
+  // An innocent client stays connected across every abuse below; its
+  // answers must stay correct throughout.
+  net::NetClient innocent;
+  ASSERT_TRUE(innocent.connect("127.0.0.1", rig.server->port()).ok());
+
+  net::FrameBytes frame;
+  net::encode_request_into(9, serve::Request(graphs[0]), frame);
+  for (std::size_t cut : {std::size_t{1}, std::size_t{4},
+                          net::kHeaderBytes, net::kHeaderBytes + 3,
+                          frame.size() - 1}) {
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(rig.server->port());
+    ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+    ASSERT_EQ(
+        ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+    ASSERT_GT(::send(fd, frame.data(), cut, MSG_NOSIGNAL), 0);
+    ::close(fd);  // vanish mid-frame
+
+    auto alive = innocent.predict(serve::Request(graphs[0]));
+    ASSERT_TRUE(alive.ok()) << "innocent connection broken by a disconnect "
+                               "at byte " << cut;
+    EXPECT_EQ(alive->label, expected);
+  }
+  innocent.close();
+  rig.finish();
+}
+
+TEST_F(ChaosTest, NetReadFaultClosesOnlyTheFaultedConnection) {
+  if (!failpoints::enabled()) GTEST_SKIP() << "failpoints compiled out";
+  NetChaosRig rig;
+  ASSERT_TRUE(rig.start_ok);
+  const auto& graphs = test_graphs();
+
+  failpoints::set_seed(21);
+  failpoints::FailpointSpec one;
+  one.every_nth = 1;
+  one.max_fires = 1;
+  failpoints::configure("net.read", one);
+
+  // The faulted victim loses its connection; the server survives and the
+  // next connection (budget spent) works.
+  net::NetClient victim;
+  ASSERT_TRUE(victim.connect("127.0.0.1", rig.server->port()).ok());
+  EXPECT_FALSE(victim.predict(serve::Request(graphs[1])).ok());
+
+  net::NetClient after;
+  ASSERT_TRUE(after.connect("127.0.0.1", rig.server->port()).ok());
+  auto r = after.predict(serve::Request(graphs[1]));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->label, rig.router.predict(graphs[1]).label);
+  after.close();
+
+  EXPECT_GE(rig.server->stats().read_faults, 1u);
+  rig.finish();
+}
+
+TEST_F(ChaosTest, ShortWritesDribbleFramesOutIntact) {
+  if (!failpoints::enabled()) GTEST_SKIP() << "failpoints compiled out";
+  NetChaosRig rig;
+  ASSERT_TRUE(rig.start_ok);
+  const auto& graphs = test_graphs();
+  std::vector<int> expected;
+  for (int g = 0; g < 4; ++g)
+    expected.push_back(rig.router.predict(graphs[g]).label);
+
+  // EVERY server write truncated to one byte: responses leave one byte per
+  // epoll wakeup. Framing must survive — the client still reassembles
+  // byte-identical responses, just slowly.
+  failpoints::set_seed(22);
+  failpoints::FailpointSpec always;
+  always.every_nth = 1;
+  failpoints::configure("net.write", always);
+
+  net::NetClient client;
+  ASSERT_TRUE(client.connect("127.0.0.1", rig.server->port()).ok());
+  for (int g = 0; g < 4; ++g) {
+    auto r = client.predict(serve::Request(graphs[g]));
+    ASSERT_TRUE(r.ok());
+    ASSERT_TRUE(r->ok());
+    EXPECT_EQ(r->label, expected[g]);
+  }
+  client.close();
+  failpoints::disable_all();
+  rig.finish();
+}
+
+TEST_F(ChaosTest, InjectedDecodeFaultAnswersAndKeepsTheConnection) {
+  if (!failpoints::enabled()) GTEST_SKIP() << "failpoints compiled out";
+  NetChaosRig rig;
+  ASSERT_TRUE(rig.start_ok);
+  const auto& graphs = test_graphs();
+
+  failpoints::set_seed(23);
+  failpoints::FailpointSpec once;
+  once.one_shot_hit = 1;
+  failpoints::configure("net.decode", once);
+
+  // The injected decode failure is well-framed: the server answers
+  // InvalidArgument to the right tag and the SAME connection keeps working.
+  net::NetClient client;
+  ASSERT_TRUE(client.connect("127.0.0.1", rig.server->port()).ok());
+  auto faulted = client.predict(serve::Request(graphs[2]));
+  ASSERT_TRUE(faulted.ok()) << "transport must survive a decode fault";
+  EXPECT_EQ(faulted->status.code(), support::StatusCode::kInvalidArgument);
+
+  auto healthy = client.predict(serve::Request(graphs[2]));
+  ASSERT_TRUE(healthy.ok());
+  ASSERT_TRUE(healthy->ok());
+  EXPECT_EQ(healthy->label, rig.router.predict(graphs[2]).label);
+  client.close();
+
+  EXPECT_GE(rig.server->stats().decode_errors, 1u);
+  rig.finish();
+}
+
+TEST_F(ChaosTest, AcceptFaultDropsOneConnectionServerSurvives) {
+  if (!failpoints::enabled()) GTEST_SKIP() << "failpoints compiled out";
+  NetChaosRig rig;
+  ASSERT_TRUE(rig.start_ok);
+  const auto& graphs = test_graphs();
+
+  failpoints::set_seed(24);
+  failpoints::FailpointSpec once;
+  once.one_shot_hit = 1;
+  failpoints::configure("net.accept", once);
+
+  // The kernel completes the handshake, then the fault closes the fd: the
+  // victim sees a connection that dies before any reply.
+  net::NetClient victim;
+  ASSERT_TRUE(victim.connect("127.0.0.1", rig.server->port()).ok());
+  EXPECT_FALSE(victim.predict(serve::Request(graphs[3])).ok());
+
+  net::NetClient after;
+  ASSERT_TRUE(after.connect("127.0.0.1", rig.server->port()).ok());
+  auto r = after.predict(serve::Request(graphs[3]));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->label, rig.router.predict(graphs[3]).label);
+  after.close();
+
+  EXPECT_GE(rig.server->stats().accept_failures, 1u);
+  rig.finish();
 }
 
 }  // namespace
