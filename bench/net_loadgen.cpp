@@ -163,6 +163,7 @@ int main(int argc, char** argv) {
   bench::add_runtime_flags(parser, /*default_threads=*/"1");
   bench::add_net_flags(parser, /*default_port=*/"0",
                        /*default_connections=*/"4");
+  bench::add_corpus_flags(parser);
   if (!parser.parse(argc, argv)) return 1;
 
   const bool quick = parser.get_bool("quick");
@@ -179,7 +180,19 @@ int main(int argc, char** argv) {
   int failures = 0;
 
   // --- Ground truth + cross-thread model determinism ------------------------
-  std::vector<graph::ProgramGraph> graphs = bench::suite_graphs();
+  // Suite graphs by default; --corpus/--dataset-cache swap in an ingested
+  // corpus as the traffic source (bench_common.h).
+  std::vector<graph::ProgramGraph> graphs;
+  {
+    const support::Status corpus_status =
+        bench::corpus_traffic(parser, &graphs);
+    if (!corpus_status.ok()) {
+      std::fprintf(stderr, "corpus traffic source failed: %s\n",
+                   corpus_status.message());
+      return 1;
+    }
+  }
+  if (graphs.empty()) graphs = bench::suite_graphs();
   std::vector<const graph::ProgramGraph*> graph_ptrs;
   for (const auto& g : graphs) graph_ptrs.push_back(&g);
   gnn::ModelConfig cfg = bench::model_config_from(parser, threads);

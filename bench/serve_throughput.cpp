@@ -123,6 +123,7 @@ int main(int argc, char** argv) {
            "write machine-readable results here (empty disables)")
       .add("quick", "false", "CI smoke: fewer queries, same contract gates");
   bench::add_runtime_flags(parser, /*default_threads=*/"1");
+  bench::add_corpus_flags(parser);
   if (!parser.parse(argc, argv)) return 1;
 
   const bool quick = parser.get_bool("quick");
@@ -142,12 +143,24 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(parser.get_int("cache"));
 
   // --- The served model and its graphs -------------------------------------
+  // Default traffic is the synthetic suite; --corpus/--dataset-cache swap in
+  // an ingested corpus (bench_common.h) without changing any gate below.
   std::vector<graph::ProgramGraph> owned;
   std::vector<const graph::ProgramGraph*> graphs;
-  for (const auto& spec : workloads::benchmark_suite()) {
-    auto module = workloads::build_region_module(spec);
-    owned.push_back(graph::build_graph(*module));
+  {
+    const support::Status corpus_status =
+        bench::corpus_traffic(parser, &owned);
+    if (!corpus_status.ok()) {
+      std::fprintf(stderr, "corpus traffic source failed: %s\n",
+                   corpus_status.message());
+      return 1;
+    }
   }
+  if (owned.empty())
+    for (const auto& spec : workloads::benchmark_suite()) {
+      auto module = workloads::build_region_module(spec);
+      owned.push_back(graph::build_graph(*module));
+    }
   for (const auto& g : owned) graphs.push_back(&g);
 
   gnn::ModelConfig cfg;

@@ -2,10 +2,13 @@
 
 #include <cassert>
 #include <cstdint>
+#include <mutex>
 #include <stdexcept>
+#include <utility>
 
 #include "support/thread_pool.h"
 
+#include "corpus/dataset_cache.h"
 #include "graph/graph_builder.h"
 #include "graph/region_extractor.h"
 #include "ir/verifier.h"
@@ -13,7 +16,9 @@
 
 namespace irgnn::core {
 
-Dataset build_dataset(const DatasetOptions& options) {
+namespace {
+
+Dataset build_dataset_uncached(const DatasetOptions& options) {
   const auto& suite = workloads::benchmark_suite();
   Dataset dataset;
   dataset.sequences =
@@ -49,6 +54,79 @@ Dataset build_dataset(const DatasetOptions& options) {
         dataset.graphs[r] = std::move(variants);
       });
   return dataset;
+}
+
+struct MemoEntry {
+  DatasetOptions options;
+  std::shared_ptr<const Dataset> dataset;
+};
+
+bool same_options(const DatasetOptions& a, const DatasetOptions& b) {
+  return a.num_sequences == b.num_sequences && a.seed == b.seed &&
+         a.num_threads == b.num_threads;
+}
+
+}  // namespace
+
+std::shared_ptr<const Dataset> build_dataset_shared(
+    const DatasetOptions& options) {
+  // Small MRU pool: experiments re-enter with the same options many times
+  // (run_experiment per figure, tests, benches); a handful of distinct
+  // option sets covers them all without pinning unbounded graph storage.
+  static std::mutex mutex;
+  static std::vector<MemoEntry> pool;  // back = most recently used
+  constexpr std::size_t kPoolCap = 4;
+
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+      if (same_options(pool[i].options, options)) {
+        MemoEntry hit = pool[i];
+        pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(i));
+        pool.push_back(hit);
+        return hit.dataset;
+      }
+    }
+  }
+
+  // Build outside the lock: a second thread asking for different options
+  // must not serialize behind this compile, and the pipeline itself uses
+  // the shared pool's workers. A racing identical request may build twice;
+  // both results are bit-identical and the memo keeps one.
+  auto built = std::make_shared<const Dataset>(build_dataset_uncached(options));
+
+  std::lock_guard<std::mutex> lock(mutex);
+  for (const auto& entry : pool)
+    if (same_options(entry.options, options)) return entry.dataset;
+  if (pool.size() == kPoolCap) pool.erase(pool.begin());
+  pool.push_back(MemoEntry{options, built});
+  return built;
+}
+
+Dataset build_dataset(const DatasetOptions& options) {
+  return *build_dataset_shared(options);
+}
+
+support::Status load_corpus_dataset(const std::string& path, Dataset* out) {
+  corpus::CacheLimits limits;
+  limits.max_feature = static_cast<std::int32_t>(graph::vocabulary_size()) - 1;
+  corpus::DatasetCacheReader reader;
+  support::Status status = reader.open(path, limits);
+  if (!status.ok()) return status;
+
+  *out = Dataset{};
+  // The cache is flat (regions only — augmentation sequences are a property
+  // of the synthetic pipeline, not of ingested code), so the dataset has
+  // one unnamed "as ingested" sequence and graphs[r] of size 1.
+  out->sequences.resize(1);
+  out->regions.reserve(static_cast<std::size_t>(reader.num_graphs()));
+  out->graphs.resize(static_cast<std::size_t>(reader.num_graphs()));
+  for (std::uint64_t i = 0; i < reader.num_graphs(); ++i) {
+    out->regions.emplace_back(reader.graph_name(i));
+    out->graphs[i].resize(1);
+    reader.materialize(i, &out->graphs[i][0]);
+  }
+  return support::Status::Ok();
 }
 
 }  // namespace irgnn::core

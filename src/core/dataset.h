@@ -4,11 +4,13 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "graph/program_graph.h"
 #include "passes/flag_sequence.h"
+#include "support/status.h"
 #include "workloads/suite.h"
 
 namespace irgnn::core {
@@ -35,7 +37,23 @@ struct DatasetOptions {
 };
 
 /// Builds the dataset for the whole benchmark suite. Compilation of the
-/// variants is parallelized across regions.
+/// variants is parallelized across regions. Returns a copy of the pooled
+/// dataset (see build_dataset_shared) — callers that only read should
+/// prefer the shared form and skip the copy.
 Dataset build_dataset(const DatasetOptions& options = {});
+
+/// Pooled dataset construction: repeated calls with identical options in
+/// one process share one immutable Dataset instead of re-running the
+/// compile/extract/build pipeline and re-allocating graphs[r][s]. The memo
+/// is keyed on every DatasetOptions field (num_threads included, so
+/// determinism tests that compare thread counts still exercise separate
+/// builds) and keeps the most recently used handful of datasets alive.
+std::shared_ptr<const Dataset> build_dataset_shared(
+    const DatasetOptions& options = {});
+
+/// Loads a dataset from a .irds corpus cache (corpus/dataset_cache.h):
+/// one region per cached graph, a single empty flag sequence, zero graph
+/// rebuilds. Malformed or truncated caches are a Status, never a crash.
+support::Status load_corpus_dataset(const std::string& path, Dataset* out);
 
 }  // namespace irgnn::core

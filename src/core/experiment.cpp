@@ -98,9 +98,11 @@ ExperimentResult run_experiment(const sim::MachineDesc& machine,
   // library callers too, not just for benches that set it themselves.
   tensor::set_kernel_parallelism(options.num_threads);
 
-  // Steps A+B: augmentation and graphs.
-  Dataset dataset = build_dataset(
+  // Steps A+B: augmentation and graphs. The shared form pools storage, so
+  // every figure of a bench run reuses one compiled dataset.
+  const std::shared_ptr<const Dataset> dataset_ptr = build_dataset_shared(
       {options.num_sequences, options.seed, options.num_threads});
+  const Dataset& dataset = *dataset_ptr;
   const std::size_t R = dataset.num_regions();
   const std::size_t S = dataset.num_sequences();
 

@@ -1,0 +1,397 @@
+#include "corpus/dataset_cache.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+
+#include "support/rng.h"
+
+namespace irgnn::corpus {
+
+namespace {
+
+// --- Little-endian packing (explicit shifts: no host-order dependence) -----
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v));
+  put_u32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+void put_i32(std::vector<std::uint8_t>& out, std::int32_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  return static_cast<std::uint64_t>(get_u32(p)) |
+         (static_cast<std::uint64_t>(get_u32(p + 4)) << 32);
+}
+
+std::int32_t get_i32(const std::uint8_t* p) {
+  return static_cast<std::int32_t>(get_u32(p));
+}
+
+/// Deterministic hash over a byte range (payload integrity sweep).
+std::uint64_t hash_bytes(const std::uint8_t* data, std::size_t size) {
+  std::uint64_t h = hash_combine64(0x12D5ull, size);
+  std::size_t i = 0;
+  for (; i + 8 <= size; i += 8) h = hash_combine64(h, get_u64(data + i));
+  std::uint64_t tail = 0;
+  for (std::size_t k = 0; i + k < size; ++k)
+    tail |= static_cast<std::uint64_t>(data[i + k]) << (8 * k);
+  if (i < size) h = hash_combine64(h, tail);
+  return h;
+}
+
+std::size_t pad8(std::uint64_t n) {
+  return static_cast<std::size_t>((n + 7) & ~std::uint64_t{7});
+}
+
+}  // namespace
+
+// --- Writer -----------------------------------------------------------------
+
+Status write_dataset_cache(const std::string& path,
+                           const std::vector<graph::ProgramGraph>& graphs,
+                           const std::vector<std::uint64_t>& fingerprints,
+                           std::uint64_t corpus_hash,
+                           std::uint64_t options_hash) {
+  if (graphs.size() != fingerprints.size())
+    return Status::InvalidArgument("graphs/fingerprints size mismatch");
+
+  std::uint64_t total_nodes = 0;
+  std::uint64_t total_edges = 0;
+  std::uint64_t names_bytes = 0;
+  for (const auto& g : graphs) {
+    if (g.nodes.size() > 0xFFFFFFFFull || g.edges.size() > 0xFFFFFFFFull ||
+        g.name.size() > 0xFFFFFFFFull)
+      return Status::InvalidArgument("graph too large for the .irds format");
+    total_nodes += g.nodes.size();
+    total_edges += g.edges.size();
+    names_bytes += g.name.size();
+  }
+  if (names_bytes > 0xFFFFFFFFull)
+    return Status::InvalidArgument("name blob too large for the .irds format");
+
+  // Payload: index, nodes, edges, names (+ zero pad to 8).
+  std::vector<std::uint8_t> payload;
+  payload.reserve(static_cast<std::size_t>(
+      kIndexRecordBytes * graphs.size() + kNodeRecordBytes * total_nodes +
+      kEdgeRecordBytes * total_edges + pad8(names_bytes)));
+  std::uint64_t node_off = 0;
+  std::uint64_t edge_off = 0;
+  std::uint64_t name_off = 0;
+  for (std::size_t i = 0; i < graphs.size(); ++i) {
+    const auto& g = graphs[i];
+    put_u64(payload, fingerprints[i]);
+    put_u64(payload, node_off);
+    put_u64(payload, edge_off);
+    put_u32(payload, static_cast<std::uint32_t>(g.nodes.size()));
+    put_u32(payload, static_cast<std::uint32_t>(g.edges.size()));
+    put_u32(payload, static_cast<std::uint32_t>(name_off));
+    put_u32(payload, static_cast<std::uint32_t>(g.name.size()));
+    node_off += g.nodes.size();
+    edge_off += g.edges.size();
+    name_off += g.name.size();
+  }
+  for (const auto& g : graphs)
+    for (const auto& n : g.nodes) {
+      put_u32(payload, static_cast<std::uint32_t>(n.kind));
+      put_i32(payload, n.feature);
+    }
+  for (const auto& g : graphs)
+    for (const auto& e : g.edges) {
+      put_i32(payload, e.src);
+      put_i32(payload, e.dst);
+      put_u32(payload, static_cast<std::uint32_t>(e.kind));
+      put_i32(payload, e.position);
+    }
+  for (const auto& g : graphs)
+    payload.insert(payload.end(), g.name.begin(), g.name.end());
+  while (payload.size() % 8) payload.push_back(0);
+
+  std::vector<std::uint8_t> header;
+  header.reserve(kCacheHeaderBytes);
+  put_u32(header, kCacheMagic);
+  put_u32(header, kCacheVersion);
+  put_u64(header, corpus_hash);
+  put_u64(header, options_hash);
+  put_u64(header, graphs.size());
+  put_u64(header, total_nodes);
+  put_u64(header, total_edges);
+  put_u64(header, names_bytes);
+  put_u64(header, hash_bytes(payload.data(), payload.size()));
+
+  // Atomic publish: a reader never maps a half-written cache.
+  const std::string tmp = path + ".tmp";
+  std::FILE* fp = std::fopen(tmp.c_str(), "wb");
+  if (!fp) return Status::Internal("cache temp file open failed");
+  const bool ok =
+      std::fwrite(header.data(), 1, header.size(), fp) == header.size() &&
+      (payload.empty() ||
+       std::fwrite(payload.data(), 1, payload.size(), fp) == payload.size());
+  if (std::fclose(fp) != 0 || !ok) {
+    std::remove(tmp.c_str());
+    return Status::Internal("cache write failed");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Internal("cache rename failed");
+  }
+  return Status::Ok();
+}
+
+// --- Reader -----------------------------------------------------------------
+
+DatasetCacheReader::~DatasetCacheReader() { close(); }
+
+DatasetCacheReader::DatasetCacheReader(DatasetCacheReader&& other) noexcept {
+  *this = std::move(other);
+}
+
+DatasetCacheReader& DatasetCacheReader::operator=(
+    DatasetCacheReader&& other) noexcept {
+  if (this != &other) {
+    close();
+    std::memcpy(static_cast<void*>(this), &other, sizeof(*this));
+    other.mapping_ = nullptr;
+    other.data_ = nullptr;
+    other.size_ = 0;
+  }
+  return *this;
+}
+
+void DatasetCacheReader::close() {
+  if (mapping_) ::munmap(mapping_, mapping_size_);
+  mapping_ = nullptr;
+  data_ = nullptr;
+  size_ = 0;
+  num_graphs_ = total_nodes_ = total_edges_ = names_bytes_ = 0;
+}
+
+Status DatasetCacheReader::attach(const std::uint8_t* data, std::size_t size,
+                                  const CacheLimits& limits) {
+  close();
+  if (size < kCacheHeaderBytes)
+    return Status::InvalidArgument("cache file shorter than its header");
+  if (get_u32(data) != kCacheMagic)
+    return Status::InvalidArgument("bad cache magic");
+  if (get_u32(data + 4) != kCacheVersion)
+    return Status::InvalidArgument("unsupported cache version");
+
+  const std::uint64_t corpus_hash = get_u64(data + 8);
+  const std::uint64_t options_hash = get_u64(data + 16);
+  const std::uint64_t num_graphs = get_u64(data + 24);
+  const std::uint64_t total_nodes = get_u64(data + 32);
+  const std::uint64_t total_edges = get_u64(data + 40);
+  const std::uint64_t names_bytes = get_u64(data + 48);
+  const std::uint64_t payload_hash = get_u64(data + 56);
+
+  // Count caps come first: under them, every section-size product below
+  // fits comfortably in 64 bits, so the offset arithmetic cannot wrap.
+  if (num_graphs > limits.max_graphs)
+    return Status::InvalidArgument("cache graph count exceeds limits");
+  if (total_nodes > limits.max_total_nodes)
+    return Status::InvalidArgument("cache node count exceeds limits");
+  if (total_edges > limits.max_total_edges)
+    return Status::InvalidArgument("cache edge count exceeds limits");
+  if (names_bytes > 0xFFFFFFFFull)
+    return Status::InvalidArgument("cache name blob exceeds limits");
+
+  const std::uint64_t index_off = kCacheHeaderBytes;
+  const std::uint64_t nodes_off = index_off + kIndexRecordBytes * num_graphs;
+  const std::uint64_t edges_off = nodes_off + kNodeRecordBytes * total_nodes;
+  const std::uint64_t names_off = edges_off + kEdgeRecordBytes * total_edges;
+  const std::uint64_t end = names_off + pad8(names_bytes);
+  if (end != size)
+    return Status::InvalidArgument("cache size disagrees with its header");
+
+  // Index records must tile the node/edge arrays exactly, in order — this
+  // pins both bounds and the deterministic layout the writer emits.
+  std::uint64_t want_node = 0;
+  std::uint64_t want_edge = 0;
+  std::uint64_t want_name = 0;
+  for (std::uint64_t i = 0; i < num_graphs; ++i) {
+    const std::uint8_t* rec = data + index_off + i * kIndexRecordBytes;
+    const std::uint64_t node_off = get_u64(rec + 8);
+    const std::uint64_t edge_off = get_u64(rec + 16);
+    const std::uint32_t node_count = get_u32(rec + 24);
+    const std::uint32_t edge_count = get_u32(rec + 28);
+    const std::uint32_t name_off = get_u32(rec + 32);
+    const std::uint32_t name_len = get_u32(rec + 36);
+    if (node_off != want_node || edge_off != want_edge ||
+        name_off != want_name)
+      return Status::InvalidArgument("cache index records do not tile");
+    want_node += node_count;
+    want_edge += edge_count;
+    want_name += name_len;
+  }
+  if (want_node != total_nodes || want_edge != total_edges ||
+      want_name != names_bytes)
+    return Status::InvalidArgument("cache index totals disagree with header");
+
+  // Full record validation before anything is materialized: a corrupt kind,
+  // feature or edge endpoint is refused here, not discovered by the model.
+  std::uint64_t graph_idx = 0;
+  std::uint64_t graph_end = num_graphs
+                                ? get_u64(data + index_off + 24) +
+                                      get_u32(data + index_off + 24)
+                                : 0;
+  (void)graph_end;
+  std::uint64_t node_cursor = 0;
+  for (std::uint64_t i = 0; i < total_nodes; ++i) {
+    const std::uint8_t* rec = data + nodes_off + i * kNodeRecordBytes;
+    if (get_u32(rec) > 2u)
+      return Status::InvalidArgument("cache node kind out of range");
+    const std::int32_t feature = get_i32(rec + 4);
+    if (feature < 0 || feature > limits.max_feature)
+      return Status::InvalidArgument("cache node feature out of range");
+  }
+  (void)node_cursor;
+  for (std::uint64_t g = 0; g < num_graphs; ++g) {
+    const std::uint8_t* rec = data + index_off + g * kIndexRecordBytes;
+    const std::uint64_t edge_off = get_u64(rec + 16);
+    const std::uint32_t node_count = get_u32(rec + 24);
+    const std::uint32_t edge_count = get_u32(rec + 28);
+    for (std::uint32_t e = 0; e < edge_count; ++e) {
+      const std::uint8_t* erec =
+          data + edges_off + (edge_off + e) * kEdgeRecordBytes;
+      const std::int32_t src = get_i32(erec);
+      const std::int32_t dst = get_i32(erec + 4);
+      if (src < 0 || dst < 0 ||
+          static_cast<std::uint32_t>(src) >= node_count ||
+          static_cast<std::uint32_t>(dst) >= node_count)
+        return Status::InvalidArgument("cache edge endpoint out of range");
+      if (get_u32(erec + 8) > 2u)
+        return Status::InvalidArgument("cache edge kind out of range");
+    }
+  }
+  (void)graph_idx;
+
+  data_ = data;
+  size_ = size;
+  num_graphs_ = num_graphs;
+  total_nodes_ = total_nodes;
+  total_edges_ = total_edges;
+  names_bytes_ = names_bytes;
+  corpus_hash_ = corpus_hash;
+  options_hash_ = options_hash;
+  payload_hash_ = payload_hash;
+  index_off_ = static_cast<std::size_t>(index_off);
+  nodes_off_ = static_cast<std::size_t>(nodes_off);
+  edges_off_ = static_cast<std::size_t>(edges_off);
+  names_off_ = static_cast<std::size_t>(names_off);
+  return Status::Ok();
+}
+
+Status DatasetCacheReader::open(const std::string& path,
+                                const CacheLimits& limits) {
+  close();
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return Status::InvalidArgument("cache file not readable");
+  struct stat st{};
+  if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+    ::close(fd);
+    return Status::Internal("cache stat failed");
+  }
+  const std::size_t size = static_cast<std::size_t>(st.st_size);
+  if (size == 0) {
+    ::close(fd);
+    return Status::InvalidArgument("cache file is empty");
+  }
+  void* map = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);
+  if (map == MAP_FAILED) return Status::Internal("cache mmap failed");
+
+  Status status = attach(static_cast<const std::uint8_t*>(map), size, limits);
+  if (!status.ok()) {
+    ::munmap(map, size);
+    return status;
+  }
+  mapping_ = map;
+  mapping_size_ = size;
+  return Status::Ok();
+}
+
+const std::uint8_t* DatasetCacheReader::index_record(std::uint64_t i) const {
+  return data_ + index_off_ + static_cast<std::size_t>(i) * kIndexRecordBytes;
+}
+
+std::uint64_t DatasetCacheReader::fingerprint(std::uint64_t i) const {
+  return get_u64(index_record(i));
+}
+
+std::uint32_t DatasetCacheReader::graph_nodes(std::uint64_t i) const {
+  return get_u32(index_record(i) + 24);
+}
+
+std::uint32_t DatasetCacheReader::graph_edges(std::uint64_t i) const {
+  return get_u32(index_record(i) + 28);
+}
+
+std::string_view DatasetCacheReader::graph_name(std::uint64_t i) const {
+  const std::uint8_t* rec = index_record(i);
+  return std::string_view(
+      reinterpret_cast<const char*>(data_ + names_off_ + get_u32(rec + 32)),
+      get_u32(rec + 36));
+}
+
+void DatasetCacheReader::materialize(std::uint64_t i,
+                                     graph::ProgramGraph* out) const {
+  const std::uint8_t* rec = index_record(i);
+  const std::uint64_t node_off = get_u64(rec + 8);
+  const std::uint64_t edge_off = get_u64(rec + 16);
+  const std::uint32_t node_count = get_u32(rec + 24);
+  const std::uint32_t edge_count = get_u32(rec + 28);
+
+  out->name.assign(graph_name(i));
+  out->nodes.resize(node_count);
+  const std::uint8_t* nbase =
+      data_ + nodes_off_ +
+      static_cast<std::size_t>(node_off) * kNodeRecordBytes;
+  for (std::uint32_t n = 0; n < node_count; ++n) {
+    const std::uint8_t* nrec = nbase + n * kNodeRecordBytes;
+    out->nodes[n].kind = static_cast<graph::NodeKind>(get_u32(nrec));
+    out->nodes[n].feature = get_i32(nrec + 4);
+    out->nodes[n].text.clear();  // debug text does not persist (by design)
+  }
+  out->edges.resize(edge_count);
+  const std::uint8_t* ebase =
+      data_ + edges_off_ +
+      static_cast<std::size_t>(edge_off) * kEdgeRecordBytes;
+  for (std::uint32_t e = 0; e < edge_count; ++e) {
+    const std::uint8_t* erec = ebase + e * kEdgeRecordBytes;
+    out->edges[e].src = get_i32(erec);
+    out->edges[e].dst = get_i32(erec + 4);
+    out->edges[e].kind = static_cast<graph::EdgeKind>(get_u32(erec + 8));
+    out->edges[e].position = get_i32(erec + 12);
+  }
+}
+
+Status DatasetCacheReader::verify_payload_hash() const {
+  if (!is_open()) return Status::Internal("reader is not open");
+  const std::uint64_t got =
+      hash_bytes(data_ + kCacheHeaderBytes, size_ - kCacheHeaderBytes);
+  if (got != payload_hash_)
+    return Status::InvalidArgument("cache payload hash mismatch");
+  return Status::Ok();
+}
+
+}  // namespace irgnn::corpus

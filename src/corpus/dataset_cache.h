@@ -1,0 +1,144 @@
+// Versioned, mmap-able on-disk dataset cache (".irds").
+//
+// The cache stores an ingested corpus's deduplicated graphs as flat
+// node/edge arrays so benches and experiments load a dataset in
+// milliseconds instead of re-running parse/extract/build. File layout
+// (all fields little-endian, sections 8-byte aligned, append-only — new
+// sections go after the existing ones and bump kCacheVersion):
+//
+//   offset  size            field
+//   0       4               magic 0x53445249 ("IRDS")
+//   4       4               version (currently 1)
+//   8       8               corpus_hash   (ingest content key)
+//   16      8               options_hash  (ingest options key)
+//   24      8               num_graphs
+//   32      8               total_nodes
+//   40      8               total_edges
+//   48      8               names_bytes
+//   56      8               payload_hash (over everything after the header)
+//   64      40*num_graphs   graph index: fingerprint u64, node_off u64,
+//                           edge_off u64, node_count u32, edge_count u32,
+//                           name_off u32, name_len u32
+//   ...     8*total_nodes   nodes: kind u32, feature i32
+//   ...     16*total_edges  edges: src i32, dst i32, kind u32, position i32
+//   ...     names_bytes     name blob (not NUL-terminated), padded to 8
+//
+// Node text deliberately does not persist, for the same reason it stays off
+// the wire (net/codec.h): it never reaches the model, and shipping it would
+// only bloat the file and split identical queries. Reloaded graphs carry
+// empty node text; fingerprints, features and edges are bit-identical.
+//
+// Writes are deterministic — no timestamps, no pointer-order iteration — so
+// ingesting the same corpus twice produces byte-identical files (CI gates
+// this with cmp). Reads are hostile-input safe: every count, offset and
+// range is validated against the mapped size under CacheLimits *before* any
+// allocation or array walk, truncated or mutated files fail with a Status
+// (never a crash — corpus_test sweeps both), and materialization bounds
+// node features so a corrupt cache can never drive an out-of-range
+// embedding lookup.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/program_graph.h"
+#include "support/status.h"
+
+namespace irgnn::corpus {
+
+using support::Status;
+
+inline constexpr std::uint32_t kCacheMagic = 0x53445249u;  // "IRDS"
+inline constexpr std::uint32_t kCacheVersion = 1;
+inline constexpr std::size_t kCacheHeaderBytes = 64;
+inline constexpr std::size_t kIndexRecordBytes = 40;
+inline constexpr std::size_t kNodeRecordBytes = 8;
+inline constexpr std::size_t kEdgeRecordBytes = 16;
+
+/// Hostile-input bounds applied before any allocation, the .irds analogue
+/// of net::DecodeLimits. Serving callers tighten max_feature to the model
+/// vocabulary.
+struct CacheLimits {
+  std::uint64_t max_graphs = 1u << 24;
+  std::uint64_t max_total_nodes = 1u << 28;
+  std::uint64_t max_total_edges = 1u << 29;
+  std::int32_t max_feature = 0x7FFFFFFF;  // inclusive upper bound
+};
+
+/// Writes `graphs` (+ parallel `fingerprints`) as one .irds file, keyed by
+/// (corpus_hash, options_hash). The write is atomic (temp file + rename)
+/// and deterministic: identical inputs produce identical bytes.
+Status write_dataset_cache(const std::string& path,
+                           const std::vector<graph::ProgramGraph>& graphs,
+                           const std::vector<std::uint64_t>& fingerprints,
+                           std::uint64_t corpus_hash,
+                           std::uint64_t options_hash);
+
+/// Read-only view of a .irds file. open() maps the file and validates every
+/// header field, index record and edge endpoint against CacheLimits; after
+/// an ok() open, the accessors are bounds-safe by construction. Move-only
+/// (owns the mapping).
+class DatasetCacheReader {
+ public:
+  DatasetCacheReader() = default;
+  ~DatasetCacheReader();
+  DatasetCacheReader(DatasetCacheReader&& other) noexcept;
+  DatasetCacheReader& operator=(DatasetCacheReader&& other) noexcept;
+  DatasetCacheReader(const DatasetCacheReader&) = delete;
+  DatasetCacheReader& operator=(const DatasetCacheReader&) = delete;
+
+  /// Maps `path` and validates it. On error the reader stays closed.
+  Status open(const std::string& path, const CacheLimits& limits = {});
+
+  /// Validates an in-memory image without mapping (the fuzz harness's
+  /// entry point; open() uses it on the mapping). `data` must outlive the
+  /// reader unless it is closed first.
+  Status attach(const std::uint8_t* data, std::size_t size,
+                const CacheLimits& limits = {});
+
+  void close();
+  bool is_open() const { return data_ != nullptr; }
+
+  std::uint64_t num_graphs() const { return num_graphs_; }
+  std::uint64_t total_nodes() const { return total_nodes_; }
+  std::uint64_t total_edges() const { return total_edges_; }
+  std::uint64_t corpus_hash() const { return corpus_hash_; }
+  std::uint64_t options_hash() const { return options_hash_; }
+
+  std::uint64_t fingerprint(std::uint64_t i) const;
+  std::uint32_t graph_nodes(std::uint64_t i) const;
+  std::uint32_t graph_edges(std::uint64_t i) const;
+  std::string_view graph_name(std::uint64_t i) const;
+
+  /// Rebuilds graph i into *out, reusing its node/edge capacity (a warm
+  /// loop over a cache loads without allocating). Node text is empty by
+  /// design; `out->name` is the stored name.
+  void materialize(std::uint64_t i, graph::ProgramGraph* out) const;
+
+  /// Full payload-hash sweep (irgnn_ingest verify; not run on open, which
+  /// only validates structure).
+  Status verify_payload_hash() const;
+
+ private:
+  const std::uint8_t* index_record(std::uint64_t i) const;
+
+  const std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
+  void* mapping_ = nullptr;  // non-null only when open() mapped a file
+  std::size_t mapping_size_ = 0;
+  std::uint64_t num_graphs_ = 0;
+  std::uint64_t total_nodes_ = 0;
+  std::uint64_t total_edges_ = 0;
+  std::uint64_t names_bytes_ = 0;
+  std::uint64_t corpus_hash_ = 0;
+  std::uint64_t options_hash_ = 0;
+  std::uint64_t payload_hash_ = 0;
+  std::size_t index_off_ = 0;
+  std::size_t nodes_off_ = 0;
+  std::size_t edges_off_ = 0;
+  std::size_t names_off_ = 0;
+};
+
+}  // namespace irgnn::corpus

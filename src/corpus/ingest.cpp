@@ -1,0 +1,364 @@
+#include "corpus/ingest.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <unordered_map>
+
+#include "graph/fingerprint.h"
+#include "graph/region_extractor.h"
+#include "ir/parser.h"
+#include "ir/verifier.h"
+#include "support/rng.h"
+#include "support/thread_pool.h"
+
+namespace irgnn::corpus {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::atomic<std::uint64_t> g_graphs_built{0};
+
+/// Deterministic hash over a byte range (same fold the fingerprint uses).
+std::uint64_t hash_bytes(const char* data, std::size_t size) {
+  std::uint64_t h = hash_combine64(0xC0DEC0DEull, size);
+  std::size_t i = 0;
+  for (; i + 8 <= size; i += 8) {
+    std::uint64_t word = 0;
+    std::memcpy(&word, data + i, 8);
+    h = hash_combine64(h, word);
+  }
+  std::uint64_t tail = 0;
+  for (std::size_t k = 0; i + k < size; ++k)
+    tail |= static_cast<std::uint64_t>(static_cast<unsigned char>(data[i + k]))
+            << (8 * k);
+  if (i < size) h = hash_combine64(h, tail);
+  return h;
+}
+
+std::uint64_t hash_string(const std::string& s) {
+  return hash_bytes(s.data(), s.size());
+}
+
+/// The per-file pipeline output, produced in parallel, consumed serially.
+struct FileWork {
+  Status status = Status::Ok();
+  std::string detail;
+  std::uint64_t content_hash = 0;
+  std::vector<std::string> region_names;
+  std::vector<graph::ProgramGraph> region_graphs;
+  std::vector<std::uint64_t> region_fingerprints;
+};
+
+/// parse → verify → region-extract → graph-build → fingerprint for one
+/// file's bytes. Never throws out: every failure lands in work->status.
+void pipeline_one(const std::string& contents, const IngestOptions& options,
+                  FileWork* work) {
+  work->content_hash = hash_string(contents);
+
+  std::string parse_error;
+  auto module = ir::parse_module(contents, &parse_error);
+  if (!module) {
+    work->status = Status::InvalidArgument("textual IR failed to parse");
+    work->detail = parse_error;
+    return;
+  }
+  std::string verify_errors;
+  if (!ir::verify(*module, &verify_errors)) {
+    work->status = Status::InvalidArgument("module failed verification");
+    work->detail = verify_errors;
+    return;
+  }
+
+  // OpenMP-outlined functions are the regions of interest (the paper's unit
+  // of prediction); a module without any — external IR that was not
+  // produced by an OpenMP frontend — contributes its whole-module graph.
+  std::vector<std::string> regions = graph::find_omp_regions(*module);
+  if (regions.empty()) {
+    graph::ProgramGraph g = graph::build_graph(*module, options.graph_options);
+    g_graphs_built.fetch_add(1, std::memory_order_relaxed);
+    if (g.nodes.empty()) {
+      work->status = Status::InvalidArgument("module yields an empty graph");
+      work->detail = "no instructions in module '" + module->name() + "'";
+      return;
+    }
+    work->region_fingerprints.push_back(graph::fingerprint(g));
+    work->region_names.push_back(module->name());
+    work->region_graphs.push_back(std::move(g));
+    return;
+  }
+  for (const std::string& region : regions) {
+    auto region_module = graph::extract_region(*module, region);
+    if (!region_module) {  // unreachable: find_omp_regions listed it
+      work->status = Status::Internal("region extraction failed");
+      work->detail = "region '" + region + "' vanished from the module";
+      return;
+    }
+    graph::ProgramGraph g =
+        graph::build_graph(*region_module, options.graph_options);
+    g_graphs_built.fetch_add(1, std::memory_order_relaxed);
+    if (g.nodes.empty()) {
+      work->status = Status::InvalidArgument("region yields an empty graph");
+      work->detail = "region '" + region + "' has no instructions";
+      return;
+    }
+    work->region_fingerprints.push_back(graph::fingerprint(g));
+    work->region_names.push_back(region_module->name());
+    work->region_graphs.push_back(std::move(g));
+  }
+}
+
+bool structurally_equal(const graph::ProgramGraph& a,
+                        const graph::ProgramGraph& b) {
+  if (a.nodes.size() != b.nodes.size() || a.edges.size() != b.edges.size())
+    return false;
+  for (std::size_t i = 0; i < a.nodes.size(); ++i)
+    if (a.nodes[i].kind != b.nodes[i].kind ||
+        a.nodes[i].feature != b.nodes[i].feature)
+      return false;
+  for (std::size_t i = 0; i < a.edges.size(); ++i)
+    if (a.edges[i].src != b.edges[i].src || a.edges[i].dst != b.edges[i].dst ||
+        a.edges[i].kind != b.edges[i].kind ||
+        a.edges[i].position != b.edges[i].position)
+      return false;
+  return true;
+}
+
+/// Serial fold of the parallel per-file results: dedup in index order,
+/// record construction, corpus_hash accumulation.
+void fold_results(const std::vector<std::string>& names,
+                  std::vector<FileWork>& works, const IngestOptions& options,
+                  IngestResult* out) {
+  // fingerprint -> indices into out->graphs holding that fingerprint
+  // (a vector, not a single slot, so fingerprint collisions keep both).
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> seen;
+  std::uint64_t corpus_hash = hash_combine64(0x1D5C00ull, names.size());
+
+  out->files.reserve(names.size());
+  for (std::size_t f = 0; f < names.size(); ++f) {
+    FileWork& work = works[f];
+    corpus_hash = hash_combine64(corpus_hash, hash_string(names[f]));
+    corpus_hash = hash_combine64(corpus_hash, work.content_hash);
+
+    FileRecord record;
+    record.path = names[f];
+    record.status = work.status;
+    record.detail = std::move(work.detail);
+    ++out->stats.files_scanned;
+    if (!work.status.ok()) {
+      ++out->stats.files_failed;
+      out->files.push_back(std::move(record));
+      continue;
+    }
+    ++out->stats.files_ok;
+
+    for (std::size_t r = 0; r < work.region_graphs.size(); ++r) {
+      CorpusEntry entry;
+      entry.name = std::move(work.region_names[r]);
+      entry.fingerprint = work.region_fingerprints[r];
+      entry.file_index = static_cast<std::uint32_t>(f);
+      ++record.regions;
+      ++out->stats.regions_total;
+
+      graph::ProgramGraph& g = work.region_graphs[r];
+      std::uint32_t winner = 0;
+      bool found = false;
+      if (options.dedup) {
+        for (std::uint32_t candidate : seen[entry.fingerprint]) {
+          if (structurally_equal(out->graphs[candidate], g)) {
+            winner = candidate;
+            found = true;
+            break;
+          }
+        }
+      }
+      if (found) {
+        entry.duplicate = true;
+        entry.graph_index = winner;
+        ++record.duplicates;
+        ++out->stats.duplicates;
+      } else {
+        entry.graph_index = static_cast<std::uint32_t>(out->graphs.size());
+        seen[entry.fingerprint].push_back(entry.graph_index);
+        out->stats.nodes_total += g.nodes.size();
+        out->stats.edges_total += g.edges.size();
+        g.name = entry.name;
+        out->fingerprints.push_back(entry.fingerprint);
+        out->graphs.push_back(std::move(g));
+      }
+      out->entries.push_back(std::move(entry));
+    }
+    out->files.push_back(std::move(record));
+  }
+  out->stats.graphs_unique = out->graphs.size();
+  out->corpus_hash = corpus_hash;
+  out->options_hash = options_hash(options);
+}
+
+}  // namespace
+
+std::uint64_t options_hash(const IngestOptions& options) {
+  std::uint64_t h = hash_combine64(0x0971ull, options.dedup ? 1 : 0);
+  h = hash_combine64(h, options.graph_options.control_edges ? 1 : 0);
+  h = hash_combine64(h, options.graph_options.data_edges ? 1 : 0);
+  h = hash_combine64(h, options.graph_options.call_edges ? 1 : 0);
+  return h;
+}
+
+std::uint64_t graphs_built() {
+  return g_graphs_built.load(std::memory_order_relaxed);
+}
+
+Status ingest_buffers(const std::vector<std::string>& names,
+                      const std::vector<std::string>& contents,
+                      const IngestOptions& options, IngestResult* out) {
+  if (names.size() != contents.size())
+    return Status::InvalidArgument("names/contents size mismatch");
+  *out = IngestResult{};
+
+  std::vector<FileWork> works(names.size());
+  support::ThreadPool::global().parallel_for(
+      0, static_cast<std::int64_t>(names.size()), options.num_threads,
+      [&](std::int64_t i) {
+        if (contents[i].size() > options.max_file_bytes) {
+          works[i].status = Status::InvalidArgument("file exceeds size bound");
+          works[i].detail = "size " + std::to_string(contents[i].size()) +
+                            " > max_file_bytes";
+          works[i].content_hash = hash_combine64(0xB16F11Eull,
+                                                 contents[i].size());
+          return;
+        }
+        pipeline_one(contents[i], options, &works[i]);
+      });
+
+  fold_results(names, works, options, out);
+  return Status::Ok();
+}
+
+namespace {
+
+/// The sorted-relative-path walk ingest and hash_corpus_dir share: readdir
+/// order never leaks into results.
+Status list_corpus(const std::string& dir, std::vector<std::string>* names,
+                   std::vector<fs::path>* paths) {
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec) || ec)
+    return Status::InvalidArgument("corpus path is not a readable directory");
+  std::vector<fs::path> found;
+  for (auto it = fs::recursive_directory_iterator(
+           dir, fs::directory_options::skip_permission_denied, ec);
+       it != fs::recursive_directory_iterator(); it.increment(ec)) {
+    if (ec) return Status::Internal("corpus directory walk failed");
+    if (!it->is_regular_file(ec) || ec) {
+      ec.clear();
+      continue;
+    }
+    found.push_back(it->path());
+  }
+  std::vector<std::size_t> order(found.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::vector<std::string> rel(found.size());
+  for (std::size_t i = 0; i < found.size(); ++i)
+    rel[i] = fs::relative(found[i], dir, ec).generic_string();
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return rel[a] < rel[b]; });
+  names->resize(order.size());
+  paths->resize(order.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    (*names)[i] = std::move(rel[order[i]]);
+    (*paths)[i] = std::move(found[order[i]]);
+  }
+  return Status::Ok();
+}
+
+/// Reads one corpus file's bytes into `contents`, applying the size bound.
+/// On any failure `work` carries the record ingest will report, and
+/// work.content_hash matches what the fold expects for that failure mode.
+bool read_corpus_file(const fs::path& path, std::uint64_t max_file_bytes,
+                      std::string* contents, FileWork* work) {
+  std::error_code sec;
+  const std::uint64_t size = fs::file_size(path, sec);
+  if (sec) {
+    work->status = Status::Internal("file size unreadable");
+    work->detail = "stat failed";
+    return false;
+  }
+  if (size > max_file_bytes) {
+    work->status = Status::InvalidArgument("file exceeds size bound");
+    work->detail = "size " + std::to_string(size) + " > max_file_bytes";
+    work->content_hash = hash_combine64(0xB16F11Eull, size);
+    return false;
+  }
+  contents->assign(size, '\0');
+  std::FILE* fp = std::fopen(path.c_str(), "rb");
+  if (!fp) {
+    work->status = Status::Internal("file open failed");
+    work->detail = "fopen failed";
+    return false;
+  }
+  const std::size_t got = size ? std::fread(&(*contents)[0], 1, size, fp) : 0;
+  std::fclose(fp);
+  if (got != size) {
+    work->status = Status::Internal("file read failed");
+    work->detail = "short read";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Status ingest_directory(const std::string& dir, const IngestOptions& options,
+                        IngestResult* out) {
+  *out = IngestResult{};
+  std::vector<std::string> names;
+  std::vector<fs::path> paths;
+  Status status = list_corpus(dir, &names, &paths);
+  if (!status.ok()) return status;
+
+  // The parallel stage reads file bytes itself (streaming: no whole-corpus
+  // buffer), but record order and dedup stay index-driven.
+  std::vector<FileWork> works(paths.size());
+  support::ThreadPool::global().parallel_for(
+      0, static_cast<std::int64_t>(paths.size()), options.num_threads,
+      [&](std::int64_t i) {
+        std::string contents;
+        if (read_corpus_file(paths[i], options.max_file_bytes, &contents,
+                             &works[i]))
+          pipeline_one(contents, options, &works[i]);
+      });
+
+  fold_results(names, works, options, out);
+  return Status::Ok();
+}
+
+Status hash_corpus_dir(const std::string& dir, std::uint64_t max_file_bytes,
+                       std::uint64_t* out) {
+  std::vector<std::string> names;
+  std::vector<fs::path> paths;
+  Status status = list_corpus(dir, &names, &paths);
+  if (!status.ok()) return status;
+
+  // Bytes only — no parse, no graphs — folded exactly as fold_results does,
+  // so the result equals IngestResult::corpus_hash for the same directory.
+  std::vector<FileWork> works(paths.size());
+  support::ThreadPool::global().parallel_for(
+      0, static_cast<std::int64_t>(paths.size()), 0, [&](std::int64_t i) {
+        std::string contents;
+        if (read_corpus_file(paths[i], max_file_bytes, &contents, &works[i]))
+          works[i].content_hash = hash_string(contents);
+      });
+
+  std::uint64_t h = hash_combine64(0x1D5C00ull, names.size());
+  for (std::size_t f = 0; f < names.size(); ++f) {
+    h = hash_combine64(h, hash_string(names[f]));
+    h = hash_combine64(h, works[f].content_hash);
+  }
+  *out = h;
+  return Status::Ok();
+}
+
+}  // namespace irgnn::corpus

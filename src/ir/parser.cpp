@@ -31,7 +31,12 @@ struct Token {
   TokKind kind;
   std::string text;  // for Punct, the single character
   int line;
+  int col;  // 1-based column of the token's first character
 };
+
+std::string at_line_col(int line, int col) {
+  return "line " + std::to_string(line) + ", col " + std::to_string(col);
+}
 
 class Lexer {
  public:
@@ -49,11 +54,16 @@ class Lexer {
   void tokenize() {
     std::size_t i = 0;
     int line = 1;
+    std::size_t line_start = 0;  // index of the current line's first char
+    const auto col_of = [&](std::size_t pos) {
+      return static_cast<int>(pos - line_start) + 1;
+    };
     while (i < text_.size()) {
       char c = text_[i];
       if (c == '\n') {
         ++line;
         ++i;
+        line_start = i;
         continue;
       }
       if (std::isspace(static_cast<unsigned char>(c))) {
@@ -64,22 +74,23 @@ class Lexer {
         while (i < text_.size() && text_[i] != '\n') ++i;
         continue;
       }
+      const int col = col_of(i);
       if (c == '%' || c == '@') {
         std::size_t start = ++i;
         while (i < text_.size() && is_ident_char(text_[i])) ++i;
         tokens_.push_back({c == '%' ? TokKind::Local : TokKind::Global,
-                           text_.substr(start, i - start), line});
+                           text_.substr(start, i - start), line, col});
         continue;
       }
       if (c == '"') {
         std::size_t start = ++i;
         while (i < text_.size() && text_[i] != '"') ++i;
         if (i >= text_.size()) {
-          error_ = "line " + std::to_string(line) + ": unterminated string";
+          error_ = at_line_col(line, col) + ": unterminated string";
           return;
         }
         tokens_.push_back({TokKind::String, text_.substr(start, i - start),
-                           line});
+                           line, col});
         ++i;
         continue;
       }
@@ -100,27 +111,27 @@ class Lexer {
             ++i;
         }
         tokens_.push_back({TokKind::Number, text_.substr(start, i - start),
-                           line});
+                           line, col});
         continue;
       }
       if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
         std::size_t start = i;
         while (i < text_.size() && is_ident_char(text_[i])) ++i;
         tokens_.push_back({TokKind::Word, text_.substr(start, i - start),
-                           line});
+                           line, col});
         continue;
       }
       static const std::string punct = "{}()[],=:*";
       if (punct.find(c) != std::string::npos) {
-        tokens_.push_back({TokKind::Punct, std::string(1, c), line});
+        tokens_.push_back({TokKind::Punct, std::string(1, c), line, col});
         ++i;
         continue;
       }
-      error_ = "line " + std::to_string(line) + ": unexpected character '" +
+      error_ = at_line_col(line, col) + ": unexpected character '" +
                std::string(1, c) + "'";
       return;
     }
-    tokens_.push_back({TokKind::End, "", line});
+    tokens_.push_back({TokKind::End, "", line, col_of(i)});
   }
 
   const std::string& text_;
@@ -141,6 +152,7 @@ struct OperandSpec {
   std::int64_t ival = 0;
   double fval = 0.0;
   int line = 0;
+  int col = 0;
 };
 
 class Parser {
@@ -173,8 +185,13 @@ class Parser {
 
  private:
   [[noreturn]] void fail(const std::string& message) {
-    throw std::runtime_error("line " + std::to_string(peek().line) + ": " +
-                             message);
+    fail_at(peek(), message);
+  }
+
+  /// For errors about an already-consumed token: points at the offender,
+  /// not at whatever happens to follow it.
+  [[noreturn]] void fail_at(const Token& tok, const std::string& message) {
+    throw std::runtime_error(at_line_col(tok.line, tok.col) + ": " + message);
   }
 
   const Token& peek(int ahead = 0) const {
@@ -196,7 +213,10 @@ class Parser {
   }
 
   // --- Types ---------------------------------------------------------------
-  Type* parse_type() {
+  Type* parse_type(int depth = 0) {
+    // Hostile input can nest array types arbitrarily deep; the recursion
+    // must fail with a diagnostic before it can exhaust the stack.
+    if (depth > 32) fail("type nesting too deep");
     TypeContext& ctx = module_->types();
     Type* base = nullptr;
     if (at(TokKind::Punct, "[")) {
@@ -204,13 +224,13 @@ class Parser {
       Token n = expect(TokKind::Number);
       Token x = expect(TokKind::Word);
       if (x.text != "x") fail("expected 'x' in array type");
-      Type* elem = parse_type();
+      Type* elem = parse_type(depth + 1);
       expect(TokKind::Punct, "]");
       base = ctx.array_of(elem, std::strtoull(n.text.c_str(), nullptr, 10));
     } else {
       Token w = expect(TokKind::Word);
       base = ctx.parse(w.text);
-      if (!base) fail("unknown type '" + w.text + "'");
+      if (!base) fail_at(w, "unknown type '" + w.text + "'");
     }
     while (at(TokKind::Punct, "*")) {
       next();
@@ -224,6 +244,7 @@ class Parser {
   OperandSpec parse_ref(Type* expected) {
     OperandSpec spec;
     spec.line = peek().line;
+    spec.col = peek().col;
     spec.type = expected;
     if (at(TokKind::Local)) {
       spec.kind = OperandSpec::Kind::Local;
@@ -269,6 +290,7 @@ class Parser {
     spec.kind = OperandSpec::Kind::Block;
     spec.name = name.text;
     spec.line = name.line;
+    spec.col = name.col;
     return spec;
   }
 
@@ -341,7 +363,7 @@ class Parser {
     // Pre-scan for block labels (word followed by ':') so forward branch
     // targets resolve and textual block order is preserved.
     std::size_t depth = 1;
-    for (std::size_t i = pos_; i < lexer_.tokens().size(); ++i) {
+    for (std::size_t i = pos_; i + 1 < lexer_.tokens().size(); ++i) {
       const Token& tok = lexer_.tokens()[i];
       if (tok.kind == TokKind::Punct && tok.text == "{") ++depth;
       if (tok.kind == TokKind::Punct && tok.text == "}" && --depth == 0) break;
@@ -377,21 +399,21 @@ class Parser {
       case OperandSpec::Kind::Local: {
         auto it = locals_.find(spec.name);
         if (it == locals_.end() || !it->second)
-          throw std::runtime_error("line " + std::to_string(spec.line) +
+          throw std::runtime_error(at_line_col(spec.line, spec.col) +
                                    ": unknown local %" + spec.name);
         return it->second;
       }
       case OperandSpec::Kind::Block: {
         auto it = blocks_.find(spec.name);
         if (it == blocks_.end())
-          throw std::runtime_error("line " + std::to_string(spec.line) +
+          throw std::runtime_error(at_line_col(spec.line, spec.col) +
                                    ": unknown block %" + spec.name);
         return it->second;
       }
       case OperandSpec::Kind::Global: {
         if (Function* fn = module_->get_function(spec.name)) return fn;
         if (GlobalVariable* g = module_->get_global(spec.name)) return g;
-        throw std::runtime_error("line " + std::to_string(spec.line) +
+        throw std::runtime_error(at_line_col(spec.line, spec.col) +
                                  ": unknown global @" + spec.name);
       }
       case OperandSpec::Kind::ConstInt:
@@ -455,7 +477,7 @@ class Parser {
     }
     Token op_tok = expect(TokKind::Word);
     auto opcode = opcode_from_name(op_tok.text);
-    if (!opcode) fail("unknown opcode '" + op_tok.text + "'");
+    if (!opcode) fail_at(op_tok, "unknown opcode '" + op_tok.text + "'");
     TypeContext& ctx = module_->types();
 
     switch (*opcode) {
@@ -498,7 +520,7 @@ class Parser {
         else if (pred.text == "sle") inst->set_icmp_pred(ICmpPred::SLE);
         else if (pred.text == "sgt") inst->set_icmp_pred(ICmpPred::SGT);
         else if (pred.text == "sge") inst->set_icmp_pred(ICmpPred::SGE);
-        else fail("unknown icmp predicate '" + pred.text + "'");
+        else fail_at(pred, "unknown icmp predicate '" + pred.text + "'");
         break;
       }
       case Opcode::FCmp: {
@@ -514,7 +536,7 @@ class Parser {
         else if (pred.text == "ole") inst->set_fcmp_pred(FCmpPred::OLE);
         else if (pred.text == "ogt") inst->set_fcmp_pred(FCmpPred::OGT);
         else if (pred.text == "oge") inst->set_fcmp_pred(FCmpPred::OGE);
-        else fail("unknown fcmp predicate '" + pred.text + "'");
+        else fail_at(pred, "unknown fcmp predicate '" + pred.text + "'");
         break;
       }
       case Opcode::Alloca: {
@@ -580,7 +602,7 @@ class Parser {
         else if (op.text == "fadd") inst->set_atomic_op(AtomicOp::FAdd);
         else if (op.text == "min") inst->set_atomic_op(AtomicOp::Min);
         else if (op.text == "max") inst->set_atomic_op(AtomicOp::Max);
-        else fail("unknown atomicrmw op '" + op.text + "'");
+        else fail_at(op, "unknown atomicrmw op '" + op.text + "'");
         break;
       }
       case Opcode::Trunc:
@@ -613,6 +635,7 @@ class Parser {
           bspec.kind = OperandSpec::Kind::Block;
           bspec.name = blk.text;
           bspec.line = blk.line;
+          bspec.col = blk.col;
           specs.push_back(bspec);
           expect(TokKind::Punct, "]");
           first = false;
@@ -638,6 +661,7 @@ class Parser {
         cspec.kind = OperandSpec::Kind::Global;
         cspec.name = callee.text;
         cspec.line = callee.line;
+        cspec.col = callee.col;
         std::vector<OperandSpec> specs{cspec};
         expect(TokKind::Punct, "(");
         while (!at(TokKind::Punct, ")")) {

@@ -1,5 +1,8 @@
 // Parser for the textual IR produced by print_module(). Round-trips with the
-// printer; diagnostics carry line numbers.
+// printer; diagnostics carry "line L, col C" positions. Malformed input —
+// including truncation at any byte and arbitrary byte mutations — is always
+// a nullptr return with a diagnostic, never a crash (tests/ir_test.cpp
+// sweeps both; src/corpus/ingest.cpp relies on it for hostile files).
 #pragma once
 
 #include <memory>

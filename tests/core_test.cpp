@@ -39,6 +39,26 @@ TEST(DatasetTest, DeterministicForSeed) {
       EXPECT_EQ(a.graph(r, s).to_text(), b.graph(r, s).to_text());
 }
 
+TEST(DatasetTest, SharedBuildsArePooledPerOptions) {
+  // Identical options must return the same pooled instance — repeated
+  // build_dataset calls in one process reuse graph storage instead of
+  // re-running the compile/extract/build pipeline.
+  auto a = build_dataset_shared({2, 9});
+  auto b = build_dataset_shared({2, 9});
+  EXPECT_EQ(a.get(), b.get());
+  // Any differing option field is a different dataset.
+  auto other_seed = build_dataset_shared({2, 10});
+  EXPECT_NE(a.get(), other_seed.get());
+  auto other_threads = build_dataset_shared({2, 9, 1});
+  EXPECT_NE(a.get(), other_threads.get());
+  // The copying wrapper draws from the same pool.
+  Dataset copy = build_dataset({2, 9});
+  EXPECT_EQ(copy.num_regions(), a->num_regions());
+  for (std::size_t r = 0; r < copy.num_regions(); ++r)
+    for (std::size_t s = 0; s < copy.num_sequences(); ++s)
+      EXPECT_EQ(copy.graph(r, s).to_text(), a->graph(r, s).to_text());
+}
+
 TEST(DatasetTest, SequencesReshapeGraphs) {
   Dataset dataset = build_dataset({6, 21});
   // At least one region must have structurally different variants across

@@ -8,7 +8,9 @@
 #include "ir/parser.h"
 #include "ir/printer.h"
 #include "ir/verifier.h"
+#include "support/rng.h"
 #include "tests/test_helpers.h"
+#include "workloads/suite.h"
 
 namespace irgnn {
 namespace {
@@ -233,6 +235,71 @@ TEST(PredecessorsTest, PhiReferenceIsNotAnEdge) {
   auto exit_preds = blocks[2]->predecessors();
   ASSERT_EQ(exit_preds.size(), 1u);
   EXPECT_EQ(exit_preds[0], blocks[1]);
+}
+
+TEST(PrinterParserTest, DiagnosticsCarryLineAndColumn) {
+  std::string error;
+  EXPECT_EQ(ir::parse_module("define void @f() {\nentry:\n  frobnicate\n}\n",
+                             &error),
+            nullptr);
+  EXPECT_NE(error.find("line 3"), std::string::npos) << error;
+  EXPECT_NE(error.find("col "), std::string::npos) << error;
+}
+
+TEST(PrinterParserTest, SuiteRoundTripIsBitIdentical) {
+  // Print → parse → print must be the identity on every region of the
+  // synthetic suite — the property the corpus frontend's bit-identity gate
+  // (corpus_test) builds on.
+  for (const auto& spec : workloads::benchmark_suite()) {
+    const auto module = workloads::build_region_module(spec);
+    const std::string printed = ir::print_module(*module);
+    std::string error;
+    const auto reparsed = ir::parse_module(printed, &error);
+    ASSERT_NE(reparsed, nullptr) << spec.name << ": " << error;
+    EXPECT_EQ(ir::print_module(*reparsed), printed) << spec.name;
+  }
+}
+
+TEST(PrinterParserTest, TruncationAtEveryByteNeverCrashes) {
+  // The net_test discipline applied to the parser: chop a real printed
+  // module at every byte boundary; each prefix either parses (only the
+  // full text should) or yields nullptr + a diagnostic — never a crash.
+  const auto& suite = workloads::benchmark_suite();
+  const std::string printed =
+      ir::print_module(*workloads::build_region_module(suite[0]));
+  for (std::size_t n = 0; n < printed.size(); ++n) {
+    std::string error;
+    const auto module = ir::parse_module(printed.substr(0, n), &error);
+    if (!module)
+      EXPECT_FALSE(error.empty()) << "silent failure at byte " << n;
+  }
+  std::string error;
+  EXPECT_NE(ir::parse_module(printed, &error), nullptr) << error;
+}
+
+TEST(PrinterParserTest, MutationFuzzNeverCrashes) {
+  const auto& suite = workloads::benchmark_suite();
+  const std::string printed =
+      ir::print_module(*workloads::build_region_module(suite[1]));
+  std::uint64_t state = 0xF1222;
+  for (int round = 0; round < 2000; ++round) {
+    std::string mutated = printed;
+    const int flips = 1 + static_cast<int>(splitmix64(state) % 4);
+    for (int f = 0; f < flips; ++f)
+      mutated[splitmix64(state) % mutated.size()] =
+          static_cast<char>(splitmix64(state));
+    std::string error;
+    const auto module = ir::parse_module(mutated, &error);
+    if (!module) EXPECT_FALSE(error.empty()) << "round " << round;
+  }
+}
+
+TEST(PrinterParserTest, DeepTypeNestingIsADiagnosticNotAnOverflow) {
+  std::string ty(100, '[');
+  std::string text = "define void @f(" + ty + "i64";
+  std::string error;
+  EXPECT_EQ(ir::parse_module(text, &error), nullptr);
+  EXPECT_FALSE(error.empty());
 }
 
 }  // namespace
